@@ -1,0 +1,137 @@
+"""Figure 3 (bottom row): Interpolation Join scaling.
+
+Paper: the windowed join costs roughly an order of magnitude more
+than the natural join at equal rows, grows linearly in rows (left
+panel), and strong-scales with diminishing returns from 1 to 10 nodes
+at 16M rows (right panel). Scaled here to 5k–40k left rows with a
+2-second window over per-node sample streams, on the simulated cluster
+(single-core machine; see bench_fig3_natural_join for the timing
+model).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SJContext, ScrubJayDataset, default_dictionary
+from repro.core.combinations import InterpolationJoin, NaturalJoin
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    TIMED_LEFT_SCHEMA,
+    TIMED_RIGHT_SCHEMA,
+    keyed_tables,
+    timed_tables,
+)
+
+ROW_COUNTS = [5_000, 10_000, 20_000, 40_000]
+WORKER_COUNTS = [1, 2, 4, 8, 10]
+STRONG_SCALING_ROWS = 40_000
+WINDOW = 2.0
+PARTITIONS = 20
+
+_DICT = default_dictionary()
+
+
+@pytest.fixture(scope="module")
+def tables():
+    # per-size generation keeps the same per-key sample density
+    return {n: timed_tables(n, num_keys=64) for n in ROW_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def rows_recorder(recorder_factory):
+    return recorder_factory("fig3c_interp_join_rows", "rows", "sim_seconds")
+
+
+@pytest.fixture(scope="module")
+def scaling_recorder(recorder_factory):
+    return recorder_factory(
+        "fig3d_interp_join_strong_scaling", "workers", "sim_seconds"
+    )
+
+
+def _run_join(workers, left_rows, right_rows):
+    with SJContext(
+        executor="simulated", num_workers=workers,
+        default_parallelism=PARTITIONS,
+    ) as ctx:
+        left = ScrubJayDataset.from_rows(
+            ctx, left_rows, TIMED_LEFT_SCHEMA, "left", PARTITIONS
+        )
+        right = ScrubJayDataset.from_rows(
+            ctx, right_rows, TIMED_RIGHT_SCHEMA, "right", PARTITIONS
+        )
+        ctx.executor.reset()
+        count = InterpolationJoin(WINDOW).apply(left, right, _DICT).count()
+        return ctx.executor.simulated_elapsed, count
+
+
+@pytest.mark.parametrize("num_rows", ROW_COUNTS)
+def test_fig3c_time_vs_rows(benchmark, tables, rows_recorder, num_rows):
+    left, right = tables[num_rows]
+    sim_s, count = benchmark.pedantic(
+        _run_join, args=(10, left, right), rounds=1, iterations=1
+    )
+    # the generator guarantees every left row a right sample in-window
+    assert count == len(left)
+    benchmark.extra_info["sim_seconds"] = sim_s
+    rows_recorder.add(num_rows, sim_s, "10 workers (simulated)")
+
+
+def test_fig3c_shape_is_linear(benchmark, rows_recorder, shape):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # shape check only
+    xs = [x for x, _y, _n in rows_recorder.rows]
+    ys = [y for _x, y, _n in rows_recorder.rows]
+    assert len(xs) == len(ROW_COUNTS)
+    shape.assert_roughly_linear(xs, ys)
+
+
+def test_fig3c_costlier_than_natural_join(benchmark, tables):
+    """The paper's panels put the interpolation join roughly an order
+    of magnitude above the natural join at equal row counts; demand at
+    least a conservative multiple here."""
+    from repro.util import Timer
+
+    n = 20_000
+
+    def compare():
+        with SJContext(executor="serial") as ctx:
+            kl, kr = keyed_tables(n, num_keys=64)
+            left = ScrubJayDataset.from_rows(ctx, kl, KEYED_LEFT_SCHEMA, "l")
+            right = ScrubJayDataset.from_rows(ctx, kr, KEYED_RIGHT_SCHEMA, "r")
+            with Timer() as tn:
+                NaturalJoin().apply(left, right, _DICT).count()
+            tl, tr = tables[n]
+            ileft = ScrubJayDataset.from_rows(ctx, tl, TIMED_LEFT_SCHEMA, "l")
+            iright = ScrubJayDataset.from_rows(
+                ctx, tr, TIMED_RIGHT_SCHEMA, "r"
+            )
+            with Timer() as ti:
+                InterpolationJoin(WINDOW).apply(ileft, iright, _DICT).count()
+        return tn.elapsed, ti.elapsed
+
+    natural_s, interp_s = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["natural_s"] = natural_s
+    benchmark.extra_info["interp_s"] = interp_s
+    assert interp_s > 2.0 * natural_s
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_fig3d_strong_scaling(benchmark, tables, scaling_recorder, workers):
+    left, right = tables[STRONG_SCALING_ROWS]
+    sim_s, count = benchmark.pedantic(
+        _run_join, args=(workers, left, right), rounds=1, iterations=1
+    )
+    assert count == len(left)
+    benchmark.extra_info["sim_seconds"] = sim_s
+    scaling_recorder.add(workers, sim_s, f"{STRONG_SCALING_ROWS} rows")
+
+
+def test_fig3d_shape_speedup(benchmark, scaling_recorder):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # shape check only
+    times = {x: y for x, y, _n in scaling_recorder.rows}
+    assert len(times) == len(WORKER_COUNTS)
+    # the paper's panel: ~240 s at 1 node to ~95 s at 10 (≈2.5×)
+    assert times[10] < times[1] / 1.3
+    assert times[10] > times[1] / 10.0

@@ -1,0 +1,124 @@
+"""Figure 6: CPU frequency throttling vs node power (case study 2).
+
+Runs the full DAT-2 pipeline — PAPI + IPMI counter streams and static
+CPU specs, the engine-derived Figure 7 sequence, distributed execution
+— and reproduces the paper's observations across the six runs (3×mg.C
+then 3×prime95):
+
+- mg.C operates at **full CPU frequency** with a **lower instruction
+  rate** and heavy memory traffic;
+- prime95 incurs **high instruction rates** and **aggressive CPU
+  throttling**, with tight thermal margins.
+
+The recorded series is the per-run window mean of each derived metric
+— the quantities the paper plots per run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, ScrubJaySession
+from repro.datagen import generate_dat2
+
+
+@pytest.fixture(scope="module")
+def dat2():
+    return generate_dat2(run_duration=400.0, gap=100.0, papi_period=3.0,
+                         ipmi_period=4.0)
+
+
+@pytest.fixture(scope="module")
+def recorder(recorder_factory):
+    return recorder_factory("fig6_per_run_metrics", "run", "value")
+
+
+def _window_mean(rows, field, start, end):
+    vals = [r[field] for r in rows
+            if field in r and start <= r["time"].epoch < end]
+    assert vals, f"no samples for {field} in [{start}, {end})"
+    return sum(vals) / len(vals)
+
+
+def test_fig6_derived_metrics(benchmark, dat2, recorder):
+    def run():
+        with ScrubJaySession(
+            config=EngineConfig(interpolation_window=8.0)
+        ) as sj:
+            dat2.register(sj)
+            plan = sj.query(
+                domains=["cpus"],
+                values=["active frequency", "instructions per time",
+                        "memory reads per time", "memory writes per time",
+                        "power", "temperature"],
+            )
+            return plan, sj.execute(plan).collect()
+
+    plan, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    runs = sorted(dat2.scheduler.jobs, key=lambda j: j.start)
+    rated = dat2.facility.base_frequency(0)
+
+    print(f"\nrated frequency: {rated:.2f} GHz")
+    per_run = []
+    for i, job in enumerate(runs, 1):
+        s, e = job.start + 120.0, job.end  # settled window
+        metrics = {
+            "freq_ghz": _window_mean(rows, "active_frequency", s, e),
+            "instr_per_s": _window_mean(rows, "instructions_rate", s, e),
+            "mem_reads_per_s": _window_mean(rows, "mem_reads_rate", s, e),
+            "power_w": _window_mean(rows, "power", s, e),
+            "thermal_margin": _window_mean(rows, "thermal_margin", s, e),
+        }
+        per_run.append((job.workload.name, metrics))
+        for k, v in metrics.items():
+            recorder.add(f"run{i}", v, f"{job.workload.name}.{k}")
+        print(f"  run {i} {job.workload.name:>8}: "
+              f"freq={metrics['freq_ghz']:.2f}GHz "
+              f"instr={metrics['instr_per_s'] / 1e9:.2f}G/s "
+              f"memR={metrics['mem_reads_per_s'] / 1e6:.0f}M/s "
+              f"power={metrics['power_w']:.0f}W "
+              f"margin={metrics['thermal_margin']:.1f}C")
+
+    mgc = [m for n, m in per_run if n == "mg.C"]
+    p95 = [m for n, m in per_run if n == "prime95"]
+    assert len(mgc) == 3 and len(p95) == 3
+
+    for m in mgc:  # full frequency, low instruction rate
+        assert m["freq_ghz"] == pytest.approx(rated, rel=0.05)
+    for m in p95:  # aggressive throttling, high instruction rate
+        assert m["freq_ghz"] < 0.8 * rated
+    assert min(m["instr_per_s"] for m in p95) > \
+        2 * max(m["instr_per_s"] for m in mgc)
+    assert min(m["mem_reads_per_s"] for m in mgc) > \
+        3 * max(m["mem_reads_per_s"] for m in p95)
+    assert max(m["thermal_margin"] for m in p95) < \
+        min(m["thermal_margin"] for m in mgc)
+    assert min(m["power_w"] for m in p95) > max(m["power_w"] for m in mgc)
+
+    print("\nderivation sequence:\n" + plan.describe())
+
+
+def test_fig6_runs_repeatable(benchmark, dat2):
+    """The three runs of each workload behave alike (the paper plots
+    three near-identical repetitions per workload)."""
+    def collect_freqs():
+        with ScrubJaySession(
+            config=EngineConfig(interpolation_window=8.0)
+        ) as sj:
+            dat2.register(sj)
+            rows = sj.ask(domains=["cpus"],
+                          values=["active frequency"]).collect()
+        return rows
+
+    rows = benchmark.pedantic(collect_freqs, rounds=1, iterations=1)
+    runs = sorted(dat2.scheduler.jobs, key=lambda j: j.start)
+    for name in ("mg.C", "prime95"):
+        means = []
+        for job in runs:
+            if job.workload.name != name:
+                continue
+            means.append(_window_mean(
+                rows, "active_frequency", job.start + 120.0, job.end
+            ))
+        spread = max(means) - min(means)
+        assert spread < 0.1, f"{name} runs diverge: {means}"

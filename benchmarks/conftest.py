@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures and the paper-style series recorder.
+
+Every benchmark prints the series it measures (time vs. rows, time vs.
+workers, …) in the same shape as the paper's figure and also appends it
+to ``benchmarks/results/<figure>.txt`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class SeriesRecorder:
+    """Collects (x, y) points per series and renders a small table."""
+
+    def __init__(self, figure: str, x_label: str, y_label: str) -> None:
+        self.figure = figure
+        self.x_label = x_label
+        self.y_label = y_label
+        self.rows: List[tuple] = []
+
+    def add(self, x, y, note: str = "") -> None:
+        self.rows.append((x, y, note))
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.figure} ==",
+            f"{self.x_label:>16}  {self.y_label:>14}  note",
+        ]
+        for x, y, note in self.rows:
+            lines.append(f"{x!s:>16}  {y:>14.4f}  {note}")
+        return "\n".join(lines)
+
+    def flush(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.figure}.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render() + "\n")
+        print("\n" + self.render())
+
+
+@pytest.fixture(scope="module")
+def recorder_factory():
+    recorders: List[SeriesRecorder] = []
+
+    def make(figure: str, x_label: str, y_label: str) -> SeriesRecorder:
+        r = SeriesRecorder(figure, x_label, y_label)
+        recorders.append(r)
+        return r
+
+    yield make
+    for r in recorders:
+        r.flush()
+
+
+def assert_roughly_linear(xs: Sequence[float], ys: Sequence[float],
+                          tolerance: float = 4.0) -> None:
+    """The paper's Figure 3 claim: time grows linearly with rows.
+
+    Checks that time-per-row stays within ``tolerance``× between the
+    smallest and largest problem size — superlinear (quadratic) growth
+    fails this immediately, constant overhead dominating small sizes
+    is tolerated.
+    """
+    per_row = [y / x for x, y in zip(xs, ys)]
+    assert max(per_row) / min(per_row) < tolerance, (
+        f"scaling is not linear: per-row costs {per_row}"
+    )
+
+
+@pytest.fixture(scope="session")
+def shape():
+    """Access to shape assertions from bench modules (conftest is not
+    importable as a module from the benchmarks directory)."""
+    import types
+
+    return types.SimpleNamespace(assert_roughly_linear=assert_roughly_linear)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Case study 2 (paper §7.3): CPU frequency throttling vs node power.
+
+Simulates the second dedicated-access-time session — per-CPU PAPI
+counters (instructions, APERF, MPERF) every few seconds, per-socket
+IPMI motherboard data (memory traffic, power, thermal margins), and
+the static /proc/cpuinfo-derived CPU specifications — while three
+mg.C runs and three prime95 runs execute on the instrumented node.
+
+Asking for *active CPU frequency* plus counter *rates* makes the
+engine derive the Figure 7 pipeline: turn cumulative counters into
+reset-safe rates, join the CPU specs to get each CPU's rated
+frequency, compute active frequency as (ΔAPERF/ΔMPERF)×rated, and
+relate the CPU-level and node-level streams. The derived data shows
+the paper's Figure 6 story: mg.C runs memory-bound at full clock with
+a low instruction rate; prime95 retires instructions furiously and
+gets aggressively throttled.
+
+Run: python examples/cpu_throttling.py
+"""
+
+from repro import EngineConfig, ScrubJaySession
+from repro.datagen import generate_dat2
+
+
+def window_mean(rows, field, start, end):
+    vals = [r[field] for r in rows
+            if field in r and start <= r["time"].epoch < end]
+    return sum(vals) / len(vals) if vals else float("nan")
+
+
+def main() -> None:
+    print("simulating DAT 2: 3× mg.C then 3× prime95 on one node...")
+    dat = generate_dat2(run_duration=400.0, gap=100.0,
+                        papi_period=3.0, ipmi_period=4.0)
+
+    # counters arrive every ~3 s, so align streams within an 8 s window
+    with ScrubJaySession(
+        config=EngineConfig(interpolation_window=8.0)
+    ) as sj:
+        dat.register(sj)
+        print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")
+
+        plan = sj.query(
+            domains=["cpus"],
+            values=["active frequency", "instructions per time",
+                    "memory reads per time", "memory writes per time",
+                    "power", "temperature"],
+        )
+        print("derivation sequence (the paper's Figure 7):")
+        print(plan.describe())
+
+        rows = sj.execute(plan).collect()
+        rated = dat.facility.base_frequency(0)
+        print(f"\nderived {len(rows)} rows; rated frequency "
+              f"{rated:.2f} GHz\n")
+
+        print(f"{'run':>4} {'workload':>9} {'freq GHz':>9} "
+              f"{'instr G/s':>10} {'memR M/s':>9} {'power W':>8} "
+              f"{'margin C':>9}")
+        for i, job in enumerate(
+            sorted(dat.scheduler.jobs, key=lambda j: j.start), 1
+        ):
+            s, e = job.start + 120.0, job.end  # settled window
+            print(
+                f"{i:>4} {job.workload.name:>9} "
+                f"{window_mean(rows, 'active_frequency', s, e):>9.2f} "
+                f"{window_mean(rows, 'instructions_rate', s, e) / 1e9:>10.2f} "
+                f"{window_mean(rows, 'mem_reads_rate', s, e) / 1e6:>9.0f} "
+                f"{window_mean(rows, 'power', s, e):>8.0f} "
+                f"{window_mean(rows, 'thermal_margin', s, e):>9.1f}"
+            )
+
+        print(
+            "\nreading the table the paper's way: mg.C holds the rated "
+            "clock\nwith few instructions retired (memory-bound), while "
+            "prime95 runs\nhot — triple the instruction rate, ~30% "
+            "frequency loss to\nthrottling, higher socket power, and "
+            "thermal margins near the\ntrip point."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Future-work case study (paper conclusion): application behaviour vs
+network and filesystem utilization.
+
+The paper's introduction sketches the diagnosis this enables: "high
+network counter values may indicate a congested network due to a
+sudden increase in nodes contacting a parallel filesystem server ...
+due to multiple applications entering their checkpoint phases
+simultaneously." Its conclusion names network interference as the next
+target for ScrubJay.
+
+This example simulates a facility with a node/leaf/core network, link
+byte counters, and two parallel-filesystem servers, then uses the same
+derivation engine — untouched — to answer two brand-new queries:
+
+1. which applications push the most traffic through their uplinks;
+2. which filesystem servers queue up, and who is running when they do.
+
+Run: python examples/network_interference.py
+"""
+
+from collections import defaultdict
+
+from repro import EngineConfig, ScrubJaySession
+from repro.analysis import rank_groups
+from repro.datagen.facility import FacilityConfig
+from repro.datagen.network import generate_dat3
+
+
+def main() -> None:
+    print("simulating facility + network + parallel filesystem...")
+    dat = generate_dat3(
+        facility_config=FacilityConfig(num_racks=4, nodes_per_rack=4),
+        duration=3600.0,
+        counter_period=15.0,
+    )
+
+    with ScrubJaySession(
+        config=EngineConfig(interpolation_window=30.0)
+    ) as sj:
+        dat.register(sj)
+        print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")
+
+        # ------------------------------------------------------------------
+        # query 1: applications × network link traffic
+        # ------------------------------------------------------------------
+        plan = sj.query(domains=["jobs", "network links"],
+                        values=["applications", "link bytes per time"])
+        print("derivation sequence for {jobs, links} → "
+              "{applications, byte rates}:")
+        print(plan.describe())
+
+        net = sj.execute(plan).persist()
+        print(f"\nderived {net.count()} (job-instant × link) rows")
+        print("\nmean uplink traffic per application:")
+        for (app,), rate in rank_groups(net, ["job_name"],
+                                        "bytes_rate", "mean"):
+            print(f"  {app:>9}: {rate / 1e6:8.1f} MB/s")
+
+        # ------------------------------------------------------------------
+        # query 2: applications × filesystem pressure
+        # ------------------------------------------------------------------
+        plan2 = sj.query(domains=["jobs", "filesystems"],
+                         values=["applications", "pending operations"])
+        print("\nderivation sequence for {jobs, filesystems} → "
+              "{applications, pending ops}:")
+        print(plan2.describe())
+
+        fs = sj.execute(plan2).persist()
+        rows = [r for r in fs.collect() if "pending_ops" in r]
+        values = [r["pending_ops"] for r in rows]
+        mean = sum(values) / len(values)
+        peak = max(values)
+        print(f"\nfilesystem queue depth: mean {mean:.2f}, peak "
+              f"{peak:.2f} ({peak / mean:.1f}× — checkpoint congestion)")
+
+        # who was on the congested server at the spikes?
+        spike_apps = defaultdict(int)
+        for r in rows:
+            if r["pending_ops"] > 0.6 * peak:
+                spike_apps[(r["job_name"], r["fs_server"])] += 1
+        print("\napplications present during congestion spikes "
+              "(app, fs server → spike samples):")
+        for (app, server), n in sorted(spike_apps.items(),
+                                       key=lambda kv: -kv[1])[:5]:
+            print(f"  {app:>9} on fs{server}: {n}")
+        print(
+            "\ncheckpointing applications (AMG/LULESH/Kripke/Qbox "
+            "profiles) drive\nthe spikes; co-located quiet workloads "
+            "merely observe them — the\ninterference pattern the paper "
+            "describes."
+        )
+
+
+if __name__ == "__main__":
+    main()

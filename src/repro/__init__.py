@@ -1,0 +1,47 @@
+"""ScrubJay (SC'17) reproduction — semantic derivation of relations
+across heterogeneous HPC performance data.
+
+Public API highlights:
+
+- :class:`~repro.session.ScrubJaySession` — the analyst entry point;
+- :class:`~repro.core.semantics.Schema` /
+  :class:`~repro.core.semantics.SemanticType` — data semantics;
+- :class:`~repro.core.query.Query` — logical queries over dimensions;
+- :class:`~repro.core.dataset.ScrubJayDataset` — annotated distributed
+  datasets on the :mod:`repro.rdd` engine;
+- :mod:`repro.wrappers` — CSV/SQL/NoSQL data (un)wrappers;
+- :mod:`repro.datagen` — the synthetic HPC facility used by the case
+  studies and benchmarks.
+"""
+
+from repro.session import ScrubJaySession
+from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
+from repro.core.dictionary import SemanticDictionary, default_dictionary
+from repro.core.dataset import ScrubJayDataset
+from repro.core.query import Query
+from repro.core.engine import DerivationEngine, EngineConfig
+from repro.core.pipeline import DerivationPlan
+from repro.rdd import SJContext
+from repro.units import Quantity, Timestamp, TimeSpan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScrubJaySession",
+    "DOMAIN",
+    "VALUE",
+    "Schema",
+    "SemanticType",
+    "SemanticDictionary",
+    "default_dictionary",
+    "ScrubJayDataset",
+    "Query",
+    "DerivationEngine",
+    "EngineConfig",
+    "DerivationPlan",
+    "SJContext",
+    "Quantity",
+    "Timestamp",
+    "TimeSpan",
+    "__version__",
+]

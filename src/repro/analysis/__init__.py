@@ -1,0 +1,22 @@
+"""Distributed modeling/analysis helpers over derived datasets.
+
+One of the three destinations for a derivation result in Figure 2 is
+"distributed modeling and analysis". This package provides the
+analyses the case studies perform: grouped aggregation, correlation
+between derived value fields, outlier ranking (how §7.2 finds AMG on
+rack 17), and per-entity time-series extraction for plotting-style
+output.
+"""
+
+from repro.analysis.aggregate import group_aggregate, time_series
+from repro.analysis.correlate import correlate, correlation_matrix
+from repro.analysis.outliers import rank_groups, zscore_outliers
+
+__all__ = [
+    "group_aggregate",
+    "time_series",
+    "correlate",
+    "correlation_matrix",
+    "rank_groups",
+    "zscore_outliers",
+]

@@ -1,0 +1,99 @@
+"""Grouped aggregation and time-series extraction on datasets.
+
+Implemented as RDD aggregations so they distribute like everything
+else; results are small and returned driver-side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import SemanticError
+from repro.core.dataset import ScrubJayDataset
+
+#: built-in aggregators: name -> (zero, seq, finalize)
+_AGGREGATORS: Dict[str, Tuple[Any, Callable, Callable]] = {
+    "mean": ((0.0, 0), lambda a, x: (a[0] + x, a[1] + 1),
+             lambda a: a[0] / a[1] if a[1] else None),
+    "sum": (0.0, lambda a, x: a + x, lambda a: a),
+    "min": (None, lambda a, x: x if a is None or x < a else a, lambda a: a),
+    "max": (None, lambda a, x: x if a is None or x > a else a, lambda a: a),
+    "count": (0, lambda a, _x: a + 1, lambda a: a),
+}
+
+
+def group_aggregate(
+    dataset: ScrubJayDataset,
+    group_fields: Sequence[str],
+    value_field: str,
+    how: str = "mean",
+) -> Dict[Tuple, Any]:
+    """Aggregate ``value_field`` per distinct ``group_fields`` tuple.
+
+    ``how`` is one of mean/sum/min/max/count. Rows missing any group
+    or value field are skipped. Returns ``{group_tuple: aggregate}``.
+    """
+    for f in list(group_fields) + [value_field]:
+        if f not in dataset.schema:
+            raise SemanticError(f"dataset has no field {f!r}")
+    try:
+        zero, seq, finalize = _AGGREGATORS[how]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {how!r}; expected one of "
+            f"{sorted(_AGGREGATORS)}"
+        ) from None
+    gf = list(group_fields)
+
+    def key(row):
+        return tuple(row.get(f) for f in gf)
+
+    pairs = (
+        dataset.rdd.filter(
+            lambda row: value_field in row
+            and all(f in row for f in gf)
+        )
+        .map(lambda row: (key(row), row[value_field]))
+        .aggregateByKey(zero, seq, _merge_for(how))
+        .collect()
+    )
+    return {k: finalize(v) for k, v in pairs}
+
+
+def _merge_for(how: str) -> Callable:
+    if how == "mean":
+        return lambda a, b: (a[0] + b[0], a[1] + b[1])
+    if how == "sum" or how == "count":
+        return lambda a, b: a + b
+    if how == "min":
+        return lambda a, b: b if a is None else (a if b is None or a < b else b)
+    return lambda a, b: b if a is None else (a if b is None or a > b else b)
+
+
+def time_series(
+    dataset: ScrubJayDataset,
+    group_fields: Sequence[str],
+    time_field: str,
+    value_field: str,
+) -> Dict[Tuple, List[Tuple[float, Any]]]:
+    """Per-group (epoch, value) series sorted by time — the shape the
+    paper's Figure 4/6 plots are drawn from."""
+    for f in list(group_fields) + [time_field, value_field]:
+        if f not in dataset.schema:
+            raise SemanticError(f"dataset has no field {f!r}")
+    gf = list(group_fields)
+    pairs = (
+        dataset.rdd.filter(
+            lambda row: value_field in row and time_field in row
+            and all(f in row for f in gf)
+        )
+        .map(
+            lambda row: (
+                tuple(row.get(f) for f in gf),
+                (row[time_field].epoch, row[value_field]),
+            )
+        )
+        .groupByKey()
+        .collect()
+    )
+    return {k: sorted(v) for k, v in pairs}

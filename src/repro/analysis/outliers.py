@@ -1,0 +1,60 @@
+"""Outlier ranking — how §7.2 spots AMG on rack 17.
+
+"We sorted the results with respect to heat and quickly identified an
+outlier": :func:`rank_groups` reproduces that workflow (rank groups by
+an aggregate of a value field), and :func:`zscore_outliers` flags the
+groups whose aggregate deviates beyond a z-score threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.dataset import ScrubJayDataset
+from repro.analysis.aggregate import group_aggregate
+
+
+def rank_groups(
+    dataset: ScrubJayDataset,
+    group_fields: Sequence[str],
+    value_field: str,
+    how: str = "max",
+    descending: bool = True,
+) -> List[Tuple[Tuple, Any]]:
+    """Groups sorted by their aggregated value, strongest first."""
+    agg = group_aggregate(dataset, group_fields, value_field, how)
+    return sorted(
+        ((k, v) for k, v in agg.items() if v is not None),
+        key=lambda kv: kv[1],
+        reverse=descending,
+    )
+
+
+def zscore_outliers(
+    dataset: ScrubJayDataset,
+    group_fields: Sequence[str],
+    value_field: str,
+    how: str = "max",
+    threshold: float = 2.0,
+) -> List[Tuple[Tuple, float, float]]:
+    """Groups whose aggregate deviates more than ``threshold`` standard
+    deviations from the across-group mean.
+
+    Returns ``(group, aggregate, zscore)`` sorted by |z| descending.
+    """
+    ranked = rank_groups(dataset, group_fields, value_field, how)
+    values = [v for _k, v in ranked]
+    if len(values) < 2:
+        return []
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    if var == 0:
+        return []
+    std = math.sqrt(var)
+    out = [
+        (k, v, (v - mean) / std)
+        for k, v in ranked
+        if abs(v - mean) / std >= threshold
+    ]
+    return sorted(out, key=lambda t: abs(t[2]), reverse=True)

@@ -1,0 +1,236 @@
+"""Opt-in, on-disk memoization of derivation results (paper §5.4).
+
+Expensive derivation steps are cached in non-volatile storage keyed by
+the *content fingerprint* of the plan subtree that produced them, so
+two derivation sequences sharing an expensive prefix compute it only
+once — even across sessions and analysts. Because the cache can grow
+to deplete storage, it is opt-in, bounded, and evicts entries with a
+least-recently-used (LRU) policy.
+
+Entries store the collected rows plus the dataset's schema and name;
+on a hit the rows are re-parallelized into the live context.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema
+from repro.rdd.context import SJContext
+
+
+@dataclass
+class CachedResult:
+    """A materialized derivation result ready to re-enter a context."""
+
+    rows: List[Dict[str, Any]]
+    schema_json: dict
+    name: str
+
+    def to_dataset(self, ctx: SJContext) -> ScrubJayDataset:
+        return ScrubJayDataset.from_rows(
+            ctx, self.rows, Schema.from_json_dict(self.schema_json), self.name
+        )
+
+
+class DerivationCache:
+    """Bounded on-disk LRU cache of derivation results, with an
+    optional compressed long-term tier.
+
+    The paper's conclusion sketches "a storage cache hierarchy ...
+    where old entries may be compressed and stored in separate
+    long-term storage devices"; passing ``cold_directory`` enables
+    exactly that: entries evicted from the hot tier are gzip-compressed
+    into the cold tier instead of deleted, a cold hit transparently
+    decompresses and *promotes* the entry back to hot, and the cold
+    tier itself is LRU-bounded by ``max_cold_entries``.
+
+    Parameters
+    ----------
+    directory:
+        Hot tier: uncompressed entry files (created if missing).
+    max_entries:
+        Hot-tier bound; least recently *used* entries evict first.
+        Recency survives process restarts because access bumps the
+        file's mtime.
+    cold_directory:
+        Optional cold tier for compressed demoted entries; omit it for
+        the flat single-tier cache.
+    max_cold_entries:
+        Cold-tier bound; beyond it, the oldest compressed entries are
+        deleted for good.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_entries: int = 64,
+        cold_directory: Optional[str] = None,
+        max_cold_entries: int = 256,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if max_cold_entries <= 0:
+            raise ValueError("max_cold_entries must be positive")
+        self.directory = directory
+        self.max_entries = max_entries
+        self.cold_directory = cold_directory
+        self.max_cold_entries = max_cold_entries
+        os.makedirs(directory, exist_ok=True)
+        if cold_directory is not None:
+            os.makedirs(cold_directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.cold_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.pkl")
+
+    def _cold_path(self, fingerprint: str) -> str:
+        assert self.cold_directory is not None
+        return os.path.join(self.cold_directory, f"{fingerprint}.pkl.gz")
+
+    def get(self, fingerprint: str) -> Optional[CachedResult]:
+        """Fetch an entry, bumping its recency. None on miss.
+
+        Checks the hot tier first, then the compressed cold tier;
+        a cold hit re-promotes the entry to hot.
+        """
+        path = self._path(fingerprint)
+        if os.path.exists(path):
+            try:
+                with open(path, "rb") as f:
+                    entry = pickle.load(f)
+            except (OSError, pickle.UnpicklingError):
+                self.misses += 1
+                return None
+            os.utime(path, None)  # LRU recency bump
+            self.hits += 1
+            return entry
+        entry = self._get_cold(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.cold_hits += 1
+        self._write_hot(fingerprint, entry)  # promote
+        self._evict()
+        return entry
+
+    def _get_cold(self, fingerprint: str) -> Optional[CachedResult]:
+        if self.cold_directory is None:
+            return None
+        import gzip
+
+        cold = self._cold_path(fingerprint)
+        if not os.path.exists(cold):
+            return None
+        try:
+            with gzip.open(cold, "rb") as f:
+                entry = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+        try:
+            os.remove(cold)  # it lives in the hot tier now
+        except OSError:
+            pass
+        return entry
+
+    def _write_hot(self, fingerprint: str, entry: CachedResult) -> None:
+        with open(self._path(fingerprint), "wb") as f:
+            pickle.dump(entry, f)
+
+    def put(self, fingerprint: str, dataset: ScrubJayDataset) -> None:
+        """Store a dataset's rows under the plan fingerprint."""
+        entry = CachedResult(
+            rows=dataset.collect(),
+            schema_json=dataset.schema.to_json_dict(),
+            name=dataset.name,
+        )
+        self._write_hot(fingerprint, entry)
+        self._evict()
+
+    def _evict(self) -> None:
+        files = [
+            os.path.join(self.directory, f)
+            for f in os.listdir(self.directory)
+            if f.endswith(".pkl")
+        ]
+        if len(files) <= self.max_entries:
+            return
+        files.sort(key=lambda p: os.path.getmtime(p))
+        for path in files[: len(files) - self.max_entries]:
+            if self.cold_directory is not None:
+                self._demote(path)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._evict_cold()
+
+    def _demote(self, hot_path: str) -> None:
+        """Compress a hot entry into the cold tier."""
+        import gzip
+
+        fingerprint = os.path.basename(hot_path)[: -len(".pkl")]
+        try:
+            with open(hot_path, "rb") as src, \
+                    gzip.open(self._cold_path(fingerprint), "wb") as dst:
+                dst.write(src.read())
+        except OSError:
+            pass
+
+    def _evict_cold(self) -> None:
+        if self.cold_directory is None:
+            return
+        files = [
+            os.path.join(self.cold_directory, f)
+            for f in os.listdir(self.cold_directory)
+            if f.endswith(".pkl.gz")
+        ]
+        if len(files) <= self.max_cold_entries:
+            return
+        files.sort(key=lambda p: os.path.getmtime(p))
+        for path in files[: len(files) - self.max_cold_entries]:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            1 for f in os.listdir(self.directory) if f.endswith(".pkl")
+        )
+
+    def cold_len(self) -> int:
+        if self.cold_directory is None:
+            return 0
+        return sum(
+            1 for f in os.listdir(self.cold_directory)
+            if f.endswith(".pkl.gz")
+        )
+
+    def clear(self) -> None:
+        for f in os.listdir(self.directory):
+            if f.endswith(".pkl"):
+                try:
+                    os.remove(os.path.join(self.directory, f))
+                except OSError:
+                    pass
+        if self.cold_directory is not None:
+            for f in os.listdir(self.cold_directory):
+                if f.endswith(".pkl.gz"):
+                    try:
+                        os.remove(os.path.join(self.cold_directory, f))
+                    except OSError:
+                        pass
+        self.hits = self.misses = self.cold_hits = 0

@@ -1,0 +1,157 @@
+"""The semantic dictionary (paper §4.2, "Semantic Dictionary").
+
+Problems arise when multiple keywords mean the same thing (*synonyms*)
+or one keyword means different things (*homonyms*). The dictionary is
+the single authority on available dimension and unit keywords and
+rejects both:
+
+- registering an existing keyword with a different meaning is a
+  homonym → :class:`~repro.errors.DictionaryError`;
+- registering a new unit keyword whose full conversion signature
+  (kind, dimension, scale, offset) duplicates an existing unit is a
+  synonym → :class:`~repro.errors.DictionaryError` (reuse the existing
+  keyword instead).
+
+Datasets are validated against the active dictionary before they enter
+the catalog, so every annotation the engine reasons over resolves to
+exactly one meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import DictionaryError, SemanticError, UnitError
+from repro.core.semantics import Schema
+from repro.units.registry import (
+    Dimension,
+    Unit,
+    UnitRegistry,
+    default_registry,
+)
+
+
+class SemanticDictionary:
+    """Keyword authority: dimensions + units, synonym/homonym-free."""
+
+    def __init__(self, registry: Optional[UnitRegistry] = None) -> None:
+        self.registry = registry or UnitRegistry()
+
+    # ------------------------------------------------------------------
+    # keyword definition
+    # ------------------------------------------------------------------
+
+    def define_dimension(
+        self,
+        name: str,
+        continuous: bool,
+        ordered: bool,
+        description: str = "",
+    ) -> Dimension:
+        """Add a dimension keyword; idempotent for identical meanings."""
+        dim = Dimension(name, continuous, ordered, description)
+        try:
+            return self.registry.register_dimension(dim)
+        except UnitError as exc:
+            raise DictionaryError(
+                f"homonym: dimension keyword {name!r} already has a "
+                f"different meaning"
+            ) from exc
+
+    def define_unit(
+        self,
+        name: str,
+        kind: str,
+        dimension: Optional[str] = None,
+        scale: float = 1.0,
+        offset: float = 0.0,
+    ) -> Unit:
+        """Add a unit keyword, enforcing the no-synonym/no-homonym rule."""
+        unit = Unit(name, kind, dimension, scale, offset)
+        # Synonym check: an identical conversion signature under a
+        # different keyword would make two keywords mean one thing.
+        sig = self._signature(unit)
+        if sig is not None:
+            for existing in self.registry.units().values():
+                if existing.name != name and self._signature(existing) == sig:
+                    raise DictionaryError(
+                        f"synonym: unit keyword {name!r} duplicates the "
+                        f"meaning of {existing.name!r}; reuse that keyword"
+                    )
+        try:
+            return self.registry.register_unit(unit)
+        except UnitError as exc:
+            raise DictionaryError(
+                f"homonym: unit keyword {name!r} already has a "
+                f"different meaning"
+            ) from exc
+
+    @staticmethod
+    def _signature(unit: Unit) -> Optional[Tuple]:
+        # Only dimension-anchored quantity units have a meaningful full
+        # conversion signature; generic representational units
+        # (identifier, label, …) are legitimately shared across fields
+        # and dimensions, so they are exempt from synonym detection.
+        if unit.kind != "quantity" or unit.dimension is None:
+            return None
+        return ("quantity", unit.dimension, unit.scale, unit.offset)
+
+    # ------------------------------------------------------------------
+    # lookup / validation
+    # ------------------------------------------------------------------
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.registry.dimension(name)
+        except UnitError as exc:
+            raise DictionaryError(str(exc)) from exc
+
+    def unit(self, name: str) -> Unit:
+        try:
+            return self.registry.unit(name)
+        except UnitError as exc:
+            raise DictionaryError(str(exc)) from exc
+
+    def has_dimension(self, name: str) -> bool:
+        return self.registry.has_dimension(name)
+
+    def has_unit(self, name: str) -> bool:
+        return self.registry.has_unit(name)
+
+    def interpolatable(self, dimension: str) -> bool:
+        """True when values on ``dimension`` may be interpolated
+        (continuous and ordered)."""
+        return self.dimension(dimension).interpolatable
+
+    def convert(self, value: float, from_unit: str, to_unit: str) -> float:
+        return self.registry.convert(value, from_unit, to_unit)
+
+    def validate_schema(self, schema: Schema) -> None:
+        """Check every annotation against the dictionary.
+
+        Raises :class:`~repro.errors.SemanticError` on the first field
+        whose dimension or unit keyword is unknown, or whose unit is
+        anchored to a *different* dimension than the field claims.
+        """
+        for field, sem in schema.items():
+            if not self.has_dimension(sem.dimension):
+                raise SemanticError(
+                    f"field {field!r}: unknown dimension keyword "
+                    f"{sem.dimension!r}"
+                )
+            if not self.has_unit(sem.units):
+                raise SemanticError(
+                    f"field {field!r}: unknown unit keyword {sem.units!r}"
+                )
+            unit = self.unit(sem.units)
+            if unit.dimension is not None and unit.dimension != sem.dimension:
+                raise SemanticError(
+                    f"field {field!r}: unit {sem.units!r} lies on "
+                    f"dimension {unit.dimension!r}, not {sem.dimension!r}"
+                )
+
+
+def default_dictionary() -> SemanticDictionary:
+    """The dictionary shipped with ScrubJay: the default registry's
+    dimensions and units (see :func:`repro.units.registry.default_registry`)."""
+    return SemanticDictionary(default_registry())

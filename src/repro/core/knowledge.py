@@ -1,0 +1,189 @@
+"""The shared knowledge base (paper §3, §7.1).
+
+"These annotations comprise the knowledge base of ScrubJay, and once
+specified, they may be shared and reused": the paper stores data
+semantics in the facility's distributed database so that semantics
+defined during the first DAT were "reused seamlessly in the second,
+and this information continues to be readily available."
+
+:class:`KnowledgeBase` provides exactly that on the wide-column store:
+dictionary entries (dimensions and units), dataset schemas, and saved
+derivation plans persist in a keyspace and can be replayed into any
+new :class:`~repro.session.ScrubJaySession`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import ScrubJayError, StoreError
+from repro.core.pipeline import DerivationPlan
+from repro.core.semantics import Schema
+from repro.store.wide_column import Table, WideColumnStore
+
+_KEYSPACE = "scrubjay_kb"
+
+
+class KnowledgeBase:
+    """Persistent, shareable store of semantics, schemas, and plans."""
+
+    def __init__(
+        self, store: WideColumnStore, keyspace: str = _KEYSPACE
+    ) -> None:
+        self.store = store
+        self.keyspace = keyspace
+
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str, partition_key: List[str]) -> Table:
+        try:
+            return self.store.table(self.keyspace, name)
+        except StoreError:
+            return self.store.create_table(
+                self.keyspace, name, partition_key
+            )
+
+    def _upsert(self, table: Table, key_col: str, row: dict) -> None:
+        # last-writer-wins: scan keeps all versions, readers take the
+        # newest (rows are appended in order within a partition)
+        table.insert(row)
+        table.flush()
+
+    def _latest(self, table: Table) -> Dict[str, dict]:
+        out: Dict[str, dict] = {}
+        for row in table.scan():
+            out[row["name"]] = row  # later rows overwrite earlier ones
+        return out
+
+    # ------------------------------------------------------------------
+    # dictionary entries
+    # ------------------------------------------------------------------
+
+    def save_dimension(self, name: str, continuous: bool,
+                       ordered: bool, description: str = "") -> None:
+        self._upsert(
+            self._table("dimensions", ["name"]), "name",
+            {"name": name, "continuous": continuous, "ordered": ordered,
+             "description": description},
+        )
+
+    def save_unit(self, name: str, kind: str,
+                  dimension: Optional[str] = None,
+                  scale: float = 1.0, offset: float = 0.0) -> None:
+        self._upsert(
+            self._table("units", ["name"]), "name",
+            {"name": name, "kind": kind, "dimension": dimension,
+             "scale": scale, "offset": offset},
+        )
+
+    def save_session_semantics(self, session) -> None:
+        """Persist every non-default dictionary entry of a session.
+
+        Stores all dimensions and units currently registered, so a
+        later session reconstructs the same vocabulary (defaults are
+        idempotent to re-define).
+        """
+        reg = session.dictionary.registry
+        for dim in reg.dimensions().values():
+            self.save_dimension(dim.name, dim.continuous, dim.ordered,
+                                dim.description)
+        for unit in reg.units().values():
+            self.save_unit(unit.name, unit.kind, unit.dimension,
+                           unit.scale, unit.offset)
+
+    # ------------------------------------------------------------------
+    # dataset schemas
+    # ------------------------------------------------------------------
+
+    def save_schema(self, name: str, schema: Schema) -> None:
+        self._upsert(
+            self._table("schemas", ["name"]), "name",
+            {"name": name, "schema": json.dumps(schema.to_json_dict())},
+        )
+
+    def save_session_schemas(self, session) -> None:
+        for name, schema in session.schemas().items():
+            self.save_schema(name, schema)
+
+    def load_schemas(self) -> Dict[str, Schema]:
+        try:
+            table = self.store.table(self.keyspace, "schemas")
+        except StoreError:
+            return {}
+        return {
+            name: Schema.from_json_dict(json.loads(row["schema"]))
+            for name, row in self._latest(table).items()
+        }
+
+    def load_schema(self, name: str) -> Schema:
+        schemas = self.load_schemas()
+        try:
+            return schemas[name]
+        except KeyError:
+            raise ScrubJayError(
+                f"knowledge base has no schema named {name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # derivation plans
+    # ------------------------------------------------------------------
+
+    def save_plan(self, name: str, plan: DerivationPlan) -> None:
+        self._upsert(
+            self._table("plans", ["name"]), "name",
+            {"name": name, "plan": plan.to_json(indent=None)},
+        )
+
+    def load_plan(self, name: str, registry) -> DerivationPlan:
+        try:
+            table = self.store.table(self.keyspace, "plans")
+        except StoreError:
+            raise ScrubJayError("knowledge base holds no plans") from None
+        rows = self._latest(table)
+        if name not in rows:
+            raise ScrubJayError(
+                f"knowledge base has no plan named {name!r}"
+            )
+        return DerivationPlan.from_json(rows[name]["plan"], registry)
+
+    def plan_names(self) -> List[str]:
+        try:
+            table = self.store.table(self.keyspace, "plans")
+        except StoreError:
+            return []
+        return sorted(self._latest(table))
+
+    # ------------------------------------------------------------------
+    # session replay
+    # ------------------------------------------------------------------
+
+    def apply_to(self, session) -> None:
+        """Replay persisted dictionary entries into a session.
+
+        Re-definition of identical entries is idempotent; genuinely
+        conflicting entries raise the dictionary's homonym error, which
+        is the correct outcome — the knowledge base is the authority.
+        """
+        try:
+            dims = self._latest(self.store.table(self.keyspace,
+                                                 "dimensions"))
+        except StoreError:
+            dims = {}
+        for row in dims.values():
+            session.define_dimension(
+                row["name"], row["continuous"], row["ordered"],
+                row.get("description", ""),
+            )
+        try:
+            units = self._latest(self.store.table(self.keyspace, "units"))
+        except StoreError:
+            units = {}
+        for row in units.values():
+            # skip units whose keyword already resolves identically
+            if session.dictionary.has_unit(row["name"]):
+                continue
+            session.define_unit(
+                row["name"], row["kind"], row.get("dimension"),
+                row.get("scale", 1.0), row.get("offset", 0.0),
+            )

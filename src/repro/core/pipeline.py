@@ -1,0 +1,295 @@
+"""Reproducible derivation sequences (paper §5.4).
+
+A derivation sequence is a DAG: leaves load named datasets from the
+session catalog, internal nodes apply transformations (one input) or
+combinations (two inputs). The engine *plans* these DAGs without
+executing them; a plan can then be
+
+- executed in distributed memory (``plan.execute(...)``),
+- serialized to JSON (``plan.to_json()``) — a compact, human-readable,
+  directly editable representation containing everything needed to
+  reproduce the processing pipeline, with derivation parameters
+  gathered by code reflection, or
+- rendered as the kind of derivation graph shown in the paper's
+  Figures 5 and 7 (``plan.describe()``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import PipelineError
+from repro.core.dataset import ScrubJayDataset
+from repro.core.derivation import (
+    Combination,
+    DerivationRegistry,
+    Transformation,
+)
+from repro.core.dictionary import SemanticDictionary
+from repro.util.hashing import content_hash
+
+
+class PlanNode:
+    """Base node of a derivation DAG."""
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def to_json_dict(self) -> dict:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Content hash — the key for the on-disk derivation cache, so
+        identical sub-derivations issued by different analysts hit the
+        same cache entry."""
+        return content_hash(self.to_json_dict())
+
+    def num_steps(self) -> int:
+        """Number of derivation operations (loads are free)."""
+        return sum(c.num_steps() for c in self.children())
+
+
+class LoadNode(PlanNode):
+    """Load a named dataset from the session catalog."""
+
+    def __init__(self, dataset_name: str) -> None:
+        self.dataset_name = dataset_name
+
+    def to_json_dict(self) -> dict:
+        return {"load": self.dataset_name}
+
+    def label(self) -> str:
+        return f"Load[{self.dataset_name}]"
+
+
+class TransformNode(PlanNode):
+    """Apply a transformation to one input plan."""
+
+    def __init__(self, derivation: Transformation, input: PlanNode) -> None:
+        self.derivation = derivation
+        self.input = input
+
+    def children(self) -> List[PlanNode]:
+        return [self.input]
+
+    def num_steps(self) -> int:
+        return 1 + self.input.num_steps()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "transform": self.derivation.to_json_dict(),
+            "input": self.input.to_json_dict(),
+        }
+
+    def label(self) -> str:
+        return self.derivation.describe()
+
+
+class CombineNode(PlanNode):
+    """Apply a combination to two input plans."""
+
+    def __init__(
+        self, derivation: Combination, left: PlanNode, right: PlanNode
+    ) -> None:
+        self.derivation = derivation
+        self.left = left
+        self.right = right
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def num_steps(self) -> int:
+        return 1 + self.left.num_steps() + self.right.num_steps()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "combine": self.derivation.to_json_dict(),
+            "left": self.left.to_json_dict(),
+            "right": self.right.to_json_dict(),
+        }
+
+    def label(self) -> str:
+        return self.derivation.describe()
+
+
+class DerivationPlan:
+    """A complete, executable, serializable derivation sequence."""
+
+    def __init__(self, root: PlanNode) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        catalog: Dict[str, ScrubJayDataset],
+        dictionary: SemanticDictionary,
+        cache: Optional["DerivationCache"] = None,  # noqa: F821
+    ) -> ScrubJayDataset:
+        """Run the pipeline against actual data.
+
+        ``catalog`` maps dataset names to loaded datasets. When a
+        :class:`~repro.core.cache.DerivationCache` is supplied,
+        intermediate results are reused/stored by plan fingerprint.
+        """
+        return self._execute(self.root, catalog, dictionary, cache)
+
+    def _execute(
+        self,
+        node: PlanNode,
+        catalog: Dict[str, ScrubJayDataset],
+        dictionary: SemanticDictionary,
+        cache,
+    ) -> ScrubJayDataset:
+        if isinstance(node, LoadNode):
+            try:
+                return catalog[node.dataset_name]
+            except KeyError:
+                raise PipelineError(
+                    f"plan loads unknown dataset {node.dataset_name!r}"
+                ) from None
+
+        if cache is not None:
+            hit = cache.get(node.fingerprint())
+            if hit is not None:
+                ctx = next(iter(catalog.values())).ctx
+                return hit.to_dataset(ctx)
+
+        if isinstance(node, TransformNode):
+            upstream = self._execute(node.input, catalog, dictionary, cache)
+            result = node.derivation.apply(upstream, dictionary)
+        elif isinstance(node, CombineNode):
+            left = self._execute(node.left, catalog, dictionary, cache)
+            right = self._execute(node.right, catalog, dictionary, cache)
+            result = node.derivation.apply(left, right, dictionary)
+        else:
+            raise PipelineError(f"unknown plan node {type(node).__name__}")
+
+        if cache is not None:
+            cache.put(node.fingerprint(), result)
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def derive_schema(
+        self,
+        catalog_schemas: Dict[str, "Schema"],  # noqa: F821
+        dictionary: SemanticDictionary,
+    ) -> "Schema":  # noqa: F821
+        """Schema-level execution: the output schema this plan would
+        produce, computed without touching any data (the same
+        near-constant-time path the engine plans with)."""
+
+        def walk(node: PlanNode):
+            if isinstance(node, LoadNode):
+                try:
+                    return catalog_schemas[node.dataset_name]
+                except KeyError:
+                    raise PipelineError(
+                        f"plan loads unknown dataset "
+                        f"{node.dataset_name!r}"
+                    ) from None
+            if isinstance(node, TransformNode):
+                return node.derivation.derive_schema(
+                    walk(node.input), dictionary
+                )
+            if isinstance(node, CombineNode):
+                return node.derivation.derive_schema(
+                    walk(node.left), walk(node.right), dictionary
+                )
+            raise PipelineError(f"unknown plan node {type(node).__name__}")
+
+        return walk(self.root)
+
+    def num_steps(self) -> int:
+        return self.root.num_steps()
+
+    def operations(self) -> List[str]:
+        """Operation names, leaves-first (execution order)."""
+        out: List[str] = []
+
+        def walk(node: PlanNode) -> None:
+            for c in node.children():
+                walk(c)
+            if isinstance(node, TransformNode):
+                out.append(node.derivation.op_name)
+            elif isinstance(node, CombineNode):
+                out.append(node.derivation.op_name)
+            else:
+                out.append(f"load:{node.dataset_name}")  # type: ignore[attr-defined]
+
+        walk(self.root)
+        return out
+
+    def describe(self) -> str:
+        """Render the derivation graph, root first (like Figures 5/7)."""
+        lines: List[str] = []
+
+        def walk(node: PlanNode, depth: int) -> None:
+            lines.append("  " * depth + node.label())
+            for c in node.children():
+                walk(c, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        return self.root.fingerprint()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.root.to_json_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(
+        text: str, registry: DerivationRegistry
+    ) -> "DerivationPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PipelineError(f"malformed plan JSON: {exc}") from exc
+        return DerivationPlan(_node_from_json(data, registry))
+
+    def __repr__(self) -> str:
+        return f"DerivationPlan({self.num_steps()} steps)"
+
+
+def _node_from_json(data: dict, registry: DerivationRegistry) -> PlanNode:
+    if not isinstance(data, dict):
+        raise PipelineError(f"plan node must be an object, got {data!r}")
+    if "load" in data:
+        return LoadNode(data["load"])
+    if "transform" in data:
+        derivation = registry.instantiate(data["transform"])
+        if not isinstance(derivation, Transformation):
+            raise PipelineError(
+                f"{derivation.op_name!r} is not a transformation"
+            )
+        return TransformNode(
+            derivation, _node_from_json(data["input"], registry)
+        )
+    if "combine" in data:
+        derivation = registry.instantiate(data["combine"])
+        if not isinstance(derivation, Combination):
+            raise PipelineError(
+                f"{derivation.op_name!r} is not a combination"
+            )
+        return CombineNode(
+            derivation,
+            _node_from_json(data["left"], registry),
+            _node_from_json(data["right"], registry),
+        )
+    raise PipelineError(
+        f"plan node needs one of load/transform/combine: {sorted(data)}"
+    )

@@ -1,0 +1,101 @@
+"""The analyst-facing query (paper §5.1).
+
+Unlike traditional query languages of table names and columns, a
+ScrubJay query names only *dimensions*: the domain dimensions of
+interest (what entities the answer should relate — CPUs, racks, jobs)
+and the value dimensions of interest (what measurements to attach —
+temperatures, frequencies, heat), with optional units. The derivation
+engine finds a sequence of derivations producing a dataset containing
+a relation between all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+
+ValueSpec = Union[str, Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class ValueTerm:
+    """One requested measurement: a dimension, optionally with units."""
+
+    dimension: str
+    units: Optional[str] = None
+
+    def to_json_dict(self) -> dict:
+        return {"dimension": self.dimension, "units": self.units}
+
+
+@dataclass(frozen=True)
+class Query:
+    """A set of domain dimensions and value dimensions of interest.
+
+    Example — the paper's §7.2 heat query::
+
+        Query(domains=("jobs", "racks"),
+              values=("applications", "heat"))
+    """
+
+    domains: Tuple[str, ...]
+    values: Tuple[ValueTerm, ...]
+
+    @staticmethod
+    def of(
+        domains: Sequence[str], values: Sequence[ValueSpec]
+    ) -> "Query":
+        """Build a query from plain strings / (dimension, units) pairs."""
+        if not domains:
+            raise QueryError("a query needs at least one domain dimension")
+        if not values:
+            raise QueryError("a query needs at least one value dimension")
+        terms: List[ValueTerm] = []
+        for v in values:
+            if isinstance(v, str):
+                terms.append(ValueTerm(v))
+            else:
+                dim, units = v
+                terms.append(ValueTerm(dim, units))
+        return Query(tuple(domains), tuple(terms))
+
+    def validate(self, dictionary) -> None:
+        """Check every referenced dimension/unit keyword exists."""
+        for dim in self.domains:
+            if not dictionary.has_dimension(dim):
+                raise QueryError(f"unknown domain dimension {dim!r}")
+        for term in self.values:
+            if not dictionary.has_dimension(term.dimension):
+                raise QueryError(
+                    f"unknown value dimension {term.dimension!r}"
+                )
+            if term.units is not None and not dictionary.has_unit(term.units):
+                raise QueryError(f"unknown units {term.units!r}")
+
+    def value_dimensions(self) -> List[str]:
+        return [t.dimension for t in self.values]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "domains": list(self.domains),
+            "values": [t.to_json_dict() for t in self.values],
+        }
+
+    @staticmethod
+    def from_json_dict(d: dict) -> "Query":
+        return Query(
+            tuple(d["domains"]),
+            tuple(
+                ValueTerm(t["dimension"], t.get("units"))
+                for t in d["values"]
+            ),
+        )
+
+    def __str__(self) -> str:
+        vals = ", ".join(
+            t.dimension + (f" [{t.units}]" if t.units else "")
+            for t in self.values
+        )
+        return f"Query(domains: {', '.join(self.domains)}; values: {vals})"

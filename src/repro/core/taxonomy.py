@@ -1,0 +1,190 @@
+"""The HPC performance data-source taxonomy (paper §2.1, Figure 1).
+
+The paper organizes available data sources into hardware/software
+categories refined into subdomains, with collection mechanisms split
+into **state** information (the status of a resource at an instant —
+temperatures, link traffic levels, job-queue status) and **event**
+information (details of a single occurrence — packets sent, reads and
+writes, job submissions).
+
+This module encodes that taxonomy so datasets can be tagged with
+*where their data comes from*, making the catalog browsable the way
+Figure 1 lays the landscape out: "which state feeds do we have for
+storage hardware?", "which event sources cover the resource
+scheduler?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScrubJayError
+
+#: top-level categories and their Figure 1 subdomains
+CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "hardware": (
+        "computation and memory",
+        "communication",
+        "storage",
+        "infrastructure",
+    ),
+    "software": (
+        "application",
+        "software libraries",
+        "operating system",
+        "resource scheduler",
+    ),
+}
+
+#: collection mechanisms
+STATE = "state"
+EVENT = "event"
+_MECHANISMS = (STATE, EVENT)
+
+
+@dataclass(frozen=True)
+class DataSource:
+    """One cell of Figure 1: a source subdomain × collection mechanism."""
+
+    name: str
+    category: str
+    subdomain: str
+    mechanism: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ScrubJayError(
+                f"unknown category {self.category!r}; expected one of "
+                f"{sorted(CATEGORIES)}"
+            )
+        if self.subdomain not in CATEGORIES[self.category]:
+            raise ScrubJayError(
+                f"unknown {self.category} subdomain {self.subdomain!r}; "
+                f"expected one of {CATEGORIES[self.category]}"
+            )
+        if self.mechanism not in _MECHANISMS:
+            raise ScrubJayError(
+                f"mechanism must be 'state' or 'event', got "
+                f"{self.mechanism!r}"
+            )
+
+
+def default_sources() -> List[DataSource]:
+    """A representative set of Figure 1's entries, instantiated for the
+    tools this reproduction simulates."""
+    return [
+        DataSource("papi", "hardware", "computation and memory", STATE,
+                   "CPU counter samples (instructions, APERF, MPERF)"),
+        DataSource("ipmi", "hardware", "computation and memory", STATE,
+                   "motherboard sensors: memory traffic, power, thermal"),
+        DataSource("link_counters", "hardware", "communication", STATE,
+                   "per-link byte/packet counters"),
+        DataSource("fs_counters", "hardware", "storage", STATE,
+                   "filesystem server load and pending operations"),
+        DataSource("rack_temperatures", "hardware", "infrastructure",
+                   STATE, "rack temperature sensors (hot/cold aisle)"),
+        DataSource("rack_power", "hardware", "infrastructure", STATE,
+                   "rack power draw"),
+        DataSource("ldms", "software", "operating system", STATE,
+                   "node OS metrics: utilization, memory, ctx switches"),
+        DataSource("job_queue_log", "software", "resource scheduler",
+                   EVENT, "job submission/completion records"),
+        DataSource("caliper", "software", "application", EVENT,
+                   "application phase invocations and iteration steps"),
+    ]
+
+
+class SourceCatalog:
+    """Registry of data sources plus dataset tags.
+
+    The catalog answers Figure 1-shaped questions about *what is
+    instrumented*: which registered datasets carry state data about
+    infrastructure hardware, which event sources exist for the
+    scheduler, and so on.
+    """
+
+    def __init__(self, sources: Optional[List[DataSource]] = None) -> None:
+        self._sources: Dict[str, DataSource] = {}
+        self._tags: Dict[str, str] = {}  # dataset name -> source name
+        for src in (default_sources() if sources is None else sources):
+            self.register(src)
+
+    # ------------------------------------------------------------------
+
+    def register(self, source: DataSource) -> DataSource:
+        existing = self._sources.get(source.name)
+        if existing is not None and existing != source:
+            raise ScrubJayError(
+                f"data source {source.name!r} already registered with a "
+                f"different definition"
+            )
+        self._sources[source.name] = source
+        return source
+
+    def source(self, name: str) -> DataSource:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise ScrubJayError(f"unknown data source {name!r}") from None
+
+    def sources(
+        self,
+        category: Optional[str] = None,
+        subdomain: Optional[str] = None,
+        mechanism: Optional[str] = None,
+    ) -> List[DataSource]:
+        """Sources filtered by any combination of taxonomy axes."""
+        return [
+            s for s in self._sources.values()
+            if (category is None or s.category == category)
+            and (subdomain is None or s.subdomain == subdomain)
+            and (mechanism is None or s.mechanism == mechanism)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def tag(self, dataset_name: str, source_name: str) -> None:
+        """Record which source a registered dataset was collected from."""
+        self.source(source_name)  # must exist
+        self._tags[dataset_name] = source_name
+
+    def source_of(self, dataset_name: str) -> Optional[DataSource]:
+        name = self._tags.get(dataset_name)
+        return self._sources[name] if name else None
+
+    def datasets_for(
+        self,
+        category: Optional[str] = None,
+        subdomain: Optional[str] = None,
+        mechanism: Optional[str] = None,
+    ) -> List[str]:
+        """Dataset names whose tagged source matches the filters."""
+        wanted = {s.name for s in self.sources(category, subdomain,
+                                               mechanism)}
+        return sorted(
+            ds for ds, src in self._tags.items() if src in wanted
+        )
+
+    def render(self) -> str:
+        """A small text rendition of Figure 1's grid with tags."""
+        lines: List[str] = []
+        for category, subdomains in CATEGORIES.items():
+            lines.append(category.upper())
+            for sub in subdomains:
+                srcs = self.sources(category=category, subdomain=sub)
+                if not srcs:
+                    continue
+                lines.append(f"  {sub}:")
+                for s in srcs:
+                    tagged = sorted(
+                        ds for ds, name in self._tags.items()
+                        if name == s.name
+                    )
+                    suffix = f"  ← {', '.join(tagged)}" if tagged else ""
+                    lines.append(
+                        f"    [{s.mechanism}] {s.name}: "
+                        f"{s.description}{suffix}"
+                    )
+        return "\n".join(lines)

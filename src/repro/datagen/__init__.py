@@ -1,0 +1,49 @@
+"""Synthetic HPC facility: the stand-in for the paper's Cab cluster.
+
+The paper evaluates ScrubJay on data collected at LLNL during two
+dedicated-access-time (DAT) sessions: SLURM job-queue logs, OSIsoft PI
+rack sensors, a node/rack layout table, and — in the second DAT —
+IPMI, LDMS and PAPI counter streams plus static CPU specifications.
+None of that data is public, so this package simulates the facility:
+
+- :mod:`repro.datagen.facility` — racks, nodes, sockets, CPUs, and the
+  static layout / CPU-specification datasets;
+- :mod:`repro.datagen.workloads` — behavioural models of the paper's
+  applications (AMG's steadily rising heat; mg.C memory-bound at full
+  frequency with low instruction rate; prime95 compute-bound with
+  aggressive thermal throttling);
+- :mod:`repro.datagen.scheduler` — a SLURM-like scheduler producing
+  job-queue logs and the node→job timeline the sensors react to;
+- :mod:`repro.datagen.sensors` — 2-minute rack temperature (hot/cold
+  aisle × top/middle/bottom), humidity and power feeds;
+- :mod:`repro.datagen.counters` — 1–3 s PAPI/IPMI/LDMS cumulative
+  counter streams with arbitrary resets;
+- :mod:`repro.datagen.dat` — one-call builders for the two DAT
+  datasets, with schemas and dictionary entries included;
+- :mod:`repro.datagen.synthetic` — shapeless keyed/timestamped tables
+  for the Figure 3 join-scaling benchmarks.
+
+The substitution preserves what the case studies actually exercise:
+the schemas, the granularity mismatches (2-minute sensors vs. 1–3 s
+counters vs. per-job spans), and planted behavioural signatures that
+the derived datasets must recover.
+"""
+
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.workloads import WorkloadModel, WORKLOADS
+from repro.datagen.scheduler import Job, JobScheduler, ScheduleConfig
+from repro.datagen.dat import DAT1, DAT2, generate_dat1, generate_dat2
+
+__all__ = [
+    "Facility",
+    "FacilityConfig",
+    "WorkloadModel",
+    "WORKLOADS",
+    "Job",
+    "JobScheduler",
+    "ScheduleConfig",
+    "DAT1",
+    "DAT2",
+    "generate_dat1",
+    "generate_dat2",
+]

@@ -1,0 +1,207 @@
+"""High-fidelity node/CPU counter streams: PAPI, IPMI, and LDMS.
+
+Models the second DAT's data sources (§7.3): performance data sampled
+on one- to three-second intervals, recorded as *cumulative counts*
+that "reset at some arbitrary interval, making their absolute values
+irrelevant by themselves" — the property that forces the rate
+derivation. Specifically:
+
+- **PAPI** per-(node, cpu) samples: cumulative instruction, APERF and
+  MPERF counts. MPERF increments at the rated frequency, APERF at the
+  active frequency, so ``ΔAPERF/ΔMPERF × rated`` recovers the active
+  frequency — including prime95's throttling sag;
+- **IPMI** per-(node, socket) samples: cumulative memory read/write
+  counts plus instantaneous socket power and thermal margin;
+- **LDMS** per-node samples: CPU utilization, free memory and a
+  cumulative context-switch count (ingested into the NoSQL store in
+  the examples).
+
+Counters reset to zero at random (per stream) to exercise the
+reset-safety of ``derive_rate``; sample times jitter slightly so the
+granularity mismatch between feeds is genuine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.datagen.facility import Facility
+from repro.datagen.scheduler import JobScheduler
+from repro.datagen.workloads import IDLE
+from repro.units.temporal import Timestamp
+
+
+class CounterSimulator:
+    """Generates the counter datasets of DAT 2."""
+
+    #: probability that a cumulative counter stream resets at a sample
+    RESET_PROBABILITY = 0.002
+
+    def __init__(
+        self,
+        facility: Facility,
+        scheduler: JobScheduler,
+        seed: int = 31,
+    ) -> None:
+        self.facility = facility
+        self.scheduler = scheduler
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _sample_times(
+        self, start: float, duration: float, period: float, rng: random.Random
+    ) -> Iterator[float]:
+        t = start
+        while t < start + duration:
+            yield t + rng.uniform(-0.1 * period, 0.1 * period)
+            t += period
+
+    def _workload_at(self, node: int, t: float):
+        job = self.scheduler.job_at(node, t)
+        if job is None:
+            return IDLE, 0.0
+        return job.workload, t - job.start
+
+    # ------------------------------------------------------------------
+
+    def papi_rows(
+        self,
+        nodes: Optional[Sequence[int]] = None,
+        start: float = 0.0,
+        duration: float = 1800.0,
+        period: float = 2.0,
+    ) -> List[Dict[str, Any]]:
+        """Cumulative per-CPU counters: instructions, APERF, MPERF."""
+        rng = random.Random(self.seed)
+        nodes = list(nodes) if nodes is not None else self.facility.nodes()
+        rows: List[Dict[str, Any]] = []
+        for node in nodes:
+            rated_hz = self.facility.base_frequency(node) * 1e9
+            for cpu in self.facility.cpus():
+                instr = rng.randrange(10**6)
+                aperf = rng.randrange(10**6)
+                mperf = rng.randrange(10**6)
+                prev_t: Optional[float] = None
+                for t in self._sample_times(start, duration, period, rng):
+                    if prev_t is not None:
+                        dt = t - prev_t
+                        model, t_rel = self._workload_at(node, t)
+                        ratio = model.frequency_ratio(t_rel)
+                        noise = 1.0 + rng.gauss(0.0, 0.02)
+                        instr += int(
+                            model.instructions_at(t_rel) * dt * noise
+                        )
+                        mperf += int(rated_hz * dt)
+                        aperf += int(rated_hz * ratio * dt * noise)
+                        if rng.random() < self.RESET_PROBABILITY:
+                            instr = aperf = mperf = 0
+                    prev_t = t
+                    rows.append(
+                        {
+                            "nodeid": node,
+                            "cpuid": cpu,
+                            "time": Timestamp(round(t, 3)),
+                            "instructions": instr,
+                            "aperf": aperf,
+                            "mperf": mperf,
+                        }
+                    )
+        return rows
+
+    def ipmi_rows(
+        self,
+        nodes: Optional[Sequence[int]] = None,
+        start: float = 0.0,
+        duration: float = 1800.0,
+        period: float = 3.0,
+    ) -> List[Dict[str, Any]]:
+        """Per-socket motherboard data: cumulative memory traffic,
+        instantaneous power and thermal margin."""
+        rng = random.Random(self.seed + 1)
+        nodes = list(nodes) if nodes is not None else self.facility.nodes()
+        sockets = range(self.facility.config.sockets_per_node)
+        rows: List[Dict[str, Any]] = []
+        for node in nodes:
+            for socket in sockets:
+                reads = rng.randrange(10**6)
+                writes = rng.randrange(10**6)
+                prev_t: Optional[float] = None
+                for t in self._sample_times(start, duration, period, rng):
+                    model, t_rel = self._workload_at(node, t)
+                    if prev_t is not None:
+                        dt = t - prev_t
+                        noise = 1.0 + rng.gauss(0.0, 0.03)
+                        reads += int(model.memory_read_rate * dt * noise)
+                        writes += int(model.memory_write_rate * dt * noise)
+                        if rng.random() < self.RESET_PROBABILITY:
+                            reads = writes = 0
+                    prev_t = t
+                    rows.append(
+                        {
+                            "nodeid": node,
+                            "socket": socket,
+                            "time": Timestamp(round(t, 3)),
+                            "mem_reads": reads,
+                            "mem_writes": writes,
+                            "power": round(
+                                model.socket_power + rng.gauss(0.0, 2.0), 2
+                            ),
+                            "thermal_margin": round(
+                                model.thermal_margin_at(t_rel)
+                                + rng.gauss(0.0, 0.5),
+                                2,
+                            ),
+                        }
+                    )
+        return rows
+
+    def ldms_rows(
+        self,
+        nodes: Optional[Sequence[int]] = None,
+        start: float = 0.0,
+        duration: float = 1800.0,
+        period: float = 1.0,
+    ) -> List[Dict[str, Any]]:
+        """Per-node OS-level metrics (the LDMS stream)."""
+        rng = random.Random(self.seed + 2)
+        nodes = list(nodes) if nodes is not None else self.facility.nodes()
+        rows: List[Dict[str, Any]] = []
+        for node in nodes:
+            ctx_switches = rng.randrange(10**5)
+            prev_t: Optional[float] = None
+            for t in self._sample_times(start, duration, period, rng):
+                model, _t_rel = self._workload_at(node, t)
+                busy = model is not IDLE
+                if prev_t is not None:
+                    dt = t - prev_t
+                    rate = 8000.0 if busy else 300.0
+                    ctx_switches += int(rate * dt * (1 + rng.gauss(0, 0.1)))
+                    if rng.random() < self.RESET_PROBABILITY:
+                        ctx_switches = 0
+                prev_t = t
+                rows.append(
+                    {
+                        "nodeid": node,
+                        "time": Timestamp(round(t, 3)),
+                        "cpu_util": round(
+                            min(
+                                100.0,
+                                max(
+                                    0.0,
+                                    (92.0 if busy else 3.0)
+                                    + rng.gauss(0.0, 3.0),
+                                ),
+                            ),
+                            2,
+                        ),
+                        "free_memory": round(
+                            (20000.0 if busy else 60000.0)
+                            + rng.gauss(0.0, 800.0),
+                            1,
+                        ),
+                        "context_switches": ctx_switches,
+                    }
+                )
+        return rows

@@ -1,0 +1,265 @@
+"""One-call builders for the two dedicated-access-time datasets.
+
+``generate_dat1`` reproduces the first DAT's data sources (§7.1–7.2):
+job-queue log, node/rack layout, and rack temperature/humidity/power
+feeds, with AMG pinned to rack 17 so the heat-outlier analysis of
+Figure 4 has its planted signal.
+
+``generate_dat2`` reproduces the second DAT (§7.3): PAPI, IPMI and
+LDMS counter streams plus static CPU specifications, with three mg.C
+runs followed by three prime95 runs on an instrumented node — the
+Figure 6 scenario.
+
+Each builder returns a :class:`DATBundle` holding rows + schemas and
+knowing how to register everything (including the extra dictionary
+entries the counter dimensions need) into a
+:class:`~repro.session.ScrubJaySession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
+from repro.datagen.counters import CounterSimulator
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.scheduler import JobScheduler, ScheduleConfig
+from repro.datagen.sensors import RackSensorSimulator
+
+# ----------------------------------------------------------------------
+# schemas
+# ----------------------------------------------------------------------
+
+JOB_LOG_SCHEMA = Schema({
+    "job_id": SemanticType(DOMAIN, "jobs", "identifier"),
+    "job_name": SemanticType(VALUE, "applications", "label"),
+    "user": SemanticType(VALUE, "users", "label"),
+    "nodelist": SemanticType(DOMAIN, "compute nodes", "list<identifier>"),
+    "num_nodes": SemanticType(VALUE, "event count", "cardinal"),
+    "elapsed": SemanticType(VALUE, "time", "seconds"),
+    "timespan": SemanticType(DOMAIN, "time", "timespan"),
+})
+
+NODE_LAYOUT_SCHEMA = Schema({
+    "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "rack": SemanticType(DOMAIN, "racks", "identifier"),
+})
+
+RACK_TEMPERATURE_SCHEMA = Schema({
+    "rack": SemanticType(DOMAIN, "racks", "identifier"),
+    "location": SemanticType(DOMAIN, "rack locations", "label"),
+    "aisle": SemanticType(DOMAIN, "aisles", "label"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "temp": SemanticType(VALUE, "temperature", "degrees Celsius"),
+})
+
+RACK_HUMIDITY_SCHEMA = Schema({
+    "rack": SemanticType(DOMAIN, "racks", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "humidity": SemanticType(VALUE, "humidity", "relative humidity percent"),
+})
+
+RACK_POWER_SCHEMA = Schema({
+    "rack": SemanticType(DOMAIN, "racks", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "power": SemanticType(VALUE, "power", "watts"),
+})
+
+CPU_SPEC_SCHEMA = Schema({
+    "nodeid": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "cpuid": SemanticType(DOMAIN, "cpus", "identifier"),
+    "socket": SemanticType(DOMAIN, "sockets", "identifier"),
+    "base_frequency": SemanticType(VALUE, "rated frequency",
+                                   "rated gigahertz"),
+})
+
+PAPI_SCHEMA = Schema({
+    "nodeid": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "cpuid": SemanticType(DOMAIN, "cpus", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "instructions": SemanticType(VALUE, "instructions", "count"),
+    "aperf": SemanticType(VALUE, "aperf events", "count"),
+    "mperf": SemanticType(VALUE, "mperf events", "count"),
+})
+
+IPMI_SCHEMA = Schema({
+    "nodeid": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "socket": SemanticType(DOMAIN, "sockets", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "mem_reads": SemanticType(VALUE, "memory reads", "count"),
+    "mem_writes": SemanticType(VALUE, "memory writes", "count"),
+    "power": SemanticType(VALUE, "power", "watts"),
+    "thermal_margin": SemanticType(VALUE, "temperature", "degrees Celsius"),
+})
+
+LDMS_SCHEMA = Schema({
+    "nodeid": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "cpu_util": SemanticType(VALUE, "cpu utilization",
+                             "utilization percent"),
+    "free_memory": SemanticType(VALUE, "information", "megabytes"),
+    "context_switches": SemanticType(VALUE, "context switches", "count"),
+})
+
+#: dictionary entries beyond the defaults that the DAT schemas use
+EXTRA_DIMENSIONS: Tuple[Tuple[str, bool, bool], ...] = (
+    # (name, continuous, ordered) — counter event dimensions are
+    # discrete and ordered
+    ("instructions", False, True),
+    ("aperf events", False, True),
+    ("mperf events", False, True),
+    ("memory reads", False, True),
+    ("memory writes", False, True),
+    ("context switches", False, True),
+    ("cpu utilization", True, True),
+)
+
+EXTRA_UNITS: Tuple[Tuple[str, str, Optional[str]], ...] = (
+    ("utilization percent", "quantity", "cpu utilization"),
+)
+
+
+def ensure_semantics(dictionary) -> None:
+    """Define the DAT-specific dictionary entries (idempotent)."""
+    for name, continuous, ordered in EXTRA_DIMENSIONS:
+        dictionary.define_dimension(name, continuous, ordered)
+    for name, kind, dimension in EXTRA_UNITS:
+        dictionary.define_unit(name, kind, dimension)
+
+
+# ----------------------------------------------------------------------
+# bundles
+# ----------------------------------------------------------------------
+
+@dataclass
+class DATBundle:
+    """Rows + schemas of one DAT session, ready for registration."""
+
+    facility: Facility
+    scheduler: JobScheduler
+    datasets: Dict[str, Tuple[List[Dict[str, Any]], Schema]]
+
+    def register(self, session) -> None:
+        """Add every dataset (and needed dictionary entries) to a
+        :class:`~repro.session.ScrubJaySession`."""
+        ensure_semantics(session.dictionary)
+        for name, (rows, schema) in self.datasets.items():
+            session.register_rows(rows, schema, name)
+
+    def rows(self, name: str) -> List[Dict[str, Any]]:
+        return self.datasets[name][0]
+
+    def schema(self, name: str) -> Schema:
+        return self.datasets[name][1]
+
+
+#: aliases so callers can say "the DAT1 bundle shape"
+DAT1 = DATBundle
+DAT2 = DATBundle
+
+
+# ----------------------------------------------------------------------
+# DAT 1: facility-level monitoring (Figures 4 & 5)
+# ----------------------------------------------------------------------
+
+def generate_dat1(
+    facility_config: Optional[FacilityConfig] = None,
+    duration: float = 3.0 * 3600.0,
+    amg_rack: int = 17,
+    amg_start: float = 2400.0,
+    amg_duration: float = 4800.0,
+    temperature_period: float = 120.0,
+    seed: int = 11,
+    include_aux_feeds: bool = True,
+) -> DATBundle:
+    """Build the first DAT: job log, layout, and rack sensor feeds.
+
+    AMG is pinned to every node of ``amg_rack`` (the paper observed it
+    on 60 nodes of rack 17); a random mix of other workloads fills the
+    remaining racks.
+    """
+    fc = facility_config or FacilityConfig(num_racks=20, nodes_per_rack=8)
+    if amg_rack >= fc.num_racks:
+        raise ValueError(
+            f"amg_rack {amg_rack} outside facility with {fc.num_racks} racks"
+        )
+    facility = Facility(fc)
+    sched = JobScheduler(
+        facility,
+        ScheduleConfig(duration=duration, seed=seed),
+    )
+    amg_nodes = facility.nodes_in_rack(amg_rack)
+    sched.pin("AMG", amg_nodes, amg_start, amg_duration)
+    sched.schedule_random(exclude_nodes=amg_nodes)
+
+    sensors = RackSensorSimulator(facility, sched, seed=seed + 100)
+    datasets: Dict[str, Tuple[List[Dict[str, Any]], Schema]] = {
+        "job_queue_log": (sched.job_log_rows(), JOB_LOG_SCHEMA),
+        "node_layout": (facility.node_layout_rows(), NODE_LAYOUT_SCHEMA),
+        "rack_temperatures": (
+            sensors.temperature_rows(0.0, duration, temperature_period),
+            RACK_TEMPERATURE_SCHEMA,
+        ),
+    }
+    if include_aux_feeds:
+        datasets["rack_humidity"] = (
+            sensors.humidity_rows(0.0, duration, temperature_period),
+            RACK_HUMIDITY_SCHEMA,
+        )
+        datasets["rack_power"] = (
+            sensors.power_rows(0.0, duration, temperature_period),
+            RACK_POWER_SCHEMA,
+        )
+    return DATBundle(facility, sched, datasets)
+
+
+# ----------------------------------------------------------------------
+# DAT 2: node/CPU counters (Figures 6 & 7)
+# ----------------------------------------------------------------------
+
+def generate_dat2(
+    facility_config: Optional[FacilityConfig] = None,
+    node: int = 0,
+    run_duration: float = 400.0,
+    gap: float = 100.0,
+    papi_period: float = 2.0,
+    ipmi_period: float = 3.0,
+    ldms_period: float = 2.0,
+    seed: int = 13,
+    include_ldms: bool = False,
+) -> DATBundle:
+    """Build the second DAT: three mg.C runs then three prime95 runs
+    on one instrumented node, with PAPI/IPMI (and optionally LDMS)
+    streams plus the static CPU specifications."""
+    fc = facility_config or FacilityConfig(
+        num_racks=1, nodes_per_rack=2, sockets_per_node=2,
+        cores_per_socket=4,
+    )
+    facility = Facility(fc)
+    sched = JobScheduler(facility, ScheduleConfig(seed=seed))
+    t = gap
+    runs = ["mg.C"] * 3 + ["prime95"] * 3
+    for workload in runs:
+        sched.pin(workload, [node], t, run_duration)
+        t += run_duration + gap
+    total = t + gap
+
+    counters = CounterSimulator(facility, sched, seed=seed + 100)
+    datasets: Dict[str, Tuple[List[Dict[str, Any]], Schema]] = {
+        "cpu_specs": (facility.cpu_spec_rows(), CPU_SPEC_SCHEMA),
+        "papi": (
+            counters.papi_rows([node], 0.0, total, papi_period),
+            PAPI_SCHEMA,
+        ),
+        "ipmi": (
+            counters.ipmi_rows([node], 0.0, total, ipmi_period),
+            IPMI_SCHEMA,
+        ),
+    }
+    if include_ldms:
+        datasets["ldms"] = (
+            counters.ldms_rows([node], 0.0, total, ldms_period),
+            LDMS_SCHEMA,
+        )
+    return DATBundle(facility, sched, datasets)

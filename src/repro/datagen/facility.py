@@ -1,0 +1,157 @@
+"""Static facility model: racks, nodes, CPUs, and their datasets.
+
+Provides the two static data sources of the case studies:
+
+- the **node/rack layout** ("provided by system administrators",
+  §7.1) — which nodes reside on which racks;
+- the **CPU specifications** ("collected directly from
+  /proc/cpuinfo", §7.1) — including the per-CPU base frequency the
+  active-frequency derivation needs. A tiny /proc/cpuinfo-format
+  renderer/parser is included so the wrapper path from the paper (a
+  Linux device file → tabular data) is exercised for real.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class FacilityConfig:
+    """Shape of the simulated cluster (Cab-like defaults, scaled down)."""
+
+    num_racks: int = 20
+    nodes_per_rack: int = 8
+    sockets_per_node: int = 2
+    cores_per_socket: int = 8
+    base_frequency_ghz: float = 3.2
+    cpu_model: str = "Intel(R) Xeon(R) CPU E5-2667 v3 @ 3.20GHz"
+    seed: int = 7
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.nodes_per_rack
+
+    @property
+    def cpus_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+
+class Facility:
+    """The cluster: deterministic given its config."""
+
+    #: sensor positions on a rack (paper: top, middle, bottom of both
+    #: the hot and cold aisles — six sensors per rack)
+    RACK_LOCATIONS = ("top", "middle", "bottom")
+    AISLES = ("hot", "cold")
+
+    def __init__(self, config: FacilityConfig = FacilityConfig()) -> None:
+        self.config = config
+        # Small deterministic per-CPU frequency binning variation, as a
+        # real spec sheet would show.
+        rng = random.Random(config.seed)
+        self._cpu_base_freq: Dict[int, float] = {}
+        for node in self.nodes():
+            step = rng.choice((0.0, 0.0, 0.1))
+            self._cpu_base_freq[node] = config.base_frequency_ghz - step
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def racks(self) -> List[int]:
+        return list(range(self.config.num_racks))
+
+    def nodes(self) -> List[int]:
+        return list(range(self.config.num_nodes))
+
+    def rack_of(self, node: int) -> int:
+        return node // self.config.nodes_per_rack
+
+    def nodes_in_rack(self, rack: int) -> List[int]:
+        start = rack * self.config.nodes_per_rack
+        return list(range(start, start + self.config.nodes_per_rack))
+
+    def cpus(self) -> List[int]:
+        return list(range(self.config.cpus_per_node))
+
+    def socket_of(self, cpu: int) -> int:
+        return cpu // self.config.cores_per_socket
+
+    def base_frequency(self, node: int) -> float:
+        """Rated frequency (GHz) for every CPU of ``node``."""
+        return self._cpu_base_freq[node]
+
+    # ------------------------------------------------------------------
+    # static datasets
+    # ------------------------------------------------------------------
+
+    def node_layout_rows(self) -> List[Dict[str, Any]]:
+        """The administrators' node→rack table."""
+        return [
+            {"node": n, "rack": self.rack_of(n)} for n in self.nodes()
+        ]
+
+    def cpu_spec_rows(self) -> List[Dict[str, Any]]:
+        """Per-(node, cpu) specification rows, as parsed from
+        /proc/cpuinfo on every node."""
+        out = []
+        for node in self.nodes():
+            for cpu in self.cpus():
+                out.append(
+                    {
+                        "nodeid": node,
+                        "cpuid": cpu,
+                        "socket": self.socket_of(cpu),
+                        "base_frequency": self.base_frequency(node),
+                    }
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # /proc/cpuinfo round trip
+    # ------------------------------------------------------------------
+
+    def render_cpuinfo(self, node: int) -> str:
+        """The node's /proc/cpuinfo content (abbreviated but faithful)."""
+        blocks = []
+        for cpu in self.cpus():
+            blocks.append(
+                "\n".join(
+                    [
+                        f"processor\t: {cpu}",
+                        f"model name\t: {self.config.cpu_model}",
+                        f"cpu MHz\t\t: {self.base_frequency(node) * 1000.0:.3f}",
+                        f"physical id\t: {self.socket_of(cpu)}",
+                        f"cpu cores\t: {self.config.cores_per_socket}",
+                    ]
+                )
+            )
+        return "\n\n".join(blocks) + "\n"
+
+    @staticmethod
+    def parse_cpuinfo(node: int, text: str) -> List[Dict[str, Any]]:
+        """Parse /proc/cpuinfo text back into CPU-spec rows."""
+        rows: List[Dict[str, Any]] = []
+        current: Dict[str, str] = {}
+        blocks = [b for b in text.split("\n\n") if b.strip()]
+        for block in blocks:
+            current = {}
+            for line in block.splitlines():
+                if ":" not in line:
+                    continue
+                key, _, val = line.partition(":")
+                current[key.strip()] = val.strip()
+            if "processor" not in current:
+                continue
+            rows.append(
+                {
+                    "nodeid": node,
+                    "cpuid": int(current["processor"]),
+                    "socket": int(current.get("physical id", 0)),
+                    "base_frequency": float(current["cpu MHz"]) / 1000.0,
+                }
+            )
+        return rows

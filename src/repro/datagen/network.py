@@ -1,0 +1,352 @@
+"""Network and parallel-filesystem substrates (paper intro + conclusion).
+
+The paper's introduction motivates exactly this data: "high network
+counter values may indicate a congested network due to a sudden
+increase in nodes contacting a parallel filesystem server. This
+increase may be due to multiple applications entering their checkpoint
+phases simultaneously." Its conclusion names relating application
+behaviour to network utilization as the next use of ScrubJay. This
+module provides the substrate for that third analysis:
+
+- a **fat-tree-ish topology**: every node has an uplink to its rack's
+  leaf switch; every leaf switch has an uplink into the core. The
+  static *uplink table* (node ↔ link) plays the same role the
+  node/rack layout plays in case study 1;
+- **link counters**: cumulative bytes/packets per link on an LDMS-like
+  cadence, driven by the workloads running on the attached nodes —
+  including periodic checkpoint bursts;
+- **filesystem servers**: a static node→server assignment table and
+  per-server cumulative read/write operation counters plus an
+  instantaneous pending-operation gauge that spikes when several
+  checkpointing applications gang up on one server.
+
+``generate_dat3`` bundles it all with schemas, mirroring the DAT-1/2
+builders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.scheduler import JobScheduler, ScheduleConfig
+from repro.datagen.workloads import IDLE
+from repro.units.temporal import Timestamp
+
+# ----------------------------------------------------------------------
+# behavioural parameters per workload (network / filesystem intensity)
+# ----------------------------------------------------------------------
+
+#: steady-state network bytes/s a node of each workload pushes, plus
+#: checkpoint behaviour (period, burst duration, burst bytes/s and
+#: filesystem write ops/s). IDLE-like defaults for unknown names.
+NETWORK_PROFILES: Dict[str, Dict[str, float]] = {
+    "AMG": {"bytes_rate": 4.0e8, "ckpt_period": 600.0,
+            "ckpt_duration": 45.0, "ckpt_bytes_rate": 1.8e9,
+            "fs_write_rate": 4000.0, "fs_read_rate": 300.0},
+    "mg.C": {"bytes_rate": 6.0e8, "ckpt_period": 0.0,
+             "ckpt_duration": 0.0, "ckpt_bytes_rate": 0.0,
+             "fs_write_rate": 150.0, "fs_read_rate": 80.0},
+    "prime95": {"bytes_rate": 2.0e6, "ckpt_period": 0.0,
+                "ckpt_duration": 0.0, "ckpt_bytes_rate": 0.0,
+                "fs_write_rate": 5.0, "fs_read_rate": 5.0},
+    "LULESH": {"bytes_rate": 5.5e8, "ckpt_period": 900.0,
+               "ckpt_duration": 30.0, "ckpt_bytes_rate": 1.2e9,
+               "fs_write_rate": 2500.0, "fs_read_rate": 200.0},
+    "Kripke": {"bytes_rate": 7.0e8, "ckpt_period": 1200.0,
+               "ckpt_duration": 40.0, "ckpt_bytes_rate": 1.0e9,
+               "fs_write_rate": 1800.0, "fs_read_rate": 400.0},
+    "Qbox": {"bytes_rate": 3.0e8, "ckpt_period": 800.0,
+             "ckpt_duration": 25.0, "ckpt_bytes_rate": 9.0e8,
+             "fs_write_rate": 1500.0, "fs_read_rate": 600.0},
+}
+
+_IDLE_PROFILE = {"bytes_rate": 1.0e5, "ckpt_period": 0.0,
+                 "ckpt_duration": 0.0, "ckpt_bytes_rate": 0.0,
+                 "fs_write_rate": 1.0, "fs_read_rate": 1.0}
+
+
+def _profile(name: str) -> Dict[str, float]:
+    return NETWORK_PROFILES.get(name, _IDLE_PROFILE)
+
+
+def _node_rates(scheduler: JobScheduler, node: int, t: float
+                ) -> Tuple[float, float, float]:
+    """(network bytes/s, fs reads/s, fs writes/s) for ``node`` at ``t``."""
+    job = scheduler.job_at(node, t)
+    if job is None:
+        p = _IDLE_PROFILE
+        return p["bytes_rate"], p["fs_read_rate"], p["fs_write_rate"]
+    p = _profile(job.workload.name)
+    t_rel = t - job.start
+    in_ckpt = (
+        p["ckpt_period"] > 0
+        and (t_rel % p["ckpt_period"]) < p["ckpt_duration"]
+    )
+    bytes_rate = p["ckpt_bytes_rate"] if in_ckpt else p["bytes_rate"]
+    write_rate = p["fs_write_rate"] * (10.0 if in_ckpt else 1.0)
+    return bytes_rate, p["fs_read_rate"], write_rate
+
+
+class NetworkTopology:
+    """Static wiring: node uplinks, leaf switches, core uplinks, and
+    filesystem server assignment."""
+
+    def __init__(self, facility: Facility, num_fs_servers: int = 2) -> None:
+        if num_fs_servers <= 0:
+            raise ValueError("need at least one filesystem server")
+        self.facility = facility
+        self.num_fs_servers = num_fs_servers
+
+    # link ids: node uplinks are "link-n<id>", leaf-to-core "link-r<rack>"
+    def node_uplink(self, node: int) -> str:
+        return f"link-n{node}"
+
+    def rack_uplink(self, rack: int) -> str:
+        return f"link-r{rack}"
+
+    def links(self) -> List[str]:
+        return [self.node_uplink(n) for n in self.facility.nodes()] + [
+            self.rack_uplink(r) for r in self.facility.racks()
+        ]
+
+    def fs_server_of(self, node: int) -> int:
+        """Nodes are striped across filesystem servers."""
+        return node % self.num_fs_servers
+
+    # ------------------------------------------------------------------
+    # static datasets
+    # ------------------------------------------------------------------
+
+    def uplink_rows(self) -> List[Dict[str, Any]]:
+        """node ↔ uplink table (plus the rack uplink each node feeds)."""
+        out = []
+        for n in self.facility.nodes():
+            out.append({
+                "node": n,
+                "link": self.node_uplink(n),
+                "rack_link": self.rack_uplink(self.facility.rack_of(n)),
+            })
+        return out
+
+    def fs_assignment_rows(self) -> List[Dict[str, Any]]:
+        return [
+            {"node": n, "fs_server": self.fs_server_of(n)}
+            for n in self.facility.nodes()
+        ]
+
+
+class NetworkCounterSimulator:
+    """Cumulative per-link and per-filesystem-server counter streams."""
+
+    RESET_PROBABILITY = 0.002
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        scheduler: JobScheduler,
+        seed: int = 41,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.seed = seed
+
+    def _link_rate(self, link: str, t: float) -> float:
+        """Instantaneous bytes/s crossing ``link`` at ``t``."""
+        topo, fac = self.topology, self.topology.facility
+        if link.startswith("link-n"):
+            node = int(link[len("link-n"):])
+            bytes_rate, _r, _w = _node_rates(self.scheduler, node, t)
+            return bytes_rate
+        rack = int(link[len("link-r"):])
+        # a rack uplink carries the share of its nodes' traffic that
+        # leaves the rack (roughly half for nearest-neighbour codes)
+        total = 0.0
+        for node in fac.nodes_in_rack(rack):
+            bytes_rate, _r, _w = _node_rates(self.scheduler, node, t)
+            total += 0.5 * bytes_rate
+        return total
+
+    def link_counter_rows(
+        self,
+        start: float,
+        duration: float,
+        period: float = 5.0,
+        links: Optional[Sequence[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Cumulative bytes/packets per link (packets ≈ bytes/4 KiB)."""
+        rng = random.Random(self.seed)
+        links = list(links) if links is not None else self.topology.links()
+        rows: List[Dict[str, Any]] = []
+        for link in links:
+            byte_count = rng.randrange(10**7)
+            prev_t: Optional[float] = None
+            t = start
+            while t < start + duration:
+                sample_t = t + rng.uniform(-0.05 * period, 0.05 * period)
+                if prev_t is not None:
+                    dt = sample_t - prev_t
+                    rate = self._link_rate(link, sample_t)
+                    byte_count += int(rate * dt * (1 + rng.gauss(0, 0.05)))
+                    if rng.random() < self.RESET_PROBABILITY:
+                        byte_count = 0
+                prev_t = sample_t
+                rows.append({
+                    "link": link,
+                    "time": Timestamp(round(sample_t, 3)),
+                    "bytes": byte_count,
+                    "packets": byte_count // 4096,
+                })
+                t += period
+        return rows
+
+    def fs_counter_rows(
+        self,
+        start: float,
+        duration: float,
+        period: float = 5.0,
+    ) -> List[Dict[str, Any]]:
+        """Per-server cumulative read/write ops + pending-ops gauge."""
+        rng = random.Random(self.seed + 1)
+        topo, fac = self.topology, self.topology.facility
+        rows: List[Dict[str, Any]] = []
+        for server in range(topo.num_fs_servers):
+            nodes = [n for n in fac.nodes()
+                     if topo.fs_server_of(n) == server]
+            reads = rng.randrange(10**6)
+            writes = rng.randrange(10**6)
+            prev_t: Optional[float] = None
+            t = start
+            while t < start + duration:
+                sample_t = t + rng.uniform(-0.05 * period, 0.05 * period)
+                read_rate = write_rate = 0.0
+                for node in nodes:
+                    _b, r, w = _node_rates(self.scheduler, node, sample_t)
+                    read_rate += r
+                    write_rate += w
+                if prev_t is not None:
+                    dt = sample_t - prev_t
+                    reads += int(read_rate * dt * (1 + rng.gauss(0, 0.05)))
+                    writes += int(write_rate * dt * (1 + rng.gauss(0, 0.05)))
+                    if rng.random() < self.RESET_PROBABILITY:
+                        reads = writes = 0
+                prev_t = sample_t
+                # pending ops: queueing delay grows superlinearly with
+                # offered write load (the congestion signal)
+                pending = (write_rate / 2000.0) ** 1.5 + rng.gauss(0, 0.3)
+                rows.append({
+                    "fs_server": server,
+                    "time": Timestamp(round(sample_t, 3)),
+                    "fs_reads": reads,
+                    "fs_writes": writes,
+                    "pending_ops": round(max(0.0, pending), 3),
+                })
+                t += period
+        return rows
+
+
+# ----------------------------------------------------------------------
+# schemas
+# ----------------------------------------------------------------------
+
+NODE_UPLINK_SCHEMA = Schema({
+    "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "link": SemanticType(DOMAIN, "network links", "identifier"),
+    "rack_link": SemanticType(VALUE, "network links", "identifier"),
+})
+
+FS_ASSIGNMENT_SCHEMA = Schema({
+    "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "fs_server": SemanticType(DOMAIN, "filesystems", "identifier"),
+})
+
+LINK_COUNTER_SCHEMA = Schema({
+    "link": SemanticType(DOMAIN, "network links", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "bytes": SemanticType(VALUE, "link bytes", "count"),
+    "packets": SemanticType(VALUE, "link packets", "count"),
+})
+
+FS_COUNTER_SCHEMA = Schema({
+    "fs_server": SemanticType(DOMAIN, "filesystems", "identifier"),
+    "time": SemanticType(DOMAIN, "time", "datetime"),
+    "fs_reads": SemanticType(VALUE, "filesystem reads", "count"),
+    "fs_writes": SemanticType(VALUE, "filesystem writes", "count"),
+    "pending_ops": SemanticType(VALUE, "pending operations",
+                                "operation count"),
+})
+
+EXTRA_DIMENSIONS: Tuple[Tuple[str, bool, bool], ...] = (
+    ("link bytes", False, True),
+    ("link packets", False, True),
+    ("filesystem reads", False, True),
+    ("filesystem writes", False, True),
+    ("pending operations", True, True),
+)
+
+EXTRA_UNITS: Tuple[Tuple[str, str, Optional[str]], ...] = (
+    ("operation count", "quantity", "pending operations"),
+)
+
+
+def ensure_network_semantics(dictionary) -> None:
+    """Define the network/filesystem dictionary entries (idempotent)."""
+    for name, continuous, ordered in EXTRA_DIMENSIONS:
+        dictionary.define_dimension(name, continuous, ordered)
+    for name, kind, dimension in EXTRA_UNITS:
+        dictionary.define_unit(name, kind, dimension)
+
+
+# ----------------------------------------------------------------------
+# bundle
+# ----------------------------------------------------------------------
+
+def generate_dat3(
+    facility_config: Optional[FacilityConfig] = None,
+    duration: float = 3600.0,
+    counter_period: float = 10.0,
+    num_fs_servers: int = 2,
+    seed: int = 17,
+):
+    """Build the network/filesystem extension DAT: job log, uplink and
+    fs-assignment tables, link and fs-server counter streams.
+
+    The job mix comes from the random scheduler, so checkpointing
+    workloads (AMG, LULESH, Kripke, Qbox) overlap organically — the
+    congestion scenario the paper's introduction describes.
+    """
+    from repro.datagen.dat import DATBundle, JOB_LOG_SCHEMA
+
+    fc = facility_config or FacilityConfig(num_racks=4, nodes_per_rack=4)
+    facility = Facility(fc)
+    sched = JobScheduler(
+        facility, ScheduleConfig(duration=duration, seed=seed)
+    )
+    sched.schedule_random()
+    topo = NetworkTopology(facility, num_fs_servers)
+    sim = NetworkCounterSimulator(topo, sched, seed=seed + 100)
+
+    bundle = DATBundle(facility, sched, {
+        "job_queue_log": (sched.job_log_rows(), JOB_LOG_SCHEMA),
+        "node_uplinks": (topo.uplink_rows(), NODE_UPLINK_SCHEMA),
+        "fs_assignment": (topo.fs_assignment_rows(), FS_ASSIGNMENT_SCHEMA),
+        "link_counters": (
+            sim.link_counter_rows(0.0, duration, counter_period),
+            LINK_COUNTER_SCHEMA,
+        ),
+        "fs_counters": (
+            sim.fs_counter_rows(0.0, duration, counter_period),
+            FS_COUNTER_SCHEMA,
+        ),
+    })
+    # the bundle's register() must also define these entries
+    original_register = bundle.register
+
+    def register(session):
+        ensure_network_semantics(session.dictionary)
+        original_register(session)
+
+    bundle.register = register  # type: ignore[method-assign]
+    return bundle

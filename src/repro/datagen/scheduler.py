@@ -1,0 +1,194 @@
+"""A SLURM-like scheduler producing job-queue logs.
+
+Simulates FCFS allocation over the facility's nodes: jobs arrive as a
+Poisson process, request power-of-two node counts, run for a
+workload-dependent duration, and land on the earliest-available nodes.
+Specific runs can be *pinned* (exact nodes, exact start) — that is how
+the case studies plant AMG on rack 17 (DAT 1) and the alternating
+mg.C/prime95 runs (DAT 2).
+
+Outputs:
+
+- the **job-queue log** rows, shaped like ``sacct`` output: job id,
+  application name, user, node list, elapsed seconds, and the
+  time span — the paper's first data source;
+- a **timeline** the sensor and counter simulators query to know which
+  workload a node was running at a given instant (the behavioural
+  ground truth ScrubJay's derivations must recover).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.facility import Facility
+from repro.datagen.workloads import WORKLOADS, WorkloadModel
+from repro.units.temporal import TimeSpan
+
+
+@dataclass(frozen=True)
+class Job:
+    """One scheduled run."""
+
+    job_id: int
+    workload: WorkloadModel
+    user: str
+    nodes: Tuple[int, ...]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Knobs for the random workload mix."""
+
+    start: float = 0.0
+    duration: float = 4 * 3600.0
+    mean_interarrival: float = 240.0
+    mean_job_duration: float = 1800.0
+    min_job_duration: float = 300.0
+    workload_names: Tuple[str, ...] = (
+        "mg.C", "prime95", "LULESH", "Kripke", "Qbox",
+    )
+    node_counts: Tuple[int, ...] = (1, 2, 4, 8)
+    users: Tuple[str, ...] = ("alice", "bob", "carol", "dave")
+    seed: int = 11
+
+
+class JobScheduler:
+    """Generates a job mix over a facility and answers point queries."""
+
+    def __init__(
+        self, facility: Facility, config: ScheduleConfig = ScheduleConfig()
+    ) -> None:
+        self.facility = facility
+        self.config = config
+        self.jobs: List[Job] = []
+        self._node_index: Dict[int, List[Tuple[float, float, Job]]] = {}
+
+    # ------------------------------------------------------------------
+    # schedule construction
+    # ------------------------------------------------------------------
+
+    def pin(
+        self,
+        workload: str,
+        nodes: Sequence[int],
+        start: float,
+        duration: float,
+        user: str = "dat",
+    ) -> Job:
+        """Force a specific run (used to plant case-study signals)."""
+        job = Job(
+            job_id=1000 + len(self.jobs),
+            workload=WORKLOADS[workload],
+            user=user,
+            nodes=tuple(nodes),
+            start=start,
+            end=start + duration,
+        )
+        self.jobs.append(job)
+        return job
+
+    def schedule_random(self, exclude_nodes: Sequence[int] = ()) -> List[Job]:
+        """Fill the facility with a random FCFS workload mix.
+
+        ``exclude_nodes`` are never allocated (reserved for pinned
+        runs). Returns the newly scheduled jobs.
+        """
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        pool = [
+            n for n in self.facility.nodes() if n not in set(exclude_nodes)
+        ]
+        free_at: Dict[int, float] = {n: cfg.start for n in pool}
+        new_jobs: List[Job] = []
+        t = cfg.start
+        job_id = 1 + len(self.jobs)
+        while True:
+            t += rng.expovariate(1.0 / cfg.mean_interarrival)
+            if t >= cfg.start + cfg.duration:
+                break
+            want = min(rng.choice(cfg.node_counts), len(pool))
+            if want == 0:
+                break
+            # earliest-available nodes, FCFS without backfill
+            chosen = sorted(pool, key=lambda n: (free_at[n], n))[:want]
+            start = max(t, max(free_at[n] for n in chosen))
+            duration = max(
+                cfg.min_job_duration,
+                rng.expovariate(1.0 / cfg.mean_job_duration),
+            )
+            end = min(start + duration, cfg.start + cfg.duration)
+            if end <= start:
+                continue
+            job = Job(
+                job_id=job_id,
+                workload=WORKLOADS[rng.choice(list(cfg.workload_names))],
+                user=rng.choice(cfg.users),
+                nodes=tuple(chosen),
+                start=start,
+                end=end,
+            )
+            job_id += 1
+            for n in chosen:
+                free_at[n] = end
+            new_jobs.append(job)
+        self.jobs.extend(new_jobs)
+        return new_jobs
+
+    # ------------------------------------------------------------------
+    # timeline queries
+    # ------------------------------------------------------------------
+
+    def _build_index(self) -> None:
+        self._node_index = {}
+        for job in self.jobs:
+            for n in job.nodes:
+                self._node_index.setdefault(n, []).append(
+                    (job.start, job.end, job)
+                )
+        for entries in self._node_index.values():
+            entries.sort(key=lambda e: e[0])
+
+    def job_at(self, node: int, t: float) -> Optional[Job]:
+        """The job running on ``node`` at instant ``t`` (None = idle)."""
+        if not self._node_index:
+            self._build_index()
+        entries = self._node_index.get(node)
+        if not entries:
+            return None
+        starts = [e[0] for e in entries]
+        i = bisect.bisect_right(starts, t) - 1
+        if i >= 0 and entries[i][0] <= t < entries[i][1]:
+            return entries[i][2]
+        return None
+
+    # ------------------------------------------------------------------
+    # the job-queue log dataset
+    # ------------------------------------------------------------------
+
+    def job_log_rows(self) -> List[Dict[str, Any]]:
+        """sacct-like rows for every scheduled job."""
+        return [
+            {
+                "job_id": job.job_id,
+                "job_name": job.workload.name,
+                "user": job.user,
+                "nodelist": list(job.nodes),
+                "num_nodes": len(job.nodes),
+                "elapsed": job.duration,
+                "timespan": TimeSpan(job.start, job.end),
+            }
+            for job in sorted(self.jobs, key=lambda j: j.start)
+        ]

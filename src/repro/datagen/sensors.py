@@ -1,0 +1,154 @@
+"""Facility sensor feeds: rack temperature, humidity, and power.
+
+Models the OSIsoft PI infrastructure of §7.1–7.2: every rack carries
+six temperature sensors (top/middle/bottom × hot/cold aisle) sampled
+instantaneously every two minutes. The hot-aisle reading reflects the
+cumulative heat of the workloads running on that rack's nodes at that
+instant (queried from the scheduler timeline), so the planted
+behavioural signatures — AMG's steadily climbing heat, the phased
+rise-and-fall of other applications — appear in the data exactly the
+way ScrubJay must recover them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.datagen.facility import Facility
+from repro.datagen.scheduler import JobScheduler
+from repro.units.temporal import Timestamp
+
+#: vertical heat distribution: hot air rises, so the top sensor sees
+#: more of the rack's heat than the bottom one
+LOCATION_WEIGHTS = {"top": 1.25, "middle": 1.0, "bottom": 0.75}
+
+COLD_AISLE_BASE = 18.0  # °C, the machine-room supply air
+HOT_AISLE_IDLE_DELTA = 2.5  # °C above cold aisle with idle nodes
+
+
+class RackSensorSimulator:
+    """Generates the facility-monitoring datasets of DAT 1."""
+
+    def __init__(
+        self,
+        facility: Facility,
+        scheduler: JobScheduler,
+        seed: int = 23,
+    ) -> None:
+        self.facility = facility
+        self.scheduler = scheduler
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _rack_heat(self, rack: int, t: float) -> float:
+        """Total workload heat (ΔC) produced by the rack at instant t."""
+        total = 0.0
+        for node in self.facility.nodes_in_rack(rack):
+            job = self.scheduler.job_at(node, t)
+            if job is not None:
+                total += job.workload.heat_at(t - job.start, job.duration)
+        return total
+
+    def temperature_rows(
+        self,
+        start: float,
+        duration: float,
+        period: float = 120.0,
+        racks: Optional[Sequence[int]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Instantaneous readings from all six sensors of each rack."""
+        rng = random.Random(self.seed)
+        racks = list(racks) if racks is not None else self.facility.racks()
+        rows: List[Dict[str, Any]] = []
+        t = start
+        while t < start + duration:
+            # slow machine-room supply drift shared by every rack
+            drift = 0.6 * math.sin(2.0 * math.pi * t / 7200.0)
+            for rack in racks:
+                heat = self._rack_heat(rack, t)
+                for location in Facility.RACK_LOCATIONS:
+                    w = LOCATION_WEIGHTS[location]
+                    cold = COLD_AISLE_BASE + drift + rng.gauss(0.0, 0.15)
+                    hot = (
+                        cold
+                        + HOT_AISLE_IDLE_DELTA
+                        + w * heat
+                        + rng.gauss(0.0, 0.25)
+                    )
+                    stamp = Timestamp(t)
+                    rows.append(
+                        {
+                            "rack": rack,
+                            "location": location,
+                            "aisle": "cold",
+                            "time": stamp,
+                            "temp": round(cold, 3),
+                        }
+                    )
+                    rows.append(
+                        {
+                            "rack": rack,
+                            "location": location,
+                            "aisle": "hot",
+                            "time": stamp,
+                            "temp": round(hot, 3),
+                        }
+                    )
+            t += period
+        return rows
+
+    def humidity_rows(
+        self,
+        start: float,
+        duration: float,
+        period: float = 120.0,
+    ) -> List[Dict[str, Any]]:
+        """Relative humidity per rack (the PI feed also records it)."""
+        rng = random.Random(self.seed + 1)
+        rows: List[Dict[str, Any]] = []
+        t = start
+        while t < start + duration:
+            for rack in self.facility.racks():
+                base = 38.0 + 4.0 * math.sin(2.0 * math.pi * t / 86400.0)
+                rows.append(
+                    {
+                        "rack": rack,
+                        "time": Timestamp(t),
+                        "humidity": round(base + rng.gauss(0.0, 1.0), 2),
+                    }
+                )
+            t += period
+        return rows
+
+    def power_rows(
+        self,
+        start: float,
+        duration: float,
+        period: float = 120.0,
+    ) -> List[Dict[str, Any]]:
+        """Rack power draw: idle floor plus per-job socket power."""
+        rng = random.Random(self.seed + 2)
+        sockets = self.facility.config.sockets_per_node
+        rows: List[Dict[str, Any]] = []
+        t = start
+        while t < start + duration:
+            for rack in self.facility.racks():
+                watts = 0.0
+                for node in self.facility.nodes_in_rack(rack):
+                    job = self.scheduler.job_at(node, t)
+                    per_socket = (
+                        job.workload.socket_power if job is not None else 35.0
+                    )
+                    watts += per_socket * sockets
+                rows.append(
+                    {
+                        "rack": rack,
+                        "time": Timestamp(t),
+                        "power": round(watts + rng.gauss(0.0, 20.0), 1),
+                    }
+                )
+            t += period
+        return rows

@@ -1,0 +1,202 @@
+"""Behavioural models of the paper's applications.
+
+Each model maps *relative time within a run* to the observable signals
+the monitoring substrates record. The parameters encode the paper's
+qualitative findings so the derived datasets can recover them:
+
+- **AMG** (§7.2): adaptive mesh refinement with "a fairly regularly
+  increasing heat curve" — its heat contribution grows roughly
+  linearly over the run and peaks highest of all workloads.
+- **mg.C** (§7.3): memory-intensive; "operated at full CPU frequency
+  and lower instruction rate" — aperf/mperf ≈ 1, modest
+  instructions/s, high memory read/write rates.
+- **prime95** (§7.3): compute-intensive; "incurred high instruction
+  rates and experienced aggressive CPU throttling" — high
+  instructions/s, aperf/mperf sagging well below 1, hot sockets with
+  low thermal margin.
+
+Other entries add workload diversity ("rise and fall over time,
+presumably as they enter different application phases").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Time-dependent observable signals of one application."""
+
+    name: str
+    #: peak per-node heat contribution to the rack hot aisle (ΔC)
+    heat_peak: float
+    #: heat profile: "rising" | "phased" | "flat"
+    heat_profile: str
+    #: instructions per second per CPU at full tilt
+    instruction_rate: float
+    #: memory reads/writes per second per socket
+    memory_read_rate: float
+    memory_write_rate: float
+    #: active/rated frequency ratio when thermally settled (1.0 = no
+    #: throttling)
+    settled_frequency_ratio: float
+    #: seconds to reach the settled throttling level
+    throttle_onset: float
+    #: socket power draw in watts at steady state
+    socket_power: float
+    #: thermal margin (°C to the trip point) at steady state
+    thermal_margin: float
+    #: phase length for "phased" heat profiles (seconds)
+    phase_period: float = 600.0
+
+    # ------------------------------------------------------------------
+    # signals as functions of relative time (seconds since job start)
+    # ------------------------------------------------------------------
+
+    def heat_factor(self, t_rel: float, duration: float) -> float:
+        """Relative heat output in [0, 1] at ``t_rel`` into the run."""
+        if duration <= 0:
+            return 0.0
+        x = min(max(t_rel / duration, 0.0), 1.0)
+        if self.heat_profile == "rising":
+            # regular, near-linear climb with a soft start
+            return x ** 1.2
+        if self.heat_profile == "phased":
+            # rises and falls as the app cycles through phases
+            wave = 0.5 + 0.5 * math.sin(
+                2.0 * math.pi * t_rel / self.phase_period
+            )
+            return 0.35 + 0.55 * wave
+        return 0.8  # flat
+
+    def heat_at(self, t_rel: float, duration: float) -> float:
+        """Per-node hot-aisle heat contribution (ΔC) at ``t_rel``."""
+        return self.heat_peak * self.heat_factor(t_rel, duration)
+
+    def frequency_ratio(self, t_rel: float) -> float:
+        """Active/rated frequency ratio at ``t_rel`` into the run.
+
+        Starts at 1.0 and decays exponentially toward the settled
+        level as the package heats up and the governor throttles.
+        """
+        if self.throttle_onset <= 0:
+            return self.settled_frequency_ratio
+        settled = self.settled_frequency_ratio
+        return settled + (1.0 - settled) * math.exp(
+            -t_rel / self.throttle_onset
+        )
+
+    def instructions_at(self, t_rel: float) -> float:
+        """Instruction rate per CPU, tracking the throttled frequency."""
+        return self.instruction_rate * self.frequency_ratio(t_rel)
+
+    def thermal_margin_at(self, t_rel: float) -> float:
+        """Thermal margin narrows as the run settles."""
+        settled = self.thermal_margin
+        idle_margin = 45.0
+        if self.throttle_onset <= 0:
+            return settled
+        return settled + (idle_margin - settled) * math.exp(
+            -t_rel / self.throttle_onset
+        )
+
+
+#: Idle-node baselines used by the sensor/counter simulators.
+IDLE = WorkloadModel(
+    name="idle",
+    heat_peak=0.5,
+    heat_profile="flat",
+    instruction_rate=5.0e6,
+    memory_read_rate=1.0e5,
+    memory_write_rate=5.0e4,
+    settled_frequency_ratio=1.0,
+    throttle_onset=0.0,
+    socket_power=35.0,
+    thermal_margin=45.0,
+)
+
+
+WORKLOADS: Dict[str, WorkloadModel] = {
+    "AMG": WorkloadModel(
+        name="AMG",
+        heat_peak=9.0,
+        heat_profile="rising",
+        instruction_rate=1.6e9,
+        memory_read_rate=6.0e8,
+        memory_write_rate=2.5e8,
+        settled_frequency_ratio=0.97,
+        throttle_onset=900.0,
+        socket_power=105.0,
+        thermal_margin=18.0,
+    ),
+    "mg.C": WorkloadModel(
+        name="mg.C",
+        heat_peak=4.0,
+        heat_profile="phased",
+        # memory-bound: the core stalls on memory, so instructions
+        # retire slowly even though the clock never throttles
+        instruction_rate=0.8e9,
+        memory_read_rate=1.2e9,
+        memory_write_rate=5.0e8,
+        settled_frequency_ratio=1.0,
+        throttle_onset=0.0,
+        socket_power=85.0,
+        thermal_margin=25.0,
+    ),
+    "prime95": WorkloadModel(
+        name="prime95",
+        heat_peak=6.5,
+        heat_profile="flat",
+        # compute-bound: very high instruction throughput, aggressive
+        # thermal throttling once the package saturates
+        instruction_rate=3.2e9,
+        memory_read_rate=1.5e8,
+        memory_write_rate=6.0e7,
+        settled_frequency_ratio=0.68,
+        throttle_onset=120.0,
+        socket_power=130.0,
+        thermal_margin=4.0,
+    ),
+    "LULESH": WorkloadModel(
+        name="LULESH",
+        heat_peak=5.0,
+        heat_profile="phased",
+        instruction_rate=1.9e9,
+        memory_read_rate=7.0e8,
+        memory_write_rate=3.0e8,
+        settled_frequency_ratio=0.93,
+        throttle_onset=600.0,
+        socket_power=100.0,
+        thermal_margin=15.0,
+        phase_period=420.0,
+    ),
+    "Kripke": WorkloadModel(
+        name="Kripke",
+        heat_peak=3.5,
+        heat_profile="phased",
+        instruction_rate=1.4e9,
+        memory_read_rate=9.0e8,
+        memory_write_rate=4.0e8,
+        settled_frequency_ratio=0.98,
+        throttle_onset=300.0,
+        socket_power=90.0,
+        thermal_margin=22.0,
+        phase_period=800.0,
+    ),
+    "Qbox": WorkloadModel(
+        name="Qbox",
+        heat_peak=4.5,
+        heat_profile="phased",
+        instruction_rate=2.1e9,
+        memory_read_rate=4.0e8,
+        memory_write_rate=1.8e8,
+        settled_frequency_ratio=0.9,
+        throttle_onset=500.0,
+        socket_power=110.0,
+        thermal_margin=12.0,
+        phase_period=500.0,
+    ),
+}

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ScrubJay reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`ScrubJayError` so callers can catch the whole family with one
+``except`` clause while still distinguishing specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ScrubJayError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SemanticError(ScrubJayError):
+    """A dataset or annotation violates the semantic rules.
+
+    Raised e.g. when a schema references a dimension or unit that is not
+    present in the active semantic dictionary, or when a field's relation
+    type is neither ``domain`` nor ``value``.
+    """
+
+
+class DictionaryError(ScrubJayError):
+    """The semantic dictionary would become inconsistent.
+
+    Raised when registering an entry that would introduce a synonym
+    (two keywords for the same meaning) or a homonym (one keyword with
+    two meanings), which the paper's dictionary explicitly forbids.
+    """
+
+
+class UnitError(ScrubJayError):
+    """Invalid unit operation.
+
+    Raised for conversions across dimensions, unknown units, or
+    arithmetic between incompatible quantities.
+    """
+
+
+class DerivationError(ScrubJayError):
+    """A derivation was applied to a dataset that does not satisfy its
+    required semantics, or its execution produced inconsistent output."""
+
+
+class QueryError(ScrubJayError):
+    """A query is malformed — e.g. references unknown dimensions."""
+
+
+class NoSolutionError(QueryError):
+    """The derivation engine exhausted its search without finding a
+    derivation sequence that satisfies the query.
+
+    Mirrors the ``return no solution`` branch of Algorithm 1 in the
+    paper: if a queried domain dimension exists in no dataset, or the
+    datasets holding the queried dimensions cannot be combined, no
+    sequence of derivations can ever satisfy the query.
+    """
+
+
+class PipelineError(ScrubJayError):
+    """A serialized derivation sequence is malformed or refers to
+    operations/datasets that are not registered in this session."""
+
+
+class WrapperError(ScrubJayError):
+    """A data wrapper failed to parse its source into rows."""
+
+
+class StoreError(ScrubJayError):
+    """The wide-column store was used inconsistently (unknown table,
+    missing partition key, schema mismatch on insert)."""
+
+
+class ExecutorError(ScrubJayError):
+    """A parallel executor failed to run tasks."""

@@ -1,0 +1,41 @@
+"""A from-scratch, Spark-like distributed dataset engine.
+
+The paper implements ScrubJay on Apache Spark RDDs distributed across a
+10-node data cluster. This package is the substitute substrate: a lazy,
+partitioned, lineage-tracked dataset (:class:`~repro.rdd.rdd.RDD`) whose
+operations pipeline within partitions and split into stages at shuffle
+boundaries, executed by a pluggable executor (serial, thread pool, or a
+process pool standing in for cluster nodes).
+
+Public entry points::
+
+    from repro.rdd import SJContext
+
+    ctx = SJContext(executor="processes", num_workers=4)
+    rdd = ctx.parallelize(range(1000), num_partitions=8)
+    rdd.map(lambda x: (x % 10, x)).reduceByKey(lambda a, b: a + b).collect()
+"""
+
+from repro.rdd.context import SJContext
+from repro.rdd.rdd import RDD
+from repro.rdd.partition import Partition
+from repro.rdd.executors import (
+    Executor,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "SJContext",
+    "RDD",
+    "Partition",
+    "Executor",
+    "SerialExecutor",
+    "SimulatedClusterExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]

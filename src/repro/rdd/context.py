@@ -1,0 +1,85 @@
+"""SJContext: entry point to the distributed dataset engine.
+
+Plays the role of Spark's ``SparkContext``: owns the executor (the
+simulated cluster), the scheduler, and the factory methods that create
+source RDDs from driver-side collections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.rdd.executors import Executor, make_executor
+from repro.rdd.partition import split_into_partitions
+from repro.rdd.plan import Scheduler
+from repro.rdd.rdd import RDD, SourceRDD, UnionRDD
+
+
+class SJContext:
+    """Owns the executor and scheduler; creates source RDDs.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"threads"``, or ``"processes"``.
+        Process workers simulate cluster nodes — use them for the
+        scaling studies; use serial for deterministic unit tests.
+    num_workers:
+        Worker count for thread/process executors.
+    default_parallelism:
+        Partition count used when an operation does not specify one.
+        Defaults to ``2 * num_workers`` (at least 4).
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        num_workers: Optional[int] = None,
+        default_parallelism: Optional[int] = None,
+    ) -> None:
+        self.executor: Executor = make_executor(executor, num_workers)
+        self.default_parallelism = default_parallelism or max(
+            4, 2 * self.executor.num_workers
+        )
+        self.scheduler = Scheduler(self.executor)
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute a local collection into an RDD."""
+        items = list(data)
+        n = num_partitions or self.default_parallelism
+        n = max(1, min(n, max(1, len(items)))) if items else 1
+        return SourceRDD(self, split_into_partitions(items, n))
+
+    def emptyRDD(self) -> RDD:
+        return self.parallelize([])
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        if not rdds:
+            return self.emptyRDD()
+        return UnionRDD(self, list(rdds))
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Shut down worker pools. Idempotent."""
+        if not self._stopped:
+            self.executor.shutdown()
+            self._stopped = True
+
+    def __enter__(self) -> "SJContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"SJContext(executor={type(self.executor).__name__}, "
+            f"workers={self.executor.num_workers}, "
+            f"default_parallelism={self.default_parallelism})"
+        )

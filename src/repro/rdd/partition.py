@@ -1,0 +1,44 @@
+"""Partition: the unit of parallelism.
+
+An RDD's data is split into partitions; a stage runs one task per
+partition. Partitions hold plain Python lists — rows in ScrubJay are
+small dicts, and generality over raw throughput is the point of the
+common representation (paper §4.1 explicitly trades memory for
+generality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List
+
+
+@dataclass
+class Partition:
+    """An indexed slice of an RDD's data."""
+
+    index: int
+    data: List[Any] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def split_into_partitions(data: List[Any], num_partitions: int) -> List[Partition]:
+    """Split ``data`` into ``num_partitions`` contiguous, near-equal slices.
+
+    Uses the balanced formula so sizes differ by at most one element,
+    matching how Spark's ``parallelize`` slices local collections.
+    """
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+    n = len(data)
+    partitions: List[Partition] = []
+    for i in range(num_partitions):
+        start = (i * n) // num_partitions
+        stop = ((i + 1) * n) // num_partitions
+        partitions.append(Partition(index=i, data=list(data[start:stop])))
+    return partitions

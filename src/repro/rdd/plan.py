@@ -1,0 +1,194 @@
+"""The scheduler: interprets RDD lineage and runs stages.
+
+Evaluation walks the lineage graph from the requested RDD down to its
+sources. Chains of narrow transformations are *pipelined* — composed
+into a single per-partition task — while shuffles split the graph into
+stages: a map stage that assigns records to output buckets (run on the
+executor), a driver-side exchange that regroups buckets (standing in
+for the network shuffle between cluster nodes), and a reduce stage
+that merges each bucket (run on the executor). This is the same stage
+structure Spark's DAG scheduler produces, and it is what gives the
+benchmarks in the paper's Figure 3 their shape: transformations are
+cheap and embarrassingly parallel, combinations pay for the shuffle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, List
+
+from repro.rdd.executors import Executor
+from repro.rdd.partition import Partition
+from repro.rdd.rdd import (
+    RDD,
+    CoalescedRDD,
+    MappedPartitionsRDD,
+    RangePartitionedRDD,
+    RepartitionedRDD,
+    ShuffledRDD,
+    SourceRDD,
+    UnionRDD,
+)
+from repro.rdd.shuffle import hash_bucket
+
+
+class Scheduler:
+    """Materializes RDDs by executing their lineage on an executor."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+
+    def materialize(self, rdd: RDD) -> List[Partition]:
+        """Compute (or fetch cached) partitions for ``rdd``."""
+        if rdd._cached is not None:
+            return rdd._cached
+        parts = self._compute(rdd)
+        if rdd._persist:
+            rdd._cached = parts
+        return parts
+
+    # ------------------------------------------------------------------
+
+    def _compute(self, rdd: RDD) -> List[Partition]:
+        if isinstance(rdd, SourceRDD):
+            return rdd.partitions
+        if isinstance(rdd, MappedPartitionsRDD):
+            return self._compute_narrow_chain(rdd)
+        if isinstance(rdd, UnionRDD):
+            return self._compute_union(rdd)
+        if isinstance(rdd, CoalescedRDD):
+            return self._compute_coalesce(rdd)
+        if isinstance(rdd, RepartitionedRDD):
+            return self._compute_repartition(rdd)
+        if isinstance(rdd, ShuffledRDD):
+            return self._compute_shuffle(rdd)
+        if isinstance(rdd, RangePartitionedRDD):
+            return self._compute_range_partition(rdd)
+        raise TypeError(f"scheduler cannot materialize {type(rdd).__name__}")
+
+    def _compute_narrow_chain(self, rdd: MappedPartitionsRDD) -> List[Partition]:
+        """Pipeline consecutive narrow transformations into one task."""
+        fns: List[Callable[[int, List[Any]], List[Any]]] = [rdd.fn]
+        base: RDD = rdd.parent
+        while (
+            isinstance(base, MappedPartitionsRDD)
+            and not base._persist
+            and base._cached is None
+        ):
+            fns.append(base.fn)
+            base = base.parent
+        fns.reverse()
+        base_parts = self.materialize(base)
+
+        def composed(index: int, items: List[Any]) -> List[Any]:
+            for fn in fns:
+                items = fn(index, items)
+            return items
+
+        return self.executor.run_partition_tasks(composed, base_parts)
+
+    def _compute_union(self, rdd: UnionRDD) -> List[Partition]:
+        parts: List[Partition] = []
+        for parent in rdd.rdds:
+            for p in self.materialize(parent):
+                parts.append(Partition(len(parts), p.data))
+        return parts
+
+    def _compute_coalesce(self, rdd: CoalescedRDD) -> List[Partition]:
+        parent_parts = self.materialize(rdd.parent)
+        n = rdd.num_partitions()
+        out: List[Partition] = [Partition(i, []) for i in range(n)]
+        for p in parent_parts:
+            out[p.index % n].data.extend(p.data)
+        return out
+
+    def _compute_repartition(self, rdd: RepartitionedRDD) -> List[Partition]:
+        parent_parts = self.materialize(rdd.parent)
+        n = rdd.num_partitions()
+        out: List[Partition] = [Partition(i, []) for i in range(n)]
+        for p in parent_parts:
+            for seq, item in enumerate(p.data):
+                out[(p.index + seq) % n].data.append(item)
+        return out
+
+    def _compute_shuffle(self, rdd: ShuffledRDD) -> List[Partition]:
+        parent_parts = self.materialize(rdd.parent)
+        n = rdd.num_partitions()
+        create = rdd.create
+        merge_value = rdd.merge_value
+        merge_combiners = rdd.merge_combiners
+
+        def map_task(_index: int, items: List[Any]) -> List[Any]:
+            # One dict of partial combiners per output bucket: the
+            # map-side combine that keeps shuffle volume proportional
+            # to distinct keys rather than records.
+            buckets: List[dict] = [dict() for _ in range(n)]
+            for k, v in items:
+                d = buckets[hash_bucket(k, n)]
+                if k in d:
+                    d[k] = merge_value(d[k], v)
+                else:
+                    d[k] = create(v)
+            return [list(d.items()) for d in buckets]
+
+        map_out = self.executor.run_partition_tasks(map_task, parent_parts)
+
+        # Driver-side exchange: regroup bucket b from every map task.
+        shuffle_parts = [
+            Partition(
+                b, [pair for mp in map_out for pair in mp.data[b]]
+            )
+            for b in range(n)
+        ]
+
+        def reduce_task(_index: int, items: List[Any]) -> List[Any]:
+            merged: dict = {}
+            for k, combiner in items:
+                if k in merged:
+                    merged[k] = merge_combiners(merged[k], combiner)
+                else:
+                    merged[k] = combiner
+            return list(merged.items())
+
+        return self.executor.run_partition_tasks(reduce_task, shuffle_parts)
+
+    def _compute_range_partition(
+        self, rdd: RangePartitionedRDD
+    ) -> List[Partition]:
+        parent_parts = self.materialize(rdd.parent)
+        n = rdd.num_partitions()
+        key_fn = rdd.key_fn
+        ascending = rdd.ascending
+
+        # Sample keys in the driver to pick range boundaries, as
+        # Spark's RangePartitioner does with its sampling job.
+        sample_keys: List[Any] = []
+        for p in parent_parts:
+            stride = max(1, len(p.data) // max(1, 32 * n // max(1, len(parent_parts))))
+            sample_keys.extend(key_fn(x) for x in p.data[::stride])
+        sample_keys.sort()
+        boundaries = [
+            sample_keys[(i + 1) * len(sample_keys) // n]
+            for i in range(n - 1)
+            if sample_keys
+        ]
+
+        def map_task(_index: int, items: List[Any]) -> List[Any]:
+            buckets: List[List[Any]] = [[] for _ in range(n)]
+            for x in items:
+                b = bisect.bisect_right(boundaries, key_fn(x)) if boundaries else 0
+                if not ascending:
+                    b = n - 1 - b
+                buckets[b].append(x)
+            return buckets
+
+        map_out = self.executor.run_partition_tasks(map_task, parent_parts)
+        shuffle_parts = [
+            Partition(b, [x for mp in map_out for x in mp.data[b]])
+            for b in range(n)
+        ]
+
+        def reduce_task(_index: int, items: List[Any]) -> List[Any]:
+            return sorted(items, key=key_fn, reverse=not ascending)
+
+        return self.executor.run_partition_tasks(reduce_task, shuffle_parts)

@@ -1,0 +1,56 @@
+"""Shuffle machinery: portable hashing and bucket exchange.
+
+A shuffle repartitions data by key between two stages. The map-side
+task assigns every record to an output bucket; the driver regroups
+buckets (standing in for the network exchange between cluster nodes);
+the reduce-side task merges each bucket's records.
+
+Bucket assignment must be *consistent across worker processes*.
+Python's builtin ``hash`` is salted per interpreter, so we provide
+:func:`portable_hash`, a deterministic recursive hash over the key
+types that appear in ScrubJay join keys (strings, numbers, bools,
+None, and tuples thereof).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def portable_hash(key: Any) -> int:
+    """Deterministic, process-independent hash for shuffle keys."""
+    if key is None:
+        return 0x3070
+    if isinstance(key, bool):
+        return 0x9E37 + int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, float):
+        # floats equal to ints must hash equal to them (dict semantics)
+        if key.is_integer():
+            return int(key)
+        return zlib.crc32(repr(key).encode("utf-8"))
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ portable_hash(item)
+            h &= 0xFFFFFFFFFFFF
+        return h
+    if isinstance(key, frozenset):
+        h = 0x1111
+        for item in sorted(portable_hash(i) for i in key):
+            h = (h * 31 + item) & 0xFFFFFFFFFFFF
+        return h
+    # Fall back to the object's own (possibly salted) hash; only safe
+    # for single-process executors, so prefer primitive keys.
+    return hash(key)
+
+
+def hash_bucket(key: Any, num_buckets: int) -> int:
+    """Map ``key`` to one of ``num_buckets`` output partitions."""
+    return portable_hash(key) % num_buckets

@@ -1,0 +1,193 @@
+"""ScrubJaySession: the single entry point for performance analysts.
+
+A session ties together everything the paper's Figure 2 shows around
+the query API: the simulated data cluster (an
+:class:`~repro.rdd.context.SJContext`), the active semantic
+dictionary, the derivation registry (built-ins plus expert-provided
+extensions), the catalog of registered datasets, the derivation
+engine, and optionally an on-disk derivation cache.
+
+Typical use::
+
+    from repro import ScrubJaySession
+
+    sj = ScrubJaySession()
+    sj.register_rows(rows, schema, name="rack_temperatures")
+    plan = sj.query(domains=["jobs", "racks"],
+                    values=["applications", "heat"])
+    print(plan.describe())          # the Figure-5-style graph
+    result = sj.execute(plan)       # distributed execution
+    result.collect()
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.errors import ScrubJayError
+from repro.core.cache import DerivationCache
+from repro.core.dataset import ScrubJayDataset
+from repro.core.derivation import (
+    Derivation,
+    DerivationRegistry,
+    GLOBAL_REGISTRY,
+)
+from repro.core.dictionary import SemanticDictionary, default_dictionary
+from repro.core.engine import DerivationEngine, EngineConfig
+from repro.core.pipeline import DerivationPlan
+from repro.core.query import Query, ValueSpec
+from repro.core.semantics import Schema
+
+# Importing these modules registers ScrubJay's built-in derivations.
+import repro.core.transformations  # noqa: F401
+import repro.core.combinations  # noqa: F401
+import repro.core.domain_derivations  # noqa: F401
+
+
+class ScrubJaySession:
+    """Catalog + dictionary + engine + (optional) cache, in one handle."""
+
+    def __init__(
+        self,
+        ctx=None,
+        dictionary: Optional[SemanticDictionary] = None,
+        registry: Optional[DerivationRegistry] = None,
+        config: Optional[EngineConfig] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_entries: int = 64,
+    ) -> None:
+        from repro.rdd.context import SJContext
+
+        self.ctx = ctx or SJContext()
+        self.dictionary = dictionary or default_dictionary()
+        # Copy the global registry so session-local expert derivations
+        # do not leak between sessions.
+        self.registry = (registry or GLOBAL_REGISTRY).copy()
+        self.engine = DerivationEngine(self.dictionary, self.registry, config)
+        self.catalog: Dict[str, ScrubJayDataset] = {}
+        self.cache: Optional[DerivationCache] = (
+            DerivationCache(cache_dir, cache_max_entries)
+            if cache_dir
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+
+    def register(
+        self, dataset: ScrubJayDataset, name: Optional[str] = None
+    ) -> ScrubJayDataset:
+        """Validate a dataset against the dictionary and add it to the
+        catalog under ``name`` (defaults to the dataset's own name)."""
+        name = name or dataset.name
+        if name in self.catalog:
+            raise ScrubJayError(f"dataset {name!r} already registered")
+        dataset.validate(self.dictionary)
+        dataset.name = name
+        self.catalog[name] = dataset
+        return dataset
+
+    def register_rows(
+        self,
+        rows: List[Dict[str, Any]],
+        schema: Schema,
+        name: str,
+        num_partitions: Optional[int] = None,
+    ) -> ScrubJayDataset:
+        """Wrap in-memory rows and register them in one step."""
+        ds = ScrubJayDataset.from_rows(
+            self.ctx, rows, schema, name, num_partitions
+        )
+        return self.register(ds)
+
+    def register_wrapper(self, wrapper, name: str) -> ScrubJayDataset:
+        """Load a dataset through a data wrapper and register it."""
+        return self.register(wrapper.load(self.ctx), name)
+
+    def dataset(self, name: str) -> ScrubJayDataset:
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise ScrubJayError(f"no dataset named {name!r}") from None
+
+    def schemas(self) -> Dict[str, Schema]:
+        return {name: ds.schema for name, ds in self.catalog.items()}
+
+    # ------------------------------------------------------------------
+    # semantics & derivations
+    # ------------------------------------------------------------------
+
+    def define_dimension(
+        self, name: str, continuous: bool, ordered: bool,
+        description: str = ""
+    ):
+        return self.dictionary.define_dimension(
+            name, continuous, ordered, description
+        )
+
+    def define_unit(self, name: str, kind: str,
+                    dimension: Optional[str] = None,
+                    scale: float = 1.0, offset: float = 0.0):
+        return self.dictionary.define_unit(
+            name, kind, dimension, scale, offset
+        )
+
+    def register_derivation(
+        self, cls: Type[Derivation]
+    ) -> Type[Derivation]:
+        """Register a session-local expert derivation class."""
+        return self.registry.register(cls)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self, domains: Sequence[str], values: Sequence[ValueSpec]
+    ) -> DerivationPlan:
+        """Plan — but do not execute — a derivation sequence."""
+        q = Query.of(domains, values)
+        return self.engine.solve(self.schemas(), q)
+
+    def explain(
+        self, domains: Sequence[str], values: Sequence[ValueSpec]
+    ) -> str:
+        """The Figure 5/7-style rendering of the plan for a query."""
+        return self.query(domains, values).describe()
+
+    def execute(self, plan: DerivationPlan) -> ScrubJayDataset:
+        """Execute a plan against the registered data."""
+        return plan.execute(self.catalog, self.dictionary, self.cache)
+
+    def ask(
+        self, domains: Sequence[str], values: Sequence[ValueSpec]
+    ) -> ScrubJayDataset:
+        """Plan and execute in one call."""
+        return self.execute(self.query(domains, values))
+
+    # ------------------------------------------------------------------
+    # reproducible pipelines
+    # ------------------------------------------------------------------
+
+    def save_plan(self, plan: DerivationPlan, path: str) -> None:
+        """Serialize a derivation sequence to a shareable JSON file."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(plan.to_json())
+
+    def load_plan(self, path: str) -> DerivationPlan:
+        """Re-instantiate a derivation sequence from JSON."""
+        with open(path, "r", encoding="utf-8") as f:
+            return DerivationPlan.from_json(f.read(), self.registry)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.ctx.stop()
+
+    def __enter__(self) -> "ScrubJaySession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

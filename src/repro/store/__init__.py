@@ -1,0 +1,14 @@
+"""A small wide-column NoSQL store (the Cassandra stand-in).
+
+The paper's facility streams monitoring data into a Cassandra cluster;
+ScrubJay's NoSQL data wrappers read from it. This package provides the
+same data model at laptop scale: keyspaces contain tables, a table has
+a partition key (rows sharing it live together) and clustering columns
+(rows within a partition are kept sorted by them), writes land in an
+in-memory memtable that flushes to immutable on-disk segments, and
+reads merge memtable + segments.
+"""
+
+from repro.store.wide_column import WideColumnStore, Table
+
+__all__ = ["WideColumnStore", "Table"]

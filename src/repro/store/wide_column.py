@@ -1,0 +1,213 @@
+"""Wide-column store: keyspace / table / partition key / clustering key.
+
+Mimics the slice of Cassandra's data model that HPC monitoring
+ingestion uses (paper §7.1: "a distributed ingestion framework to
+continuously collect LDMS data into a distributed NoSQL database
+store"):
+
+- a **partition key** (one or more columns) groups rows that are
+  stored and scanned together — e.g. ``(node_id,)`` for node counters;
+- **clustering columns** order rows inside a partition — e.g. the
+  sample timestamp;
+- writes append to a per-table **memtable**; ``flush()`` (or exceeding
+  the memtable limit) writes an immutable, sorted **segment** file;
+- ``scan()`` merge-reads segments plus the memtable, optionally
+  restricted to one partition.
+
+Values must be picklable; rows are plain dicts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+
+
+class Table:
+    """One wide-column table (created through :class:`WideColumnStore`)."""
+
+    def __init__(
+        self,
+        directory: str,
+        name: str,
+        partition_key: Sequence[str],
+        clustering: Sequence[str] = (),
+        memtable_limit: int = 10_000,
+    ) -> None:
+        if not partition_key:
+            raise StoreError(f"table {name!r} needs a partition key")
+        self.directory = directory
+        self.name = name
+        self.partition_key = tuple(partition_key)
+        self.clustering = tuple(clustering)
+        self.memtable_limit = memtable_limit
+        self._memtable: Dict[Tuple, List[dict]] = {}
+        self._memtable_rows = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def _pkey(self, row: Dict[str, Any]) -> Tuple:
+        try:
+            return tuple(row[c] for c in self.partition_key)
+        except KeyError as exc:
+            raise StoreError(
+                f"row missing partition key column {exc} for table "
+                f"{self.name!r}"
+            ) from None
+
+    def _ckey(self, row: Dict[str, Any]) -> Tuple:
+        return tuple(row.get(c) for c in self.clustering)
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        """Append one row; flushes automatically at the memtable limit."""
+        self._memtable.setdefault(self._pkey(row), []).append(dict(row))
+        self._memtable_rows += 1
+        if self._memtable_rows >= self.memtable_limit:
+            self.flush()
+
+    def insert_many(self, rows: Sequence[Dict[str, Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def flush(self) -> Optional[str]:
+        """Write the memtable as one sorted, immutable segment file."""
+        if not self._memtable:
+            return None
+        seg_rows: List[dict] = []
+        for pkey in sorted(self._memtable, key=repr):
+            part = sorted(self._memtable[pkey], key=self._ckey)
+            seg_rows.extend(part)
+        seg_id = len(self._segment_paths())
+        path = os.path.join(self.directory, f"segment-{seg_id:06d}.pkl")
+        with open(path, "wb") as f:
+            pickle.dump(seg_rows, f)
+        self._memtable.clear()
+        self._memtable_rows = 0
+        return path
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def _segment_paths(self) -> List[str]:
+        return sorted(
+            os.path.join(self.directory, f)
+            for f in os.listdir(self.directory)
+            if f.startswith("segment-") and f.endswith(".pkl")
+        )
+
+    def scan(
+        self, partition: Optional[Tuple] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate rows (all, or one partition), clustering-ordered
+        within each source."""
+        if partition is not None and not isinstance(partition, tuple):
+            partition = (partition,)
+        for path in self._segment_paths():
+            with open(path, "rb") as f:
+                for row in pickle.load(f):
+                    if partition is None or self._pkey(row) == partition:
+                        yield row
+        for pkey, rows in self._memtable.items():
+            if partition is None or pkey == partition:
+                yield from sorted(rows, key=self._ckey)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def partitions(self) -> List[Tuple]:
+        """Distinct partition keys across segments and memtable."""
+        seen = set()
+        for row in self.scan():
+            seen.add(self._pkey(row))
+        return sorted(seen, key=repr)
+
+
+class WideColumnStore:
+    """A directory of keyspaces, each a directory of tables."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._tables: Dict[Tuple[str, str], Table] = {}
+
+    def _table_dir(self, keyspace: str, table: str) -> str:
+        return os.path.join(self.root, keyspace, table)
+
+    def create_table(
+        self,
+        keyspace: str,
+        name: str,
+        partition_key: Sequence[str],
+        clustering: Sequence[str] = (),
+        memtable_limit: int = 10_000,
+    ) -> Table:
+        key = (keyspace, name)
+        if key in self._tables:
+            raise StoreError(
+                f"table {keyspace}.{name} already exists in this store"
+            )
+        meta_path = os.path.join(self._table_dir(keyspace, name), "meta.pkl")
+        table = Table(
+            self._table_dir(keyspace, name),
+            name,
+            partition_key,
+            clustering,
+            memtable_limit,
+        )
+        with open(meta_path, "wb") as f:
+            pickle.dump(
+                {
+                    "partition_key": tuple(partition_key),
+                    "clustering": tuple(clustering),
+                },
+                f,
+            )
+        self._tables[key] = table
+        return table
+
+    def table(self, keyspace: str, name: str) -> Table:
+        """Open a table, reading its metadata from disk if needed."""
+        key = (keyspace, name)
+        if key in self._tables:
+            return self._tables[key]
+        meta_path = os.path.join(self._table_dir(keyspace, name), "meta.pkl")
+        if not os.path.exists(meta_path):
+            raise StoreError(f"no table {keyspace}.{name} in this store")
+        with open(meta_path, "rb") as f:
+            meta = pickle.load(f)
+        table = Table(
+            self._table_dir(keyspace, name),
+            name,
+            meta["partition_key"],
+            meta["clustering"],
+        )
+        self._tables[key] = table
+        return table
+
+    def keyspaces(self) -> List[str]:
+        return sorted(
+            d
+            for d in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, d))
+        )
+
+    def tables(self, keyspace: str) -> List[str]:
+        ks_dir = os.path.join(self.root, keyspace)
+        if not os.path.isdir(ks_dir):
+            return []
+        return sorted(
+            d
+            for d in os.listdir(ks_dir)
+            if os.path.isdir(os.path.join(ks_dir, d))
+        )
+
+    def flush_all(self) -> None:
+        for table in self._tables.values():
+            table.flush()

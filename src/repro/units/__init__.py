@@ -1,0 +1,40 @@
+"""The advanced type system ScrubJay uses to operate on units (§4.2).
+
+Data semantics name the *units* of every field; this package gives
+those names behaviour. It provides:
+
+- :class:`~repro.units.registry.Dimension` — an aspect of the data
+  (time, temperature, compute-node identity, …), flagged
+  continuous/discrete and ordered/unordered, which determines the
+  operations ScrubJay may perform (interpolate, compare, match).
+- :class:`~repro.units.registry.Unit` and
+  :class:`~repro.units.registry.UnitRegistry` — named units attached
+  to dimensions, with linear conversions inside a dimension
+  (Celsius ↔ Fahrenheit, seconds ↔ minutes) and *composed* units:
+  rates (``X per Y``), lists (``list<X>``), and spans.
+- :class:`~repro.units.quantity.Quantity` — a value + unit with
+  checked arithmetic and conversion.
+- :class:`~repro.units.temporal.Timestamp` /
+  :class:`~repro.units.temporal.TimeSpan` — the time subspace types,
+  including span→stamps explosion used by the *explode continuous*
+  transformation.
+"""
+
+from repro.units.registry import (
+    Dimension,
+    Unit,
+    UnitRegistry,
+    default_registry,
+)
+from repro.units.quantity import Quantity
+from repro.units.temporal import Timestamp, TimeSpan
+
+__all__ = [
+    "Dimension",
+    "Unit",
+    "UnitRegistry",
+    "default_registry",
+    "Quantity",
+    "Timestamp",
+    "TimeSpan",
+]

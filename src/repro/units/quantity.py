@@ -1,0 +1,120 @@
+"""Quantity: a numeric value paired with a unit.
+
+ScrubJay "constructs a high-level object with the appropriate
+functionality" for annotated values (§4.2); :class:`Quantity` is that
+object for measurements. Arithmetic and comparison are only permitted
+within a dimension and perform conversion automatically, so mixing
+Celsius and Fahrenheit is safe while mixing Celsius and node IDs is a
+:class:`~repro.errors.UnitError`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import UnitError
+from repro.units.registry import UnitRegistry, default_registry
+
+_DEFAULT = None
+
+
+def _default() -> UnitRegistry:
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = default_registry()
+    return _DEFAULT
+
+
+class Quantity:
+    """An immutable measurement: ``Quantity(21.5, "degrees Celsius")``."""
+
+    __slots__ = ("value", "unit", "_registry")
+
+    def __init__(
+        self,
+        value: float,
+        unit: str,
+        registry: Union[UnitRegistry, None] = None,
+    ) -> None:
+        self.value = float(value)
+        self.unit = unit
+        self._registry = registry or _default()
+        # Fail fast on unknown units.
+        self._registry.unit(unit)
+
+    # ------------------------------------------------------------------
+
+    def to(self, unit: str) -> "Quantity":
+        """Convert to another unit of the same dimension."""
+        return Quantity(
+            self._registry.convert(self.value, self.unit, unit),
+            unit,
+            self._registry,
+        )
+
+    def _coerce(self, other: "Quantity") -> float:
+        if not isinstance(other, Quantity):
+            raise UnitError(
+                f"expected a Quantity, got {type(other).__name__}"
+            )
+        return self._registry.convert(other.value, other.unit, self.unit)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Quantity") -> "Quantity":
+        return Quantity(self.value + self._coerce(other), self.unit, self._registry)
+
+    def __sub__(self, other: "Quantity") -> "Quantity":
+        return Quantity(self.value - self._coerce(other), self.unit, self._registry)
+
+    def __mul__(self, scalar: float) -> "Quantity":
+        if isinstance(scalar, Quantity):
+            raise UnitError("Quantity*Quantity products are not supported; "
+                            "use rate units ('X per Y') for derived units")
+        return Quantity(self.value * scalar, self.unit, self._registry)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Quantity":
+        if isinstance(scalar, Quantity):
+            raise UnitError("Quantity/Quantity division is not supported; "
+                            "use rate units ('X per Y') for derived units")
+        return Quantity(self.value / scalar, self.unit, self._registry)
+
+    def __neg__(self) -> "Quantity":
+        return Quantity(-self.value, self.unit, self._registry)
+
+    # ------------------------------------------------------------------
+    # comparison (converts, so 1 minute == 60 seconds)
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        try:
+            return self.value == self._coerce(other)
+        except UnitError:
+            return False
+
+    def __lt__(self, other: "Quantity") -> bool:
+        return self.value < self._coerce(other)
+
+    def __le__(self, other: "Quantity") -> bool:
+        return self.value <= self._coerce(other)
+
+    def __gt__(self, other: "Quantity") -> bool:
+        return self.value > self._coerce(other)
+
+    def __ge__(self, other: "Quantity") -> bool:
+        return self.value >= self._coerce(other)
+
+    def __hash__(self) -> int:
+        u = self._registry.unit(self.unit)
+        if u.kind == "quantity" and u.dimension is not None:
+            return hash((u.dimension, self.value * u.scale + u.offset))
+        return hash((self.unit, self.value))
+
+    def __repr__(self) -> str:
+        return f"Quantity({self.value!r}, {self.unit!r})"

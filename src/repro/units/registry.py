@@ -1,0 +1,352 @@
+"""Dimensions, units, and the conversion registry.
+
+ScrubJay constrains every data operation by the *dimension* and *units*
+of the fields involved (paper §4.2): 10 °C is less than 20 °C, but node
+10 is not "less than" node 20, and neither compares to a temperature.
+This module encodes those rules:
+
+- a :class:`Dimension` is flagged ``continuous``/``discrete`` and
+  ``ordered``/``unordered``; interpolation is only valid on continuous
+  ordered dimensions, exact matching on unordered ones;
+- a :class:`Unit` carries a representational ``kind`` and, for
+  quantity units, a linear map to its dimension's base unit so
+  Celsius ↔ Fahrenheit or seconds ↔ minutes conversions are checked
+  and automatic;
+- composed units — rates (``X per Y``) and lists (``list<X>``) — are
+  parsed on demand from their names, so derived units like
+  "instructions per second" need no pre-registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import UnitError
+
+#: Representational kinds a unit may have.
+KINDS = (
+    "quantity",  # convertible numeric measurement (Celsius, seconds, watts)
+    "count",  # discrete event count (instructions, packets)
+    "identifier",  # opaque discrete identity (node id, cpu id)
+    "label",  # categorical text (application name, aisle)
+    "datetime",  # a Timestamp
+    "timespan",  # a TimeSpan
+    "list",  # list of an element unit
+    "rate",  # numerator unit per denominator unit
+)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """An aspect of the data: physical (time, temperature) or
+    conceptual (the identity of a compute node)."""
+
+    name: str
+    continuous: bool
+    ordered: bool
+    description: str = ""
+
+    @property
+    def interpolatable(self) -> bool:
+        """May values along this dimension be interpolated?"""
+        return self.continuous and self.ordered
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "continuous": self.continuous,
+            "ordered": self.ordered,
+        }
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A named unit, optionally anchored to a dimension.
+
+    ``dimension=None`` marks a *generic* unit (identifier, label,
+    list<identifier>) that may annotate a field of any dimension; the
+    (dimension, unit) pair in the field's semantics supplies the
+    missing anchor. Quantity units convert to their dimension's base
+    via ``base = value * scale + offset``.
+    """
+
+    name: str
+    kind: str
+    dimension: Optional[str] = None
+    scale: float = 1.0
+    offset: float = 0.0
+    element: Optional[str] = None  # list units: element unit name
+    numerator: Optional[str] = None  # rate units
+    denominator: Optional[str] = None  # rate units
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise UnitError(f"unknown unit kind {self.kind!r} for {self.name!r}")
+
+    def to_json_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "dimension": self.dimension}
+
+
+class UnitRegistry:
+    """Registry of dimensions and units with conversion support."""
+
+    def __init__(self) -> None:
+        self._dimensions: Dict[str, Dimension] = {}
+        self._units: Dict[str, Unit] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register_dimension(self, dim: Dimension) -> Dimension:
+        existing = self._dimensions.get(dim.name)
+        if existing is not None:
+            if existing != dim:
+                raise UnitError(
+                    f"dimension {dim.name!r} already registered with "
+                    f"different properties"
+                )
+            return existing
+        self._dimensions[dim.name] = dim
+        return dim
+
+    def register_unit(self, unit: Unit) -> Unit:
+        existing = self._units.get(unit.name)
+        if existing is not None:
+            if existing != unit:
+                raise UnitError(
+                    f"unit {unit.name!r} already registered with a "
+                    f"different definition"
+                )
+            return existing
+        if unit.dimension is not None and unit.dimension not in self._dimensions:
+            raise UnitError(
+                f"unit {unit.name!r} references unknown dimension "
+                f"{unit.dimension!r}"
+            )
+        self._units[unit.name] = unit
+        return unit
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def has_dimension(self, name: str) -> bool:
+        return name in self._dimensions or self._is_rate_dimension(name)
+
+    def dimension(self, name: str) -> Dimension:
+        if name in self._dimensions:
+            return self._dimensions[name]
+        if self._is_rate_dimension(name):
+            # Rate dimensions ("events per time") are continuous and
+            # ordered by construction: they are ratios of magnitudes.
+            return Dimension(name, continuous=True, ordered=True)
+        raise UnitError(f"unknown dimension {name!r}")
+
+    def has_unit(self, name: str) -> bool:
+        try:
+            self.unit(name)
+            return True
+        except UnitError:
+            return False
+
+    def unit(self, name: str) -> Unit:
+        """Resolve a unit by name, parsing composite names on demand.
+
+        Composite syntax:
+
+        - ``list<X>`` — list of element unit X;
+        - ``X per Y`` — rate of X over Y (e.g. ``count per second``).
+        """
+        if name in self._units:
+            return self._units[name]
+        if name.startswith("list<") and name.endswith(">"):
+            inner = self.unit(name[5:-1])
+            return Unit(
+                name=name,
+                kind="list",
+                dimension=inner.dimension,
+                element=inner.name,
+            )
+        if " per " in name:
+            num_name, _, den_name = name.partition(" per ")
+            num = self.unit(num_name.strip())
+            den = self.unit(den_name.strip())
+            if den.kind != "quantity":
+                raise UnitError(
+                    f"rate denominator {den.name!r} must be a quantity"
+                )
+            return Unit(
+                name=name,
+                kind="rate",
+                dimension=self.rate_dimension_name(num, den),
+                numerator=num.name,
+                denominator=den.name,
+            )
+        # Accept natural singular forms inside composites, so
+        # "instructions per second" resolves via the "seconds" unit.
+        if name + "s" in self._units:
+            return self._units[name + "s"]
+        raise UnitError(f"unknown unit {name!r}")
+
+    def rate_dimension_name(self, num: Unit, den: Unit) -> Optional[str]:
+        """Dimension of a composed rate unit.
+
+        Generic numerators (dimension=None, e.g. bare counts) yield a
+        generic rate unit so "count per second" may annotate a field on
+        any "<events> per time" dimension.
+        """
+        if num.dimension is None:
+            return None
+        den_dim = den.dimension or "time"
+        return f"{num.dimension} per {den_dim}"
+
+    def _is_rate_dimension(self, name: str) -> bool:
+        return " per " in name
+
+    def units(self) -> Dict[str, Unit]:
+        return dict(self._units)
+
+    def dimensions(self) -> Dict[str, Dimension]:
+        return dict(self._dimensions)
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+
+    def convert(self, value: float, from_unit: str, to_unit: str) -> float:
+        """Convert ``value`` between two units of the same dimension."""
+        if from_unit == to_unit:
+            return value
+        u1 = self.unit(from_unit)
+        u2 = self.unit(to_unit)
+        if u1.kind == "rate" and u2.kind == "rate":
+            return self._convert_rate(value, u1, u2)
+        if u1.kind != "quantity" or u2.kind != "quantity":
+            raise UnitError(
+                f"cannot convert between non-quantity units "
+                f"{from_unit!r} and {to_unit!r}"
+            )
+        if u1.dimension != u2.dimension or u1.dimension is None:
+            raise UnitError(
+                f"cannot convert across dimensions: {from_unit!r} is "
+                f"{u1.dimension!r}, {to_unit!r} is {u2.dimension!r}"
+            )
+        base = value * u1.scale + u1.offset
+        return (base - u2.offset) / u2.scale
+
+    def _convert_rate(self, value: float, u1: Unit, u2: Unit) -> float:
+        n1, d1 = self.unit(u1.numerator), self.unit(u1.denominator)
+        n2, d2 = self.unit(u2.numerator), self.unit(u2.denominator)
+        if (n1.dimension, d1.dimension) != (n2.dimension, d2.dimension):
+            raise UnitError(
+                f"cannot convert rate {u1.name!r} to {u2.name!r}: "
+                f"component dimensions differ"
+            )
+        for u in (n1, d1, n2, d2):
+            if u.offset != 0.0:
+                raise UnitError(
+                    f"rate conversion undefined for offset unit {u.name!r}"
+                )
+        num_scale = (n1.scale if n1.kind == "quantity" else 1.0) / (
+            n2.scale if n2.kind == "quantity" else 1.0
+        )
+        den_scale = d1.scale / d2.scale
+        return value * num_scale / den_scale
+
+
+def default_registry() -> UnitRegistry:
+    """The registry shipped with ScrubJay's default semantic dictionary.
+
+    Covers the dimensions and units appearing in the paper's two case
+    studies: facility sensors (temperature, humidity, power), timing,
+    counters, frequencies, and the identity dimensions of the HPC
+    ecosystem (nodes, racks, CPUs, jobs, …).
+    """
+    reg = UnitRegistry()
+    dims = [
+        Dimension("time", continuous=True, ordered=True),
+        Dimension("temperature", continuous=True, ordered=True),
+        Dimension("humidity", continuous=True, ordered=True),
+        Dimension("power", continuous=True, ordered=True),
+        Dimension("energy", continuous=True, ordered=True),
+        Dimension("frequency", continuous=True, ordered=True),
+        Dimension("heat", continuous=True, ordered=True),
+        # CPU frequency split into rated (spec sheet) vs active
+        # (derived from APERF/MPERF) so queries can name either
+        # unambiguously (paper §7.3).
+        Dimension("rated frequency", continuous=True, ordered=True),
+        Dimension("active frequency", continuous=True, ordered=True),
+        Dimension("fraction", continuous=True, ordered=True),
+        Dimension("information", continuous=False, ordered=True),
+        Dimension("event count", continuous=False, ordered=True),
+        Dimension("compute nodes", continuous=False, ordered=False),
+        Dimension("racks", continuous=False, ordered=False),
+        Dimension("cpus", continuous=False, ordered=False),
+        Dimension("sockets", continuous=False, ordered=False),
+        Dimension("memory banks", continuous=False, ordered=False),
+        Dimension("jobs", continuous=False, ordered=False),
+        Dimension("applications", continuous=False, ordered=False),
+        Dimension("users", continuous=False, ordered=False),
+        Dimension("rack locations", continuous=False, ordered=False),
+        Dimension("aisles", continuous=False, ordered=False),
+        Dimension("filesystems", continuous=False, ordered=False),
+        Dimension("network links", continuous=False, ordered=False),
+    ]
+    for d in dims:
+        reg.register_dimension(d)
+
+    units = [
+        # time
+        Unit("seconds", "quantity", "time", scale=1.0),
+        Unit("milliseconds", "quantity", "time", scale=1e-3),
+        Unit("microseconds", "quantity", "time", scale=1e-6),
+        Unit("minutes", "quantity", "time", scale=60.0),
+        Unit("hours", "quantity", "time", scale=3600.0),
+        Unit("datetime", "datetime", "time"),
+        Unit("timespan", "timespan", "time"),
+        # temperature (base: Celsius)
+        Unit("degrees Celsius", "quantity", "temperature", scale=1.0),
+        Unit(
+            "degrees Fahrenheit",
+            "quantity",
+            "temperature",
+            scale=5.0 / 9.0,
+            offset=-160.0 / 9.0,
+        ),
+        Unit("kelvin", "quantity", "temperature", scale=1.0, offset=-273.15),
+        # heat proxy (aisle temperature differential, paper §7.2)
+        Unit("delta degrees Celsius", "quantity", "heat", scale=1.0),
+        # humidity / fraction
+        Unit("percent", "quantity", "fraction", scale=0.01),
+        Unit("ratio", "quantity", "fraction", scale=1.0),
+        Unit("relative humidity percent", "quantity", "humidity", scale=1.0),
+        # power / energy
+        Unit("watts", "quantity", "power", scale=1.0),
+        Unit("kilowatts", "quantity", "power", scale=1e3),
+        Unit("joules", "quantity", "energy", scale=1.0),
+        # frequency
+        Unit("hertz", "quantity", "frequency", scale=1.0),
+        Unit("megahertz", "quantity", "frequency", scale=1e6),
+        Unit("gigahertz", "quantity", "frequency", scale=1e9),
+        Unit("rated gigahertz", "quantity", "rated frequency", scale=1.0),
+        Unit("active gigahertz", "quantity", "active frequency", scale=1.0),
+        # information
+        Unit("bytes", "quantity", "information", scale=1.0),
+        Unit("kilobytes", "quantity", "information", scale=1e3),
+        Unit("megabytes", "quantity", "information", scale=1e6),
+        # counts: generic (dimension=None) so a counter field may lie on
+        # any event dimension (instructions, APERF events, packets, …).
+        # "count" marks a *cumulative* counter (resets arbitrarily; only
+        # its rate of change is meaningful — paper §7.3); "cardinal" is
+        # a plain magnitude (a job's node count) with no such caveats.
+        Unit("count", "count", None),
+        Unit("cardinal", "quantity", None),
+        # generic representational units
+        Unit("identifier", "identifier", None),
+        Unit("label", "label", None),
+    ]
+    for u in units:
+        reg.register_unit(u)
+    return reg

@@ -1,0 +1,127 @@
+"""Time subspace types: instants and spans.
+
+The paper's semantics distinguish *time stamps* from *time spans* and
+rely on expanding "a time range into a set of time stamps within that
+range" (the *explode continuous* transformation used on job-queue
+logs). Both types are immutable, ordered, hashable, and picklable so
+they can flow through RDD shuffles.
+
+Internally both are epoch seconds as floats — time is a continuous
+ordered dimension, so floats give interpolation for free.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """An instant in time (epoch seconds)."""
+
+    epoch: float
+
+    @staticmethod
+    def from_iso(text: str) -> "Timestamp":
+        """Parse an ISO-8601 datetime string."""
+        return Timestamp(_dt.datetime.fromisoformat(text).timestamp())
+
+    @staticmethod
+    def from_datetime(dt: _dt.datetime) -> "Timestamp":
+        return Timestamp(dt.timestamp())
+
+    def to_iso(self) -> str:
+        return _dt.datetime.fromtimestamp(self.epoch).isoformat()
+
+    def __add__(self, seconds: float) -> "Timestamp":
+        return Timestamp(self.epoch + float(seconds))
+
+    def __sub__(self, other: Union["Timestamp", float]) -> Union[float, "Timestamp"]:
+        """Timestamp − Timestamp = seconds; Timestamp − seconds = Timestamp."""
+        if isinstance(other, Timestamp):
+            return self.epoch - other.epoch
+        return Timestamp(self.epoch - float(other))
+
+    def distance(self, other: "Timestamp") -> float:
+        """Absolute separation in seconds (the ordered-dimension metric)."""
+        return abs(self.epoch - other.epoch)
+
+    def to_json_dict(self) -> dict:
+        return {"__timestamp__": self.epoch}
+
+    def __repr__(self) -> str:
+        return f"Timestamp({self.to_iso()})"
+
+
+@dataclass(frozen=True, order=True)
+class TimeSpan:
+    """A half-open interval of time ``[start, end)`` in epoch seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"TimeSpan end ({self.end}) precedes start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in seconds."""
+        return self.end - self.start
+
+    def contains(self, t: Union[Timestamp, float]) -> bool:
+        epoch = t.epoch if isinstance(t, Timestamp) else float(t)
+        return self.start <= epoch < self.end
+
+    def overlaps(self, other: "TimeSpan") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "TimeSpan") -> "TimeSpan":
+        if not self.overlaps(other):
+            raise ValueError(f"{self} and {other} do not overlap")
+        return TimeSpan(max(self.start, other.start), min(self.end, other.end))
+
+    def explode(self, period: float) -> List[Timestamp]:
+        """Expand the span into stamps every ``period`` seconds.
+
+        This is the kernel of the *explode continuous* transformation:
+        a job's ``timespan`` becomes the set of instants the job was
+        running, so it can be joined against periodically sampled
+        sensor readings. The start is always included; stamps step by
+        ``period`` while they stay inside the half-open interval. A
+        zero-length span yields a single stamp at its start.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if self.duration == 0:
+            return [Timestamp(self.start)]
+        return [Timestamp(e) for e in _frange(self.start, self.end, period)]
+
+    def iter_stamps(self, period: float) -> Iterator[Timestamp]:
+        return iter(self.explode(period))
+
+    def midpoint(self) -> Timestamp:
+        return Timestamp((self.start + self.end) / 2.0)
+
+    def to_json_dict(self) -> dict:
+        return {"__timespan__": [self.start, self.end]}
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSpan({Timestamp(self.start).to_iso()} .. "
+            f"{Timestamp(self.end).to_iso()})"
+        )
+
+
+def _frange(start: float, stop: float, step: float) -> Iterator[float]:
+    """Float range robust to accumulation error (multiplies, not adds)."""
+    i = 0
+    value = start
+    while value < stop:
+        yield value
+        i += 1
+        value = start + i * step

@@ -1,0 +1,6 @@
+"""Small shared utilities: stable hashing, JSON helpers, timers."""
+
+from repro.util.hashing import content_hash, stable_json
+from repro.util.timer import Timer
+
+__all__ = ["content_hash", "stable_json", "Timer"]

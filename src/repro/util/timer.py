@@ -1,0 +1,27 @@
+"""Wall-clock timing helper used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,26 @@
+"""Data wrappers and unwrappers (paper §4.1, §5.4).
+
+A *data wrapper* parses data stored in some format into a ScrubJay
+dataset (rows + schema); an *unwrapper* converts a dataset back into a
+storage format for sharing or analysis with other tools. ScrubJay
+ships wrappers for common formats — CSV files, SQL tables, and the
+wide-column NoSQL store — and tool experts add custom ones by
+subclassing :class:`~repro.wrappers.base.DataWrapper`.
+"""
+
+from repro.wrappers.base import DataWrapper, Unwrapper, RowsWrapper
+from repro.wrappers.csv_io import CSVWrapper, CSVUnwrapper
+from repro.wrappers.sql_io import SQLWrapper, SQLUnwrapper
+from repro.wrappers.nosql_io import NoSQLWrapper, NoSQLUnwrapper
+
+__all__ = [
+    "DataWrapper",
+    "Unwrapper",
+    "RowsWrapper",
+    "CSVWrapper",
+    "CSVUnwrapper",
+    "SQLWrapper",
+    "SQLUnwrapper",
+    "NoSQLWrapper",
+    "NoSQLUnwrapper",
+]

@@ -1,0 +1,72 @@
+"""Wrapper/unwrapper base classes and the trivial in-memory wrapper."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.dictionary import SemanticDictionary
+from repro.core.semantics import Schema
+from repro.rdd.context import SJContext
+
+
+class DataWrapper(ABC):
+    """Parses some storage format into a :class:`ScrubJayDataset`.
+
+    Tool experts subclass this for custom formats: implement
+    :meth:`rows` (or override :meth:`load` wholesale for formats that
+    stream partitions directly).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        dictionary: SemanticDictionary,
+        name: str,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        self.schema = schema
+        self.dictionary = dictionary
+        self.name = name
+        self.num_partitions = num_partitions
+
+    @abstractmethod
+    def rows(self) -> List[Dict[str, Any]]:
+        """Parse the source into dict rows (sparse fields omitted)."""
+
+    def load(self, ctx: SJContext) -> ScrubJayDataset:
+        """Parse and distribute the source as an annotated dataset."""
+        ds = ScrubJayDataset.from_rows(
+            ctx, self.rows(), self.schema, self.name, self.num_partitions
+        )
+        ds.provenance = {"op": "wrap", "wrapper": type(self).__name__,
+                         "name": self.name}
+        return ds
+
+
+class RowsWrapper(DataWrapper):
+    """Wrap rows that are already in memory (tests, generators)."""
+
+    def __init__(
+        self,
+        data: List[Dict[str, Any]],
+        schema: Schema,
+        dictionary: SemanticDictionary,
+        name: str,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        super().__init__(schema, dictionary, name, num_partitions)
+        self.data = data
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return self.data
+
+
+class Unwrapper(ABC):
+    """Converts a dataset back into a storage format (paper §5.4)."""
+
+    @abstractmethod
+    def save(self, dataset: ScrubJayDataset) -> Any:
+        """Persist the dataset; returns a format-specific handle
+        (path, table name, …)."""

@@ -1,0 +1,106 @@
+"""Text encoding/decoding of semantically typed values.
+
+CSV cells and SQL columns are text/primitive; ScrubJay rows hold typed
+objects (Timestamps, TimeSpans, lists). The codec converts in both
+directions, driven entirely by the field's semantic annotation — the
+unit's *kind* decides the representation:
+
+==============  =======================================
+kind            textual form
+==============  =======================================
+quantity/rate   float literal
+count           int literal
+identifier      int when numeric, else verbatim string
+label           verbatim string
+datetime        ISO-8601 (decoded) / epoch float accepted
+timespan        ``start..end`` epoch floats
+list            ``;``-separated encoded elements
+==============  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import WrapperError
+from repro.core.dictionary import SemanticDictionary
+from repro.core.semantics import SemanticType
+from repro.units.temporal import Timestamp, TimeSpan
+
+LIST_SEP = ";"
+SPAN_SEP = ".."
+
+
+def decode_value(
+    text: Optional[str], sem: SemanticType, dictionary: SemanticDictionary
+) -> Any:
+    """Parse one textual cell into the typed value its semantics imply.
+
+    Empty/None cells decode to None (sparse rows drop them).
+    """
+    if text is None or text == "":
+        return None
+    unit = dictionary.unit(sem.units)
+    kind = unit.kind
+    try:
+        if kind in ("quantity", "rate"):
+            return float(text)
+        if kind == "count":
+            return int(float(text))
+        if kind == "identifier":
+            stripped = text.strip()
+            try:
+                return int(stripped)
+            except ValueError:
+                return stripped
+        if kind == "label":
+            return text.strip()
+        if kind == "datetime":
+            stripped = text.strip()
+            try:
+                return Timestamp(float(stripped))
+            except ValueError:
+                return Timestamp.from_iso(stripped)
+        if kind == "timespan":
+            start_s, _, end_s = text.partition(SPAN_SEP)
+            return TimeSpan(float(start_s), float(end_s))
+        if kind == "list":
+            element_units = unit.element
+            assert element_units is not None
+            element_sem = sem.with_units(element_units)
+            return [
+                decode_value(part, element_sem, dictionary)
+                for part in text.split(LIST_SEP)
+                if part != ""
+            ]
+    except (ValueError, TypeError) as exc:
+        raise WrapperError(
+            f"cannot decode {text!r} as {sem.units!r}: {exc}"
+        ) from exc
+    raise WrapperError(f"no decoder for unit kind {kind!r}")
+
+
+def encode_value(
+    value: Any, sem: SemanticType, dictionary: SemanticDictionary
+) -> str:
+    """Render one typed value back to its textual cell form."""
+    if value is None:
+        return ""
+    unit = dictionary.unit(sem.units)
+    kind = unit.kind
+    if kind == "datetime":
+        if not isinstance(value, Timestamp):
+            raise WrapperError(f"expected Timestamp, got {type(value).__name__}")
+        return repr(value.epoch)
+    if kind == "timespan":
+        if not isinstance(value, TimeSpan):
+            raise WrapperError(f"expected TimeSpan, got {type(value).__name__}")
+        return f"{value.start!r}{SPAN_SEP}{value.end!r}"
+    if kind == "list":
+        element_units = unit.element
+        assert element_units is not None
+        element_sem = sem.with_units(element_units)
+        return LIST_SEP.join(
+            encode_value(v, element_sem, dictionary) for v in value
+        )
+    return str(value)

@@ -1,0 +1,96 @@
+"""CSV data wrapper and unwrapper.
+
+The most common interchange format in the paper's workflows: IPMI and
+PAPI "recorded performance data directly into tabular files", and
+derivation results are unwrapped "into a tabular file for analysis".
+Cells are decoded/encoded according to the field semantics (see
+:mod:`repro.wrappers.codec`); unknown columns are ignored, missing or
+empty cells yield sparse rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, List, Optional
+
+from repro.errors import WrapperError
+from repro.core.dataset import ScrubJayDataset
+from repro.core.dictionary import SemanticDictionary
+from repro.core.semantics import Schema
+from repro.wrappers.base import DataWrapper, Unwrapper
+from repro.wrappers.codec import decode_value, encode_value
+
+
+class CSVWrapper(DataWrapper):
+    """Read a CSV file with a header row into an annotated dataset."""
+
+    def __init__(
+        self,
+        path: str,
+        schema: Schema,
+        dictionary: SemanticDictionary,
+        name: Optional[str] = None,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            schema, dictionary, name or path, num_partitions
+        )
+        self.path = path
+
+    def rows(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", newline="", encoding="utf-8") as f:
+                reader = csv.DictReader(f)
+                if reader.fieldnames is None:
+                    raise WrapperError(f"{self.path}: empty CSV (no header)")
+                known = [
+                    c for c in reader.fieldnames if c in self.schema
+                ]
+                if not known:
+                    raise WrapperError(
+                        f"{self.path}: no CSV column matches the schema "
+                        f"fields {self.schema.fields()}"
+                    )
+                for record in reader:
+                    row: Dict[str, Any] = {}
+                    for col in known:
+                        value = decode_value(
+                            record.get(col), self.schema[col], self.dictionary
+                        )
+                        if value is not None:
+                            row[col] = value
+                    if row:
+                        out.append(row)
+        except OSError as exc:
+            raise WrapperError(f"cannot read {self.path}: {exc}") from exc
+        return out
+
+
+class CSVUnwrapper(Unwrapper):
+    """Write a dataset to a CSV file (header = schema fields)."""
+
+    def __init__(self, path: str, dictionary: SemanticDictionary) -> None:
+        self.path = path
+        self.dictionary = dictionary
+
+    def save(self, dataset: ScrubJayDataset) -> str:
+        fields = dataset.schema.fields()
+        try:
+            with open(self.path, "w", newline="", encoding="utf-8") as f:
+                writer = csv.writer(f)
+                writer.writerow(fields)
+                for row in dataset.collect():
+                    writer.writerow(
+                        [
+                            encode_value(
+                                row.get(field),
+                                dataset.schema[field],
+                                self.dictionary,
+                            )
+                            for field in fields
+                        ]
+                    )
+        except OSError as exc:
+            raise WrapperError(f"cannot write {self.path}: {exc}") from exc
+        return self.path

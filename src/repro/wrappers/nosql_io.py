@@ -1,0 +1,82 @@
+"""NoSQL (wide-column store) data wrapper and unwrapper.
+
+Reads/writes :class:`repro.store.WideColumnStore` tables — the
+Cassandra stand-in where the simulated facility's continuously
+ingested monitoring streams (LDMS in the paper) land. Rows in the
+store already hold typed values, so no textual codec is involved;
+fields absent from the schema are dropped on load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.dictionary import SemanticDictionary
+from repro.core.semantics import Schema
+from repro.store.wide_column import WideColumnStore
+from repro.wrappers.base import DataWrapper, Unwrapper
+
+
+class NoSQLWrapper(DataWrapper):
+    """Scan a wide-column table into an annotated dataset."""
+
+    def __init__(
+        self,
+        store: WideColumnStore,
+        keyspace: str,
+        table: str,
+        schema: Schema,
+        dictionary: SemanticDictionary,
+        name: Optional[str] = None,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            schema, dictionary, name or f"{keyspace}.{table}", num_partitions
+        )
+        self.store = store
+        self.keyspace = keyspace
+        self.table = table
+
+    def rows(self) -> List[Dict[str, Any]]:
+        table = self.store.table(self.keyspace, self.table)
+        fields = set(self.schema.fields())
+        out: List[Dict[str, Any]] = []
+        for record in table.scan():
+            row = {
+                k: v
+                for k, v in record.items()
+                if k in fields and v is not None
+            }
+            if row:
+                out.append(row)
+        return out
+
+
+class NoSQLUnwrapper(Unwrapper):
+    """Dump a dataset into a (new) wide-column table."""
+
+    def __init__(
+        self,
+        store: WideColumnStore,
+        keyspace: str,
+        table: str,
+        partition_key: Sequence[str],
+        clustering: Sequence[str] = (),
+    ) -> None:
+        self.store = store
+        self.keyspace = keyspace
+        self.table = table
+        self.partition_key = tuple(partition_key)
+        self.clustering = tuple(clustering)
+
+    def save(self, dataset: ScrubJayDataset) -> str:
+        table = self.store.create_table(
+            self.keyspace,
+            self.table,
+            self.partition_key,
+            self.clustering,
+        )
+        table.insert_many(dataset.collect())
+        table.flush()
+        return f"{self.keyspace}.{self.table}"

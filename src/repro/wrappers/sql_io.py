@@ -1,0 +1,116 @@
+"""SQL (sqlite3) data wrapper and unwrapper.
+
+The paper's first DAT sources — job-queue logs and OSIsoft PI sensor
+feeds — are "continuously monitored and recorded in relational
+databases", read through "a common data wrapper to extract column
+names from their schemas and convert their rows to named tuples".
+This wrapper does the same against sqlite3: column names come from
+the live cursor description, values are decoded per field semantics.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, List, Optional
+
+from repro.errors import WrapperError
+from repro.core.dataset import ScrubJayDataset
+from repro.core.dictionary import SemanticDictionary
+from repro.core.semantics import Schema
+from repro.wrappers.base import DataWrapper, Unwrapper
+from repro.wrappers.codec import decode_value, encode_value
+
+
+class SQLWrapper(DataWrapper):
+    """Read a table (or arbitrary SELECT) from a sqlite3 database."""
+
+    def __init__(
+        self,
+        db_path: str,
+        schema: Schema,
+        dictionary: SemanticDictionary,
+        table: Optional[str] = None,
+        query: Optional[str] = None,
+        name: Optional[str] = None,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        if (table is None) == (query is None):
+            raise WrapperError("provide exactly one of table= or query=")
+        super().__init__(
+            schema, dictionary, name or table or "sql", num_partitions
+        )
+        self.db_path = db_path
+        self.table = table
+        self.query = query
+
+    def rows(self) -> List[Dict[str, Any]]:
+        sql = self.query or f'SELECT * FROM "{self.table}"'
+        out: List[Dict[str, Any]] = []
+        try:
+            with sqlite3.connect(self.db_path) as conn:
+                cursor = conn.execute(sql)
+                columns = [d[0] for d in cursor.description]
+                known = [c for c in columns if c in self.schema]
+                if not known:
+                    raise WrapperError(
+                        f"{self.db_path}: no column of {columns} matches "
+                        f"the schema fields {self.schema.fields()}"
+                    )
+                for record in cursor:
+                    named = dict(zip(columns, record))
+                    row: Dict[str, Any] = {}
+                    for col in known:
+                        raw = named[col]
+                        value = decode_value(
+                            None if raw is None else str(raw),
+                            self.schema[col],
+                            self.dictionary,
+                        )
+                        if value is not None:
+                            row[col] = value
+                    if row:
+                        out.append(row)
+        except sqlite3.Error as exc:
+            raise WrapperError(
+                f"sqlite error reading {self.db_path}: {exc}"
+            ) from exc
+        return out
+
+
+class SQLUnwrapper(Unwrapper):
+    """Write a dataset into a sqlite3 table (replacing it)."""
+
+    def __init__(
+        self, db_path: str, table: str, dictionary: SemanticDictionary
+    ) -> None:
+        self.db_path = db_path
+        self.table = table
+        self.dictionary = dictionary
+
+    def save(self, dataset: ScrubJayDataset) -> str:
+        fields = dataset.schema.fields()
+        cols = ", ".join(f'"{f}" TEXT' for f in fields)
+        placeholders = ", ".join("?" for _ in fields)
+        try:
+            with sqlite3.connect(self.db_path) as conn:
+                conn.execute(f'DROP TABLE IF EXISTS "{self.table}"')
+                conn.execute(f'CREATE TABLE "{self.table}" ({cols})')
+                conn.executemany(
+                    f'INSERT INTO "{self.table}" VALUES ({placeholders})',
+                    (
+                        tuple(
+                            encode_value(
+                                row.get(field),
+                                dataset.schema[field],
+                                self.dictionary,
+                            )
+                            for field in fields
+                        )
+                        for row in dataset.collect()
+                    ),
+                )
+        except sqlite3.Error as exc:
+            raise WrapperError(
+                f"sqlite error writing {self.db_path}: {exc}"
+            ) from exc
+        return self.table

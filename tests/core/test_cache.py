@@ -1,0 +1,199 @@
+"""On-disk derivation cache: hits, misses, persistence, LRU eviction."""
+
+import os
+import time
+
+import pytest
+
+from repro.core.cache import DerivationCache
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema, domain, value
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def _ds(ctx, n=3):
+    rows = [{"node": i, "temp": 20.0 + i} for i in range(n)]
+    return ScrubJayDataset.from_rows(ctx, rows, SCHEMA, "t")
+
+
+def test_miss_then_hit(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path))
+    assert cache.get("fp1") is None
+    cache.put("fp1", _ds(ctx))
+    hit = cache.get("fp1")
+    assert hit is not None
+    assert hit.to_dataset(ctx).collect() == _ds(ctx).collect()
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_entry_preserves_schema_and_name(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path))
+    cache.put("fp", _ds(ctx))
+    back = cache.get("fp").to_dataset(ctx)
+    assert back.schema == SCHEMA
+    assert back.name == "t"
+
+
+def test_cache_survives_reopen(ctx, tmp_path):
+    DerivationCache(str(tmp_path)).put("fp", _ds(ctx))
+    reopened = DerivationCache(str(tmp_path))
+    assert reopened.get("fp") is not None
+
+
+def test_lru_eviction(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path), max_entries=2)
+    cache.put("a", _ds(ctx))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))
+    time.sleep(0.02)
+    cache.get("a")  # bump a's recency
+    time.sleep(0.02)
+    cache.put("c", _ds(ctx))  # evicts b (least recently used)
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert cache.get("b") is None
+    assert len(cache) == 2
+
+
+def test_clear(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path))
+    cache.put("a", _ds(ctx))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+
+
+def test_rejects_nonpositive_bound(tmp_path):
+    with pytest.raises(ValueError):
+        DerivationCache(str(tmp_path), max_entries=0)
+
+
+def test_corrupt_entry_treated_as_miss(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path))
+    cache.put("a", _ds(ctx))
+    path = os.path.join(str(tmp_path), "a.pkl")
+    with open(path, "wb") as f:
+        f.write(b"garbage")
+    assert cache.get("a") is None
+
+
+def test_execute_with_cache_skips_recompute(fig5_session, tmp_path):
+    sj = fig5_session
+    from repro.core.cache import DerivationCache
+
+    sj.cache = DerivationCache(str(tmp_path))
+    plan = sj.query(domains=["jobs", "racks"],
+                    values=["applications", "heat"])
+    first = sorted(map(repr, sj.execute(plan).collect()))
+    assert sj.cache.hits == 0
+    second = sorted(map(repr, sj.execute(plan).collect()))
+    assert sj.cache.hits >= 1
+    assert first == second
+
+
+def test_shared_prefix_reused_across_plans(fig5_session, tmp_path):
+    """Two derivation sequences sharing an expensive prefix compute it
+    once (paper §5.4)."""
+    sj = fig5_session
+    from repro.core.cache import DerivationCache
+
+    sj.cache = DerivationCache(str(tmp_path))
+    plan_a = sj.query(domains=["jobs", "racks"],
+                      values=["applications", "heat"])
+    sj.execute(plan_a)
+    misses_after_a = sj.cache.misses
+    plan_b = sj.query(domains=["jobs", "racks"],
+                      values=["applications", "temperature"])
+    sj.execute(plan_b)
+    # plan_b shares at least one subtree with plan_a → at least one hit
+    assert sj.cache.hits >= 1 or sj.cache.misses == misses_after_a
+
+
+# ----------------------------------------------------------------------
+# the two-tier cache hierarchy (paper conclusion: compressed long-term
+# storage for old entries)
+# ----------------------------------------------------------------------
+
+def _tiered(tmp_path, max_entries=2, max_cold=4):
+    return DerivationCache(
+        str(tmp_path / "hot"), max_entries=max_entries,
+        cold_directory=str(tmp_path / "cold"),
+        max_cold_entries=max_cold,
+    )
+
+
+def test_eviction_demotes_to_cold_tier(ctx, tmp_path):
+    cache = _tiered(tmp_path)
+    for i, fp in enumerate(["a", "b", "c"]):
+        cache.put(fp, _ds(ctx))
+        time.sleep(0.02)
+    assert len(cache) == 2          # hot tier bounded
+    assert cache.cold_len() == 1    # "a" demoted, compressed
+    assert cache.get("a") is not None  # cold hit
+
+
+def test_cold_hit_promotes_back_to_hot(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    cache.put("a", _ds(ctx))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))   # demotes a
+    assert cache.cold_len() == 1
+    hit = cache.get("a")       # promotes a, demotes b
+    assert hit is not None
+    assert cache.cold_hits == 1
+    assert len(cache) == 1
+    # the entry left the cold tier on promotion (b replaced it)
+    assert cache.get("a") is not None
+    assert cache.hits == 2
+
+
+def test_cold_entry_round_trips_content(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    cache.put("a", _ds(ctx, n=5))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))
+    back = cache.get("a").to_dataset(ctx)
+    assert back.collect() == _ds(ctx, n=5).collect()
+    assert back.schema == SCHEMA
+
+
+def test_cold_entries_are_compressed(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    cache.put("a", _ds(ctx, n=500))
+    hot_size = os.path.getsize(str(tmp_path / "hot" / "a.pkl"))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))
+    cold_size = os.path.getsize(str(tmp_path / "cold" / "a.pkl.gz"))
+    assert cold_size < hot_size / 2
+
+
+def test_cold_tier_lru_bounded(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1, max_cold=2)
+    for fp in "abcdef":
+        cache.put(fp, _ds(ctx))
+        time.sleep(0.02)
+    assert len(cache) == 1
+    assert cache.cold_len() <= 2
+    # the oldest demoted entries are gone for good
+    assert cache.get("a") is None
+
+
+def test_tiered_clear(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    cache.put("a", _ds(ctx))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.cold_len() == 0
+    assert cache.get("a") is None and cache.get("b") is None
+
+
+def test_tiered_rejects_bad_bounds(tmp_path):
+    with pytest.raises(ValueError):
+        DerivationCache(str(tmp_path), cold_directory=str(tmp_path / "c"),
+                        max_cold_entries=0)

@@ -1,0 +1,96 @@
+"""Semantic dictionary: keyword authority, synonym/homonym rejection,
+schema validation."""
+
+import pytest
+
+from repro.core.dictionary import SemanticDictionary, default_dictionary
+from repro.core.semantics import Schema, domain, value
+from repro.errors import DictionaryError, SemanticError
+from repro.units.registry import UnitRegistry
+
+
+@pytest.fixture()
+def d():
+    return default_dictionary()
+
+
+def test_define_dimension_idempotent(d):
+    d.define_dimension("network links", continuous=False, ordered=False)
+    d.define_dimension("network links", continuous=False, ordered=False)
+
+
+def test_homonym_dimension_rejected(d):
+    with pytest.raises(DictionaryError, match="homonym"):
+        d.define_dimension("time", continuous=False, ordered=False)
+
+
+def test_homonym_unit_rejected(d):
+    with pytest.raises(DictionaryError, match="homonym"):
+        d.define_unit("watts", "quantity", "power", scale=5.0)
+
+
+def test_synonym_unit_rejected(d):
+    # "centigrade" would mean exactly what "degrees Celsius" means
+    with pytest.raises(DictionaryError, match="synonym"):
+        d.define_unit("centigrade", "quantity", "temperature",
+                      scale=1.0, offset=0.0)
+
+
+def test_distinct_quantity_unit_accepted(d):
+    d.define_unit("decidegrees", "quantity", "temperature", scale=0.1)
+    assert d.convert(100.0, "decidegrees", "degrees Celsius") == \
+        pytest.approx(10.0)
+
+
+def test_same_scale_different_dimension_accepted(d):
+    # the paper's example: "t_seconds" vs "d_seconds" must be
+    # distinguishable by living on different dimensions
+    d.define_dimension("angle", continuous=True, ordered=True)
+    d.define_unit("angular seconds", "quantity", "angle", scale=1.0)
+
+
+def test_generic_units_exempt_from_synonym_check(d):
+    d.define_unit("tag", "label")
+    d.define_unit("serial", "identifier")
+
+
+def test_interpolatable(d):
+    assert d.interpolatable("time")
+    assert not d.interpolatable("compute nodes")
+    assert not d.interpolatable("event count")
+
+
+def test_validate_schema_accepts_known(d):
+    d.validate_schema(Schema({
+        "node": domain("compute nodes", "identifier"),
+        "temp": value("temperature", "degrees Celsius"),
+    }))
+
+
+def test_validate_schema_unknown_dimension(d):
+    with pytest.raises(SemanticError, match="unknown dimension"):
+        d.validate_schema(Schema({"x": domain("flux", "identifier")}))
+
+
+def test_validate_schema_unknown_units(d):
+    with pytest.raises(SemanticError, match="unknown unit"):
+        d.validate_schema(Schema({"x": domain("time", "fortnights")}))
+
+
+def test_validate_schema_unit_dimension_mismatch(d):
+    with pytest.raises(SemanticError, match="lies on dimension"):
+        d.validate_schema(
+            Schema({"x": value("power", "degrees Celsius")})
+        )
+
+
+def test_validate_schema_generic_unit_any_dimension(d):
+    d.validate_schema(Schema({"x": domain("racks", "identifier")}))
+    d.validate_schema(Schema({"x": domain("jobs", "identifier")}))
+
+
+def test_empty_dictionary_knows_nothing():
+    d = SemanticDictionary(UnitRegistry())
+    assert not d.has_dimension("time")
+    with pytest.raises(DictionaryError):
+        d.unit("seconds")

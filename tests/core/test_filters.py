@@ -1,0 +1,99 @@
+"""The filtering interop layer (paper footnote 1): serializable,
+reproducible filter derivations."""
+
+import pytest
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.derivation import GLOBAL_REGISTRY
+from repro.core.pipeline import DerivationPlan, LoadNode, TransformNode
+from repro.core.semantics import Schema, domain, value
+from repro.core.transformations import FilterEquals, FilterRange
+from repro.errors import DerivationError
+from repro.units.temporal import Timestamp
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "time": domain("time", "datetime"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+ROWS = [
+    {"node": 1, "time": Timestamp(10.0), "temp": 20.0},
+    {"node": 2, "time": Timestamp(20.0), "temp": 25.0},
+    {"node": 1, "time": Timestamp(30.0), "temp": 30.0},
+    {"node": 3, "time": Timestamp(40.0)},
+]
+
+
+@pytest.fixture()
+def ds(ctx):
+    return ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+
+
+def test_filter_equals(ds, dictionary):
+    out = FilterEquals("node", 1).apply(ds, dictionary)
+    assert out.schema == SCHEMA  # schema unchanged
+    assert [r["time"].epoch for r in out.collect()] == [10.0, 30.0]
+
+
+def test_filter_equals_no_match(ds, dictionary):
+    assert FilterEquals("node", 99).apply(ds, dictionary).collect() == []
+
+
+def test_filter_equals_missing_field_not_applicable(dictionary):
+    assert not FilterEquals("ghost", 1).applies(SCHEMA, dictionary)
+
+
+def test_filter_range_on_values(ds, dictionary):
+    out = FilterRange("temp", low=22.0, high=30.0).apply(ds, dictionary)
+    assert [r["temp"] for r in out.collect()] == [25.0]  # high exclusive
+
+
+def test_filter_range_on_datetime(ds, dictionary):
+    out = FilterRange("time", low=15.0, high=35.0).apply(ds, dictionary)
+    assert [r["time"].epoch for r in out.collect()] == [20.0, 30.0]
+
+
+def test_filter_range_one_sided(ds, dictionary):
+    low_only = FilterRange("temp", low=25.0).apply(ds, dictionary)
+    assert [r["temp"] for r in low_only.collect()] == [25.0, 30.0]
+    high_only = FilterRange("temp", high=25.0).apply(ds, dictionary)
+    assert [r["temp"] for r in high_only.collect()] == [20.0]
+
+
+def test_filter_range_drops_sparse_rows(ds, dictionary):
+    out = FilterRange("temp", low=0.0).apply(ds, dictionary)
+    assert all("temp" in r for r in out.collect())
+
+
+def test_filter_range_needs_bounds():
+    with pytest.raises(DerivationError):
+        FilterRange("temp")
+
+
+def test_filter_range_rejects_unordered_dimension(ds, dictionary):
+    # node ids are unordered: 10 is not "less than" 20 (paper §4.2)
+    f = FilterRange("node", low=1)
+    assert not f.applies(SCHEMA, dictionary)
+    with pytest.raises(DerivationError):
+        f.apply(ds, dictionary)
+
+
+def test_filters_serialize_into_pipelines(ds, dictionary):
+    plan = DerivationPlan(
+        TransformNode(
+            FilterRange("time", low=15.0, high=35.0),
+            TransformNode(FilterEquals("node", 1), LoadNode("t")),
+        )
+    )
+    back = DerivationPlan.from_json(plan.to_json(), GLOBAL_REGISTRY)
+    result = back.execute({"t": ds}, dictionary)
+    assert [r["time"].epoch for r in result.collect()] == [30.0]
+    assert back.operations() == ["load:t", "filter_equals", "filter_range"]
+
+
+def test_filtered_plan_schema_derivation(ds, dictionary):
+    plan = DerivationPlan(
+        TransformNode(FilterEquals("node", 1), LoadNode("t"))
+    )
+    assert plan.derive_schema({"t": SCHEMA}, dictionary) == SCHEMA

@@ -1,0 +1,117 @@
+"""The shared knowledge base: semantics reuse across sessions (§7.1)."""
+
+import pytest
+
+from repro import Schema, ScrubJaySession, SemanticType, DOMAIN, VALUE
+from repro.core.knowledge import KnowledgeBase
+from repro.errors import ScrubJayError
+from repro.store import WideColumnStore
+
+
+@pytest.fixture()
+def kb(tmp_path):
+    return KnowledgeBase(WideColumnStore(str(tmp_path / "kb")))
+
+
+def test_dimension_and_unit_round_trip(kb):
+    with ScrubJaySession() as sj1:
+        sj1.define_dimension("gpu memory", continuous=False, ordered=True)
+        sj1.define_unit("vram gigabytes", "quantity", "gpu memory")
+        kb.save_session_semantics(sj1)
+
+    with ScrubJaySession() as sj2:
+        assert not sj2.dictionary.has_dimension("gpu memory")
+        kb.apply_to(sj2)
+        assert sj2.dictionary.has_dimension("gpu memory")
+        assert sj2.dictionary.has_unit("vram gigabytes")
+        # defaults still intact
+        assert sj2.dictionary.has_unit("degrees Celsius")
+
+
+def test_apply_to_is_idempotent(kb):
+    with ScrubJaySession() as sj:
+        sj.define_dimension("gpu memory", continuous=False, ordered=True)
+        kb.save_session_semantics(sj)
+        kb.apply_to(sj)
+        kb.apply_to(sj)
+
+
+def test_schema_round_trip(kb):
+    schema = Schema({
+        "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+        "temp": SemanticType(VALUE, "temperature", "degrees Celsius"),
+    })
+    kb.save_schema("node_temps", schema)
+    assert kb.load_schema("node_temps") == schema
+    assert kb.load_schemas() == {"node_temps": schema}
+
+
+def test_schema_last_writer_wins(kb):
+    a = Schema({"x": SemanticType(DOMAIN, "racks", "identifier")})
+    b = Schema({"x": SemanticType(DOMAIN, "jobs", "identifier")})
+    kb.save_schema("s", a)
+    kb.save_schema("s", b)
+    assert kb.load_schema("s") == b
+
+
+def test_missing_schema_raises(kb):
+    with pytest.raises(ScrubJayError, match="no schema"):
+        kb.load_schema("ghost")
+    assert kb.load_schemas() == {}
+
+
+def test_session_schemas_saved_in_bulk(kb, fig5_session):
+    kb.save_session_schemas(fig5_session)
+    loaded = kb.load_schemas()
+    assert set(loaded) == {"job_queue_log", "node_layout",
+                           "rack_temperatures"}
+    assert loaded["node_layout"] == fig5_session.schemas()["node_layout"]
+
+
+def test_plan_round_trip_and_names(kb, fig5_session):
+    sj = fig5_session
+    plan = sj.query(domains=["jobs", "racks"],
+                    values=["applications", "heat"])
+    kb.save_plan("rack_heat", plan)
+    assert kb.plan_names() == ["rack_heat"]
+    back = kb.load_plan("rack_heat", sj.registry)
+    assert back.to_json() == plan.to_json()
+    assert sj.execute(back).count() == sj.execute(plan).count()
+
+
+def test_missing_plan_raises(kb, fig5_session):
+    with pytest.raises(ScrubJayError):
+        kb.load_plan("ghost", fig5_session.registry)
+    kb2 = kb  # empty plans table
+    assert kb2.plan_names() == []
+
+
+def test_knowledge_survives_store_reopen(tmp_path, fig5_session):
+    root = str(tmp_path / "kb2")
+    kb1 = KnowledgeBase(WideColumnStore(root))
+    kb1.save_session_semantics(fig5_session)
+    plan = fig5_session.query(domains=["racks"], values=["heat"])
+    kb1.save_plan("heat", plan)
+
+    kb2 = KnowledgeBase(WideColumnStore(root))
+    assert kb2.plan_names() == ["heat"]
+    with ScrubJaySession() as fresh:
+        kb2.apply_to(fresh)
+        # the dat-independent default vocabulary re-applied cleanly
+        assert fresh.dictionary.has_dimension("racks")
+
+
+def test_dat1_semantics_reused_in_dat2_style(kb):
+    """The paper's workflow: semantics defined during DAT 1 are reused
+    seamlessly in DAT 2."""
+    from repro.datagen.dat import ensure_semantics
+
+    with ScrubJaySession() as dat1_session:
+        ensure_semantics(dat1_session.dictionary)
+        kb.save_session_semantics(dat1_session)
+
+    with ScrubJaySession() as dat2_session:
+        kb.apply_to(dat2_session)
+        # DAT-2's counter dimensions came along without re-definition
+        assert dat2_session.dictionary.has_dimension("aperf events")
+        assert dat2_session.dictionary.has_unit("utilization percent")

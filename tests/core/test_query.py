@@ -1,0 +1,56 @@
+"""Query construction and validation."""
+
+import pytest
+
+from repro.core.query import Query, ValueTerm
+from repro.errors import QueryError
+
+
+def test_of_with_strings():
+    q = Query.of(["jobs", "racks"], ["applications", "heat"])
+    assert q.domains == ("jobs", "racks")
+    assert q.value_dimensions() == ["applications", "heat"]
+    assert all(t.units is None for t in q.values)
+
+
+def test_of_with_units_pairs():
+    q = Query.of(["cpus"], [("temperature", "degrees Fahrenheit")])
+    assert q.values[0] == ValueTerm("temperature", "degrees Fahrenheit")
+
+
+def test_requires_domains_and_values():
+    with pytest.raises(QueryError):
+        Query.of([], ["heat"])
+    with pytest.raises(QueryError):
+        Query.of(["racks"], [])
+
+
+def test_validate_known_dimensions(dictionary):
+    Query.of(["racks"], ["heat"]).validate(dictionary)
+
+
+def test_validate_unknown_domain(dictionary):
+    with pytest.raises(QueryError, match="unknown domain"):
+        Query.of(["submarines"], ["heat"]).validate(dictionary)
+
+
+def test_validate_unknown_value_dimension(dictionary):
+    with pytest.raises(QueryError, match="unknown value"):
+        Query.of(["racks"], ["vibes"]).validate(dictionary)
+
+
+def test_validate_unknown_units(dictionary):
+    with pytest.raises(QueryError, match="unknown units"):
+        Query.of(["racks"], [("heat", "wibbles")]).validate(dictionary)
+
+
+def test_json_round_trip():
+    q = Query.of(["cpus"], ["active frequency",
+                            ("temperature", "kelvin")])
+    back = Query.from_json_dict(q.to_json_dict())
+    assert back == q
+
+
+def test_str_rendering():
+    text = str(Query.of(["racks"], [("heat", "delta degrees Celsius")]))
+    assert "racks" in text and "heat" in text and "delta" in text

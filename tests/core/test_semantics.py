@@ -1,0 +1,115 @@
+"""SemanticType and Schema behaviour."""
+
+import pytest
+
+from repro.core.semantics import (
+    DOMAIN,
+    VALUE,
+    Schema,
+    SemanticType,
+    domain,
+    value,
+)
+from repro.errors import SemanticError
+
+
+@pytest.fixture()
+def schema():
+    return Schema({
+        "node": domain("compute nodes", "identifier"),
+        "time": domain("time", "datetime"),
+        "temp": value("temperature", "degrees Celsius"),
+        "power": value("power", "watts"),
+    })
+
+
+def test_relation_type_validated():
+    with pytest.raises(SemanticError):
+        SemanticType("measure", "time", "seconds")
+
+
+def test_helpers_set_relation_type():
+    assert domain("time", "datetime").is_domain
+    assert value("power", "watts").is_value
+
+
+def test_schema_lookup_and_contains(schema):
+    assert schema["node"].dimension == "compute nodes"
+    assert "temp" in schema
+    assert "missing" not in schema
+    with pytest.raises(SemanticError):
+        schema["missing"]
+
+
+def test_domain_value_views(schema):
+    assert set(schema.domain_fields()) == {"node", "time"}
+    assert set(schema.value_fields()) == {"temp", "power"}
+    assert schema.domain_dimensions() == {"compute nodes", "time"}
+    assert schema.value_dimensions() == {"temperature", "power"}
+
+
+def test_fields_for(schema):
+    assert schema.fields_for("time") == ["time"]
+    assert schema.fields_for("time", DOMAIN) == ["time"]
+    assert schema.fields_for("time", VALUE) == []
+    assert schema.domain_field("compute nodes") == "node"
+
+
+def test_domain_field_errors(schema):
+    with pytest.raises(SemanticError):
+        schema.domain_field("power")
+    two = schema.with_field("node2", domain("compute nodes", "identifier"))
+    with pytest.raises(SemanticError):
+        two.domain_field("compute nodes")
+
+
+def test_with_without_replace_rename(schema):
+    s = schema.with_field("hum", value("humidity", "relative humidity percent"))
+    assert "hum" in s and "hum" not in schema  # immutability
+    with pytest.raises(SemanticError):
+        s.with_field("hum", value("humidity", "relative humidity percent"))
+
+    s2 = s.without_field("hum")
+    assert "hum" not in s2
+    with pytest.raises(SemanticError):
+        s2.without_field("hum")
+
+    s3 = schema.replace_field("temp", value("temperature", "kelvin"))
+    assert s3["temp"].units == "kelvin"
+
+    s4 = schema.rename_field("temp", "temperature_c")
+    assert "temperature_c" in s4 and "temp" not in s4
+    with pytest.raises(SemanticError):
+        schema.rename_field("temp", "node")
+
+
+def test_merge_drops_and_renames(schema):
+    other = Schema({
+        "node": domain("compute nodes", "identifier"),
+        "temp": value("temperature", "degrees Celsius"),
+        "extra": value("energy", "joules"),
+    })
+    merged = schema.merge(other, drop=["node"])
+    assert "extra" in merged
+    # colliding non-dropped field gets suffixed
+    assert "temp_r" in merged
+    assert merged["temp_r"].dimension == "temperature"
+
+
+def test_fingerprint_stable_and_sensitive(schema):
+    same = Schema(dict(schema.items()))
+    assert schema.fingerprint() == same.fingerprint()
+    changed = schema.replace_field("temp", value("temperature", "kelvin"))
+    assert schema.fingerprint() != changed.fingerprint()
+
+
+def test_json_round_trip(schema):
+    back = Schema.from_json_dict(schema.to_json_dict())
+    assert back == schema
+    assert back.fingerprint() == schema.fingerprint()
+
+
+def test_equality_and_hash(schema):
+    assert schema == Schema(dict(schema.items()))
+    assert hash(schema) == hash(Schema(dict(schema.items())))
+    assert schema != schema.without_field("temp")

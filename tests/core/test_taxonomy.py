@@ -1,0 +1,87 @@
+"""The Figure 1 data-source taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    CATEGORIES,
+    DataSource,
+    SourceCatalog,
+    default_sources,
+)
+from repro.errors import ScrubJayError
+
+
+def test_categories_match_figure1():
+    assert set(CATEGORIES) == {"hardware", "software"}
+    assert "infrastructure" in CATEGORIES["hardware"]
+    assert "resource scheduler" in CATEGORIES["software"]
+
+
+def test_data_source_validation():
+    DataSource("x", "hardware", "storage", "event")
+    with pytest.raises(ScrubJayError, match="category"):
+        DataSource("x", "wetware", "storage", "event")
+    with pytest.raises(ScrubJayError, match="subdomain"):
+        DataSource("x", "hardware", "application", "event")
+    with pytest.raises(ScrubJayError, match="mechanism"):
+        DataSource("x", "hardware", "storage", "gossip")
+
+
+def test_default_sources_cover_both_categories():
+    sources = default_sources()
+    categories = {s.category for s in sources}
+    assert categories == {"hardware", "software"}
+    mechanisms = {s.mechanism for s in sources}
+    assert mechanisms == {"state", "event"}
+
+
+def test_catalog_filtering():
+    cat = SourceCatalog()
+    infra = cat.sources(category="hardware", subdomain="infrastructure")
+    assert {s.name for s in infra} == {"rack_temperatures", "rack_power"}
+    events = cat.sources(mechanism="event")
+    assert all(s.mechanism == "event" for s in events)
+    assert cat.sources(category="software", mechanism="event")
+
+
+def test_register_conflicting_source_rejected():
+    cat = SourceCatalog()
+    with pytest.raises(ScrubJayError, match="different definition"):
+        cat.register(DataSource("papi", "software", "application",
+                                "event"))
+    # identical re-registration is idempotent
+    cat.register(cat.source("papi"))
+
+
+def test_unknown_source_lookup():
+    with pytest.raises(ScrubJayError, match="unknown data source"):
+        SourceCatalog().source("vibes")
+
+
+def test_tagging_and_dataset_queries():
+    cat = SourceCatalog()
+    cat.tag("rack_temperatures_2026", "rack_temperatures")
+    cat.tag("slurm_march", "job_queue_log")
+    assert cat.source_of("rack_temperatures_2026").subdomain == \
+        "infrastructure"
+    assert cat.source_of("unknown") is None
+    assert cat.datasets_for(category="hardware") == \
+        ["rack_temperatures_2026"]
+    assert cat.datasets_for(mechanism="event") == ["slurm_march"]
+    assert cat.datasets_for(category="software",
+                            subdomain="resource scheduler") == \
+        ["slurm_march"]
+
+
+def test_tag_requires_known_source():
+    with pytest.raises(ScrubJayError):
+        SourceCatalog().tag("ds", "nonexistent")
+
+
+def test_render_contains_tags():
+    cat = SourceCatalog()
+    cat.tag("temps_jan", "rack_temperatures")
+    text = cat.render()
+    assert "HARDWARE" in text and "SOFTWARE" in text
+    assert "temps_jan" in text
+    assert "[state]" in text and "[event]" in text

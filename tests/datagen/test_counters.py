@@ -1,0 +1,123 @@
+"""Counter streams: cumulative semantics, resets, planted signatures."""
+
+import pytest
+
+from repro.datagen.counters import CounterSimulator
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.scheduler import JobScheduler
+
+
+@pytest.fixture()
+def sim():
+    fac = Facility(FacilityConfig(num_racks=1, nodes_per_rack=1,
+                                  sockets_per_node=2, cores_per_socket=2))
+    sched = JobScheduler(fac)
+    sched.pin("mg.C", [0], 50.0, 400.0)
+    sched.pin("prime95", [0], 500.0, 400.0)
+    return CounterSimulator(fac, sched, seed=2)
+
+
+def _rates(samples, field, time_field="time"):
+    """Reset-safe oracle rates from consecutive cumulative samples."""
+    out = []
+    samples = sorted(samples, key=lambda r: r[time_field])
+    for a, b in zip(samples, samples[1:]):
+        dt = b[time_field] - a[time_field]
+        delta = b[field] - a[field]
+        if dt > 0 and delta >= 0:
+            out.append((b[time_field].epoch, delta / dt))
+    return out
+
+
+def test_papi_rows_shape(sim):
+    rows = sim.papi_rows([0], 0.0, 100.0, period=5.0)
+    assert len(rows) == 20 * 4  # 20 samples × 4 cpus
+    assert set(rows[0]) == {"nodeid", "cpuid", "time", "instructions",
+                            "aperf", "mperf"}
+
+
+def test_papi_counters_cumulative_between_resets(sim):
+    rows = [r for r in sim.papi_rows([0], 0.0, 200.0, period=5.0)
+            if r["cpuid"] == 0]
+    rows.sort(key=lambda r: r["time"])
+    decreases = sum(
+        1 for a, b in zip(rows, rows[1:])
+        if b["instructions"] < a["instructions"]
+    )
+    # monotone except for the rare reset
+    assert decreases <= 2
+
+
+def test_papi_mperf_tracks_rated_frequency(sim):
+    rows = [r for r in sim.papi_rows([0], 600.0, 100.0, period=5.0)
+            if r["cpuid"] == 0]
+    rates = [v for _t, v in _rates(rows, "mperf")]
+    rated_hz = sim.facility.base_frequency(0) * 1e9
+    for v in rates:
+        assert v == pytest.approx(rated_hz, rel=0.05)
+
+
+def test_papi_aperf_shows_prime95_throttle(sim):
+    # late in the prime95 run the active/rated ratio must approach the
+    # settled throttle level
+    rows = [r for r in sim.papi_rows([0], 750.0, 100.0, period=5.0)
+            if r["cpuid"] == 0]
+    a = dict(_rates(rows, "aperf"))
+    m = dict(_rates(rows, "mperf"))
+    ratios = [a[t] / m[t] for t in a if t in m and m[t] > 0]
+    mean_ratio = sum(ratios) / len(ratios)
+    assert mean_ratio == pytest.approx(0.68, abs=0.08)
+
+
+def test_papi_full_frequency_during_mgc(sim):
+    rows = [r for r in sim.papi_rows([0], 200.0, 100.0, period=5.0)
+            if r["cpuid"] == 0]
+    a = dict(_rates(rows, "aperf"))
+    m = dict(_rates(rows, "mperf"))
+    ratios = [a[t] / m[t] for t in a if t in m and m[t] > 0]
+    assert sum(ratios) / len(ratios) == pytest.approx(1.0, abs=0.06)
+
+
+def test_ipmi_rows_shape_and_memory_signal(sim):
+    rows = sim.ipmi_rows([0], 0.0, 1000.0, period=10.0)
+    assert set(rows[0]) == {"nodeid", "socket", "time", "mem_reads",
+                            "mem_writes", "power", "thermal_margin"}
+    sock0 = [r for r in rows if r["socket"] == 0]
+    mgc_rates = [v for t, v in _rates(sock0, "mem_reads")
+                 if 100.0 < t < 440.0]
+    p95_rates = [v for t, v in _rates(sock0, "mem_reads")
+                 if 550.0 < t < 890.0]
+    assert sum(mgc_rates) / len(mgc_rates) > \
+        3 * sum(p95_rates) / len(p95_rates)
+
+
+def test_ipmi_thermal_margin_tight_under_prime95(sim):
+    rows = [r for r in sim.ipmi_rows([0], 0.0, 1000.0, period=10.0)
+            if r["socket"] == 0]
+    mgc = [r["thermal_margin"] for r in rows
+           if 100.0 < r["time"].epoch < 440.0]
+    p95 = [r["thermal_margin"] for r in rows
+           if 800.0 < r["time"].epoch < 890.0]
+    assert sum(p95) / len(p95) < sum(mgc) / len(mgc) - 5.0
+
+
+def test_ldms_rows_utilization_signal(sim):
+    rows = sim.ldms_rows([0], 0.0, 1000.0, period=10.0)
+    busy = [r["cpu_util"] for r in rows if 100 < r["time"].epoch < 440]
+    idle = [r["cpu_util"] for r in rows if r["time"].epoch < 40]
+    assert sum(busy) / len(busy) > 80.0
+    assert sum(idle) / len(idle) < 15.0
+
+
+def test_counters_deterministic(sim):
+    assert sim.papi_rows([0], 0.0, 50.0) == sim.papi_rows([0], 0.0, 50.0)
+
+
+def test_sample_times_jitter_but_order(sim):
+    rows = [r for r in sim.papi_rows([0], 0.0, 100.0, period=5.0)
+            if r["cpuid"] == 0]
+    times = [r["time"].epoch for r in rows]
+    assert times == sorted(times)
+    # jitter: not all exactly on the period grid
+    assert any(abs(t % 5.0) > 1e-6 and abs(t % 5.0 - 5.0) > 1e-6
+               for t in times)

@@ -1,0 +1,133 @@
+"""DAT bundles and the Figure 3 synthetic tables."""
+
+import pytest
+
+from repro.datagen.dat import (
+    ensure_semantics,
+    generate_dat1,
+    generate_dat2,
+)
+from repro.datagen.facility import FacilityConfig
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    TIMED_LEFT_SCHEMA,
+    TIMED_RIGHT_SCHEMA,
+    keyed_tables,
+    timed_tables,
+)
+from repro import ScrubJaySession, default_dictionary
+
+
+@pytest.fixture(scope="module")
+def dat1():
+    return generate_dat1(
+        facility_config=FacilityConfig(num_racks=4, nodes_per_rack=2),
+        duration=1800.0, amg_rack=2, amg_start=300.0, amg_duration=900.0,
+        include_aux_feeds=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def dat2():
+    return generate_dat2(run_duration=120.0, gap=30.0, papi_period=5.0,
+                         ipmi_period=6.0, include_ldms=True)
+
+
+def test_dat1_datasets_present(dat1):
+    assert set(dat1.datasets) == {
+        "job_queue_log", "node_layout", "rack_temperatures",
+        "rack_humidity", "rack_power",
+    }
+
+
+def test_dat1_amg_pinned_to_rack(dat1):
+    amg = [r for r in dat1.rows("job_queue_log") if r["job_name"] == "AMG"]
+    assert len(amg) == 1
+    assert sorted(amg[0]["nodelist"]) == \
+        dat1.facility.nodes_in_rack(2)
+
+
+def test_dat1_schemas_validate(dat1):
+    d = default_dictionary()
+    ensure_semantics(d)
+    for _name, (_rows, schema) in dat1.datasets.items():
+        d.validate_schema(schema)
+
+
+def test_dat1_rejects_bad_amg_rack():
+    with pytest.raises(ValueError):
+        generate_dat1(
+            facility_config=FacilityConfig(num_racks=2, nodes_per_rack=2),
+            amg_rack=17,
+        )
+
+
+def test_dat1_register_into_session(dat1):
+    with ScrubJaySession() as sj:
+        dat1.register(sj)
+        assert set(sj.schemas()) == set(dat1.datasets)
+
+
+def test_dat2_datasets_present(dat2):
+    assert set(dat2.datasets) == {"cpu_specs", "papi", "ipmi", "ldms"}
+
+
+def test_dat2_run_order_mgc_then_prime95(dat2):
+    names = [r["job_name"] for r in
+             sorted(dat2.scheduler.job_log_rows(),
+                    key=lambda r: r["timespan"].start)]
+    assert names == ["mg.C"] * 3 + ["prime95"] * 3
+
+
+def test_dat2_schemas_validate(dat2):
+    d = default_dictionary()
+    ensure_semantics(d)
+    for _name, (_rows, schema) in dat2.datasets.items():
+        d.validate_schema(schema)
+
+
+def test_ensure_semantics_idempotent():
+    d = default_dictionary()
+    ensure_semantics(d)
+    ensure_semantics(d)
+
+
+# ----------------------------------------------------------------------
+# synthetic tables
+# ----------------------------------------------------------------------
+
+def test_keyed_tables_shapes():
+    left, right = keyed_tables(1000, num_keys=16)
+    assert len(left) == 1000
+    assert len(right) == 16
+    assert {r["node"] for r in left} <= set(range(16))
+    d = default_dictionary()
+    d.validate_schema(KEYED_LEFT_SCHEMA)
+    d.validate_schema(KEYED_RIGHT_SCHEMA)
+
+
+def test_keyed_tables_deterministic():
+    assert keyed_tables(100, seed=1) == keyed_tables(100, seed=1)
+    assert keyed_tables(100, seed=1) != keyed_tables(100, seed=2)
+
+
+def test_timed_tables_shapes():
+    left, right = timed_tables(1000, num_keys=10)
+    assert len(left) == 1000
+    assert right  # right stream covers the same horizon
+    d = default_dictionary()
+    d.validate_schema(TIMED_LEFT_SCHEMA)
+    d.validate_schema(TIMED_RIGHT_SCHEMA)
+
+
+def test_timed_tables_every_left_row_has_nearby_right():
+    left, right = timed_tables(400, num_keys=4)
+    from collections import defaultdict
+
+    by_key = defaultdict(list)
+    for r in right:
+        by_key[r["node"]].append(r["time"].epoch)
+    for r in left:
+        ts = by_key[r["node"]]
+        assert any(abs(t - r["time"].epoch) <= 3.0 for t in ts)

@@ -1,0 +1,75 @@
+"""Facility model: topology, static datasets, cpuinfo round trip."""
+
+import pytest
+
+from repro.datagen.facility import Facility, FacilityConfig
+
+
+@pytest.fixture()
+def fac():
+    return Facility(FacilityConfig(num_racks=3, nodes_per_rack=4,
+                                   sockets_per_node=2, cores_per_socket=4))
+
+
+def test_topology_counts(fac):
+    assert len(fac.racks()) == 3
+    assert len(fac.nodes()) == 12
+    assert len(fac.cpus()) == 8
+
+
+def test_rack_node_mapping_consistent(fac):
+    for rack in fac.racks():
+        for node in fac.nodes_in_rack(rack):
+            assert fac.rack_of(node) == rack
+    # every node is in exactly one rack
+    all_nodes = [n for r in fac.racks() for n in fac.nodes_in_rack(r)]
+    assert sorted(all_nodes) == fac.nodes()
+
+
+def test_socket_mapping(fac):
+    assert fac.socket_of(0) == 0
+    assert fac.socket_of(3) == 0
+    assert fac.socket_of(4) == 1
+    assert fac.socket_of(7) == 1
+
+
+def test_node_layout_rows(fac):
+    rows = fac.node_layout_rows()
+    assert len(rows) == 12
+    assert rows[0] == {"node": 0, "rack": 0}
+    assert all(set(r) == {"node", "rack"} for r in rows)
+
+
+def test_cpu_spec_rows(fac):
+    rows = fac.cpu_spec_rows()
+    assert len(rows) == 12 * 8
+    r = rows[0]
+    assert set(r) == {"nodeid", "cpuid", "socket", "base_frequency"}
+    assert 2.9 <= r["base_frequency"] <= 3.3
+
+
+def test_base_frequency_deterministic():
+    cfg = FacilityConfig(num_racks=2, nodes_per_rack=2, seed=5)
+    a = Facility(cfg)
+    b = Facility(cfg)
+    assert [a.base_frequency(n) for n in a.nodes()] == \
+        [b.base_frequency(n) for n in b.nodes()]
+
+
+def test_cpuinfo_round_trip(fac):
+    text = fac.render_cpuinfo(node=3)
+    assert "processor" in text and "cpu MHz" in text
+    rows = Facility.parse_cpuinfo(3, text)
+    want = [r for r in fac.cpu_spec_rows() if r["nodeid"] == 3]
+    assert len(rows) == len(want)
+    for got, exp in zip(rows, want):
+        assert got["cpuid"] == exp["cpuid"]
+        assert got["socket"] == exp["socket"]
+        assert got["base_frequency"] == pytest.approx(
+            exp["base_frequency"], abs=1e-3
+        )
+
+
+def test_parse_cpuinfo_ignores_malformed_blocks():
+    rows = Facility.parse_cpuinfo(0, "garbage\n\nno colon here\n")
+    assert rows == []

@@ -1,0 +1,134 @@
+"""Network/filesystem substrate: topology, counters, planted signals."""
+
+import pytest
+
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.network import (
+    FS_COUNTER_SCHEMA,
+    LINK_COUNTER_SCHEMA,
+    NODE_UPLINK_SCHEMA,
+    FS_ASSIGNMENT_SCHEMA,
+    NetworkCounterSimulator,
+    NetworkTopology,
+    ensure_network_semantics,
+    generate_dat3,
+)
+from repro.datagen.scheduler import JobScheduler
+from repro import default_dictionary
+
+
+@pytest.fixture()
+def topo():
+    fac = Facility(FacilityConfig(num_racks=2, nodes_per_rack=2))
+    return NetworkTopology(fac, num_fs_servers=2)
+
+
+@pytest.fixture()
+def sim(topo):
+    sched = JobScheduler(topo.facility)
+    sched.pin("Kripke", [0], 0.0, 1200.0)  # network-heavy, checkpoints
+    sched.pin("prime95", [1], 0.0, 1200.0)  # network-quiet
+    return NetworkCounterSimulator(topo, sched, seed=3)
+
+
+def test_topology_links(topo):
+    links = topo.links()
+    assert len(links) == 4 + 2  # node uplinks + rack uplinks
+    assert topo.node_uplink(3) in links
+    assert topo.rack_uplink(1) in links
+
+
+def test_uplink_rows_cover_every_node(topo):
+    rows = topo.uplink_rows()
+    assert {r["node"] for r in rows} == set(topo.facility.nodes())
+    assert all(r["link"] == f"link-n{r['node']}" for r in rows)
+
+
+def test_fs_assignment_stripes_nodes(topo):
+    rows = topo.fs_assignment_rows()
+    servers = {r["fs_server"] for r in rows}
+    assert servers == {0, 1}
+    # striping balances within one node of equal
+    counts = [sum(1 for r in rows if r["fs_server"] == s) for s in servers]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_rejects_zero_servers(topo):
+    with pytest.raises(ValueError):
+        NetworkTopology(topo.facility, num_fs_servers=0)
+
+
+def test_schemas_validate():
+    d = default_dictionary()
+    ensure_network_semantics(d)
+    for schema in (NODE_UPLINK_SCHEMA, FS_ASSIGNMENT_SCHEMA,
+                   LINK_COUNTER_SCHEMA, FS_COUNTER_SCHEMA):
+        d.validate_schema(schema)
+
+
+def test_link_counters_cumulative(sim):
+    rows = [r for r in sim.link_counter_rows(0.0, 300.0, period=10.0)
+            if r["link"] == "link-n0"]
+    rows.sort(key=lambda r: r["time"])
+    decreases = sum(1 for a, b in zip(rows, rows[1:])
+                    if b["bytes"] < a["bytes"])
+    assert decreases <= 1  # only the rare reset
+
+
+def test_busy_node_link_outpaces_quiet_one(sim):
+    rows = sim.link_counter_rows(0.0, 600.0, period=10.0,
+                                 links=["link-n0", "link-n1"])
+
+    def total_delta(link):
+        series = sorted((r for r in rows if r["link"] == link),
+                        key=lambda r: r["time"])
+        deltas = [b["bytes"] - a["bytes"]
+                  for a, b in zip(series, series[1:])
+                  if b["bytes"] >= a["bytes"]]
+        return sum(deltas)
+
+    assert total_delta("link-n0") > 20 * total_delta("link-n1")
+
+
+def test_checkpoint_bursts_visible_on_link(sim):
+    # Kripke checkpoints every 1200 s for 40 s starting at t=0; sample
+    # densely and look for the high-rate window at the run start
+    rows = sorted(
+        sim.link_counter_rows(0.0, 300.0, period=5.0, links=["link-n0"]),
+        key=lambda r: r["time"],
+    )
+    rates = [
+        ((b["bytes"] - a["bytes"]) / (b["time"] - a["time"]),
+         b["time"].epoch)
+        for a, b in zip(rows, rows[1:]) if b["bytes"] >= a["bytes"]
+    ]
+    burst = [r for r, t in rates if t < 35.0]
+    steady = [r for r, t in rates if 80.0 < t < 280.0]
+    assert min(burst) > 1.2 * max(steady)
+
+
+def test_fs_counters_pending_spikes_under_checkpoint(sim):
+    rows = sim.fs_counter_rows(0.0, 600.0, period=10.0)
+    server0 = [r for r in rows if r["fs_server"] == 0]  # serves node 0
+    burst = [r["pending_ops"] for r in server0 if r["time"].epoch < 35.0]
+    steady = [r["pending_ops"] for r in server0
+              if 100.0 < r["time"].epoch < 500.0]
+    assert max(burst) > 3 * (sum(steady) / len(steady))
+
+
+def test_fs_counters_deterministic(sim):
+    assert sim.fs_counter_rows(0.0, 100.0) == sim.fs_counter_rows(0.0, 100.0)
+
+
+def test_generate_dat3_bundle():
+    dat = generate_dat3(duration=1200.0, counter_period=30.0)
+    assert set(dat.datasets) == {
+        "job_queue_log", "node_uplinks", "fs_assignment",
+        "link_counters", "fs_counters",
+    }
+    d = default_dictionary()
+    ensure_network_semantics(d)
+    from repro.datagen.dat import ensure_semantics
+    ensure_semantics(d)
+    for _rows, schema in dat.datasets.values():
+        d.validate_schema(schema)

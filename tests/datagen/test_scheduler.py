@@ -1,0 +1,98 @@
+"""SLURM-like scheduler: allocation rules, timeline, log rows."""
+
+import pytest
+
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.scheduler import JobScheduler, ScheduleConfig
+from repro.units.temporal import TimeSpan
+
+
+@pytest.fixture()
+def fac():
+    return Facility(FacilityConfig(num_racks=4, nodes_per_rack=4))
+
+
+def test_pin_places_exact_job(fac):
+    sched = JobScheduler(fac)
+    job = sched.pin("AMG", [1, 2, 3], start=100.0, duration=500.0)
+    assert job.nodes == (1, 2, 3)
+    assert job.duration == 500.0
+    assert sched.job_at(2, 300.0) is job
+    assert sched.job_at(2, 700.0) is None
+    assert sched.job_at(9, 300.0) is None
+
+
+def test_random_schedule_no_node_overlap(fac):
+    sched = JobScheduler(fac, ScheduleConfig(duration=7200.0, seed=3))
+    jobs = sched.schedule_random()
+    assert jobs
+    for n in fac.nodes():
+        intervals = sorted(
+            (j.start, j.end) for j in jobs if n in j.nodes
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, f"overlap on node {n}"
+
+
+def test_random_schedule_respects_exclusions(fac):
+    sched = JobScheduler(fac, ScheduleConfig(duration=7200.0))
+    reserved = fac.nodes_in_rack(0)
+    jobs = sched.schedule_random(exclude_nodes=reserved)
+    used = {n for j in jobs for n in j.nodes}
+    assert used.isdisjoint(reserved)
+
+
+def test_random_schedule_deterministic(fac):
+    a = JobScheduler(fac, ScheduleConfig(seed=9)).schedule_random()
+    b = JobScheduler(fac, ScheduleConfig(seed=9)).schedule_random()
+    assert [(j.workload.name, j.nodes, j.start) for j in a] == \
+        [(j.workload.name, j.nodes, j.start) for j in b]
+
+
+def test_jobs_within_duration(fac):
+    cfg = ScheduleConfig(duration=3600.0)
+    sched = JobScheduler(fac, cfg)
+    for j in sched.schedule_random():
+        assert j.end <= cfg.start + cfg.duration + 1e-9
+        assert j.duration > 0
+
+
+def test_job_at_boundary_semantics(fac):
+    sched = JobScheduler(fac)
+    job = sched.pin("mg.C", [0], start=10.0, duration=10.0)
+    assert sched.job_at(0, 10.0) is job  # inclusive start
+    assert sched.job_at(0, 20.0) is None  # exclusive end
+
+
+def test_timeline_rebuilt_after_pin(fac):
+    sched = JobScheduler(fac)
+    sched.pin("mg.C", [0], 0.0, 10.0)
+    assert sched.job_at(0, 5.0) is not None
+    # index is built lazily; pins after a query are still respected if
+    # the index is invalidated by construction order — pin first in
+    # production code, but guard the simple case here
+    sched2 = JobScheduler(fac)
+    sched2.pin("mg.C", [0], 0.0, 10.0)
+    sched2.pin("prime95", [0], 20.0, 10.0)
+    assert sched2.job_at(0, 25.0).workload.name == "prime95"
+
+
+def test_job_log_rows_shape(fac):
+    sched = JobScheduler(fac)
+    sched.pin("AMG", [1, 2], 0.0, 600.0)
+    rows = sched.job_log_rows()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["job_name"] == "AMG"
+    assert row["nodelist"] == [1, 2]
+    assert row["num_nodes"] == 2
+    assert row["elapsed"] == 600.0
+    assert row["timespan"] == TimeSpan(0.0, 600.0)
+
+
+def test_job_log_sorted_by_start(fac):
+    sched = JobScheduler(fac)
+    sched.pin("AMG", [1], 500.0, 100.0)
+    sched.pin("mg.C", [2], 0.0, 100.0)
+    rows = sched.job_log_rows()
+    assert [r["job_name"] for r in rows] == ["mg.C", "AMG"]

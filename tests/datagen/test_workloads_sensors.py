@@ -1,0 +1,139 @@
+"""Workload behavioural models and the rack sensor feeds."""
+
+import pytest
+
+from repro.datagen.facility import Facility, FacilityConfig
+from repro.datagen.scheduler import JobScheduler
+from repro.datagen.sensors import RackSensorSimulator
+from repro.datagen.workloads import IDLE, WORKLOADS
+
+
+# ----------------------------------------------------------------------
+# workload models: the paper's qualitative signatures
+# ----------------------------------------------------------------------
+
+def test_amg_heat_rises_regularly():
+    amg = WORKLOADS["AMG"]
+    samples = [amg.heat_at(t, 3600.0) for t in range(0, 3601, 300)]
+    assert all(b >= a for a, b in zip(samples, samples[1:]))
+    assert samples[-1] == pytest.approx(amg.heat_peak)
+
+
+def test_phased_workloads_rise_and_fall():
+    mgc = WORKLOADS["mg.C"]
+    samples = [mgc.heat_factor(t, 3600.0) for t in range(0, 3600, 60)]
+    rises = any(b > a for a, b in zip(samples, samples[1:]))
+    falls = any(b < a for a, b in zip(samples, samples[1:]))
+    assert rises and falls
+
+
+def test_amg_has_highest_peak_heat():
+    assert WORKLOADS["AMG"].heat_peak == max(
+        w.heat_peak for w in WORKLOADS.values()
+    )
+
+
+def test_mgc_never_throttles():
+    mgc = WORKLOADS["mg.C"]
+    assert all(
+        mgc.frequency_ratio(t) == pytest.approx(1.0)
+        for t in (0.0, 100.0, 1000.0)
+    )
+
+
+def test_prime95_throttles_aggressively():
+    p = WORKLOADS["prime95"]
+    assert p.frequency_ratio(0.0) == pytest.approx(1.0)
+    assert p.frequency_ratio(1000.0) == pytest.approx(
+        p.settled_frequency_ratio, abs=0.01
+    )
+    assert p.settled_frequency_ratio < 0.8
+
+
+def test_prime95_beats_mgc_on_instructions_despite_throttle():
+    p, m = WORKLOADS["prime95"], WORKLOADS["mg.C"]
+    assert p.instructions_at(600.0) > m.instructions_at(600.0)
+
+
+def test_mgc_beats_prime95_on_memory_traffic():
+    p, m = WORKLOADS["prime95"], WORKLOADS["mg.C"]
+    assert m.memory_read_rate > 5 * p.memory_read_rate
+
+
+def test_thermal_margin_narrows_as_run_settles():
+    p = WORKLOADS["prime95"]
+    assert p.thermal_margin_at(0.0) > p.thermal_margin_at(600.0)
+    assert p.thermal_margin_at(10000.0) == pytest.approx(
+        p.thermal_margin, abs=0.1
+    )
+
+
+def test_idle_baseline_modest():
+    assert IDLE.heat_peak < 1.0
+    assert IDLE.settled_frequency_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# rack sensors
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def sim():
+    fac = Facility(FacilityConfig(num_racks=2, nodes_per_rack=2))
+    sched = JobScheduler(fac)
+    sched.pin("prime95", fac.nodes_in_rack(1), 0.0, 1200.0)
+    return RackSensorSimulator(fac, sched, seed=1)
+
+
+def test_temperature_rows_shape(sim):
+    rows = sim.temperature_rows(0.0, 600.0, period=120.0)
+    # 5 samples × 2 racks × 3 locations × 2 aisles
+    assert len(rows) == 5 * 2 * 3 * 2
+    assert set(rows[0]) == {"rack", "location", "aisle", "time", "temp"}
+    aisles = {r["aisle"] for r in rows}
+    assert aisles == {"hot", "cold"}
+
+
+def test_busy_rack_hotter_than_idle(sim):
+    rows = sim.temperature_rows(120.0, 600.0, period=120.0)
+    def mean_hot(rack):
+        vals = [r["temp"] for r in rows
+                if r["rack"] == rack and r["aisle"] == "hot"]
+        return sum(vals) / len(vals)
+    assert mean_hot(1) > mean_hot(0) + 3.0
+
+
+def test_hot_aisle_hotter_than_cold(sim):
+    rows = sim.temperature_rows(0.0, 600.0)
+    by_key = {}
+    for r in rows:
+        by_key.setdefault(
+            (r["rack"], r["location"], r["time"]), {}
+        )[r["aisle"]] = r["temp"]
+    for temps in by_key.values():
+        assert temps["hot"] > temps["cold"]
+
+
+def test_top_sees_more_heat_than_bottom(sim):
+    rows = sim.temperature_rows(600.0, 600.0)
+    def mean(loc):
+        vals = [r["temp"] for r in rows
+                if r["rack"] == 1 and r["aisle"] == "hot"
+                and r["location"] == loc]
+        return sum(vals) / len(vals)
+    assert mean("top") > mean("bottom")
+
+
+def test_sensor_rows_deterministic(sim):
+    a = sim.temperature_rows(0.0, 240.0)
+    b = sim.temperature_rows(0.0, 240.0)
+    assert a == b
+
+
+def test_humidity_and_power_feeds(sim):
+    hum = sim.humidity_rows(0.0, 240.0)
+    assert all(20.0 < r["humidity"] < 60.0 for r in hum)
+    pow_rows = sim.power_rows(0.0, 240.0)
+    busy = [r["power"] for r in pow_rows if r["rack"] == 1]
+    idle = [r["power"] for r in pow_rows if r["rack"] == 0]
+    assert sum(busy) / len(busy) > sum(idle) / len(idle)

@@ -1,0 +1,94 @@
+"""Executor behaviour: all three kinds, ordering, errors, shutdown."""
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.rdd.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.rdd.partition import Partition
+
+
+def _parts(n=4, size=5):
+    return [Partition(i, list(range(i * size, (i + 1) * size)))
+            for i in range(n)]
+
+
+@pytest.mark.parametrize("kind", ["serial", "threads", "processes"])
+def test_run_partition_tasks_applies_fn_in_order(kind):
+    ex = make_executor(kind, 2)
+    try:
+        out = ex.run_partition_tasks(
+            lambda i, items: [x * 10 + i for x in items], _parts()
+        )
+        assert [p.index for p in out] == [0, 1, 2, 3]
+        assert out[1].data == [x * 10 + 1 for x in range(5, 10)]
+    finally:
+        ex.shutdown()
+
+
+@pytest.mark.parametrize("kind", ["serial", "threads", "processes"])
+def test_closures_over_local_state(kind):
+    ex = make_executor(kind, 2)
+    try:
+        offset = 100
+        out = ex.run_partition_tasks(
+            lambda _i, items: [x + offset for x in items], _parts(2, 2)
+        )
+        assert out[0].data == [100, 101]
+    finally:
+        ex.shutdown()
+
+
+def test_make_executor_rejects_unknown_kind():
+    with pytest.raises(ExecutorError):
+        make_executor("gpu")
+
+
+def test_serial_executor_reports_one_worker():
+    assert SerialExecutor().num_workers == 1
+
+
+def test_thread_executor_worker_count():
+    ex = ThreadExecutor(3)
+    try:
+        assert ex.num_workers == 3
+    finally:
+        ex.shutdown()
+
+
+def test_process_executor_worker_count_and_reuse():
+    ex = ProcessExecutor(2)
+    try:
+        assert ex.num_workers == 2
+        # two successive stages reuse the pool
+        for _ in range(2):
+            out = ex.run_partition_tasks(
+                lambda _i, items: [x + 1 for x in items], _parts(2, 3)
+            )
+            assert out[0].data == [1, 2, 3]
+    finally:
+        ex.shutdown()
+
+
+@pytest.mark.parametrize("kind", ["serial", "threads", "processes"])
+def test_task_exception_propagates(kind):
+    ex = make_executor(kind, 2)
+
+    def boom(_i, _items):
+        raise RuntimeError("task failed")
+
+    try:
+        with pytest.raises(RuntimeError, match="task failed"):
+            ex.run_partition_tasks(boom, _parts(2, 2))
+    finally:
+        ex.shutdown()
+
+
+def test_shutdown_is_idempotent():
+    ex = ThreadExecutor(1)
+    ex.shutdown()
+    ex.shutdown()

@@ -1,0 +1,41 @@
+"""Partition splitting invariants."""
+
+import pytest
+
+from repro.rdd.partition import Partition, split_into_partitions
+
+
+def test_split_preserves_order_and_content():
+    parts = split_into_partitions(list(range(10)), 3)
+    assert [p.index for p in parts] == [0, 1, 2]
+    assert [x for p in parts for x in p.data] == list(range(10))
+
+
+def test_split_sizes_balanced():
+    parts = split_into_partitions(list(range(11)), 4)
+    sizes = [len(p) for p in parts]
+    assert sum(sizes) == 11
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_split_more_partitions_than_items():
+    parts = split_into_partitions([1, 2], 5)
+    assert len(parts) == 5
+    assert [x for p in parts for x in p.data] == [1, 2]
+
+
+def test_split_empty_data():
+    parts = split_into_partitions([], 3)
+    assert len(parts) == 3
+    assert all(len(p) == 0 for p in parts)
+
+
+def test_split_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        split_into_partitions([1], 0)
+
+
+def test_partition_iter_and_len():
+    p = Partition(0, [1, 2, 3])
+    assert list(p) == [1, 2, 3]
+    assert len(p) == 3

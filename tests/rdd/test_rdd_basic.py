@@ -1,0 +1,122 @@
+"""Narrow transformations and structural ops."""
+
+import pytest
+
+
+def test_map(ctx):
+    assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+
+def test_filter(ctx):
+    r = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+    assert r.collect() == [0, 2, 4, 6, 8]
+
+
+def test_flatMap(ctx):
+    r = ctx.parallelize([1, 2], 2).flatMap(lambda x: [x] * x)
+    assert r.collect() == [1, 2, 2]
+
+
+def test_map_chain_pipelines(ctx):
+    r = (
+        ctx.parallelize(range(20), 4)
+        .map(lambda x: x + 1)
+        .filter(lambda x: x % 2 == 0)
+        .map(lambda x: x * 10)
+    )
+    assert r.collect() == [x * 10 for x in range(1, 21) if x % 2 == 0]
+
+
+def test_mapPartitions(ctx):
+    r = ctx.parallelize(range(10), 2).mapPartitions(lambda items: [sum(items)])
+    assert r.collect() == [sum(range(5)), sum(range(5, 10))]
+
+
+def test_mapPartitionsWithIndex(ctx):
+    r = ctx.parallelize(range(4), 2).mapPartitionsWithIndex(
+        lambda i, items: [(i, x) for x in items]
+    )
+    assert r.collect() == [(0, 0), (0, 1), (1, 2), (1, 3)]
+
+
+def test_glom(ctx):
+    r = ctx.parallelize(range(6), 3).glom()
+    assert r.collect() == [[0, 1], [2, 3], [4, 5]]
+
+
+def test_keyBy_keys_values(ctx):
+    r = ctx.parallelize(["aa", "b"]).keyBy(len)
+    assert r.collect() == [(2, "aa"), (1, "b")]
+    assert r.keys().collect() == [2, 1]
+    assert r.values().collect() == ["aa", "b"]
+
+
+def test_mapValues_flatMapValues(ctx):
+    r = ctx.parallelize([(1, 2), (3, 4)])
+    assert r.mapValues(lambda v: v * 10).collect() == [(1, 20), (3, 40)]
+    assert r.flatMapValues(lambda v: [v, v]).collect() == [
+        (1, 2), (1, 2), (3, 4), (3, 4)
+    ]
+
+
+def test_sample_deterministic_and_subset(ctx):
+    r = ctx.parallelize(range(1000), 8)
+    a = r.sample(0.3, seed=42).collect()
+    b = r.sample(0.3, seed=42).collect()
+    assert a == b
+    assert set(a) <= set(range(1000))
+    assert 200 < len(a) < 400
+
+
+def test_sample_different_seeds_differ(ctx):
+    r = ctx.parallelize(range(1000), 4)
+    assert r.sample(0.5, seed=1).collect() != r.sample(0.5, seed=2).collect()
+
+
+def test_union(ctx):
+    a = ctx.parallelize([1, 2], 2)
+    b = ctx.parallelize([3], 1)
+    u = a.union(b)
+    assert u.collect() == [1, 2, 3]
+    assert u.getNumPartitions() == 3
+
+
+def test_ctx_union_many(ctx):
+    rdds = [ctx.parallelize([i], 1) for i in range(4)]
+    assert ctx.union(rdds).collect() == [0, 1, 2, 3]
+    assert ctx.union([]).collect() == []
+
+
+def test_coalesce(ctx):
+    r = ctx.parallelize(range(10), 5).coalesce(2)
+    assert r.getNumPartitions() == 2
+    assert sorted(r.collect()) == list(range(10))
+
+
+def test_coalesce_rejects_nonpositive(ctx):
+    with pytest.raises(ValueError):
+        ctx.parallelize([1]).coalesce(0)
+
+
+def test_repartition_spreads_and_preserves(ctx):
+    r = ctx.parallelize(range(100), 2).repartition(5)
+    assert r.getNumPartitions() == 5
+    assert sorted(r.collect()) == list(range(100))
+    sizes = [len(p) for p in r.glom().collect()]
+    assert max(sizes) - min(sizes) <= 2
+
+
+def test_parallelize_caps_partitions_to_data(ctx):
+    r = ctx.parallelize([1, 2], 10)
+    assert r.getNumPartitions() <= 2
+
+
+def test_empty_rdd(ctx):
+    r = ctx.emptyRDD()
+    assert r.collect() == []
+    assert r.isEmpty()
+
+
+def test_distinct(ctx):
+    r = ctx.parallelize([1, 2, 2, 3, 3, 3], 3)
+    assert sorted(r.distinct().collect()) == [1, 2, 3]

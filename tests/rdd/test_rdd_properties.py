@@ -1,0 +1,99 @@
+"""Property-based tests: RDD ops agree with sequential oracles for any
+input, partition count, and executor."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdd import SJContext
+
+# one shared serial context: cheap, deterministic
+_CTX = SJContext(executor="serial")
+
+ints = st.lists(st.integers(-1000, 1000), max_size=200)
+parts = st.integers(1, 9)
+
+
+@given(ints, parts)
+def test_map_matches_list_comprehension(data, n):
+    r = _CTX.parallelize(data, n).map(lambda x: x * 3 - 1)
+    assert r.collect() == [x * 3 - 1 for x in data]
+
+
+@given(ints, parts)
+def test_filter_matches(data, n)  :
+    r = _CTX.parallelize(data, n).filter(lambda x: x % 3 == 0)
+    assert r.collect() == [x for x in data if x % 3 == 0]
+
+
+@given(ints, parts)
+def test_flatMap_matches(data, n):
+    r = _CTX.parallelize(data, n).flatMap(lambda x: [x, -x])
+    assert r.collect() == [y for x in data for y in (x, -x)]
+
+
+@given(ints, parts)
+def test_count_and_sum(data, n):
+    r = _CTX.parallelize(data, n)
+    assert r.count() == len(data)
+    assert r.sum() == sum(data)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(-50, 50)),
+                max_size=150), parts, parts)
+def test_reduceByKey_matches_oracle(pairs, n, out_n):
+    r = _CTX.parallelize(pairs, n).reduceByKey(lambda a, b: a + b, out_n)
+    want = defaultdict(int)
+    for k, v in pairs:
+        want[k] += v
+    assert dict(r.collect()) == dict(want)
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.text(max_size=4)),
+                max_size=100), parts)
+def test_groupByKey_matches_oracle(pairs, n):
+    r = _CTX.parallelize(pairs, n).groupByKey()
+    want = defaultdict(list)
+    for k, v in pairs:
+        want[k].append(v)
+    got = {k: sorted(v) for k, v in r.collect()}
+    assert got == {k: sorted(v) for k, v in want.items()}
+
+
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers()), max_size=60),
+       st.lists(st.tuples(st.integers(0, 8), st.integers()), max_size=60),
+       parts)
+def test_join_matches_nested_loop(a, b, n):
+    got = Counter(
+        _CTX.parallelize(a, n).join(_CTX.parallelize(b, n)).collect()
+    )
+    want = Counter(
+        (ka, (va, vb)) for ka, va in a for kb, vb in b if ka == kb
+    )
+    assert got == want
+
+
+@given(ints, parts)
+def test_distinct_matches_set(data, n):
+    r = _CTX.parallelize(data, n).distinct()
+    assert sorted(r.collect()) == sorted(set(data))
+
+
+@given(ints, parts, st.booleans())
+def test_sortBy_matches_sorted(data, n, ascending):
+    r = _CTX.parallelize(data, n).sortBy(lambda x: x, ascending=ascending)
+    assert r.collect() == sorted(data, reverse=not ascending)
+
+
+@given(ints, parts, parts)
+def test_repartition_preserves_multiset(data, n, m):
+    r = _CTX.parallelize(data, n).repartition(m)
+    assert Counter(r.collect()) == Counter(data)
+    assert r.getNumPartitions() == m
+
+
+@given(ints, parts)
+@settings(max_examples=25)
+def test_union_with_self_doubles(data, n):
+    r = _CTX.parallelize(data, n)
+    assert Counter(r.union(r).collect()) == Counter(data + data)

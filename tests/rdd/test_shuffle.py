@@ -1,0 +1,50 @@
+"""Portable hashing: determinism and dict-consistency properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.rdd.shuffle import hash_bucket, portable_hash
+
+keys = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**40), 2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.tuples(children, children),
+    max_leaves=6,
+)
+
+
+@given(keys)
+def test_hash_is_deterministic(key):
+    assert portable_hash(key) == portable_hash(key)
+
+
+@given(keys, st.integers(1, 64))
+def test_bucket_in_range(key, n):
+    assert 0 <= hash_bucket(key, n) < n
+
+
+@given(st.integers(-(2**40), 2**40))
+def test_int_float_consistency(i):
+    # dict semantics: 2 == 2.0 must land in the same bucket
+    assert portable_hash(i) == portable_hash(float(i))
+
+
+def test_known_types_do_not_use_builtin_hash():
+    # Strings must not fall through to the salted builtin hash; the
+    # value below is the crc32 of "node-1".
+    import zlib
+
+    assert portable_hash("node-1") == zlib.crc32(b"node-1")
+
+
+def test_tuples_differ_by_order():
+    assert portable_hash((1, 2)) != portable_hash((2, 1))
+
+
+@given(st.lists(st.tuples(st.text(max_size=8), st.integers()), max_size=50),
+       st.integers(1, 8))
+def test_equal_keys_same_bucket(pairs, n):
+    for k, _v in pairs:
+        assert hash_bucket(k, n) == hash_bucket(k, n)

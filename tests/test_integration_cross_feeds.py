@@ -1,0 +1,96 @@
+"""Cross-feed analyses: relations the facility data implies but no
+single source exposes — power↔heat, humidity independence, and the
+frequency↔temperature link of §5.1's motivating example.
+"""
+
+import pytest
+
+from repro import EngineConfig, ScrubJaySession
+from repro.analysis import correlate
+from repro.datagen import generate_dat1, generate_dat2
+from repro.datagen.facility import FacilityConfig
+
+
+@pytest.fixture(scope="module")
+def dat1_session():
+    dat = generate_dat1(
+        facility_config=FacilityConfig(num_racks=6, nodes_per_rack=4),
+        duration=3600.0, amg_rack=2, amg_start=300.0, amg_duration=2700.0,
+        include_aux_feeds=True,
+    )
+    with ScrubJaySession() as sj:
+        dat.register(sj)
+        yield dat, sj
+
+
+def test_power_and_heat_positively_correlate(dat1_session):
+    """Racks drawing more power shed more heat: a relation spanning two
+    sensor feeds, joined on (rack, time) by the engine."""
+    _dat, sj = dat1_session
+    result = sj.ask(domains=["racks"], values=["heat", "power"])
+    assert "power" in result.schema.value_dimensions()
+    r = correlate(result, "heat", "power")
+    assert r > 0.5, f"heat and power should track each other, r={r}"
+
+
+def test_humidity_uncorrelated_with_heat(dat1_session):
+    """Humidity is driven by the machine-room climate, not workload —
+    the derived relation must NOT show a strong link."""
+    _dat, sj = dat1_session
+    result = sj.ask(domains=["racks"], values=["heat", "humidity"])
+    r = correlate(result, "heat", "humidity")
+    assert abs(r) < 0.4, f"spurious humidity correlation r={r}"
+
+
+def test_power_query_plan_joins_two_feeds(dat1_session):
+    _dat, sj = dat1_session
+    plan = sj.query(domains=["racks"], values=["heat", "power"])
+    ops = [op for op in plan.operations() if not op.startswith("load")]
+    assert "interpolation_join" in ops
+    assert "derive_heat" in ops
+    loads = {op for op in plan.operations() if op.startswith("load")}
+    assert loads == {"load:rack_temperatures", "load:rack_power"}
+
+
+def test_frequency_temperature_motivating_query():
+    """§5.1's example query: 'CPU active frequencies and rack
+    temperatures ... the domain dimensions are CPUs and racks' — here
+    run over the DAT-2 node feeds (thermal margin as the temperature
+    value)."""
+    dat = generate_dat2(run_duration=240.0, gap=60.0, papi_period=4.0,
+                        ipmi_period=5.0)
+    with ScrubJaySession(
+        config=EngineConfig(interpolation_window=10.0)
+    ) as sj:
+        dat.register(sj)
+        result = sj.ask(domains=["cpus"],
+                        values=["active frequency", "temperature"])
+        rows = [r for r in result.collect()
+                if "active_frequency" in r and "thermal_margin" in r]
+        assert rows
+        # throttled (low-frequency) samples coincide with small thermal
+        # margins: positive frequency↔margin correlation
+        r = correlate(result.where(
+            lambda row: "active_frequency" in row
+            and "thermal_margin" in row
+        ), "active_frequency", "thermal_margin")
+        assert r > 0.5, f"throttling should track thermal margin, r={r}"
+
+
+def test_four_dataset_query(dat1_session):
+    """A query needing four datasets (job log, layout, temperatures,
+    power) still plans at interactive rates and executes."""
+    import time
+
+    _dat, sj = dat1_session
+    t0 = time.perf_counter()
+    plan = sj.query(domains=["jobs", "racks"],
+                    values=["applications", "heat", "power"])
+    assert time.perf_counter() - t0 < 5.0
+    loads = {op for op in plan.operations() if op.startswith("load")}
+    assert loads == {"load:job_queue_log", "load:node_layout",
+                     "load:rack_temperatures", "load:rack_power"}
+    rows = sj.execute(plan).collect()
+    assert rows
+    assert all("heat" in r and "power" in r and "job_name" in r
+               for r in rows)

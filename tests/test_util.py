@@ -1,0 +1,53 @@
+"""Stable hashing and timers."""
+
+import time
+
+from hypothesis import given, strategies as st
+
+from repro.util import Timer, content_hash, stable_json
+
+
+def test_stable_json_sorts_keys():
+    assert stable_json({"b": 1, "a": 2}) == stable_json({"a": 2, "b": 1})
+
+
+def test_stable_json_nested_structures():
+    s = stable_json({"x": [1, {"y": (2, 3)}], "z": {1, 2}})
+    assert "x" in s and "y" in s
+
+
+def test_stable_json_uses_to_json_dict():
+    class Thing:
+        def to_json_dict(self):
+            return {"kind": "thing"}
+
+    assert '"kind":"thing"' in stable_json(Thing())
+
+
+def test_content_hash_stable_and_sensitive():
+    a = content_hash({"op": "join", "window": 120.0})
+    b = content_hash({"window": 120.0, "op": "join"})
+    c = content_hash({"op": "join", "window": 60.0})
+    assert a == b
+    assert a != c
+    assert len(a) == 64  # sha256 hex
+
+
+@given(st.dictionaries(st.text(max_size=8),
+                       st.integers() | st.text(max_size=8) | st.none(),
+                       max_size=8))
+def test_content_hash_deterministic(d):
+    assert content_hash(d) == content_hash(d)
+
+
+def test_timestamp_objects_hash_by_content():
+    from repro.units.temporal import TimeSpan, Timestamp
+
+    assert content_hash(Timestamp(5.0)) == content_hash(Timestamp(5.0))
+    assert content_hash(TimeSpan(0, 5)) != content_hash(TimeSpan(0, 6))
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.02)
+    assert 0.015 < t.elapsed < 0.5

@@ -1,0 +1,74 @@
+"""Quantity arithmetic/comparison with automatic conversion."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.units.quantity import Quantity
+
+
+def test_equality_across_units():
+    assert Quantity(1.0, "minutes") == Quantity(60.0, "seconds")
+    assert Quantity(0.0, "degrees Celsius") == Quantity(32.0, "degrees Fahrenheit")
+
+
+def test_comparison_across_units():
+    assert Quantity(30.0, "seconds") < Quantity(1.0, "minutes")
+    assert Quantity(2.0, "hours") >= Quantity(120.0, "minutes")
+    assert Quantity(100.0, "degrees Celsius") > Quantity(100.0, "degrees Fahrenheit")
+
+
+def test_addition_converts_to_left_units():
+    q = Quantity(1.0, "minutes") + Quantity(30.0, "seconds")
+    assert q.unit == "minutes"
+    assert q.value == pytest.approx(1.5)
+
+
+def test_subtraction():
+    q = Quantity(1.0, "hours") - Quantity(15.0, "minutes")
+    assert q.to("minutes").value == pytest.approx(45.0)
+
+
+def test_scalar_multiply_divide_negate():
+    q = Quantity(10.0, "watts")
+    assert (q * 3).value == 30.0
+    assert (3 * q).value == 30.0
+    assert (q / 2).value == 5.0
+    assert (-q).value == -10.0
+
+
+def test_quantity_times_quantity_rejected():
+    with pytest.raises(UnitError):
+        Quantity(1.0, "watts") * Quantity(2.0, "seconds")
+    with pytest.raises(UnitError):
+        Quantity(1.0, "watts") / Quantity(2.0, "seconds")
+
+
+def test_cross_dimension_comparison_rejected():
+    with pytest.raises(UnitError):
+        Quantity(10.0, "seconds") < Quantity(10.0, "degrees Celsius")
+
+
+def test_cross_dimension_equality_is_false():
+    assert Quantity(10.0, "seconds") != Quantity(10.0, "degrees Celsius")
+
+
+def test_to_round_trip():
+    q = Quantity(37.5, "degrees Celsius")
+    assert q.to("degrees Fahrenheit").to("degrees Celsius").value == \
+        pytest.approx(37.5)
+
+
+def test_unknown_unit_rejected():
+    with pytest.raises(UnitError):
+        Quantity(1.0, "cubits")
+
+
+def test_hash_consistent_with_equality():
+    a = Quantity(1.0, "minutes")
+    b = Quantity(60.0, "seconds")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_repr():
+    assert "minutes" in repr(Quantity(1.0, "minutes"))

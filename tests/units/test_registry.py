@@ -1,0 +1,134 @@
+"""Unit/dimension registry: lookup, composites, conversion rules."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.units.registry import Dimension, Unit, UnitRegistry, default_registry
+
+
+@pytest.fixture()
+def reg():
+    return default_registry()
+
+
+def test_dimension_properties(reg):
+    time = reg.dimension("time")
+    assert time.continuous and time.ordered and time.interpolatable
+    nodes = reg.dimension("compute nodes")
+    assert not nodes.continuous and not nodes.ordered
+    counts = reg.dimension("event count")
+    assert not counts.continuous and counts.ordered
+    assert not counts.interpolatable
+
+
+def test_unknown_dimension_raises(reg):
+    with pytest.raises(UnitError):
+        reg.dimension("flavour")
+
+
+def test_rate_dimension_synthesized(reg):
+    d = reg.dimension("instructions per time")
+    assert d.continuous and d.ordered
+
+
+def test_temperature_conversions(reg):
+    assert reg.convert(100.0, "degrees Celsius", "degrees Fahrenheit") == \
+        pytest.approx(212.0)
+    assert reg.convert(32.0, "degrees Fahrenheit", "degrees Celsius") == \
+        pytest.approx(0.0)
+    assert reg.convert(0.0, "degrees Celsius", "kelvin") == \
+        pytest.approx(273.15)
+
+
+def test_time_conversions(reg):
+    assert reg.convert(2.0, "minutes", "seconds") == 120.0
+    assert reg.convert(1.5, "hours", "minutes") == 90.0
+    assert reg.convert(250.0, "milliseconds", "seconds") == 0.25
+
+
+def test_identity_conversion(reg):
+    assert reg.convert(5.0, "seconds", "seconds") == 5.0
+
+
+def test_cross_dimension_conversion_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.convert(1.0, "seconds", "degrees Celsius")
+
+
+def test_non_quantity_conversion_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.convert(1.0, "identifier", "seconds")
+
+
+def test_list_unit_parsing(reg):
+    u = reg.unit("list<identifier>")
+    assert u.kind == "list"
+    assert u.element == "identifier"
+
+
+def test_nested_list_unit(reg):
+    u = reg.unit("list<list<identifier>>")
+    assert u.kind == "list"
+    assert u.element == "list<identifier>"
+
+
+def test_rate_unit_parsing(reg):
+    u = reg.unit("count per second")
+    assert u.kind == "rate"
+    assert u.numerator == "count"
+    assert u.denominator == "seconds"  # singular resolves to plural
+    assert u.dimension is None  # generic numerator → generic rate
+
+
+def test_anchored_rate_unit_dimension(reg):
+    u = reg.unit("joules per second")
+    assert u.dimension == "energy per time"
+
+
+def test_rate_conversion(reg):
+    assert reg.convert(1000.0, "count per second",
+                       "count per millisecond") == pytest.approx(1.0)
+    assert reg.convert(60.0, "count per minute",
+                       "count per second") == pytest.approx(1.0)
+
+
+def test_rate_conversion_mismatched_dims_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.convert(1.0, "joules per second", "count per second")
+
+
+def test_rate_with_offset_denominator_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.unit("count per degrees Celsius")  # not a quantity? it is...
+        reg.convert(1.0, "count per degrees Celsius", "count per kelvin")
+
+
+def test_unknown_unit_raises(reg):
+    with pytest.raises(UnitError):
+        reg.unit("furlongs")
+
+
+def test_register_duplicate_identical_is_idempotent(reg):
+    u = Unit("watts", "quantity", "power", scale=1.0)
+    assert reg.register_unit(u).name == "watts"
+
+
+def test_register_conflicting_unit_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.register_unit(Unit("watts", "quantity", "power", scale=2.0))
+
+
+def test_register_unit_unknown_dimension_rejected():
+    reg = UnitRegistry()
+    with pytest.raises(UnitError):
+        reg.register_unit(Unit("x", "quantity", "nowhere"))
+
+
+def test_register_conflicting_dimension_rejected(reg):
+    with pytest.raises(UnitError):
+        reg.register_dimension(Dimension("time", False, False))
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(UnitError):
+        Unit("x", "weird")

@@ -1,0 +1,80 @@
+"""Timestamp / TimeSpan behaviour, including explode semantics."""
+
+import pytest
+
+from repro.units.temporal import Timestamp, TimeSpan
+
+
+def test_timestamp_ordering_and_arithmetic():
+    a, b = Timestamp(10.0), Timestamp(25.0)
+    assert a < b
+    assert b - a == 15.0
+    assert (a + 5.0) == Timestamp(15.0)
+    assert (b - 5.0) == Timestamp(20.0)
+    assert a.distance(b) == b.distance(a) == 15.0
+
+
+def test_timestamp_iso_round_trip():
+    t = Timestamp.from_iso("2017-03-27T16:43:27")
+    assert Timestamp.from_iso(t.to_iso()) == t
+
+
+def test_timestamp_hashable():
+    assert len({Timestamp(1.0), Timestamp(1.0), Timestamp(2.0)}) == 2
+
+
+def test_timespan_duration_contains():
+    s = TimeSpan(100.0, 160.0)
+    assert s.duration == 60.0
+    assert s.contains(Timestamp(100.0))
+    assert s.contains(159.999)
+    assert not s.contains(160.0)  # half-open
+    assert not s.contains(99.0)
+
+
+def test_timespan_rejects_negative():
+    with pytest.raises(ValueError):
+        TimeSpan(10.0, 5.0)
+
+
+def test_timespan_overlap_and_intersect():
+    a = TimeSpan(0, 100)
+    b = TimeSpan(50, 150)
+    c = TimeSpan(100, 200)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # half-open: touching spans don't overlap
+    assert a.intersect(b) == TimeSpan(50, 100)
+    with pytest.raises(ValueError):
+        a.intersect(c)
+
+
+def test_explode_includes_start_excludes_end():
+    stamps = TimeSpan(0.0, 600.0).explode(120.0)
+    assert stamps[0] == Timestamp(0.0)
+    assert stamps[-1] == Timestamp(480.0)
+    assert len(stamps) == 5
+
+
+def test_explode_non_divisible_period():
+    stamps = TimeSpan(0.0, 100.0).explode(30.0)
+    assert [s.epoch for s in stamps] == [0.0, 30.0, 60.0, 90.0]
+
+
+def test_explode_zero_length_span():
+    assert TimeSpan(5.0, 5.0).explode(60.0) == [Timestamp(5.0)]
+
+
+def test_explode_rejects_bad_period():
+    with pytest.raises(ValueError):
+        TimeSpan(0, 10).explode(0)
+
+
+def test_explode_no_float_drift():
+    # naive accumulation (t += 0.1) would drift; multiplication must not
+    stamps = TimeSpan(0.0, 10.0).explode(0.1)
+    assert len(stamps) == 100
+    assert stamps[73].epoch == pytest.approx(7.3, abs=1e-12)
+
+
+def test_midpoint():
+    assert TimeSpan(0, 10).midpoint() == Timestamp(5.0)

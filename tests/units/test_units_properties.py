@@ -1,0 +1,48 @@
+"""Property tests: conversions round-trip and preserve ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units.registry import default_registry
+
+REG = default_registry()
+
+TIME_UNITS = ["seconds", "milliseconds", "minutes", "hours"]
+TEMP_UNITS = ["degrees Celsius", "degrees Fahrenheit", "kelvin"]
+
+values = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+@given(values, st.sampled_from(TIME_UNITS), st.sampled_from(TIME_UNITS))
+def test_time_round_trip(v, u1, u2):
+    back = REG.convert(REG.convert(v, u1, u2), u2, u1)
+    assert back == pytest.approx(v, rel=1e-9, abs=1e-9)
+
+
+@given(values, st.sampled_from(TEMP_UNITS), st.sampled_from(TEMP_UNITS))
+def test_temperature_round_trip(v, u1, u2):
+    back = REG.convert(REG.convert(v, u1, u2), u2, u1)
+    assert back == pytest.approx(v, rel=1e-9, abs=1e-6)
+
+
+@given(values, values, st.sampled_from(TEMP_UNITS), st.sampled_from(TEMP_UNITS))
+def test_conversion_preserves_order(a, b, u1, u2):
+    ca = REG.convert(a, u1, u2)
+    cb = REG.convert(b, u1, u2)
+    if a < b:
+        assert ca < cb or ca == pytest.approx(cb)
+
+
+@given(values, st.sampled_from(TIME_UNITS), st.sampled_from(TIME_UNITS),
+       st.sampled_from(TIME_UNITS))
+def test_conversion_transitive(v, u1, u2, u3):
+    direct = REG.convert(v, u1, u3)
+    via = REG.convert(REG.convert(v, u1, u2), u2, u3)
+    assert via == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+
+@given(values, st.sampled_from(TIME_UNITS), st.sampled_from(TEMP_UNITS))
+def test_cross_dimension_always_rejected(v, tu, cu):
+    with pytest.raises(UnitError):
+        REG.convert(v, tu, cu)

@@ -1,0 +1,39 @@
+"""Wrapper base classes: RowsWrapper and load() behaviour."""
+
+import pytest
+
+from repro.core.semantics import Schema, domain, value
+from repro.wrappers import RowsWrapper
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+ROWS = [{"node": i, "temp": 20.0 + i} for i in range(10)]
+
+
+def test_rows_wrapper_load(ctx, dictionary):
+    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem").load(ctx)
+    assert ds.collect() == ROWS
+    assert ds.name == "mem"
+    assert ds.schema == SCHEMA
+
+
+def test_rows_wrapper_provenance(ctx, dictionary):
+    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem").load(ctx)
+    assert ds.provenance == {
+        "op": "wrap", "wrapper": "RowsWrapper", "name": "mem",
+    }
+
+
+def test_rows_wrapper_num_partitions(ctx, dictionary):
+    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem",
+                     num_partitions=5).load(ctx)
+    assert ds.rdd.getNumPartitions() == 5
+
+
+def test_rows_wrapper_registers_in_session(session):
+    wrapper = RowsWrapper(ROWS, SCHEMA, session.dictionary, "mem")
+    ds = session.register_wrapper(wrapper, "mem")
+    assert session.dataset("mem") is ds

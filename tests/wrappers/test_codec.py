@@ -1,0 +1,86 @@
+"""Textual codec: every unit kind, round trips, error handling."""
+
+import pytest
+
+from repro.core.semantics import domain, value
+from repro.errors import WrapperError
+from repro.units.temporal import Timestamp, TimeSpan
+from repro.wrappers.codec import decode_value, encode_value
+
+
+def _round_trip(v, sem, d):
+    return decode_value(encode_value(v, sem, d), sem, d)
+
+
+def test_quantity(dictionary):
+    sem = value("temperature", "degrees Celsius")
+    assert decode_value("21.5", sem, dictionary) == 21.5
+    assert _round_trip(21.5, sem, dictionary) == 21.5
+
+
+def test_rate(dictionary):
+    sem = value("event count per time", "count per second")
+    assert decode_value("1e6", sem, dictionary) == 1e6
+
+
+def test_count(dictionary):
+    sem = value("event count", "count")
+    assert decode_value("42", sem, dictionary) == 42
+    assert decode_value("4.2e1", sem, dictionary) == 42
+    assert isinstance(decode_value("42", sem, dictionary), int)
+
+
+def test_identifier_numeric_and_text(dictionary):
+    sem = domain("compute nodes", "identifier")
+    assert decode_value("17", sem, dictionary) == 17
+    assert decode_value("cab-17", sem, dictionary) == "cab-17"
+    assert _round_trip(17, sem, dictionary) == 17
+    assert _round_trip("cab-17", sem, dictionary) == "cab-17"
+
+
+def test_label(dictionary):
+    sem = value("applications", "label")
+    assert decode_value(" AMG ", sem, dictionary) == "AMG"
+
+
+def test_datetime_epoch_and_iso(dictionary):
+    sem = domain("time", "datetime")
+    assert decode_value("123.5", sem, dictionary) == Timestamp(123.5)
+    iso = Timestamp.from_iso("2017-03-27T16:43:27")
+    assert decode_value("2017-03-27T16:43:27", sem, dictionary) == iso
+    assert _round_trip(Timestamp(99.25), sem, dictionary) == Timestamp(99.25)
+
+
+def test_timespan(dictionary):
+    sem = domain("time", "timespan")
+    assert decode_value("10.0..60.0", sem, dictionary) == TimeSpan(10.0, 60.0)
+    assert _round_trip(TimeSpan(0.5, 9.5), sem, dictionary) == \
+        TimeSpan(0.5, 9.5)
+
+
+def test_list_of_identifiers(dictionary):
+    sem = domain("compute nodes", "list<identifier>")
+    assert decode_value("1;2;3", sem, dictionary) == [1, 2, 3]
+    assert _round_trip([4, 5], sem, dictionary) == [4, 5]
+    assert decode_value("", sem, dictionary) is None
+
+
+def test_empty_and_none_decode_to_none(dictionary):
+    sem = value("power", "watts")
+    assert decode_value("", sem, dictionary) is None
+    assert decode_value(None, sem, dictionary) is None
+    assert encode_value(None, sem, dictionary) == ""
+
+
+def test_decode_garbage_raises(dictionary):
+    with pytest.raises(WrapperError):
+        decode_value("hot", value("power", "watts"), dictionary)
+    with pytest.raises(WrapperError):
+        decode_value("abc", domain("time", "datetime"), dictionary)
+
+
+def test_encode_wrong_type_raises(dictionary):
+    with pytest.raises(WrapperError):
+        encode_value(3.0, domain("time", "datetime"), dictionary)
+    with pytest.raises(WrapperError):
+        encode_value("x", domain("time", "timespan"), dictionary)

@@ -1,0 +1,77 @@
+"""CSV wrapper/unwrapper."""
+
+import pytest
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema, domain, value
+from repro.errors import WrapperError
+from repro.units.temporal import Timestamp, TimeSpan
+from repro.wrappers import CSVUnwrapper, CSVWrapper
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "span": domain("time", "timespan"),
+    "time": domain("time", "datetime"),
+    "nodes": domain("compute nodes", "list<identifier>"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+ROWS = [
+    {"node": 1, "span": TimeSpan(0, 60), "time": Timestamp(5.0),
+     "nodes": [1, 2], "temp": 20.5},
+    {"node": 2, "span": TimeSpan(60, 120), "time": Timestamp(65.0),
+     "nodes": [3], "temp": 22.0},
+]
+
+
+def test_round_trip(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "data.csv")
+    ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    assert CSVUnwrapper(path, dictionary).save(ds) == path
+    back = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
+    assert back.collect() == ROWS
+
+
+def test_sparse_cells_round_trip(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "sparse.csv")
+    rows = [{"node": 1, "temp": 20.0}, {"node": 2}]
+    ds = ScrubJayDataset.from_rows(ctx, rows, SCHEMA, "t")
+    CSVUnwrapper(path, dictionary).save(ds)
+    back = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
+    assert back.collect() == rows
+
+
+def test_unknown_columns_ignored(ctx, dictionary, tmp_path):
+    path = tmp_path / "extra.csv"
+    path.write_text("node,mystery,temp\n1,xyz,20.0\n")
+    back = CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
+    assert back.collect() == [{"node": 1, "temp": 20.0}]
+
+
+def test_no_matching_columns_raises(ctx, dictionary, tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(WrapperError, match="no CSV column"):
+        CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
+
+
+def test_empty_file_raises(ctx, dictionary, tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(WrapperError):
+        CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
+
+
+def test_missing_file_raises(ctx, dictionary, tmp_path):
+    with pytest.raises(WrapperError, match="cannot read"):
+        CSVWrapper(str(tmp_path / "nope.csv"), SCHEMA, dictionary).load(ctx)
+
+
+def test_load_sets_provenance(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "p.csv")
+    CSVUnwrapper(path, dictionary).save(
+        ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    )
+    ds = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
+    assert ds.provenance["op"] == "wrap"
+    assert ds.provenance["wrapper"] == "CSVWrapper"

@@ -1,0 +1,77 @@
+"""SQL (sqlite3) wrapper/unwrapper."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema, domain, value
+from repro.errors import WrapperError
+from repro.units.temporal import Timestamp
+from repro.wrappers import SQLUnwrapper, SQLWrapper
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "time": domain("time", "datetime"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+ROWS = [
+    {"node": 1, "time": Timestamp(0.0), "temp": 20.0},
+    {"node": 2, "time": Timestamp(60.0), "temp": 21.0},
+]
+
+
+def test_round_trip_table(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    SQLUnwrapper(db, "temps", dictionary).save(ds)
+    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
+    assert back.collect() == ROWS
+
+
+def test_custom_query(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    SQLUnwrapper(db, "temps", dictionary).save(
+        ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    )
+    back = SQLWrapper(
+        db, SCHEMA, dictionary,
+        query='SELECT * FROM temps WHERE node = "2"',
+    ).load(ctx)
+    assert back.collect() == [ROWS[1]]
+
+
+def test_column_names_from_cursor_description(ctx, dictionary, tmp_path):
+    # the paper's "common data wrapper extracts column names from their
+    # schemas": native sqlite tables (typed columns) work too
+    db = str(tmp_path / "native.db")
+    with sqlite3.connect(db) as conn:
+        conn.execute("CREATE TABLE temps (node INTEGER, temp REAL, junk TEXT)")
+        conn.execute("INSERT INTO temps VALUES (5, 19.5, 'x')")
+    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
+    assert back.collect() == [{"node": 5, "temp": 19.5}]
+
+
+def test_table_and_query_mutually_exclusive(dictionary, tmp_path):
+    with pytest.raises(WrapperError):
+        SQLWrapper(str(tmp_path / "x.db"), SCHEMA, dictionary)
+    with pytest.raises(WrapperError):
+        SQLWrapper(str(tmp_path / "x.db"), SCHEMA, dictionary,
+                   table="a", query="SELECT 1")
+
+
+def test_missing_table_raises(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "empty.db")
+    sqlite3.connect(db).close()
+    with pytest.raises(WrapperError, match="sqlite error"):
+        SQLWrapper(db, SCHEMA, dictionary, table="none").load(ctx)
+
+
+def test_unwrapper_replaces_table(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    SQLUnwrapper(db, "temps", dictionary).save(ds)
+    SQLUnwrapper(db, "temps", dictionary).save(ds)  # no error, replaced
+    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
+    assert back.count() == 2

@@ -1,0 +1,79 @@
+"""Fault-tolerance overhead on the Figure 3a natural-join workload.
+
+The retry layer must be effectively free when nothing fails: the task
+wrapper is a try/except around the whole partition function, and
+:func:`repro.rdd.fault.make_retrying_task` skips even that when the
+policy's budget is one attempt. This benchmark runs the Fig 3a
+natural join (zero injected faults) twice per round — once under the
+default retry policy, once with retry disabled — interleaved so cache
+warmth and machine noise hit both variants alike, and asserts the
+fault-tolerant engine stays within 5% of the bare one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import SJContext, ScrubJayDataset, default_dictionary
+from repro.core.combinations import NaturalJoin
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    keyed_tables,
+)
+from repro.rdd.fault import DEFAULT_RETRY_POLICY, no_retry_policy
+
+ROWS = 20_000
+PARTITIONS = 8
+ROUNDS = 3
+MAX_OVERHEAD = 1.05
+
+_DICT = default_dictionary()
+
+
+def _run_join(left_rows, right_rows, retry_policy):
+    with SJContext(
+        executor="serial", retry_policy=retry_policy,
+        default_parallelism=PARTITIONS,
+    ) as ctx:
+        left = ScrubJayDataset.from_rows(
+            ctx, left_rows, KEYED_LEFT_SCHEMA, "left", PARTITIONS
+        )
+        right = ScrubJayDataset.from_rows(
+            ctx, right_rows, KEYED_RIGHT_SCHEMA, "right", PARTITIONS
+        )
+        start = time.perf_counter()
+        count = NaturalJoin().apply(left, right, _DICT).count()
+        return time.perf_counter() - start, count
+
+
+def test_retry_overhead_under_5_percent(benchmark, recorder_factory):
+    recorder = recorder_factory(
+        "retry_overhead_natural_join", "variant", "seconds"
+    )
+    left, right = keyed_tables(ROWS, num_keys=1024)
+
+    with_retry, without_retry = [], []
+    for _ in range(ROUNDS):  # interleaved: noise hits both alike
+        t, count = _run_join(left, right, DEFAULT_RETRY_POLICY)
+        assert count == ROWS
+        with_retry.append(t)
+        t, count = _run_join(left, right, no_retry_policy())
+        assert count == ROWS
+        without_retry.append(t)
+
+    # min-of-rounds: the least-noisy observation of each variant
+    best_with, best_without = min(with_retry), min(without_retry)
+    ratio = best_with / best_without
+    recorder.add("no_retry", best_without, f"{ROWS} rows, min of {ROUNDS}")
+    recorder.add("default_retry", best_with, f"overhead x{ratio:.3f}")
+
+    benchmark.pedantic(
+        _run_join, args=(left, right, DEFAULT_RETRY_POLICY),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["overhead_ratio"] = ratio
+    assert ratio < MAX_OVERHEAD, (
+        f"zero-fault retry overhead {ratio:.3f}x exceeds "
+        f"{MAX_OVERHEAD}x on the Fig 3a natural join"
+    )

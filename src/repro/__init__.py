@@ -21,7 +21,7 @@ from repro.core.dataset import ScrubJayDataset
 from repro.core.query import Query
 from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
-from repro.rdd import SJContext
+from repro.rdd import FaultInjectingExecutor, RetryPolicy, SJContext
 from repro.units import Quantity, Timestamp, TimeSpan
 
 __version__ = "1.0.0"
@@ -40,6 +40,8 @@ __all__ = [
     "EngineConfig",
     "DerivationPlan",
     "SJContext",
+    "RetryPolicy",
+    "FaultInjectingExecutor",
     "Quantity",
     "Timestamp",
     "TimeSpan",

@@ -13,11 +13,14 @@ on a hit the rows are re-parallelized into the live context.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger("repro.core.cache")
 
 from repro.core.dataset import ScrubJayDataset
 from repro.core.semantics import Schema
@@ -108,7 +111,11 @@ class DerivationCache:
             try:
                 with open(path, "rb") as f:
                     entry = pickle.load(f)
-            except (OSError, pickle.UnpicklingError):
+            except Exception as exc:
+                # A truncated or corrupt entry (e.g. half-written by a
+                # killed process) must not poison the cache permanently:
+                # evict the bad file and treat it as a miss.
+                self._evict_corrupt(path, exc)
                 self.misses += 1
                 return None
             os.utime(path, None)  # LRU recency bump
@@ -135,7 +142,8 @@ class DerivationCache:
         try:
             with gzip.open(cold, "rb") as f:
                 entry = pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except Exception as exc:
+            self._evict_corrupt(cold, exc)
             return None
         try:
             os.remove(cold)  # it lives in the hot tier now
@@ -143,9 +151,32 @@ class DerivationCache:
             pass
         return entry
 
+    @staticmethod
+    def _evict_corrupt(path: str, exc: BaseException) -> None:
+        logger.warning(
+            "derivation cache: evicting unreadable entry %s (%s: %s)",
+            path, type(exc).__name__, exc,
+        )
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
     def _write_hot(self, fingerprint: str, entry: CachedResult) -> None:
-        with open(self._path(fingerprint), "wb") as f:
-            pickle.dump(entry, f)
+        # Atomic publish: a process killed mid-write leaves only a tmp
+        # file behind, never a truncated entry under the final name.
+        path = self._path(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(entry, f)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pickling failed before replace
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
 
     def put(self, fingerprint: str, dataset: ScrubJayDataset) -> None:
         """Store a dataset's rows under the plan fingerprint."""
@@ -180,12 +211,17 @@ class DerivationCache:
         import gzip
 
         fingerprint = os.path.basename(hot_path)[: -len(".pkl")]
+        cold = self._cold_path(fingerprint)
+        tmp = f"{cold}.tmp.{os.getpid()}"
         try:
-            with open(hot_path, "rb") as src, \
-                    gzip.open(self._cold_path(fingerprint), "wb") as dst:
+            with open(hot_path, "rb") as src, gzip.open(tmp, "wb") as dst:
                 dst.write(src.read())
+            os.replace(tmp, cold)
         except OSError:
-            pass
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
     def _evict_cold(self) -> None:
         if self.cold_directory is None:

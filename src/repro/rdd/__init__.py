@@ -21,21 +21,27 @@ from repro.rdd.rdd import RDD
 from repro.rdd.partition import Partition
 from repro.rdd.executors import (
     Executor,
+    FaultInjectingExecutor,
     SerialExecutor,
     SimulatedClusterExecutor,
     ThreadExecutor,
     ProcessExecutor,
     make_executor,
 )
+from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy, no_retry_policy
 
 __all__ = [
     "SJContext",
     "RDD",
     "Partition",
     "Executor",
+    "FaultInjectingExecutor",
     "SerialExecutor",
     "SimulatedClusterExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "no_retry_policy",
 ]

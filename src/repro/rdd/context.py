@@ -7,9 +7,10 @@ source RDDs from driver-side collections.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 from repro.rdd.executors import Executor, make_executor
+from repro.rdd.fault import RetryPolicy
 from repro.rdd.partition import split_into_partitions
 from repro.rdd.plan import Scheduler
 from repro.rdd.rdd import RDD, SourceRDD, UnionRDD
@@ -21,23 +22,36 @@ class SJContext:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"threads"``, or ``"processes"``.
-        Process workers simulate cluster nodes — use them for the
-        scaling studies; use serial for deterministic unit tests.
+        ``"serial"`` (default), ``"threads"``, ``"processes"``,
+        ``"simulated"`` — or a ready-built :class:`Executor` instance
+        (e.g. a :class:`~repro.rdd.executors.FaultInjectingExecutor`
+        wrapping another executor). Process workers simulate cluster
+        nodes — use them for the scaling studies; use serial for
+        deterministic unit tests.
     num_workers:
-        Worker count for thread/process executors.
+        Worker count for thread/process executors (ignored when an
+        executor instance is passed).
     default_parallelism:
         Partition count used when an operation does not specify one.
         Defaults to ``2 * num_workers`` (at least 4).
+    retry_policy:
+        Fault-tolerance budgets (per-task retry, stage replay,
+        degradation); defaults to
+        :data:`repro.rdd.fault.DEFAULT_RETRY_POLICY`. Ignored when an
+        executor instance is passed (the instance carries its own).
     """
 
     def __init__(
         self,
-        executor: str = "serial",
+        executor: Union[str, Executor] = "serial",
         num_workers: Optional[int] = None,
         default_parallelism: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
-        self.executor: Executor = make_executor(executor, num_workers)
+        if isinstance(executor, Executor):
+            self.executor: Executor = executor
+        else:
+            self.executor = make_executor(executor, num_workers, retry_policy)
         self.default_parallelism = default_parallelism or max(
             4, 2 * self.executor.num_workers
         )

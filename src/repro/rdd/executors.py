@@ -1,7 +1,7 @@
 """Task executors: the simulated cluster.
 
 The paper runs Spark over 10 worker nodes with 32 cores each. Here a
-single machine stands in, with three interchangeable executors:
+single machine stands in, with interchangeable executors:
 
 - :class:`SerialExecutor` — runs tasks in the driver, in order. The
   default: deterministic, zero overhead, ideal for tests.
@@ -12,25 +12,57 @@ single machine stands in, with three interchangeable executors:
   (lambdas and nested functions are first-class in ScrubJay pipelines,
   which the stdlib pickler cannot serialize), partition data with the
   stdlib pickler.
+- :class:`SimulatedClusterExecutor` — serial execution with a
+  deterministic cluster-timing model for strong-scaling studies on
+  one core.
+- :class:`FaultInjectingExecutor` — wraps any of the above and
+  kills/delays/fails tasks (or whole pools) on a seeded deterministic
+  schedule, so the fault-tolerance machinery is testable in CI.
 
 All executors implement one method, :meth:`Executor.run_partition_tasks`,
 which applies ``fn(index, items) -> items`` to every partition and
 returns the transformed partitions in input order.
+
+Failure semantics (see DESIGN.md, "Failure semantics"): every executor
+runs its tasks through the retry runner in :mod:`repro.rdd.fault`, so
+transient task failures are retried in place with exponential backoff.
+A whole-pool death surfaces as :class:`~repro.errors.WorkerPoolError`,
+which the scheduler recovers from by replaying the stage from its
+lineage inputs; after ``RetryPolicy.degrade_after_pool_deaths``
+consecutive deaths the process executor degrades to serial in-driver
+execution instead of failing the job.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
+import logging
 import os
+import random
+import time
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Collection, List, Optional
 
 import cloudpickle
 
-from repro.errors import ExecutorError
+from repro.errors import (
+    ExecutorError,
+    TransientTaskError,
+    WorkerPoolError,
+)
+from repro.rdd.fault import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    make_retrying_task,
+)
 from repro.rdd.partition import Partition
 
 PartitionFunc = Callable[[int, List[Any]], List[Any]]
+
+logger = logging.getLogger("repro.rdd.executors")
+
+_BrokenProcessPool = concurrent.futures.process.BrokenProcessPool
 
 
 class Executor(ABC):
@@ -39,14 +71,78 @@ class Executor(ABC):
     #: number of simulated cluster nodes (1 for the serial executor)
     num_workers: int = 1
 
+    #: retry/replay budgets; shared with the scheduler for stage replay
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+
+    #: True when tasks run in separate interpreters, so shuffle keys
+    #: must hash identically across processes (see repro.rdd.shuffle)
+    portable_hash_required: bool = False
+
     @abstractmethod
     def run_partition_tasks(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
         """Apply ``fn`` to every partition, returning new partitions."""
 
+    def job_boundary(self) -> None:
+        """Called by the scheduler when a new job (action) starts.
+
+        Lets stateful executors drop cross-job state — e.g. the
+        simulated-cluster executor stops charging driver think-time
+        between two separate actions as shuffle-exchange time.
+        """
+
     def shutdown(self) -> None:
         """Release any worker resources. Idempotent."""
+
+
+def _chain_partition_index(exc: BaseException, index: int) -> None:
+    """Attach the failing task's partition index to an exception
+    without changing its type (callers match on the original class)."""
+    if getattr(exc, "partition_index", None) is None:
+        try:
+            exc.partition_index = index  # type: ignore[attr-defined]
+            exc.add_note(f"[repro.rdd] raised by task for partition {index}")
+        except Exception:  # pragma: no cover - exotic exception classes
+            pass
+
+
+def _collect_in_order(
+    futures: List[concurrent.futures.Future],
+    partitions: List[Partition],
+) -> List[List[Any]]:
+    """Gather future results in submission (partition) order.
+
+    On the first failure, outstanding futures are cancelled so a dead
+    stage stops consuming workers, and the failure from the
+    lowest-indexed partition is raised with that index chained in —
+    later tasks' exceptions are never silently dropped in favour of a
+    submission-order wait. A broken process pool is re-raised as-is for
+    the caller to translate into :class:`WorkerPoolError`.
+    """
+    done, not_done = concurrent.futures.wait(
+        futures, return_when=concurrent.futures.FIRST_EXCEPTION
+    )
+    failures = []
+    broken: Optional[BaseException] = None
+    for p, f in zip(partitions, futures):
+        if f in done and not f.cancelled():
+            exc = f.exception()
+            if exc is None:
+                continue
+            if isinstance(exc, _BrokenProcessPool):
+                broken = exc
+            else:
+                failures.append((p.index, exc))
+    if failures:
+        for f in not_done:
+            f.cancel()
+        index, exc = min(failures, key=lambda pair: pair[0])
+        _chain_partition_index(exc, index)
+        raise exc
+    if broken is not None:
+        raise broken
+    return [f.result() for f in futures]
 
 
 class SerialExecutor(Executor):
@@ -54,17 +150,26 @@ class SerialExecutor(Executor):
 
     num_workers = 1
 
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+
     def run_partition_tasks(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
-        return [Partition(p.index, fn(p.index, p.data)) for p in partitions]
+        task = make_retrying_task(fn, self.retry_policy)
+        return [Partition(p.index, task(p.index, p.data)) for p in partitions]
 
 
 class ThreadExecutor(Executor):
     """Run tasks on a shared thread pool."""
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.num_workers = num_workers or min(8, os.cpu_count() or 1)
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="sj-worker"
         )
@@ -72,10 +177,13 @@ class ThreadExecutor(Executor):
     def run_partition_tasks(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
-        futures = [self._pool.submit(fn, p.index, p.data) for p in partitions]
+        task = make_retrying_task(fn, self.retry_policy)
+        futures = [
+            self._pool.submit(task, p.index, p.data) for p in partitions
+        ]
+        results = _collect_in_order(futures, partitions)
         return [
-            Partition(p.index, f.result())
-            for p, f in zip(partitions, futures)
+            Partition(p.index, r) for p, r in zip(partitions, results)
         ]
 
     def shutdown(self) -> None:
@@ -116,10 +224,24 @@ class ProcessExecutor(Executor):
     serializing every input partition becomes a serial bottleneck that
     masks all scaling. Elsewhere, a persistent pool with cloudpickled
     payloads is used.
+
+    Fault tolerance: per-task retry runs *inside* the worker (an
+    attempt costs no extra IPC). A worker process dying takes the whole
+    fork-pool with it; that is detected structurally
+    (``BrokenProcessPool``, not string matching) and surfaced as
+    :class:`WorkerPoolError` so the scheduler can replay the stage from
+    lineage. After ``retry_policy.degrade_after_pool_deaths``
+    consecutive deaths the executor stops gambling on the pool and
+    permanently degrades to serial in-driver execution, logged.
     """
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.num_workers = num_workers or min(8, os.cpu_count() or 1)
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         import multiprocessing
 
         try:
@@ -131,37 +253,77 @@ class ProcessExecutor(Executor):
         self._fallback_pool: Optional[
             concurrent.futures.ProcessPoolExecutor
         ] = None
+        self._consecutive_pool_deaths = 0
+        self._serial_fallback: Optional[SerialExecutor] = None
+
+    @property
+    def portable_hash_required(self) -> bool:  # type: ignore[override]
+        return self._serial_fallback is None
+
+    @property
+    def degraded(self) -> bool:
+        """True once the executor has fallen back to serial execution."""
+        return self._serial_fallback is not None
 
     def run_partition_tasks(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
         if not partitions:
             return []
+        if self._serial_fallback is None and (
+            self._consecutive_pool_deaths
+            >= self.retry_policy.degrade_after_pool_deaths
+        ):
+            logger.warning(
+                "ProcessExecutor: %d consecutive worker-pool deaths; "
+                "degrading to serial in-driver execution",
+                self._consecutive_pool_deaths,
+            )
+            self._serial_fallback = SerialExecutor(self.retry_policy)
+        if self._serial_fallback is not None:
+            return self._serial_fallback.run_partition_tasks(fn, partitions)
         if self._use_fork:
             return self._run_forked_stage(fn, partitions)
         return self._run_pickled(fn, partitions)
+
+    def _note_pool_death(self, exc: BaseException) -> WorkerPoolError:
+        self._consecutive_pool_deaths += 1
+        logger.warning(
+            "ProcessExecutor: worker pool died (%d consecutive): %s",
+            self._consecutive_pool_deaths,
+            exc,
+        )
+        return WorkerPoolError(
+            f"worker pool died mid-stage "
+            f"({self._consecutive_pool_deaths} consecutive): {exc}"
+        )
 
     def _run_forked_stage(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
         global _STAGE_FN, _STAGE_PARTITIONS
-        _STAGE_FN, _STAGE_PARTITIONS = fn, partitions
+        # retry runs inside the worker: an attempt costs no extra IPC
+        _STAGE_FN = make_retrying_task(fn, self.retry_policy)
+        _STAGE_PARTITIONS = partitions
+        workers = min(self.num_workers, len(partitions))
+        pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         try:
-            workers = min(self.num_workers, len(partitions))
-            with self._mp_ctx.Pool(processes=workers) as pool:
-                results = pool.map(
-                    _run_stage_task, range(len(partitions)), chunksize=1
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=self._mp_ctx
                 )
-        except Exception as exc:
-            if isinstance(exc, ExecutorError):
-                raise
-            # worker exceptions propagate as-is from pool.map; pool
-            # breakage becomes an ExecutorError
-            if "terminated" in str(exc).lower():
-                raise ExecutorError(f"worker pool died: {exc}") from exc
-            raise
+                futures = [
+                    pool.submit(_run_stage_task, i)
+                    for i in range(len(partitions))
+                ]
+                results = _collect_in_order(futures, partitions)
+            except (_BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:
+                raise self._note_pool_death(exc) from exc
         finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
             _STAGE_FN = _STAGE_PARTITIONS = None
+        self._consecutive_pool_deaths = 0
         return [
             Partition(p.index, r) for p, r in zip(partitions, results)
         ]
@@ -169,24 +331,29 @@ class ProcessExecutor(Executor):
     def _run_pickled(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:  # pragma: no cover - non-POSIX fallback
+        task = make_retrying_task(fn, self.retry_policy)
         if self._fallback_pool is None:
             self._fallback_pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.num_workers, mp_context=self._mp_ctx
             )
         payloads = [
-            cloudpickle.dumps((fn, p.index, p.data)) for p in partitions
+            cloudpickle.dumps((task, p.index, p.data)) for p in partitions
         ]
         try:
             futures = [
                 self._fallback_pool.submit(_invoke_pickled_task, payload)
                 for payload in payloads
             ]
-            return [
-                Partition(p.index, f.result())
-                for p, f in zip(partitions, futures)
-            ]
-        except concurrent.futures.process.BrokenProcessPool as exc:
-            raise ExecutorError(f"worker pool died: {exc}") from exc
+            results = _collect_in_order(futures, partitions)
+        except (_BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:
+            # a broken persistent pool cannot run the next stage either
+            self._fallback_pool.shutdown(wait=False, cancel_futures=True)
+            self._fallback_pool = None
+            raise self._note_pool_death(exc) from exc
+        self._consecutive_pool_deaths = 0
+        return [
+            Partition(p.index, r) for p, r in zip(partitions, results)
+        ]
 
     def shutdown(self) -> None:
         if self._fallback_pool is not None:
@@ -205,14 +372,21 @@ class SimulatedClusterExecutor(Executor):
     tasks to workers. Time the driver spends *between* stages — the
     shuffle exchange — is charged serially, so scaling stays
     Amdahl-limited exactly like the shuffle-bound joins in the paper's
-    Figure 3.
+    Figure 3. Time between *jobs* (driver think-time between two
+    actions) is not charged: the scheduler calls :meth:`job_boundary`
+    when an action starts, which drops the previous stage's end mark.
 
     Read :attr:`simulated_elapsed` after the job; call :meth:`reset`
     before starting a measurement.
     """
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.num_workers = num_workers or 1
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.simulated_elapsed = 0.0
         self._last_return: Optional[float] = None
 
@@ -220,11 +394,14 @@ class SimulatedClusterExecutor(Executor):
         self.simulated_elapsed = 0.0
         self._last_return = None
 
+    def job_boundary(self) -> None:
+        # think-time between two actions is not shuffle-exchange time
+        self._last_return = None
+
     def run_partition_tasks(
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
-        import time
-
+        task = make_retrying_task(fn, self.retry_policy)
         now = time.perf_counter()
         if self._last_return is not None:
             # driver-side (serial) time since the previous stage ended:
@@ -234,7 +411,7 @@ class SimulatedClusterExecutor(Executor):
         out: List[Partition] = []
         for p in partitions:
             t0 = time.perf_counter()
-            data = fn(p.index, p.data)
+            data = task(p.index, p.data)
             durations.append(time.perf_counter() - t0)
             out.append(Partition(p.index, data))
         # LPT list scheduling onto the simulated workers
@@ -246,6 +423,152 @@ class SimulatedClusterExecutor(Executor):
         return out
 
 
+class FaultInjectingExecutor(Executor):
+    """Deterministic fault injection around any executor, for testing.
+
+    Wraps an inner executor and, on a schedule derived purely from
+    ``seed`` and the logical stage number, injects three kinds of
+    fault:
+
+    - **task kills** — ``kill_tasks_per_stage`` victim tasks per stage
+      raise :class:`~repro.errors.TransientTaskError` on their first
+      ``faults_per_task`` attempts (simulating a worker killed
+      mid-task and the task being re-queued), then succeed, which
+      exercises the per-task retry path end to end.
+    - **pool deaths** — stages whose logical number is in
+      ``pool_death_stages`` raise
+      :class:`~repro.errors.WorkerPoolError` before any task runs, on
+      their first ``pool_deaths_per_stage`` attempts, which exercises
+      the scheduler's lineage-based stage replay (and, when deaths
+      outlast ``max_stage_attempts``, the give-up path).
+    - **delays** — each task independently sleeps up to ``max_delay``
+      seconds with probability ``delay_task_probability`` (seeded), to
+      shake out ordering assumptions under the thread executor.
+
+    The schedule is deterministic: the same seed and the same sequence
+    of stages produce the same faults, so failing runs replay exactly.
+    The logical stage number only advances when a stage *completes*,
+    so a replayed stage is recognized and not re-killed forever.
+
+    With a process-pool inner executor, use the fork start method
+    (default on Linux): the injector's bookkeeping rides into workers
+    copy-on-write. Per-(stage, task) attempt counts live in a closure
+    created per stage, so retries within one stage see them in every
+    executor kind.
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        seed: int = 0,
+        kill_tasks_per_stage: int = 0,
+        faults_per_task: int = 1,
+        pool_death_stages: Collection[int] = (),
+        pool_deaths_per_stage: int = 1,
+        delay_task_probability: float = 0.0,
+        max_delay: float = 0.001,
+    ) -> None:
+        self.inner = inner
+        self.seed = seed
+        self.kill_tasks_per_stage = kill_tasks_per_stage
+        self.faults_per_task = faults_per_task
+        self.pool_death_stages = frozenset(pool_death_stages)
+        self.pool_deaths_per_stage = pool_deaths_per_stage
+        self.delay_task_probability = delay_task_probability
+        self.max_delay = max_delay
+        self._completed_stages = 0
+        self._injected_pool_deaths: dict = {}
+        self.injected_task_faults = 0
+
+    # -- delegation ----------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:  # type: ignore[override]
+        return self.inner.num_workers
+
+    @property
+    def retry_policy(self) -> RetryPolicy:  # type: ignore[override]
+        return self.inner.retry_policy
+
+    @property
+    def portable_hash_required(self) -> bool:  # type: ignore[override]
+        return self.inner.portable_hash_required
+
+    def job_boundary(self) -> None:
+        self.inner.job_boundary()
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+    def reset(self) -> None:
+        """Restart the fault schedule (e.g. between test cases)."""
+        self._completed_stages = 0
+        self._injected_pool_deaths.clear()
+        self.injected_task_faults = 0
+
+    # -- injection -----------------------------------------------------
+
+    def run_partition_tasks(
+        self, fn: PartitionFunc, partitions: List[Partition]
+    ) -> List[Partition]:
+        stage = self._completed_stages
+        if stage in self.pool_death_stages:
+            deaths = self._injected_pool_deaths.get(stage, 0)
+            if deaths < self.pool_deaths_per_stage:
+                self._injected_pool_deaths[stage] = deaths + 1
+                raise WorkerPoolError(
+                    f"injected pool death at stage {stage} "
+                    f"(death {deaths + 1})"
+                )
+        out = self.inner.run_partition_tasks(
+            self._wrap(fn, stage, len(partitions)), partitions
+        )
+        self._completed_stages += 1
+        return out
+
+    def _wrap(
+        self, fn: PartitionFunc, stage: int, num_tasks: int
+    ) -> PartitionFunc:
+        victims: frozenset = frozenset()
+        if self.kill_tasks_per_stage and num_tasks:
+            rng = random.Random(self.seed * 1_000_003 + stage)
+            victims = frozenset(
+                rng.sample(
+                    range(num_tasks),
+                    min(self.kill_tasks_per_stage, num_tasks),
+                )
+            )
+        attempts: dict = {}
+        faults_per_task = self.faults_per_task
+        delay_p = self.delay_task_probability
+        max_delay = self.max_delay
+        seed = self.seed
+        injector = self
+
+        def faulty(index: int, items: List[Any]) -> List[Any]:
+            if delay_p:
+                rng = random.Random(
+                    (seed * 1_000_003 + stage) * 1_000_003 + index
+                )
+                if rng.random() < delay_p:
+                    time.sleep(rng.random() * max_delay)
+            if index in victims:
+                attempt = attempts.get(index, 0) + 1
+                attempts[index] = attempt
+                if attempt <= faults_per_task:
+                    injector.injected_task_faults += 1
+                    raise TransientTaskError(
+                        f"injected task kill: stage {stage}, task {index},"
+                        f" attempt {attempt}",
+                        task_index=index,
+                        partition_index=index,
+                        attempts=attempt,
+                    )
+            return fn(index, items)
+
+        return faulty
+
+
 _EXECUTOR_KINDS = {
     "serial": SerialExecutor,
     "threads": ThreadExecutor,
@@ -254,8 +577,13 @@ _EXECUTOR_KINDS = {
 }
 
 
-def make_executor(kind: str, num_workers: Optional[int] = None) -> Executor:
-    """Build an executor by name: ``serial``, ``threads`` or ``processes``."""
+def make_executor(
+    kind: str,
+    num_workers: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Executor:
+    """Build an executor by name: ``serial``, ``threads``, ``processes``
+    or ``simulated``."""
     try:
         cls = _EXECUTOR_KINDS[kind]
     except KeyError:
@@ -264,5 +592,5 @@ def make_executor(kind: str, num_workers: Optional[int] = None) -> Executor:
             f"{sorted(_EXECUTOR_KINDS)}"
         ) from None
     if cls is SerialExecutor:
-        return cls()
-    return cls(num_workers)
+        return cls(retry_policy)
+    return cls(num_workers, retry_policy)

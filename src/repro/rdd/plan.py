@@ -10,14 +10,29 @@ that merges each bucket (run on the executor). This is the same stage
 structure Spark's DAG scheduler produces, and it is what gives the
 benchmarks in the paper's Figure 3 their shape: transformations are
 cheap and embarrassingly parallel, combinations pay for the shuffle.
+
+Fault tolerance: each stage submission goes through
+:meth:`Scheduler._run_stage`. When the executor reports a whole-pool
+death (:class:`~repro.errors.WorkerPoolError`), the stage is replayed
+from its input partitions — which the scheduler materialized from
+lineage and still holds driver-side — after an exponential backoff,
+up to ``retry_policy.max_stage_attempts`` total attempts. Because
+tasks are deterministic functions of their input partitions, replay
+is exact: a re-run stage sees identical inputs and produces identical
+shuffle buckets (asserted by tests/rdd/test_fault_tolerance.py).
+Per-task retry for single-task faults happens one level down, inside
+the executors (see :mod:`repro.rdd.fault`).
 """
 
 from __future__ import annotations
 
 import bisect
+import logging
 from typing import Any, Callable, List
 
+from repro.errors import WorkerPoolError
 from repro.rdd.executors import Executor
+from repro.rdd.fault import DEFAULT_RETRY_POLICY
 from repro.rdd.partition import Partition
 from repro.rdd.rdd import (
     RDD,
@@ -31,23 +46,67 @@ from repro.rdd.rdd import (
 )
 from repro.rdd.shuffle import hash_bucket
 
+logger = logging.getLogger("repro.rdd.plan")
+
 
 class Scheduler:
     """Materializes RDDs by executing their lineage on an executor."""
 
     def __init__(self, executor: Executor) -> None:
         self.executor = executor
+        self._depth = 0  # materialize() recursion depth; 0 = a new job
 
     def materialize(self, rdd: RDD) -> List[Partition]:
         """Compute (or fetch cached) partitions for ``rdd``."""
-        if rdd._cached is not None:
-            return rdd._cached
-        parts = self._compute(rdd)
-        if rdd._persist:
-            rdd._cached = parts
-        return parts
+        if self._depth == 0:
+            # a fresh action: tell stateful executors a new job starts
+            self.executor.job_boundary()
+        self._depth += 1
+        try:
+            if rdd._cached is not None:
+                return rdd._cached
+            parts = self._compute(rdd)
+            if rdd._persist:
+                rdd._cached = parts
+            return parts
+        finally:
+            self._depth -= 1
 
     # ------------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        fn: Callable[[int, List[Any]], List[Any]],
+        parts: List[Partition],
+        origin: str,
+    ) -> List[Partition]:
+        """Submit one stage, replaying it from lineage on pool death.
+
+        ``parts`` are the stage's lineage inputs, still materialized in
+        the driver, so a replay re-runs the same deterministic tasks on
+        identical inputs — Spark's recompute-from-lineage, with the
+        recompute already in hand.
+        """
+        policy = self.executor.retry_policy or DEFAULT_RETRY_POLICY
+        attempt = 1
+        while True:
+            try:
+                return self.executor.run_partition_tasks(fn, parts)
+            except WorkerPoolError as exc:
+                if attempt >= policy.max_stage_attempts:
+                    logger.error(
+                        "stage %s: worker pool died on final attempt "
+                        "%d/%d: %s",
+                        origin, attempt, policy.max_stage_attempts, exc,
+                    )
+                    raise
+                logger.warning(
+                    "stage %s: worker pool died (attempt %d/%d), "
+                    "replaying stage from lineage inputs: %s",
+                    origin, attempt, policy.max_stage_attempts, exc,
+                )
+                policy.sleep(policy.backoff(attempt))
+                attempt += 1
 
     def _compute(self, rdd: RDD) -> List[Partition]:
         if isinstance(rdd, SourceRDD):
@@ -85,7 +144,7 @@ class Scheduler:
                 items = fn(index, items)
             return items
 
-        return self.executor.run_partition_tasks(composed, base_parts)
+        return self._run_stage(composed, base_parts, "narrow")
 
     def _compute_union(self, rdd: UnionRDD) -> List[Partition]:
         parts: List[Partition] = []
@@ -117,6 +176,9 @@ class Scheduler:
         create = rdd.create
         merge_value = rdd.merge_value
         merge_combiners = rdd.merge_combiners
+        # multi-process executors need process-stable key hashing; the
+        # salted builtin hash would silently mis-bucket equal keys
+        strict_hash = self.executor.portable_hash_required
 
         def map_task(_index: int, items: List[Any]) -> List[Any]:
             # One dict of partial combiners per output bucket: the
@@ -124,14 +186,14 @@ class Scheduler:
             # to distinct keys rather than records.
             buckets: List[dict] = [dict() for _ in range(n)]
             for k, v in items:
-                d = buckets[hash_bucket(k, n)]
+                d = buckets[hash_bucket(k, n, strict_hash)]
                 if k in d:
                     d[k] = merge_value(d[k], v)
                 else:
                     d[k] = create(v)
             return [list(d.items()) for d in buckets]
 
-        map_out = self.executor.run_partition_tasks(map_task, parent_parts)
+        map_out = self._run_stage(map_task, parent_parts, "shuffle-map")
 
         # Driver-side exchange: regroup bucket b from every map task.
         shuffle_parts = [
@@ -150,7 +212,7 @@ class Scheduler:
                     merged[k] = combiner
             return list(merged.items())
 
-        return self.executor.run_partition_tasks(reduce_task, shuffle_parts)
+        return self._run_stage(reduce_task, shuffle_parts, "shuffle-reduce")
 
     def _compute_range_partition(
         self, rdd: RangePartitionedRDD
@@ -182,7 +244,7 @@ class Scheduler:
                 buckets[b].append(x)
             return buckets
 
-        map_out = self.executor.run_partition_tasks(map_task, parent_parts)
+        map_out = self._run_stage(map_task, parent_parts, "range-map")
         shuffle_parts = [
             Partition(b, [x for mp in map_out for x in mp.data[b]])
             for b in range(n)
@@ -191,4 +253,4 @@ class Scheduler:
         def reduce_task(_index: int, items: List[Any]) -> List[Any]:
             return sorted(items, key=key_fn, reverse=not ascending)
 
-        return self.executor.run_partition_tasks(reduce_task, shuffle_parts)
+        return self._run_stage(reduce_task, shuffle_parts, "range-sort")

@@ -55,6 +55,28 @@ class RDD:
     def num_partitions(self) -> int:
         raise NotImplementedError
 
+    def toDebugString(self) -> str:
+        """Render the lineage tree, one RDD per line (Spark parity).
+
+        Useful when a fault-tolerance log names a replayed stage and
+        you want to see which lineage it re-executed. Cached RDDs are
+        marked — they are replay barriers: recovery never recomputes
+        above a materialized cache.
+        """
+        lines: List[str] = []
+
+        def walk(rdd: "RDD", depth: int) -> None:
+            mark = " [cached]" if rdd.is_cached else ""
+            lines.append(
+                f"{'  ' * depth}{type(rdd).__name__}"
+                f"[{rdd.num_partitions()}]{mark}"
+            )
+            for parent in rdd.parents():
+                walk(parent, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------

@@ -8,18 +8,39 @@ the reduce-side task merges each bucket's records.
 Bucket assignment must be *consistent across worker processes*.
 Python's builtin ``hash`` is salted per interpreter, so we provide
 :func:`portable_hash`, a deterministic recursive hash over the key
-types that appear in ScrubJay join keys (strings, numbers, bools,
-None, and tuples thereof).
+types that appear in ScrubJay join keys: strings, numbers, bools,
+None, bytes, tuples/frozensets thereof, dataclass instances (hashed
+structurally, which covers ``Timestamp``/``TimeSpan`` join keys), and
+any object providing a ``__portable_hash__() -> int`` method.
+
+For any other type there is no process-stable hash to compute. Under a
+single-process executor the builtin (salted) ``hash`` is still
+consistent within the interpreter, so it is used as a fallback; under
+multi-process executors the same fallback would silently scatter equal
+keys across different buckets — joins and groupByKey would quietly
+drop matches — so ``strict=True`` (set by the scheduler whenever the
+executor crosses process boundaries) raises a typed
+:class:`~repro.errors.ShuffleKeyError` instead.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from typing import Any
 
+from repro.errors import ShuffleKeyError
 
-def portable_hash(key: Any) -> int:
-    """Deterministic, process-independent hash for shuffle keys."""
+_MASK = 0xFFFFFFFFFFFF
+
+
+def portable_hash(key: Any, strict: bool = False) -> int:
+    """Deterministic, process-independent hash for shuffle keys.
+
+    With ``strict=True``, keys whose type has no process-stable hash
+    raise :class:`ShuffleKeyError` instead of falling back to the
+    salted builtin ``hash`` (which is only consistent in-process).
+    """
     if key is None:
         return 0x3070
     if isinstance(key, bool):
@@ -38,19 +59,37 @@ def portable_hash(key: Any) -> int:
     if isinstance(key, tuple):
         h = 0x345678
         for item in key:
-            h = (h * 1000003) ^ portable_hash(item)
-            h &= 0xFFFFFFFFFFFF
+            h = (h * 1000003) ^ portable_hash(item, strict)
+            h &= _MASK
         return h
     if isinstance(key, frozenset):
         h = 0x1111
-        for item in sorted(portable_hash(i) for i in key):
-            h = (h * 31 + item) & 0xFFFFFFFFFFFF
+        for item in sorted(portable_hash(i, strict) for i in key):
+            h = (h * 31 + item) & _MASK
         return h
+    custom = getattr(key, "__portable_hash__", None)
+    if callable(custom):
+        return int(custom())
+    if dataclasses.is_dataclass(key) and not isinstance(key, type):
+        # structural hash: type identity + field values, recursively.
+        # Covers Timestamp/TimeSpan and other frozen dataclass keys.
+        h = zlib.crc32(type(key).__qualname__.encode("utf-8"))
+        for f in dataclasses.fields(key):
+            h = (h * 1000003) ^ portable_hash(getattr(key, f.name), strict)
+            h &= _MASK
+        return h
+    if strict:
+        raise ShuffleKeyError(
+            f"shuffle key {key!r} of type {type(key).__qualname__} has no "
+            f"process-stable hash; equal keys would land in different "
+            f"buckets on different worker processes. Use primitive, "
+            f"tuple, or dataclass keys, or define __portable_hash__."
+        )
     # Fall back to the object's own (possibly salted) hash; only safe
     # for single-process executors, so prefer primitive keys.
     return hash(key)
 
 
-def hash_bucket(key: Any, num_buckets: int) -> int:
+def hash_bucket(key: Any, num_buckets: int, strict: bool = False) -> int:
     """Map ``key`` to one of ``num_buckets`` output partitions."""
-    return portable_hash(key) % num_buckets
+    return portable_hash(key, strict) % num_buckets

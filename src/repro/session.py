@@ -56,10 +56,26 @@ class ScrubJaySession:
         config: Optional[EngineConfig] = None,
         cache_dir: Optional[str] = None,
         cache_max_entries: int = 64,
+        executor=None,
+        num_workers: Optional[int] = None,
+        retry_policy=None,
     ) -> None:
+        """``executor``/``num_workers``/``retry_policy`` configure the
+        data cluster when no ready-made ``ctx`` is passed: executor is
+        a kind name (``"serial"``, ``"threads"``, ``"processes"``,
+        ``"simulated"``) or an :class:`~repro.rdd.Executor` instance,
+        and ``retry_policy`` a :class:`~repro.rdd.RetryPolicy` setting
+        the fault-tolerance budgets (task retries, stage replays,
+        degradation ladder — see DESIGN.md "Failure semantics")."""
         from repro.rdd.context import SJContext
 
-        self.ctx = ctx or SJContext()
+        if ctx is not None and executor is not None:
+            raise ScrubJayError("pass either ctx or executor, not both")
+        self.ctx = ctx or SJContext(
+            executor=executor or "serial",
+            num_workers=num_workers,
+            retry_policy=retry_policy,
+        )
         self.dictionary = dictionary or default_dictionary()
         # Copy the global registry so session-local expert derivations
         # do not leak between sessions.

@@ -197,3 +197,63 @@ def test_tiered_rejects_bad_bounds(tmp_path):
     with pytest.raises(ValueError):
         DerivationCache(str(tmp_path), cold_directory=str(tmp_path / "c"),
                         max_cold_entries=0)
+
+
+# ----------------------------------------------------------------------
+# crash-safety: corrupt entries are evicted, writes are atomic
+# ----------------------------------------------------------------------
+
+def test_truncated_entry_evicted_and_cache_reusable(ctx, tmp_path, caplog):
+    import logging
+
+    cache = DerivationCache(str(tmp_path))
+    cache.put("a", _ds(ctx))
+    path = os.path.join(str(tmp_path), "a.pkl")
+    with open(path, "rb") as f:
+        blob = f.read()
+    with open(path, "wb") as f:
+        f.write(blob[: len(blob) // 2])  # valid pickle prefix, cut short
+    with caplog.at_level(logging.WARNING, logger="repro.core.cache"):
+        assert cache.get("a") is None
+    assert not os.path.exists(path)  # the bad file was evicted...
+    assert any("evicting" in r.getMessage() for r in caplog.records)
+    cache.put("a", _ds(ctx))         # ...and the slot is usable again
+    assert cache.get("a") is not None
+
+
+def test_corrupt_entry_removed_not_just_missed(ctx, tmp_path):
+    cache = DerivationCache(str(tmp_path))
+    path = os.path.join(str(tmp_path), "bad.pkl")
+    with open(path, "wb") as f:
+        f.write(b"\x80\x04garbage")
+    assert cache.get("bad") is None
+    assert cache.get("bad") is None  # second call is a clean miss
+    assert not os.path.exists(path)
+    assert cache.misses == 2
+
+
+def test_writes_leave_no_tmp_files(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    for fp in "abcd":
+        cache.put(fp, _ds(ctx))
+        time.sleep(0.02)
+        cache.get(fp)
+    leftovers = [
+        f for d in (tmp_path / "hot", tmp_path / "cold")
+        for f in os.listdir(d) if ".tmp." in f
+    ]
+    assert leftovers == []
+
+
+def test_corrupt_cold_entry_evicted(ctx, tmp_path):
+    cache = _tiered(tmp_path, max_entries=1)
+    cache.put("a", _ds(ctx))
+    time.sleep(0.02)
+    cache.put("b", _ds(ctx))  # demotes a to cold
+    cold = str(tmp_path / "cold" / "a.pkl.gz")
+    assert os.path.exists(cold)
+    with open(cold, "wb") as f:
+        f.write(b"not gzip at all")
+    assert cache.get("a") is None
+    assert not os.path.exists(cold)
+    assert cache.get("b") is not None  # rest of the cache unharmed

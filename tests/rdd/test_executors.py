@@ -92,3 +92,42 @@ def test_shutdown_is_idempotent():
     ex = ThreadExecutor(1)
     ex.shutdown()
     ex.shutdown()
+
+
+def test_thread_executor_first_failure_wins_and_cancels_rest():
+    # Regression: failures used to surface in submission order only,
+    # and queued tasks kept running after the stage was already dead.
+    import time
+
+    executed = []
+
+    def task(i, items):
+        if i == 0:
+            raise RuntimeError("boom-0")
+        time.sleep(0.05)
+        executed.append(i)
+        return items
+
+    ex = ThreadExecutor(1)
+    try:
+        with pytest.raises(RuntimeError, match="boom-0") as ei:
+            ex.run_partition_tasks(task, _parts(6, 1))
+    finally:
+        ex.shutdown()
+    assert ei.value.partition_index == 0  # failing task identified
+    assert len(executed) < 5  # outstanding queued tasks were cancelled
+
+
+def test_thread_executor_chains_partition_index_into_error():
+    def task(i, items):
+        raise RuntimeError(f"boom-{i}")
+
+    ex = ThreadExecutor(4)
+    try:
+        with pytest.raises(RuntimeError) as ei:
+            ex.run_partition_tasks(task, _parts(4, 1))
+    finally:
+        ex.shutdown()
+    index = ei.value.partition_index
+    assert index in (0, 1, 2, 3)
+    assert str(ei.value) == f"boom-{index}"  # error matches its task

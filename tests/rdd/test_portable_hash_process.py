@@ -1,0 +1,94 @@
+"""Property: portable_hash is stable across real OS processes.
+
+The whole point of :func:`repro.rdd.shuffle.portable_hash` is that a
+map-side task in one worker process and the driver (or another worker)
+agree on every key's bucket. These tests compute hashes inside an
+actual :class:`ProcessExecutor` worker and compare against the driver,
+and run a full groupByKey round-trip through the multi-process
+engine — with Python's per-interpreter hash salt, the builtin ``hash``
+fallback would fail both for ``str`` keys.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings, strategies as st
+
+from repro.rdd import SJContext
+from repro.rdd.executors import ProcessExecutor
+from repro.rdd.fault import no_retry_policy
+from repro.rdd.partition import Partition
+from repro.rdd.shuffle import hash_bucket, portable_hash
+
+keys = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**40), 2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12),
+    lambda children: (
+        st.tuples(children, children)
+        | st.frozensets(st.integers(-100, 100) | st.text(max_size=4),
+                        max_size=3)
+    ),
+    max_leaves=5,
+)
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    ex = ProcessExecutor(2, no_retry_policy())
+    yield ex
+    ex.shutdown()
+
+
+def _hash_partition(index, items):
+    return [portable_hash(k, strict=True) for k in items]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(keys, min_size=1, max_size=6))
+@example([-0.0, 0.0])
+@example([-1, -(2**40), (1, (2, "x"))])
+@example([frozenset({"a", "b"}), ("nested", (True, None))])
+def test_worker_hashes_match_driver(process_executor, key_list):
+    driver_side = [portable_hash(k, strict=True) for k in key_list]
+    [result] = process_executor.run_partition_tasks(
+        _hash_partition, [Partition(0, key_list)]
+    )
+    assert result.data == driver_side
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(keys, st.integers(0, 100)),
+                min_size=1, max_size=20))
+@example([(-0.0, 1), (0.0, 2)])  # equal keys must merge into one group
+@example([(("job", -3), 1), (("job", -3), 2), (("job", 4), 3)])
+def test_group_by_key_round_trip_matches_local_grouping(key_value_pairs):
+    expected = defaultdict(list)
+    for k, v in key_value_pairs:
+        expected[k].append(v)
+    with SJContext(executor="processes", num_workers=2) as ctx:
+        grouped = (
+            ctx.parallelize(key_value_pairs, 3).groupByKey(2).collect()
+        )
+    got = {k: sorted(v) for k, v in grouped}
+    assert got == {k: sorted(v) for k, v in expected.items()}
+    assert len(got) == len(expected)
+
+
+def test_equal_keys_land_in_same_worker_bucket(process_executor):
+    # two representations of the same dict key — int 5 and float 5.0 —
+    # must be co-located by the bucket function in every process
+    for n in (1, 2, 3, 8):
+        [result] = process_executor.run_partition_tasks(
+            lambda i, items: [hash_bucket(k, n, strict=True) for k in items],
+            [Partition(0, [5, 5.0, -7, -7.0])],
+        )
+        assert result.data[0] == result.data[1]
+        assert result.data[2] == result.data[3]
+        assert all(0 <= b < n for b in result.data)

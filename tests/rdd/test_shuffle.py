@@ -1,8 +1,12 @@
 """Portable hashing: determinism and dict-consistency properties."""
 
+import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import ShuffleKeyError
+from repro.rdd import SJContext
 from repro.rdd.shuffle import hash_bucket, portable_hash
+from repro.units import Timestamp
 
 keys = st.recursive(
     st.none()
@@ -48,3 +52,90 @@ def test_tuples_differ_by_order():
 def test_equal_keys_same_bucket(pairs, n):
     for k, _v in pairs:
         assert hash_bucket(k, n) == hash_bucket(k, n)
+
+
+# ----------------------------------------------------------------------
+# strict mode: keys without a process-stable hash
+# ----------------------------------------------------------------------
+
+class _OpaqueKey:
+    """Hashable, but only via the salted builtin hash."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(("opaque", self.value))
+
+    def __eq__(self, other):
+        return isinstance(other, _OpaqueKey) and self.value == other.value
+
+
+class _ProtocolKey(_OpaqueKey):
+    def __portable_hash__(self):
+        return self.value * 7
+
+
+def test_strict_rejects_opaque_keys():
+    with pytest.raises(ShuffleKeyError, match="process-stable"):
+        portable_hash(_OpaqueKey(1), strict=True)
+
+
+def test_non_strict_falls_back_to_builtin_hash():
+    assert portable_hash(_OpaqueKey(1)) == hash(_OpaqueKey(1))
+
+
+def test_strict_rejects_opaque_keys_nested_in_tuples():
+    with pytest.raises(ShuffleKeyError):
+        portable_hash((1, _OpaqueKey(2)), strict=True)
+
+
+def test_portable_hash_protocol_honored_in_strict_mode():
+    assert portable_hash(_ProtocolKey(3), strict=True) == 21
+
+
+def test_dataclass_keys_are_portable_in_strict_mode():
+    a = portable_hash(Timestamp(12.5), strict=True)
+    b = portable_hash(Timestamp(12.5), strict=True)
+    assert a == b
+    assert portable_hash(Timestamp(13.0), strict=True) != a
+
+
+def test_negative_zero_same_bucket_as_zero():
+    for n in (2, 3, 7):
+        assert hash_bucket(-0.0, n) == hash_bucket(0.0, n)
+
+
+def test_negative_ints_bucket_in_range():
+    for k in (-1, -(2**40), -17):
+        for n in (1, 2, 8):
+            assert 0 <= hash_bucket(k, n, strict=True) < n
+
+
+def test_opaque_keys_rejected_under_process_executor():
+    # Regression: the silent salted-hash fallback used to mis-bucket
+    # these keys across workers, quietly dropping groupByKey matches.
+    pairs = [(_OpaqueKey(i % 3), i) for i in range(12)]
+    with SJContext(executor="processes", num_workers=2) as ctx:
+        with pytest.raises(ShuffleKeyError):
+            ctx.parallelize(pairs, 4).groupByKey().collect()
+
+
+def test_opaque_keys_still_work_under_serial_executor():
+    pairs = [(_OpaqueKey(i % 3), i) for i in range(12)]
+    with SJContext(executor="serial") as ctx:
+        got = {
+            k.value: sorted(v)
+            for k, v in ctx.parallelize(pairs, 4).groupByKey().collect()
+        }
+    assert got == {0: [0, 3, 6, 9], 1: [1, 4, 7, 10], 2: [2, 5, 8, 11]}
+
+
+def test_timestamp_keys_group_correctly_under_process_executor():
+    pairs = [(Timestamp(float(i % 3)), i) for i in range(12)]
+    with SJContext(executor="processes", num_workers=2) as ctx:
+        got = {
+            k.epoch: sorted(v)
+            for k, v in ctx.parallelize(pairs, 4).groupByKey().collect()
+        }
+    assert got == {0.0: [0, 3, 6, 9], 1.0: [1, 4, 7, 10], 2.0: [2, 5, 8, 11]}

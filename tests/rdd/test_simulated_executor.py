@@ -71,3 +71,21 @@ def test_make_executor_builds_simulated():
     ex = make_executor("simulated", 5)
     assert isinstance(ex, SimulatedClusterExecutor)
     assert ex.num_workers == 5
+
+
+def test_think_time_between_jobs_not_charged():
+    # Regression: _last_return survived across jobs, so any driver
+    # think-time between two actions was billed as shuffle-exchange
+    # time of the later job.
+    import time
+
+    ex = SimulatedClusterExecutor(num_workers=2)
+    with SJContext(executor=ex, default_parallelism=4) as ctx:
+        ctx.parallelize(range(100), 4).map(lambda x: x + 1).collect()
+        after_first = ex.simulated_elapsed
+        time.sleep(0.3)  # analyst reads the first result...
+        ctx.parallelize(range(100), 4).map(lambda x: x + 1).collect()
+        delta = ex.simulated_elapsed - after_first
+    assert delta < 0.25, (
+        f"driver think-time leaked into the simulated clock: {delta:.3f}s"
+    )

@@ -52,9 +52,11 @@ def scaling_recorder(recorder_factory):
 
 
 def _run_join(workers, left_rows, right_rows):
+    # broadcast_threshold=0 pins the bin-shuffle path these panels
+    # measure; the adaptive bin broadcast is covered by its own tests
     with SJContext(
         executor="simulated", num_workers=workers,
-        default_parallelism=PARTITIONS,
+        default_parallelism=PARTITIONS, broadcast_threshold=0,
     ) as ctx:
         left = ScrubJayDataset.from_rows(
             ctx, left_rows, TIMED_LEFT_SCHEMA, "left", PARTITIONS
@@ -96,7 +98,9 @@ def test_fig3c_costlier_than_natural_join(benchmark, tables):
     n = 20_000
 
     def compare():
-        with SJContext(executor="serial") as ctx:
+        # same execution strategy for both joins: broadcast off, so the
+        # comparison measures the algorithms, not the optimizer
+        with SJContext(executor="serial", broadcast_threshold=0) as ctx:
             kl, kr = keyed_tables(n, num_keys=64)
             left = ScrubJayDataset.from_rows(ctx, kl, KEYED_LEFT_SCHEMA, "l")
             right = ScrubJayDataset.from_rows(ctx, kr, KEYED_RIGHT_SCHEMA, "r")

@@ -56,9 +56,13 @@ def scaling_recorder(recorder_factory):
 
 def _run_join(workers, left_rows, right_rows):
     """Run the join on a simulated cluster; returns (sim_seconds, count)."""
+    # broadcast_threshold=0 pins the shuffle path: these panels
+    # reproduce the paper's *shuffle-bound* scaling shapes, which the
+    # adaptive broadcast join (benchmarked separately below and in
+    # harness.py) would otherwise optimize away.
     with SJContext(
         executor="simulated", num_workers=workers,
-        default_parallelism=PARTITIONS,
+        default_parallelism=PARTITIONS, broadcast_threshold=0,
     ) as ctx:
         left = ScrubJayDataset.from_rows(
             ctx, left_rows, KEYED_LEFT_SCHEMA, "left", PARTITIONS
@@ -112,3 +116,49 @@ def test_fig3b_shape_speedup(benchmark, scaling_recorder):
     assert times[10] < times[1] / 1.3
     # diminishing returns: nowhere near perfectly linear speedup
     assert times[10] > times[1] / 10.0
+
+
+# ----------------------------------------------------------------------
+# adaptive broadcast vs forced shuffle (BENCH_fig3.json)
+# ----------------------------------------------------------------------
+
+def test_fig3_broadcast_vs_shuffle_speedup(benchmark):
+    """With the lookup side under the broadcast threshold, the
+    adaptively selected broadcast-hash join must beat the forced
+    shuffle path by >= 1.5x wall-clock; the run (timings + chosen
+    strategies + ExecutionReport evidence) lands in
+    ``benchmarks/results/BENCH_fig3.json``."""
+    import harness
+
+    payload = benchmark.pedantic(
+        harness.run_comparison,
+        kwargs=dict(row_counts=[80_000], repeats=3),
+        rounds=1, iterations=1,
+    )
+    harness.write_json(payload)
+    assert harness.check_smoke(payload) == []
+
+    adaptive = next(
+        r for r in payload["runs"] if r["mode"] == "adaptive"
+    )
+    forced = next(
+        r for r in payload["runs"] if r["mode"] == "forced-shuffle"
+    )
+    speedup = forced["wall_seconds"] / adaptive["wall_seconds"]
+    print(
+        f"\nadaptive (broadcast): {adaptive['wall_seconds']:.4f} s"
+        f"\nforced shuffle:       {forced['wall_seconds']:.4f} s"
+        f"\nspeedup:              {speedup:.2f}x"
+    )
+    benchmark.extra_info["adaptive_s"] = adaptive["wall_seconds"]
+    benchmark.extra_info["shuffle_s"] = forced["wall_seconds"]
+    benchmark.extra_info["speedup"] = speedup
+
+    # the optimizer must have *chosen* broadcast from statistics
+    assert adaptive["join_strategy"] == "broadcast"
+    assert adaptive["strategy_adaptive"] is True
+    assert forced["join_strategy"] == "shuffle"
+    # the shuffle actually moved data; the broadcast path moved none
+    assert forced["shuffled_pairs"] > 0
+    assert adaptive["shuffled_pairs"] == 0
+    assert speedup >= 1.5

@@ -21,7 +21,13 @@ from repro.core.dataset import ScrubJayDataset
 from repro.core.query import Query
 from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
-from repro.rdd import FaultInjectingExecutor, RetryPolicy, SJContext
+from repro.rdd import (
+    AdaptiveConfig,
+    ExecutionReport,
+    FaultInjectingExecutor,
+    RetryPolicy,
+    SJContext,
+)
 from repro.units import Quantity, Timestamp, TimeSpan
 
 __version__ = "1.0.0"
@@ -42,6 +48,8 @@ __all__ = [
     "SJContext",
     "RetryPolicy",
     "FaultInjectingExecutor",
+    "AdaptiveConfig",
+    "ExecutionReport",
     "Quantity",
     "Timestamp",
     "TimeSpan",

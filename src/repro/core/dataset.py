@@ -126,6 +126,26 @@ class ScrubJayDataset:
         dictionary.validate_schema(self.schema)
         return self
 
+    # ------------------------------------------------------------------
+    # adaptive-execution observability
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Sampled statistics (rows, approximate bytes) for the data.
+
+        Materializes the RDD; the result is cached on it and feeds the
+        adaptive planner's join/shuffle decisions.
+        """
+        return self.rdd.stats()
+
+    @property
+    def execution_report(self):
+        """The context's :class:`~repro.rdd.stats.ExecutionReport` —
+        the audit trail of join strategies, partition counts, and
+        shuffle volumes chosen while computing this (and any other)
+        dataset on the same context."""
+        return getattr(self.ctx, "report", None)
+
     @property
     def ctx(self) -> SJContext:
         return self.rdd.ctx

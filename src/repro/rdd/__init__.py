@@ -29,11 +29,25 @@ from repro.rdd.executors import (
     make_executor,
 )
 from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy, no_retry_policy
+from repro.rdd.stats import (
+    AdaptiveConfig,
+    AdaptivePlanner,
+    ExecutionReport,
+    JoinDecision,
+    RDDStats,
+    ShuffleDecision,
+)
 
 __all__ = [
     "SJContext",
     "RDD",
     "Partition",
+    "AdaptiveConfig",
+    "AdaptivePlanner",
+    "ExecutionReport",
+    "JoinDecision",
+    "RDDStats",
+    "ShuffleDecision",
     "Executor",
     "FaultInjectingExecutor",
     "SerialExecutor",

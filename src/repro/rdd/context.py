@@ -14,10 +14,12 @@ from repro.rdd.fault import RetryPolicy
 from repro.rdd.partition import split_into_partitions
 from repro.rdd.plan import Scheduler
 from repro.rdd.rdd import RDD, SourceRDD, UnionRDD
+from repro.rdd.stats import AdaptiveConfig, AdaptivePlanner, ExecutionReport
 
 
 class SJContext:
-    """Owns the executor and scheduler; creates source RDDs.
+    """Owns the executor, scheduler, and adaptive planner; creates
+    source RDDs.
 
     Parameters
     ----------
@@ -32,13 +34,25 @@ class SJContext:
         Worker count for thread/process executors (ignored when an
         executor instance is passed).
     default_parallelism:
-        Partition count used when an operation does not specify one.
+        Partition count used when an operation does not specify one
+        (and adaptive execution is off or cannot decide).
         Defaults to ``2 * num_workers`` (at least 4).
     retry_policy:
         Fault-tolerance budgets (per-task retry, stage replay,
         degradation); defaults to
         :data:`repro.rdd.fault.DEFAULT_RETRY_POLICY`. Ignored when an
         executor instance is passed (the instance carries its own).
+    adaptive:
+        An :class:`~repro.rdd.stats.AdaptiveConfig` controlling
+        statistics-driven execution (broadcast joins, shuffle
+        partition sizing, skew splitting). Defaults to enabled with
+        Spark-like thresholds.
+    broadcast_threshold:
+        Convenience override for
+        ``adaptive.broadcast_threshold_bytes``: a join side whose
+        estimated size is at most this many bytes is broadcast instead
+        of shuffled. Set ``0`` to effectively disable broadcast joins
+        while keeping the rest of the adaptive machinery on.
     """
 
     def __init__(
@@ -47,6 +61,8 @@ class SJContext:
         num_workers: Optional[int] = None,
         default_parallelism: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+        broadcast_threshold: Optional[int] = None,
     ) -> None:
         if isinstance(executor, Executor):
             self.executor: Executor = executor
@@ -55,7 +71,15 @@ class SJContext:
         self.default_parallelism = default_parallelism or max(
             4, 2 * self.executor.num_workers
         )
-        self.scheduler = Scheduler(self.executor)
+        self.adaptive = adaptive or AdaptiveConfig()
+        if broadcast_threshold is not None:
+            self.adaptive = self.adaptive.with_broadcast_threshold(
+                broadcast_threshold
+            )
+        #: audit trail of every adaptive decision (joins, shuffles)
+        self.report = ExecutionReport()
+        self.planner = AdaptivePlanner(self.adaptive, self.report)
+        self.scheduler = Scheduler(self.executor, self.planner)
         self._stopped = False
 
     # ------------------------------------------------------------------

@@ -198,6 +198,27 @@ def _invoke_pickled_task(payload: bytes) -> List[Any]:
     return fn(index, items)
 
 
+# Worker-process-local cache for the per-stage closure broadcast: the
+# driver cloudpickles the stage function ONCE per stage and every task
+# ships the same payload bytes (a cheap memcpy for the stdlib pickler);
+# each worker deserializes it once per stage and reuses it for all the
+# tasks it runs, instead of a cloudpickle round-trip per task. Stage
+# closures can be heavy — a broadcast-hash join's closure carries the
+# whole build-side hash map — so per-task deserialization would scale
+# the cost by task count for no reason.
+_WORKER_STAGE_CACHE: dict = {"key": None, "fn": None}
+
+
+def _invoke_stage_task(
+    stage_key: Any, fn_payload: bytes, index: int, items: List[Any]
+) -> List[Any]:
+    cache = _WORKER_STAGE_CACHE
+    if cache["key"] != stage_key:
+        cache["fn"] = cloudpickle.loads(fn_payload)
+        cache["key"] = stage_key
+    return cache["fn"](index, items)
+
+
 # Stage state inherited by fork-per-stage workers (copy-on-write): the
 # driver sets these immediately before forking the stage pool, so the
 # workers see the task function and input partitions for free — no
@@ -222,8 +243,11 @@ class ProcessExecutor(Executor):
     are pickled back. This mirrors Spark executors reading their map
     inputs locally and shuffling only outputs — without it, the driver
     serializing every input partition becomes a serial bottleneck that
-    masks all scaling. Elsewhere, a persistent pool with cloudpickled
-    payloads is used.
+    masks all scaling. Elsewhere (or with ``start_method="spawn"`` /
+    ``"forkserver"``), a persistent pool is used with a *per-stage
+    closure broadcast*: the stage function is cloudpickled once per
+    stage and cached worker-side, instead of a cloudpickle round-trip
+    per task (see :func:`_invoke_stage_task`).
 
     Fault tolerance: per-task retry runs *inside* the worker (an
     attempt costs no extra IPC). A worker process dying takes the whole
@@ -239,22 +263,33 @@ class ProcessExecutor(Executor):
         self,
         num_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.num_workers = num_workers or min(8, os.cpu_count() or 1)
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         import multiprocessing
 
-        try:
-            self._mp_ctx = multiprocessing.get_context("fork")
-            self._use_fork = True
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            self._mp_ctx = multiprocessing.get_context()
-            self._use_fork = False
+        if start_method is not None:
+            # explicit override, e.g. "spawn"/"forkserver" to exercise
+            # the persistent-pool path with per-stage closure broadcast
+            self._mp_ctx = multiprocessing.get_context(start_method)
+            self._use_fork = start_method == "fork"
+        else:
+            try:
+                self._mp_ctx = multiprocessing.get_context("fork")
+                self._use_fork = True
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                self._mp_ctx = multiprocessing.get_context()
+                self._use_fork = False
         self._fallback_pool: Optional[
             concurrent.futures.ProcessPoolExecutor
         ] = None
         self._consecutive_pool_deaths = 0
         self._serial_fallback: Optional[SerialExecutor] = None
+        self._stage_counter = 0
+        #: how many times a stage closure was cloudpickled (one per
+        #: stage on the persistent-pool path, never per task)
+        self.closure_pickle_count = 0
 
     @property
     def portable_hash_required(self) -> bool:  # type: ignore[override]
@@ -330,19 +365,27 @@ class ProcessExecutor(Executor):
 
     def _run_pickled(
         self, fn: PartitionFunc, partitions: List[Partition]
-    ) -> List[Partition]:  # pragma: no cover - non-POSIX fallback
+    ) -> List[Partition]:
         task = make_retrying_task(fn, self.retry_policy)
         if self._fallback_pool is None:
             self._fallback_pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.num_workers, mp_context=self._mp_ctx
             )
-        payloads = [
-            cloudpickle.dumps((task, p.index, p.data)) for p in partitions
-        ]
+        # per-stage closure broadcast: cloudpickle the stage function
+        # once, here; workers deserialize it once per stage (see
+        # _invoke_stage_task). Partition data rides the pool's stdlib
+        # pickler per task, as before.
+        self._stage_counter += 1
+        stage_key = (id(self), self._stage_counter)
+        fn_payload = cloudpickle.dumps(task)
+        self.closure_pickle_count += 1
         try:
             futures = [
-                self._fallback_pool.submit(_invoke_pickled_task, payload)
-                for payload in payloads
+                self._fallback_pool.submit(
+                    _invoke_stage_task, stage_key, fn_payload,
+                    p.index, p.data,
+                )
+                for p in partitions
             ]
             results = _collect_in_order(futures, partitions)
         except (_BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:

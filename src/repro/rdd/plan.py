@@ -11,6 +11,16 @@ structure Spark's DAG scheduler produces, and it is what gives the
 benchmarks in the paper's Figure 3 their shape: transformations are
 cheap and embarrassingly parallel, combinations pay for the shuffle.
 
+Adaptive execution: materialization happens bottom-up, so by the time
+a shuffle or join node is computed its inputs already exist driver-side
+— statistics collected from them (see :mod:`repro.rdd.stats`) are
+*actual* sizes, not estimates from a static plan. The scheduler uses
+them to (1) pick broadcast-hash vs shuffle for
+:class:`~repro.rdd.rdd.AdaptiveJoinRDD` nodes, (2) size the reduce
+partition count of auto shuffles, and (3) detect skewed shuffle
+buckets and split them at key granularity. Every choice is recorded in
+the context's :class:`~repro.rdd.stats.ExecutionReport`.
+
 Fault tolerance: each stage submission goes through
 :meth:`Scheduler._run_stage`. When the executor reports a whole-pool
 death (:class:`~repro.errors.WorkerPoolError`), the stage is replayed
@@ -28,7 +38,7 @@ from __future__ import annotations
 
 import bisect
 import logging
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
 from repro.errors import WorkerPoolError
 from repro.rdd.executors import Executor
@@ -36,6 +46,7 @@ from repro.rdd.fault import DEFAULT_RETRY_POLICY
 from repro.rdd.partition import Partition
 from repro.rdd.rdd import (
     RDD,
+    AdaptiveJoinRDD,
     CoalescedRDD,
     MappedPartitionsRDD,
     RangePartitionedRDD,
@@ -44,16 +55,38 @@ from repro.rdd.rdd import (
     SourceRDD,
     UnionRDD,
 )
-from repro.rdd.shuffle import hash_bucket
+from repro.rdd.shuffle import hash_bucket, portable_hash
+from repro.rdd.stats import (
+    AdaptivePlanner,
+    JoinDecision,
+    ShuffleDecision,
+    collect_stats,
+)
 
 logger = logging.getLogger("repro.rdd.plan")
 
+#: per-partition sample budget for range-partition boundary picking;
+#: a fixed cap keeps the driver-side sample bounded regardless of how
+#: rows distribute over partitions (the old stride formula degenerated
+#: to stride 1 — sampling everything — on skewed partition counts)
+RANGE_SAMPLE_BUDGET = 32
+
 
 class Scheduler:
-    """Materializes RDDs by executing their lineage on an executor."""
+    """Materializes RDDs by executing their lineage on an executor.
 
-    def __init__(self, executor: Executor) -> None:
+    ``planner`` (an :class:`~repro.rdd.stats.AdaptivePlanner`) drives
+    the statistics-based choices; without one the scheduler falls back
+    to fixed partition counts and shuffle joins, recording nothing.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        planner: Optional[AdaptivePlanner] = None,
+    ) -> None:
         self.executor = executor
+        self.planner = planner
         self._depth = 0  # materialize() recursion depth; 0 = a new job
 
     def materialize(self, rdd: RDD) -> List[Partition]:
@@ -68,6 +101,10 @@ class Scheduler:
             parts = self._compute(rdd)
             if rdd._persist:
                 rdd._cached = parts
+                # persisted partitions will be reused: collect their
+                # statistics now so later planning decisions are free
+                if rdd._stats is None and self.planner is not None:
+                    rdd._stats = collect_stats(parts, self.planner.config)
             return parts
         finally:
             self._depth -= 1
@@ -121,6 +158,8 @@ class Scheduler:
             return self._compute_repartition(rdd)
         if isinstance(rdd, ShuffledRDD):
             return self._compute_shuffle(rdd)
+        if isinstance(rdd, AdaptiveJoinRDD):
+            return self._compute_adaptive_join(rdd)
         if isinstance(rdd, RangePartitionedRDD):
             return self._compute_range_partition(rdd)
         raise TypeError(f"scheduler cannot materialize {type(rdd).__name__}")
@@ -150,7 +189,11 @@ class Scheduler:
         parts: List[Partition] = []
         for parent in rdd.rdds:
             for p in self.materialize(parent):
-                parts.append(Partition(len(parts), p.data))
+                # defensive copy: a persisted (or source) parent keeps
+                # its own `data` lists alive, and downstream stages may
+                # extend/consume union partitions in place — aliasing
+                # them would corrupt the parent's cached partitions
+                parts.append(Partition(len(parts), list(p.data)))
         return parts
 
     def _compute_coalesce(self, rdd: CoalescedRDD) -> List[Partition]:
@@ -170,9 +213,30 @@ class Scheduler:
                 out[(p.index + seq) % n].data.append(item)
         return out
 
+    def _choose_shuffle_partitions(
+        self, rdd: ShuffledRDD, parent_parts: List[Partition]
+    ) -> tuple:
+        """Pick the reduce partition count: explicit, stats, or default."""
+        if rdd._n is not None:
+            return rdd._n, "explicit"
+        planner = self.planner
+        if planner is not None and planner.config.enabled:
+            stats = collect_stats(
+                parent_parts, planner.config, keyed=True
+            )
+            n = planner.choose_reduce_partitions(
+                stats.total_rows, stats.distinct_keys
+            )
+            return n, (
+                f"stats: {stats.total_rows} rows,"
+                f" ~{stats.distinct_keys} distinct keys,"
+                f" target {planner.config.target_partition_rows} rows/part"
+            )
+        return rdd.ctx.default_parallelism, "default-parallelism"
+
     def _compute_shuffle(self, rdd: ShuffledRDD) -> List[Partition]:
         parent_parts = self.materialize(rdd.parent)
-        n = rdd.num_partitions()
+        n, n_reason = self._choose_shuffle_partitions(rdd, parent_parts)
         create = rdd.create
         merge_value = rdd.merge_value
         merge_combiners = rdd.merge_combiners
@@ -183,10 +247,17 @@ class Scheduler:
         def map_task(_index: int, items: List[Any]) -> List[Any]:
             # One dict of partial combiners per output bucket: the
             # map-side combine that keeps shuffle volume proportional
-            # to distinct keys rather than records.
+            # to distinct keys rather than records. Bucket indices are
+            # memoized per key: composite keys (tuples of strings,
+            # dataclasses) pay a recursive portable_hash once per
+            # distinct key per task, not once per record.
             buckets: List[dict] = [dict() for _ in range(n)]
+            bucket_of: dict = {}
             for k, v in items:
-                d = buckets[hash_bucket(k, n, strict_hash)]
+                b = bucket_of.get(k)
+                if b is None:
+                    b = bucket_of[k] = hash_bucket(k, n, strict_hash)
+                d = buckets[b]
                 if k in d:
                     d[k] = merge_value(d[k], v)
                 else:
@@ -195,13 +266,54 @@ class Scheduler:
 
         map_out = self._run_stage(map_task, parent_parts, "shuffle-map")
 
-        # Driver-side exchange: regroup bucket b from every map task.
-        shuffle_parts = [
-            Partition(
-                b, [pair for mp in map_out for pair in mp.data[b]]
-            )
-            for b in range(n)
+        # Driver-side exchange: regroup bucket b from every map task,
+        # splitting skewed buckets at key granularity so one hot bucket
+        # does not serialize the whole reduce stage.
+        bucket_sizes = [
+            sum(len(mp.data[b]) for mp in map_out) for b in range(n)
         ]
+        total_pairs = sum(bucket_sizes)
+        planner = self.planner
+        skewed: List[int] = []
+        if planner is not None and planner.config.enabled:
+            skewed = planner.detect_skew(bucket_sizes)
+        skewed_set = frozenset(skewed)
+
+        shuffle_parts: List[Partition] = []
+        mean = total_pairs / n if n else 0.0
+        for b in range(n):
+            pairs = [pair for mp in map_out for pair in mp.data[b]]
+            if b in skewed_set:
+                m = planner.skew_splits(len(pairs), mean)
+                # secondary hash on the high bits: equal keys stay
+                # together (reduce merges whole keys), distinct keys
+                # spread over m sub-buckets
+                sub: List[List[Any]] = [[] for _ in range(m)]
+                for pair in pairs:
+                    h = portable_hash(pair[0], strict_hash)
+                    sub[(h // n) % m].append(pair)
+                nonempty = [s for s in sub if s]
+                if len(nonempty) > 1:
+                    for s in nonempty:
+                        shuffle_parts.append(
+                            Partition(len(shuffle_parts), s)
+                        )
+                    continue
+                # a single hot key cannot be split without breaking
+                # reduce-side merge; fall through to one partition
+            shuffle_parts.append(Partition(len(shuffle_parts), pairs))
+
+        if planner is not None:
+            planner.report.add(ShuffleDecision(
+                origin="shuffle",
+                requested_partitions=rdd._n,
+                chosen_partitions=n,
+                output_partitions=len(shuffle_parts),
+                input_rows=sum(len(p.data) for p in parent_parts),
+                shuffled_pairs=total_pairs,
+                skewed_buckets=skewed,
+                reason=n_reason,
+            ))
 
         def reduce_task(_index: int, items: List[Any]) -> List[Any]:
             merged: dict = {}
@@ -214,6 +326,58 @@ class Scheduler:
 
         return self._run_stage(reduce_task, shuffle_parts, "shuffle-reduce")
 
+    def _compute_adaptive_join(self, rdd: AdaptiveJoinRDD) -> List[Partition]:
+        """Materialize inputs, then pick broadcast-hash vs shuffle.
+
+        Statistics come from the just-materialized partitions — actual
+        sizes, not estimates — and are cached on the parents. The
+        broadcast path builds a driver-side hash map from the small
+        side and streams the big side through one narrow stage (no
+        shuffle, no portable-hash requirement); the fallback reuses
+        the ordinary cogroup join lineage over the materialized
+        inputs.
+        """
+        left_parts = self.materialize(rdd.left)
+        right_parts = self.materialize(rdd.right)
+        planner = self.planner or AdaptivePlanner()
+        cfg = planner.config
+        if rdd.left._stats is None or rdd.left._stats.distinct_keys is None:
+            rdd.left._stats = collect_stats(left_parts, cfg, keyed=True)
+        if rdd.right._stats is None or rdd.right._stats.distinct_keys is None:
+            rdd.right._stats = collect_stats(right_parts, cfg, keyed=True)
+        decision: JoinDecision = planner.decide_join(
+            rdd.left._stats, rdd.right._stats, hint=rdd.strategy
+        )
+        if decision.strategy == "broadcast":
+            if decision.build_side == "right":
+                build_parts, stream_parts = right_parts, left_parts
+            else:
+                build_parts, stream_parts = left_parts, right_parts
+            build: dict = {}
+            for p in build_parts:
+                for k, v in p.data:
+                    build.setdefault(k, []).append(v)
+            if decision.build_side == "right":
+                def probe(_index: int, items: List[Any]) -> List[Any]:
+                    return [
+                        (k, (v, w))
+                        for k, v in items
+                        for w in build.get(k, ())
+                    ]
+            else:
+                def probe(_index: int, items: List[Any]) -> List[Any]:
+                    return [
+                        (k, (w, v))
+                        for k, v in items
+                        for w in build.get(k, ())
+                    ]
+            return self._run_stage(probe, stream_parts, "broadcast-join")
+        # shuffle fallback: the classic cogroup plan over the inputs
+        # we already hold (SourceRDD wrappers make them lineage roots)
+        lsrc = SourceRDD(rdd.ctx, left_parts)
+        rsrc = SourceRDD(rdd.ctx, right_parts)
+        return self.materialize(lsrc.join(rsrc, rdd._n))
+
     def _compute_range_partition(
         self, rdd: RangePartitionedRDD
     ) -> List[Partition]:
@@ -223,10 +387,16 @@ class Scheduler:
         ascending = rdd.ascending
 
         # Sample keys in the driver to pick range boundaries, as
-        # Spark's RangePartitioner does with its sampling job.
+        # Spark's RangePartitioner does with its sampling job. A fixed
+        # per-partition budget bounds the sample: the old formula
+        # (32 * n // num_partitions) degenerated to stride 1 — sampling
+        # every row — when partitions outnumbered 32 * n, and
+        # oversampled tiny partitions next to huge ones.
         sample_keys: List[Any] = []
         for p in parent_parts:
-            stride = max(1, len(p.data) // max(1, 32 * n // max(1, len(parent_parts))))
+            if not p.data:
+                continue
+            stride = max(1, -(-len(p.data) // RANGE_SAMPLE_BUDGET))
             sample_keys.extend(key_fn(x) for x in p.data[::stride])
         sample_keys.sort()
         boundaries = [

@@ -30,6 +30,7 @@ from repro.rdd.partition import Partition
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rdd.context import SJContext
+    from repro.rdd.stats import RDDStats
 
 
 class RDD:
@@ -43,6 +44,9 @@ class RDD:
         self.ctx = ctx
         self._persist = False
         self._cached: Optional[List[Partition]] = None
+        #: sampled statistics, cached once collected (see RDD.stats);
+        #: safe to cache because lineage is immutable and deterministic
+        self._stats: Optional["RDDStats"] = None
 
     # ------------------------------------------------------------------
     # lineage interface (overridden by subclasses)
@@ -92,6 +96,7 @@ class RDD:
         """Drop any cached partitions and stop caching."""
         self._persist = False
         self._cached = None
+        self._stats = None
         return self
 
     @property
@@ -187,10 +192,16 @@ class RDD:
         optimization), shuffles the partial combiners by key, and
         merges them on the reduce side, yielding ``(key, combiner)``
         pairs.
+
+        With ``num_partitions=None`` the reduce partition count is
+        chosen at run time from input statistics (rows per partition
+        target, capped by the distinct-key estimate) when the context
+        has adaptive execution enabled; otherwise it falls back to
+        ``ctx.default_parallelism``.
         """
         return ShuffledRDD(
             self,
-            num_partitions or self.ctx.default_parallelism,
+            num_partitions,
             create,
             merge_value,
             merge_combiners,
@@ -288,12 +299,42 @@ class RDD:
         )
 
     def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
-        """Inner equi-join of keyed RDDs: ``(k, (v_self, v_other))``."""
+        """Inner equi-join of keyed RDDs: ``(k, (v_self, v_other))``.
+
+        Always the shuffle (cogroup) plan. Use :meth:`adaptiveJoin`
+        to let run-time statistics pick broadcast-hash instead.
+        """
         return self.cogroup(other, num_partitions).flatMap(
             lambda kv: [
                 (kv[0], (a, b)) for a in kv[1][0] for b in kv[1][1]
             ]
         )
+
+    def adaptiveJoin(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Inner equi-join whose physical plan is chosen at run time.
+
+        The scheduler materializes both inputs, collects sampled
+        statistics, and picks broadcast-hash (small side shipped whole
+        to every task, no shuffle) or the shuffle cogroup plan —
+        recording the decision in the context's
+        :class:`~repro.rdd.stats.ExecutionReport`. Output is identical
+        to :meth:`join` up to element order within partitions.
+        """
+        return AdaptiveJoinRDD(self, other, num_partitions, "auto")
+
+    def broadcastJoin(self, other: "RDD", build_side: str = "right") -> "RDD":
+        """Inner equi-join forced to the broadcast-hash strategy.
+
+        ``build_side`` names the side materialized into the driver-built
+        hash map (``"right"`` = ``other``); the other side streams.
+        """
+        if build_side not in ("left", "right"):
+            raise ValueError(
+                f"build_side must be 'left' or 'right', got {build_side!r}"
+            )
+        return AdaptiveJoinRDD(self, other, None, f"broadcast-{build_side}")
 
     def leftOuterJoin(
         self, other: "RDD", num_partitions: Optional[int] = None
@@ -471,6 +512,32 @@ class RDD:
     def getNumPartitions(self) -> int:
         return self.num_partitions()
 
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def stats(self, keyed: bool = False) -> "RDDStats":
+        """Sampled statistics for this RDD (materializes it).
+
+        Collected driver-side from the materialized partitions (no
+        extra stages) and cached on the RDD; the scheduler also fills
+        the cache when a persisted RDD first materializes. With
+        ``keyed=True`` the elements are treated as ``(key, value)``
+        pairs and a sampled key census adds distinct/heavy-hitter
+        estimates.
+        """
+        from repro.rdd.stats import collect_stats
+
+        if self._stats is None or (
+            keyed and self._stats.distinct_keys is None
+        ):
+            self._stats = collect_stats(
+                self._materialize(),
+                getattr(self.ctx, "adaptive", None),
+                keyed=keyed,
+            )
+        return self._stats
+
 
 class SourceRDD(RDD):
     """An RDD whose partitions live in the driver (from ``parallelize``)."""
@@ -549,18 +616,22 @@ class RepartitionedRDD(RDD):
 
 
 class ShuffledRDD(RDD):
-    """Key-based shuffle with map-side combine (``combineByKey``)."""
+    """Key-based shuffle with map-side combine (``combineByKey``).
+
+    ``num_partitions=None`` defers the reduce partition count to the
+    scheduler, which sizes it from input statistics at run time.
+    """
 
     def __init__(
         self,
         parent: RDD,
-        num_partitions: int,
+        num_partitions: Optional[int],
         create: Callable[[Any], Any],
         merge_value: Callable[[Any, Any], Any],
         merge_combiners: Callable[[Any, Any], Any],
     ) -> None:
         super().__init__(parent.ctx)
-        if num_partitions <= 0:
+        if num_partitions is not None and num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
         self.parent = parent
         self._n = num_partitions
@@ -572,7 +643,44 @@ class ShuffledRDD(RDD):
         return [self.parent]
 
     def num_partitions(self) -> int:
-        return self._n
+        # the auto case is an estimate; the scheduler picks the actual
+        # count from input statistics at materialization time
+        return self._n or self.ctx.default_parallelism
+
+
+class AdaptiveJoinRDD(RDD):
+    """Inner equi-join whose physical strategy is decided at run time.
+
+    Lineage stays lazy: the node only records its two keyed parents
+    and a strategy hint. When the scheduler materializes it, both
+    parents are computed, sampled statistics are collected (and cached
+    on the parents), and the context's planner picks broadcast-hash or
+    shuffle — after the inputs exist, so the decision sees actual
+    sizes, the way Spark AQE re-plans between stages.
+    """
+
+    def __init__(
+        self,
+        left: RDD,
+        right: RDD,
+        num_partitions: Optional[int] = None,
+        strategy: str = "auto",
+    ) -> None:
+        super().__init__(left.ctx)
+        self.left = left
+        self.right = right
+        self._n = num_partitions
+        #: "auto" | "broadcast-left" | "broadcast-right" | "shuffle"
+        self.strategy = strategy
+
+    def parents(self) -> List[RDD]:
+        return [self.left, self.right]
+
+    def num_partitions(self) -> int:
+        # an estimate: the actual count depends on the chosen strategy
+        # (broadcast preserves the stream side's partitioning; shuffle
+        # repartitions) and is only known once materialized
+        return builtins.max(1, self.left.num_partitions())
 
 
 class RangePartitionedRDD(RDD):

@@ -1,0 +1,560 @@
+"""Statistics substrate and adaptive planner for the RDD engine.
+
+The paper's Figure 3 shows ScrubJay's combinations are shuffle-bound:
+joins pay for the exchange, not the map work. This module provides the
+pieces that let the scheduler avoid or tune those exchanges at run
+time, the way Spark's adaptive query execution does:
+
+- :class:`PartitionStats` / :class:`RDDStats` — lightweight sampled
+  statistics (row counts, approximate serialized size, sampled
+  distinct-key estimates, heavy-hitter keys) collected driver-side
+  from materialized partitions and cached on the RDD;
+- :class:`AdaptiveConfig` — the tuning knobs (broadcast threshold,
+  target partition size, skew factors, sampling budgets);
+- :class:`AdaptivePlanner` — the decision procedures: broadcast-hash
+  vs shuffle join selection, reduce-partition-count selection, and
+  skewed-bucket detection;
+- :class:`ExecutionReport` — the audit trail. Every decision the
+  planner takes is recorded as a :class:`JoinDecision` or
+  :class:`ShuffleDecision` so tests and benchmarks can assert the
+  optimizer actually fired (and why), rather than trusting it.
+
+Statistics are *estimates*: sizes come from a per-partition row
+sample, distinct-key counts from a sampled key census. They only steer
+physical strategy choices — every strategy produces identical results
+(asserted by the equivalence property tests), so a bad estimate can
+cost time but never correctness.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from itertools import islice
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptivePlanner",
+    "ExecutionReport",
+    "JoinDecision",
+    "PartitionStats",
+    "RDDStats",
+    "ShuffleDecision",
+    "collect_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning knobs for statistics-driven execution.
+
+    The defaults mirror Spark's: broadcast joins below ~8 MiB, reduce
+    partitions sized for thousands of rows each, skew declared when a
+    bucket is several times the mean. Set ``enabled=False`` to force
+    the classic always-shuffle plans (decisions are still recorded,
+    marked ``adaptive-disabled``).
+    """
+
+    #: master switch: False forces shuffle plans and fixed partitioning
+    enabled: bool = True
+    #: broadcast a join side whose estimated size is at most this
+    broadcast_threshold_bytes: int = 8 * 1024 * 1024
+    #: ... and whose row count is at most this (guards bad size samples)
+    broadcast_threshold_rows: int = 250_000
+    #: auto-chosen reduce partitions aim for this many rows each
+    target_partition_rows: int = 8192
+    #: bounds for the auto-chosen reduce partition count
+    min_reduce_partitions: int = 1
+    max_reduce_partitions: int = 256
+    #: a shuffle bucket is skewed when it exceeds ``skew_factor`` times
+    #: the mean bucket size and holds at least ``skew_min_pairs`` pairs
+    skew_factor: float = 4.0
+    skew_min_pairs: int = 1024
+    #: cap on how many sub-buckets one skewed bucket splits into
+    skew_max_splits: int = 16
+    #: rows sampled per partition for the size estimate
+    stats_sample_rows: int = 64
+    #: total keys sampled across partitions for the distinct estimate
+    stats_key_budget: int = 2048
+
+    def with_broadcast_threshold(self, num_bytes: int) -> "AdaptiveConfig":
+        """A copy with a different broadcast threshold (README knob)."""
+        return replace(self, broadcast_threshold_bytes=num_bytes)
+
+
+DEFAULT_ADAPTIVE_CONFIG = AdaptiveConfig()
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Sampled statistics for one partition."""
+
+    index: int
+    rows: int
+    sampled_rows: int
+    approx_bytes: int
+
+
+@dataclass
+class RDDStats:
+    """Aggregated sampled statistics for one materialized RDD.
+
+    ``distinct_keys`` and ``hot_keys`` are only present when the stats
+    were collected with ``keyed=True`` over ``(key, value)`` elements;
+    ``distinct_keys`` is an estimate scaled up from the key sample and
+    capped at ``total_rows``.
+    """
+
+    partitions: List[PartitionStats]
+    total_rows: int
+    approx_bytes: int
+    distinct_keys: Optional[int] = None
+    #: sampled frequency (0..1) of keys dominating the key sample
+    hot_keys: Dict[Any, float] = field(default_factory=dict)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "partitions": self.num_partitions,
+            "total_rows": self.total_rows,
+            "approx_bytes": self.approx_bytes,
+            "distinct_keys": self.distinct_keys,
+            "hot_keys": {repr(k): v for k, v in self.hot_keys.items()},
+        }
+
+
+def _approx_size(obj: Any, depth: int = 0) -> int:
+    """Approximate in-memory footprint of ``obj`` in bytes.
+
+    Recursive ``sys.getsizeof`` walk over the container types ScrubJay
+    rows are made of; large containers are sampled and extrapolated.
+    Cheap and rough on purpose — it feeds threshold comparisons, not
+    accounting.
+    """
+    size = sys.getsizeof(obj, 64)
+    if depth >= 5:
+        return size
+    if isinstance(obj, dict):
+        n = len(obj)
+        if n:
+            sampled = 0
+            taken = 0
+            for k, v in islice(obj.items(), 32):
+                sampled += _approx_size(k, depth + 1)
+                sampled += _approx_size(v, depth + 1)
+                taken += 1
+            size += sampled * n // taken
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        n = len(obj)
+        if n:
+            sampled = sum(
+                _approx_size(x, depth + 1) for x in islice(iter(obj), 32)
+            )
+            size += sampled * n // min(n, 32)
+    return size
+
+
+def _sample_stride(length: int, budget: int) -> int:
+    """Stride that yields at most ``budget`` evenly spread samples."""
+    if budget <= 0:
+        return max(1, length)
+    return max(1, -(-length // budget))
+
+
+def collect_stats(
+    partitions: Sequence[Any],
+    config: Optional[AdaptiveConfig] = None,
+    keyed: bool = False,
+) -> RDDStats:
+    """Collect sampled statistics from materialized partitions.
+
+    Runs driver-side over the partitions the scheduler already holds,
+    so it adds no stages and no executor round-trips. With
+    ``keyed=True``, elements are treated as ``(key, value)`` pairs and
+    a key census is sampled for distinct/heavy-hitter estimates; the
+    census degrades gracefully (``distinct_keys=None``) when elements
+    are not pairs or keys are unhashable.
+    """
+    cfg = config or DEFAULT_ADAPTIVE_CONFIG
+    per_part: List[PartitionStats] = []
+    total_rows = 0
+    total_bytes = 0
+    key_counts: Optional[Dict[Any, int]] = {} if keyed else None
+    keys_sampled = 0
+    key_budget = max(
+        16, cfg.stats_key_budget // max(1, len(partitions))
+    )
+
+    for p in partitions:
+        rows = len(p.data)
+        total_rows += rows
+        if rows == 0:
+            per_part.append(PartitionStats(p.index, 0, 0, 0))
+            continue
+        stride = _sample_stride(rows, cfg.stats_sample_rows)
+        sample = p.data[::stride]
+        sampled_bytes = sum(_approx_size(x) for x in sample)
+        approx = sampled_bytes * rows // len(sample)
+        total_bytes += approx
+        per_part.append(
+            PartitionStats(p.index, rows, len(sample), approx)
+        )
+        if key_counts is not None:
+            kstride = _sample_stride(rows, key_budget)
+            try:
+                for item in p.data[::kstride]:
+                    k, _v = item
+                    key_counts[k] = key_counts.get(k, 0) + 1
+                    keys_sampled += 1
+            except (TypeError, ValueError):
+                key_counts = None  # not (key, value) pairs / unhashable
+
+    distinct: Optional[int] = None
+    hot: Dict[Any, float] = {}
+    if key_counts is not None and keys_sampled:
+        distinct_sampled = len(key_counts)
+        if keys_sampled >= total_rows:
+            distinct = distinct_sampled
+        else:
+            distinct = min(
+                total_rows,
+                max(
+                    distinct_sampled,
+                    distinct_sampled * total_rows // keys_sampled,
+                ),
+            )
+        hot = {
+            k: c / keys_sampled
+            for k, c in key_counts.items()
+            if c / keys_sampled >= 0.2 and c > 1
+        }
+    return RDDStats(
+        partitions=per_part,
+        total_rows=total_rows,
+        approx_bytes=total_bytes,
+        distinct_keys=distinct,
+        hot_keys=hot,
+    )
+
+
+# ----------------------------------------------------------------------
+# decisions & report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JoinDecision:
+    """One join-strategy choice, with the evidence that drove it."""
+
+    op: str  # "join" | "natural_join" | "interpolation_join" | ...
+    strategy: str  # "broadcast" | "shuffle"
+    build_side: Optional[str]  # "left" | "right" | None for shuffle
+    left_rows: int
+    right_rows: int
+    left_bytes: int
+    right_bytes: int
+    threshold_bytes: int
+    reason: str
+    adaptive: bool = True  # False when forced by an explicit hint
+
+    kind = "join"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "strategy": self.strategy,
+            "build_side": self.build_side,
+            "left_rows": self.left_rows,
+            "right_rows": self.right_rows,
+            "left_bytes": self.left_bytes,
+            "right_bytes": self.right_bytes,
+            "threshold_bytes": self.threshold_bytes,
+            "reason": self.reason,
+            "adaptive": self.adaptive,
+        }
+
+
+@dataclass
+class ShuffleDecision:
+    """One shuffle's tuning outcome: partition count and skew handling."""
+
+    origin: str  # "shuffle" | "range" — which scheduler path
+    requested_partitions: Optional[int]  # None = caller left it to stats
+    chosen_partitions: int
+    output_partitions: int  # after skew splitting
+    input_rows: int
+    shuffled_pairs: int  # post-combine shuffle volume
+    skewed_buckets: List[int]
+    reason: str
+
+    kind = "shuffle"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "origin": self.origin,
+            "requested_partitions": self.requested_partitions,
+            "chosen_partitions": self.chosen_partitions,
+            "output_partitions": self.output_partitions,
+            "input_rows": self.input_rows,
+            "shuffled_pairs": self.shuffled_pairs,
+            "skewed_buckets": list(self.skewed_buckets),
+            "reason": self.reason,
+        }
+
+
+class ExecutionReport:
+    """Audit trail of every adaptive decision taken on a context.
+
+    Appended to by the scheduler and the combination layer; read by
+    tests and benchmarks to prove the optimizer fired (acceptance
+    criterion: the broadcast strategy must be *selected*, not
+    hardcoded). Accumulates until :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self.decisions: List[Any] = []
+
+    def add(self, decision: Any) -> None:
+        self.decisions.append(decision)
+
+    def clear(self) -> None:
+        self.decisions.clear()
+
+    def joins(self) -> List[JoinDecision]:
+        return [d for d in self.decisions if d.kind == "join"]
+
+    def shuffles(self) -> List[ShuffleDecision]:
+        return [d for d in self.decisions if d.kind == "shuffle"]
+
+    def broadcast_joins(self) -> List[JoinDecision]:
+        return [d for d in self.joins() if d.strategy == "broadcast"]
+
+    def shuffle_volume(self) -> int:
+        """Total post-combine pairs moved through shuffles so far."""
+        return sum(d.shuffled_pairs for d in self.shuffles())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"decisions": [d.as_dict() for d in self.decisions]}
+
+    def summary(self) -> str:
+        lines = [f"ExecutionReport: {len(self.decisions)} decisions"]
+        for d in self.decisions:
+            if d.kind == "join":
+                lines.append(
+                    f"  join[{d.op}] -> {d.strategy}"
+                    f"{' build=' + d.build_side if d.build_side else ''}"
+                    f" (L {d.left_rows} rows/{d.left_bytes} B,"
+                    f" R {d.right_rows} rows/{d.right_bytes} B,"
+                    f" threshold {d.threshold_bytes} B): {d.reason}"
+                )
+            else:
+                skew = (
+                    f", skewed buckets {d.skewed_buckets}"
+                    if d.skewed_buckets
+                    else ""
+                )
+                lines.append(
+                    f"  shuffle[{d.origin}] {d.input_rows} rows ->"
+                    f" {d.shuffled_pairs} pairs over"
+                    f" {d.output_partitions} partitions"
+                    f" (requested {d.requested_partitions},"
+                    f" chosen {d.chosen_partitions}{skew}): {d.reason}"
+                )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __repr__(self) -> str:
+        return f"ExecutionReport({len(self.decisions)} decisions)"
+
+
+# ----------------------------------------------------------------------
+# the planner
+# ----------------------------------------------------------------------
+
+
+class AdaptivePlanner:
+    """Turns statistics into physical execution choices.
+
+    Owned by the :class:`~repro.rdd.context.SJContext`; consulted by
+    the scheduler at materialization time (after input stages ran, so
+    decisions see *actual* sizes, like Spark AQE) and by the
+    combination layer. Records everything it decides into ``report``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdaptiveConfig] = None,
+        report: Optional[ExecutionReport] = None,
+    ) -> None:
+        self.config = config or DEFAULT_ADAPTIVE_CONFIG
+        # `is not None`, not truthiness: an empty report is falsy
+        self.report = report if report is not None else ExecutionReport()
+
+    # -- joins ---------------------------------------------------------
+
+    def decide_join(
+        self,
+        left: RDDStats,
+        right: RDDStats,
+        hint: str = "auto",
+        op: str = "join",
+    ) -> JoinDecision:
+        """Choose broadcast-hash vs shuffle for an equi-join.
+
+        ``hint`` may force a strategy (``"broadcast-left"``,
+        ``"broadcast-right"``, ``"shuffle"``); ``"auto"`` consults the
+        statistics: the smaller side is broadcast when it fits under
+        both broadcast thresholds, otherwise the join shuffles.
+        """
+        cfg = self.config
+
+        def decision(strategy, build_side, reason, adaptive=True):
+            d = JoinDecision(
+                op=op,
+                strategy=strategy,
+                build_side=build_side,
+                left_rows=left.total_rows,
+                right_rows=right.total_rows,
+                left_bytes=left.approx_bytes,
+                right_bytes=right.approx_bytes,
+                threshold_bytes=cfg.broadcast_threshold_bytes,
+                reason=reason,
+                adaptive=adaptive,
+            )
+            self.report.add(d)
+            return d
+
+        if hint == "broadcast-left":
+            return decision("broadcast", "left", "forced by hint", False)
+        if hint == "broadcast-right":
+            return decision("broadcast", "right", "forced by hint", False)
+        if hint == "shuffle":
+            return decision("shuffle", None, "forced by hint", False)
+        if not cfg.enabled:
+            return decision("shuffle", None, "adaptive-disabled", False)
+
+        side, stats = min(
+            (("left", left), ("right", right)),
+            key=lambda s: (s[1].approx_bytes, s[1].total_rows),
+        )
+        if (
+            stats.approx_bytes <= cfg.broadcast_threshold_bytes
+            and stats.total_rows <= cfg.broadcast_threshold_rows
+        ):
+            return decision(
+                "broadcast",
+                side,
+                f"{side} side ~{stats.approx_bytes} B"
+                f" <= threshold {cfg.broadcast_threshold_bytes} B",
+            )
+        return decision(
+            "shuffle",
+            None,
+            f"smallest side ~{stats.approx_bytes} B / {stats.total_rows}"
+            f" rows exceeds broadcast thresholds"
+            f" ({cfg.broadcast_threshold_bytes} B /"
+            f" {cfg.broadcast_threshold_rows} rows)",
+        )
+
+    def decide_bin_broadcast(
+        self, bin_side: RDDStats, op: str = "interpolation_join"
+    ) -> JoinDecision:
+        """Broadcast the bin side of a windowed join when it is small.
+
+        The interpolation join bins both datasets and cogroups per
+        bin; when the sensor-style (right) dataset fits under the
+        broadcast threshold, its binned index ships whole to every
+        task instead, skipping the bin shuffle entirely.
+        """
+        cfg = self.config
+        empty = RDDStats(partitions=[], total_rows=0, approx_bytes=0)
+        if not cfg.enabled:
+            d = JoinDecision(
+                op=op, strategy="shuffle", build_side=None,
+                left_rows=0, right_rows=bin_side.total_rows,
+                left_bytes=empty.approx_bytes,
+                right_bytes=bin_side.approx_bytes,
+                threshold_bytes=cfg.broadcast_threshold_bytes,
+                reason="adaptive-disabled", adaptive=False,
+            )
+            self.report.add(d)
+            return d
+        if (
+            bin_side.approx_bytes <= cfg.broadcast_threshold_bytes
+            and bin_side.total_rows <= cfg.broadcast_threshold_rows
+        ):
+            d = JoinDecision(
+                op=op, strategy="broadcast", build_side="right",
+                left_rows=0, right_rows=bin_side.total_rows,
+                left_bytes=0, right_bytes=bin_side.approx_bytes,
+                threshold_bytes=cfg.broadcast_threshold_bytes,
+                reason=f"bin side ~{bin_side.approx_bytes} B"
+                       f" <= threshold {cfg.broadcast_threshold_bytes} B",
+            )
+        else:
+            d = JoinDecision(
+                op=op, strategy="shuffle", build_side=None,
+                left_rows=0, right_rows=bin_side.total_rows,
+                left_bytes=0, right_bytes=bin_side.approx_bytes,
+                threshold_bytes=cfg.broadcast_threshold_bytes,
+                reason=f"bin side ~{bin_side.approx_bytes} B exceeds"
+                       f" threshold {cfg.broadcast_threshold_bytes} B",
+            )
+        self.report.add(d)
+        return d
+
+    # -- shuffles ------------------------------------------------------
+
+    def choose_reduce_partitions(
+        self, input_rows: int, distinct_keys: Optional[int] = None
+    ) -> int:
+        """Reduce-partition count sized from input statistics.
+
+        Targets ``target_partition_rows`` rows per reduce partition,
+        clamped to the configured bounds and (when known) the distinct
+        key count — more partitions than keys is pure overhead.
+        """
+        cfg = self.config
+        n = -(-max(0, input_rows) // cfg.target_partition_rows) or 1
+        if distinct_keys is not None:
+            n = min(n, max(1, distinct_keys))
+        return max(
+            cfg.min_reduce_partitions, min(cfg.max_reduce_partitions, n)
+        )
+
+    def detect_skew(self, bucket_sizes: Sequence[int]) -> List[int]:
+        """Indices of buckets holding disproportionate shuffle volume."""
+        cfg = self.config
+        total = sum(bucket_sizes)
+        if not total or len(bucket_sizes) < 2:
+            return []
+        mean = total / len(bucket_sizes)
+        return [
+            b
+            for b, size in enumerate(bucket_sizes)
+            if size >= cfg.skew_min_pairs and size > cfg.skew_factor * mean
+        ]
+
+    def skew_splits(self, bucket_size: int, mean: float) -> int:
+        """How many sub-buckets to split one skewed bucket into."""
+        cfg = self.config
+        m = -(-bucket_size // max(1, int(mean)))
+        return max(2, min(cfg.skew_max_splits, m))

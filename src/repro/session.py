@@ -59,6 +59,8 @@ class ScrubJaySession:
         executor=None,
         num_workers: Optional[int] = None,
         retry_policy=None,
+        adaptive=None,
+        broadcast_threshold: Optional[int] = None,
     ) -> None:
         """``executor``/``num_workers``/``retry_policy`` configure the
         data cluster when no ready-made ``ctx`` is passed: executor is
@@ -66,7 +68,11 @@ class ScrubJaySession:
         ``"simulated"``) or an :class:`~repro.rdd.Executor` instance,
         and ``retry_policy`` a :class:`~repro.rdd.RetryPolicy` setting
         the fault-tolerance budgets (task retries, stage replays,
-        degradation ladder — see DESIGN.md "Failure semantics")."""
+        degradation ladder — see DESIGN.md "Failure semantics").
+        ``adaptive`` (an :class:`~repro.rdd.AdaptiveConfig`) and
+        ``broadcast_threshold`` (bytes; ``0`` disables broadcast
+        joins) tune statistics-driven execution — see DESIGN.md
+        "Adaptive execution"."""
         from repro.rdd.context import SJContext
 
         if ctx is not None and executor is not None:
@@ -75,6 +81,8 @@ class ScrubJaySession:
             executor=executor or "serial",
             num_workers=num_workers,
             retry_policy=retry_policy,
+            adaptive=adaptive,
+            broadcast_threshold=broadcast_threshold,
         )
         self.dictionary = dictionary or default_dictionary()
         # Copy the global registry so session-local expert derivations

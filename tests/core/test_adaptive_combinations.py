@@ -1,0 +1,153 @@
+"""Adaptive execution at the combination layer.
+
+NaturalJoin routes through the adaptive join node, InterpolationJoin
+may broadcast its binned right side; in both cases the physical
+strategy must be invisible in the results and visible in the
+ExecutionReport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.combinations import InterpolationJoin, NaturalJoin
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema, domain, value
+from repro.rdd import SJContext
+from repro.units.temporal import Timestamp
+
+LEFT = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "power": value("power", "watts"),
+})
+RIGHT = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "rack": domain("racks", "identifier"),
+})
+
+TLEFT = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "time": domain("time", "datetime"),
+    "power": value("power", "watts"),
+})
+TRIGHT = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "time": domain("time", "datetime"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def _shuffle_ctx():
+    return SJContext(executor="serial", default_parallelism=4,
+                     broadcast_threshold=0)
+
+
+def _natural_rows():
+    left = [{"node": n % 8, "power": float(n)} for n in range(200)]
+    right = [{"node": n, "rack": 100 + n % 3} for n in range(8)]
+    return left, right
+
+
+def _run_natural(ctx, dictionary, left, right):
+    lds = ScrubJayDataset.from_rows(ctx, left, LEFT, "l", 5)
+    rds = ScrubJayDataset.from_rows(ctx, right, RIGHT, "r", 2)
+    rows = NaturalJoin().apply(lds, rds, dictionary).collect()
+    return sorted(rows, key=lambda r: (r["node"], r["power"]))
+
+
+def test_natural_join_selects_broadcast_adaptively(ctx, dictionary):
+    left, right = _natural_rows()
+    _run_natural(ctx, dictionary, left, right)
+    joins = ctx.report.joins()
+    assert joins, "NaturalJoin must go through the adaptive planner"
+    d = joins[-1]
+    assert d.strategy == "broadcast"
+    assert d.adaptive, "strategy must be *chosen*, not hardcoded"
+    assert d.build_side == "right"  # 8 rows vs 200
+
+
+def test_natural_join_same_rows_broadcast_vs_shuffle(ctx, dictionary):
+    left, right = _natural_rows()
+    adaptive = _run_natural(ctx, dictionary, left, right)
+    assert ctx.report.broadcast_joins()
+    with _shuffle_ctx() as sctx:
+        shuffled = _run_natural(sctx, dictionary, left, right)
+        assert sctx.report.joins()[-1].strategy == "shuffle"
+        assert not sctx.report.broadcast_joins()
+    assert adaptive == shuffled
+    assert len(adaptive) == 200  # every left row matches one right row
+
+
+def test_interp_join_broadcasts_small_bin_side(ctx, dictionary):
+    lrows = [
+        {"node": n % 2, "time": Timestamp(float(t)), "power": float(t)}
+        for n in range(2) for t in range(0, 100, 5)
+    ]
+    rrows = [
+        {"node": n, "time": Timestamp(float(t)), "temp": 20.0 + t}
+        for n in range(2) for t in range(0, 100, 7)
+    ]
+    lds = ScrubJayDataset.from_rows(ctx, lrows, TLEFT, "l", 4)
+    rds = ScrubJayDataset.from_rows(ctx, rrows, TRIGHT, "r", 4)
+    out = InterpolationJoin(window=10.0).apply(lds, rds, dictionary)
+    rows = out.collect()
+    assert rows
+    interp = [d for d in ctx.report.joins()
+              if d.op == "interpolation_join"]
+    assert interp and interp[-1].strategy == "broadcast"
+
+
+def test_interp_join_same_rows_broadcast_vs_shuffle(dictionary):
+    lrows = [
+        {"node": n, "time": Timestamp(float(t)), "power": float(n + t)}
+        for n in range(3) for t in range(0, 60, 4)
+    ]
+    rrows = [
+        {"node": n, "time": Timestamp(float(t)), "temp": 20.0 + n + t}
+        for n in range(3) for t in range(0, 60, 9)
+    ]
+
+    def run(ctx):
+        lds = ScrubJayDataset.from_rows(ctx, lrows, TLEFT, "l", 4)
+        rds = ScrubJayDataset.from_rows(ctx, rrows, TRIGHT, "r", 4)
+        rows = InterpolationJoin(window=8.0).apply(
+            lds, rds, dictionary
+        ).collect()
+        return sorted(
+            rows, key=lambda r: (r["node"], r["time"].epoch)
+        )
+
+    with SJContext(executor="serial", default_parallelism=4) as bctx:
+        broadcast = run(bctx)
+        assert any(
+            d.op == "interpolation_join" and d.strategy == "broadcast"
+            for d in bctx.report.joins()
+        )
+    with _shuffle_ctx() as sctx:
+        shuffled = run(sctx)
+        assert any(
+            d.op == "interpolation_join" and d.strategy == "shuffle"
+            for d in sctx.report.joins()
+        )
+    assert broadcast == shuffled
+
+
+def test_dataset_exposes_stats_and_report(ctx, dictionary):
+    left, right = _natural_rows()
+    lds = ScrubJayDataset.from_rows(ctx, left, LEFT, "l", 5)
+    stats = lds.stats()
+    assert stats.total_rows == 200
+    assert stats.approx_bytes > 0
+    assert lds.execution_report is ctx.report
+
+
+def test_natural_join_report_disabled_cleanly(dictionary):
+    from repro.rdd import AdaptiveConfig
+    left, right = _natural_rows()
+    with SJContext(executor="serial", default_parallelism=4,
+                   adaptive=AdaptiveConfig(enabled=False)) as ctx:
+        rows = _run_natural(ctx, dictionary, left, right)
+        d = ctx.report.joins()[-1]
+    assert d.strategy == "shuffle"
+    assert not d.adaptive
+    assert len(rows) == 200

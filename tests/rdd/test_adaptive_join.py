@@ -1,0 +1,260 @@
+"""Equivalence property tests for the adaptive join paths.
+
+The acceptance contract for adaptive execution: every physical
+strategy (broadcast-hash, shuffle, and the nested-loop oracle) must
+produce the same multiset of joined pairs, on every executor kind —
+including one that injects faults. A bad statistic may cost time, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.rdd import AdaptiveConfig, SJContext
+from repro.rdd.executors import (
+    FaultInjectingExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.rdd.fault import RetryPolicy
+
+FAST = dict(backoff_base=0.0)
+
+
+# ----------------------------------------------------------------------
+# key distributions (seeded, deterministic)
+# ----------------------------------------------------------------------
+
+def _uniform(rng, n, n_keys):
+    return [(rng.randrange(n_keys), rng.randrange(1000)) for _ in range(n)]
+
+
+def _skewed(rng, n, n_keys):
+    """~60% of pairs pile onto a single hot key."""
+    out = []
+    for _ in range(n):
+        k = 0 if rng.random() < 0.6 else rng.randrange(1, n_keys)
+        out.append((k, rng.randrange(1000)))
+    return out
+
+
+def _disjoint_heavy(rng, n, n_keys):
+    """Most keys only on one side: exercises non-matching rows."""
+    return [(rng.randrange(3 * n_keys), rng.randrange(1000))
+            for _ in range(n)]
+
+
+DISTRIBUTIONS = {
+    "uniform": _uniform,
+    "skewed": _skewed,
+    "disjoint": _disjoint_heavy,
+}
+
+
+def nested_loop_join(left, right):
+    """O(n*m) oracle: the defining semantics of an inner equi-join."""
+    return Counter(
+        (k, (a, b)) for k, a in left for k2, b in right if k2 == k
+    )
+
+
+def _make_pairs(dist, seed=0, n_left=300, n_right=40, n_keys=25):
+    rng = random.Random(seed)
+    fn = DISTRIBUTIONS[dist]
+    return fn(rng, n_left, n_keys), fn(rng, n_right, n_keys)
+
+
+# ----------------------------------------------------------------------
+# strategy x strategy equivalence on the serial executor
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+def test_all_strategies_match_nested_loop_oracle(dist):
+    left, right = _make_pairs(dist)
+    oracle = nested_loop_join(left, right)
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        shuffle = Counter(l.join(r).collect())
+        adaptive = Counter(l.adaptiveJoin(r).collect())
+        bc_right = Counter(l.broadcastJoin(r, "right").collect())
+        bc_left = Counter(l.broadcastJoin(r, "left").collect())
+    assert shuffle == oracle
+    assert adaptive == oracle
+    assert bc_right == oracle
+    assert bc_left == oracle
+
+
+def test_adaptive_join_prefers_broadcast_for_small_side():
+    left, right = _make_pairs("uniform")
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        l.adaptiveJoin(r).collect()
+        joins = ctx.report.joins()
+    assert joins, "adaptive join must record its decision"
+    d = joins[-1]
+    assert d.strategy == "broadcast"
+    assert d.build_side == "right"  # the smaller side
+    assert d.adaptive
+
+
+def test_adaptive_join_falls_back_to_shuffle_over_threshold():
+    left, right = _make_pairs("uniform")
+    with SJContext(
+        executor="serial", default_parallelism=4, broadcast_threshold=0
+    ) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        got = Counter(l.adaptiveJoin(r).collect())
+        d = ctx.report.joins()[-1]
+    assert d.strategy == "shuffle"
+    assert got == nested_loop_join(left, right)
+
+
+def test_forced_broadcast_ignores_threshold():
+    left, right = _make_pairs("uniform")
+    with SJContext(
+        executor="serial", default_parallelism=4, broadcast_threshold=0
+    ) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        got = Counter(l.broadcastJoin(r, "right").collect())
+        d = ctx.report.joins()[-1]
+    assert (d.strategy, d.adaptive) == ("broadcast", False)
+    assert got == nested_loop_join(left, right)
+
+
+def test_broadcast_join_rejects_bad_build_side():
+    with SJContext(executor="serial") as ctx:
+        l = ctx.parallelize([(1, 1)])
+        with pytest.raises(ValueError):
+            l.broadcastJoin(l, "sideways")
+
+
+def test_adaptive_join_with_empty_sides():
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        e = ctx.parallelize([])
+        assert l.adaptiveJoin(e).collect() == []
+        assert e.adaptiveJoin(l).collect() == []
+        assert e.adaptiveJoin(e).collect() == []
+
+
+def test_broadcast_preserves_duplicate_pairs():
+    left = [(1, "a"), (1, "a"), (2, "b")]
+    right = [(1, "x"), (1, "x")]
+    oracle = nested_loop_join(left, right)
+    assert sum(oracle.values()) == 4
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize(left, 2)
+        r = ctx.parallelize(right, 2)
+        assert Counter(l.adaptiveJoin(r).collect()) == oracle
+
+
+def test_adaptive_join_is_lazy():
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize([(1, "a")])
+        j = l.adaptiveJoin(l)
+        assert len(ctx.report) == 0  # nothing decided before the action
+        j.collect()
+        assert ctx.report.joins()
+
+
+def test_adaptive_join_composes_with_downstream_ops():
+    left, right = _make_pairs("uniform")
+    oracle = nested_loop_join(left, right)
+    want = sorted(k for k, _ in oracle.elements())
+    with SJContext(executor="serial", default_parallelism=4) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        got = sorted(
+            l.adaptiveJoin(r).map(lambda kv: kv[0]).collect()
+        )
+    assert got == want
+
+
+# ----------------------------------------------------------------------
+# equivalence across executors (incl. fault injection)
+# ----------------------------------------------------------------------
+
+def _join_both_ways(ctx, left, right):
+    l = ctx.parallelize(left, 5)
+    r = ctx.parallelize(right, 3)
+    return (
+        Counter(l.adaptiveJoin(r).collect()),
+        Counter(l.join(r).collect()),
+    )
+
+
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+def test_equivalence_under_thread_executor(dist):
+    left, right = _make_pairs(dist, seed=3)
+    oracle = nested_loop_join(left, right)
+    with SJContext(executor="threads", num_workers=3,
+                   default_parallelism=4) as ctx:
+        adaptive, shuffle = _join_both_ways(ctx, left, right)
+    assert adaptive == oracle
+    assert shuffle == oracle
+
+
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+def test_equivalence_under_process_executor(process_ctx, dist):
+    left, right = _make_pairs(dist, seed=4, n_left=120, n_right=30)
+    oracle = nested_loop_join(left, right)
+    adaptive, shuffle = _join_both_ways(process_ctx, left, right)
+    assert adaptive == oracle
+    assert shuffle == oracle
+
+
+@pytest.mark.parametrize("seed", [0, 1, 42])
+def test_equivalence_under_task_faults(seed):
+    left, right = _make_pairs("skewed", seed=seed)
+    oracle = nested_loop_join(left, right)
+    inj = FaultInjectingExecutor(
+        SerialExecutor(RetryPolicy(**FAST)),
+        seed=seed,
+        kill_tasks_per_stage=1,
+    )
+    with SJContext(executor=inj, default_parallelism=4) as ctx:
+        adaptive, shuffle = _join_both_ways(ctx, left, right)
+    assert adaptive == oracle
+    assert shuffle == oracle
+    assert inj.injected_task_faults > 0
+
+
+def test_equivalence_under_pool_death_and_threads():
+    left, right = _make_pairs("uniform", seed=9)
+    oracle = nested_loop_join(left, right)
+    inj = FaultInjectingExecutor(
+        ThreadExecutor(2, RetryPolicy(**FAST)),
+        seed=2,
+        pool_death_stages={0, 2},
+    )
+    with SJContext(executor=inj, default_parallelism=4) as ctx:
+        adaptive, shuffle = _join_both_ways(ctx, left, right)
+    assert adaptive == oracle
+    assert shuffle == oracle
+    assert sum(inj._injected_pool_deaths.values()) > 0
+
+
+def test_shuffle_fallback_under_faults():
+    # force the shuffle path *through the adaptive node* while faults fire
+    left, right = _make_pairs("skewed", seed=6)
+    oracle = nested_loop_join(left, right)
+    inj = FaultInjectingExecutor(
+        SerialExecutor(RetryPolicy(**FAST)),
+        seed=1,
+        kill_tasks_per_stage=1,
+    )
+    with SJContext(executor=inj, default_parallelism=4,
+                   broadcast_threshold=0) as ctx:
+        l = ctx.parallelize(left, 5)
+        r = ctx.parallelize(right, 3)
+        got = Counter(l.adaptiveJoin(r).collect())
+        assert ctx.report.joins()[-1].strategy == "shuffle"
+    assert got == oracle

@@ -109,3 +109,18 @@ def test_explain_renders_plan(fig5_session):
                                 values=["applications", "heat"])
     assert "Load[job_queue_log]" in text
     assert "interpolation_join" in text
+
+
+def test_session_forwards_adaptive_knobs():
+    from repro import AdaptiveConfig
+
+    with ScrubJaySession(broadcast_threshold=0).ctx as ctx:
+        assert ctx.adaptive.broadcast_threshold_bytes == 0
+    cfg = AdaptiveConfig(target_partition_rows=99)
+    with ScrubJaySession(adaptive=cfg).ctx as ctx:
+        assert ctx.adaptive.target_partition_rows == 99
+    # the override composes with a supplied config
+    sj = ScrubJaySession(adaptive=cfg, broadcast_threshold=123)
+    assert sj.ctx.adaptive.target_partition_rows == 99
+    assert sj.ctx.adaptive.broadcast_threshold_bytes == 123
+    sj.ctx.stop()

@@ -1,0 +1,393 @@
+"""Load benchmark for the repro.serve query service.
+
+Drives a :class:`~repro.serve.QueryService` through the phases the
+subsystem exists for and writes machine-readable evidence to
+``benchmarks/results/BENCH_serve.json``:
+
+- **cold vs warm latency** — the same two-dataset natural-join query
+  timed with empty caches (full §5.2 plan search + distributed
+  execution) and again fully warm (semantic result-cache hit). The
+  acceptance bar is a ≥10× cold/warm ratio.
+- **concurrent throughput** — N closed-loop client threads replay a
+  hot/cold query mix against one shared service; per-request latency
+  percentiles (p50/p95/p99), aggregate qps, and a multiset-equality
+  check of every answer against a serial ground truth.
+- **overload shedding** — a deliberately tiny service (one slowed
+  worker, short admission queue) takes a burst; the run records how
+  many requests were shed with :class:`ServiceOverloadError` while
+  every admitted request still completed.
+
+Each phase also snapshots :class:`~repro.serve.ServiceMetrics` so the
+JSON carries the service's own accounting (cache hit rates, queue
+depth, latency reservoir) next to the client-side measurements.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve_load.py --smoke  # CI
+
+``--smoke`` shrinks the dataset and client count and exits non-zero if
+any acceptance check fails (wrong answers, no shedding, cold/warm
+ratio under the bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+
+# allow `python benchmarks/bench_serve_load.py` without PYTHONPATH
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import ScrubJaySession  # noqa: E402
+from repro.datagen.synthetic import (  # noqa: E402
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    keyed_tables,
+)
+from repro.errors import ServiceOverloadError  # noqa: E402
+from repro.serve import QueryService  # noqa: E402
+from repro.serve.metrics import percentile  # noqa: E402
+
+#: the query mix every client replays: a cheap single-dataset
+#: projection (hot path) interleaved with the two-dataset natural join
+WORKLOAD = [
+    (["compute nodes"], ["temperature"]),
+    (["compute nodes", "jobs"], ["power", "temperature"]),
+    (["compute nodes"], ["temperature"]),
+    (["compute nodes"], ["power"]),
+]
+
+JOIN_QUERY = (["compute nodes", "jobs"], ["power", "temperature"])
+
+
+def make_session(rows: int, keys: int = 64) -> ScrubJaySession:
+    sj = ScrubJaySession(executor="serial")
+    left, right = keyed_tables(rows, num_keys=keys)
+    sj.register_rows(left, KEYED_LEFT_SCHEMA, name="samples")
+    sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")
+    return sj
+
+
+def _row_multiset(rows: List[Dict[str, Any]]):
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items()))
+        for row in rows
+    )
+
+
+def _latency_stats(samples: List[float]) -> Dict[str, Any]:
+    ordered = sorted(samples)
+    return {
+        "samples": len(ordered),
+        "mean_s": sum(ordered) / len(ordered) if ordered else None,
+        "p50_s": percentile(ordered, 50.0),
+        "p95_s": percentile(ordered, 95.0),
+        "p99_s": percentile(ordered, 99.0),
+        "min_s": ordered[0] if ordered else None,
+        "max_s": ordered[-1] if ordered else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 1: cold vs warm latency
+# ----------------------------------------------------------------------
+
+
+def run_cold_warm(
+    rows: int, cold_samples: int, warm_samples: int
+) -> Dict[str, Any]:
+    session = make_session(rows)
+    domains, values = JOIN_QUERY
+    cold: List[float] = []
+    warm: List[float] = []
+    try:
+        with QueryService(session, num_workers=1) as svc:
+            for _ in range(cold_samples):
+                svc.invalidate()  # empty plan + result caches
+                t0 = time.perf_counter()
+                svc.query(domains, values)
+                cold.append(time.perf_counter() - t0)
+            for _ in range(warm_samples):
+                t0 = time.perf_counter()
+                svc.query(domains, values)
+                warm.append(time.perf_counter() - t0)
+            snapshot = svc.snapshot().as_dict()
+    finally:
+        session.close()
+    cold_stats = _latency_stats(cold)
+    warm_stats = _latency_stats(warm)
+    speedup = (
+        cold_stats["p50_s"] / warm_stats["p50_s"]
+        if warm_stats["p50_s"]
+        else None
+    )
+    return {
+        "rows": rows,
+        "query": {"domains": domains, "values": values},
+        "cold": cold_stats,
+        "warm": warm_stats,
+        "cold_over_warm_p50": speedup,
+        "snapshot": snapshot,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 2: concurrent clients, correctness + throughput
+# ----------------------------------------------------------------------
+
+
+def run_concurrent(
+    rows: int, num_clients: int, rounds: int
+) -> Dict[str, Any]:
+    session = make_session(rows)
+    try:
+        expected = [
+            _row_multiset(session.ask(d, v).collect())
+            for d, v in WORKLOAD
+        ]
+        latencies: List[List[float]] = [[] for _ in range(num_clients)]
+        mismatches = [0] * num_clients
+        errors: List[str] = []
+
+        with QueryService(
+            session, num_workers=4, max_queue=4096
+        ) as svc:
+
+            def client(i: int) -> None:
+                try:
+                    for _ in range(rounds):
+                        for q, (domains, values) in enumerate(WORKLOAD):
+                            t0 = time.perf_counter()
+                            ds = svc.query(
+                                domains, values, tenant=f"client-{i}"
+                            )
+                            got = _row_multiset(ds.collect())
+                            latencies[i].append(
+                                time.perf_counter() - t0
+                            )
+                            if got != expected[q]:
+                                mismatches[i] += 1
+                except Exception as exc:  # pragma: no cover
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(num_clients)
+            ]
+            wall0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - wall0
+            snapshot = svc.snapshot().as_dict()
+
+        flat = [s for per_client in latencies for s in per_client]
+        completed = len(flat)
+        return {
+            "rows": rows,
+            "num_clients": num_clients,
+            "rounds_per_client": rounds,
+            "wall_seconds": wall,
+            "qps": completed / wall if wall > 0 else None,
+            "completed": completed,
+            "errors": errors,
+            "mismatched_answers": sum(mismatches),
+            "all_answers_correct": not errors and not any(mismatches),
+            "latency": _latency_stats(flat),
+            "snapshot": snapshot,
+        }
+    finally:
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# phase 3: overload shedding
+# ----------------------------------------------------------------------
+
+
+def run_overload(
+    rows: int, burst: int, max_queue: int, execute_delay_s: float
+) -> Dict[str, Any]:
+    """Burst-submit against a deliberately tiny service.
+
+    ``execute_delay_s`` slows each execution so the burst reliably
+    outruns the single worker — the point is admission-control
+    behaviour, not executor speed.
+    """
+    session = make_session(rows)
+    original_execute = session.execute
+
+    def slow_execute(plan):
+        time.sleep(execute_delay_s)
+        return original_execute(plan)
+
+    session.execute = slow_execute
+    domains, values = JOIN_QUERY
+    try:
+        with QueryService(
+            session, num_workers=1, max_queue=max_queue
+        ) as svc:
+            tickets = []
+            shed = 0
+            t0 = time.perf_counter()
+            for _ in range(burst):
+                try:
+                    tickets.append(svc.submit(domains, values))
+                except ServiceOverloadError:
+                    shed += 1
+            completed = 0
+            for t in tickets:
+                t.result(timeout=60.0)
+                completed += 1
+            wall = time.perf_counter() - t0
+            snapshot = svc.snapshot().as_dict()
+        return {
+            "rows": rows,
+            "burst": burst,
+            "max_queue": max_queue,
+            "execute_delay_s": execute_delay_s,
+            "admitted": len(tickets),
+            "shed": shed,
+            "completed": completed,
+            "wall_seconds": wall,
+            "snapshot": snapshot,
+        }
+    finally:
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def run_all(smoke: bool) -> Dict[str, Any]:
+    if smoke:
+        rows, cold_n, warm_n = 2_000, 2, 50
+        clients, rounds = 8, 3
+        burst, queue, delay = 12, 3, 0.02
+    else:
+        rows, cold_n, warm_n = 20_000, 5, 200
+        clients, rounds = 8, 10
+        burst, queue, delay = 64, 8, 0.02
+    return {
+        "figure": "BENCH_serve",
+        "benchmark": "serve_load",
+        "description": (
+            "repro.serve query service: cold vs warm latency on the "
+            "natural-join query, closed-loop concurrent clients with "
+            "multiset correctness, and burst overload shedding"
+        ),
+        "smoke": smoke,
+        "cold_warm": run_cold_warm(rows, cold_n, warm_n),
+        "concurrent": run_concurrent(rows, clients, rounds),
+        "overload": run_overload(rows, burst, queue, delay),
+    }
+
+
+def check_smoke(payload: Dict[str, Any]) -> List[str]:
+    """Acceptance checks; failures as human-readable messages."""
+    problems: List[str] = []
+    cw = payload["cold_warm"]
+    ratio = cw["cold_over_warm_p50"]
+    if ratio is None or ratio < 10.0:
+        problems.append(
+            f"warm p50 latency is only {ratio!r}x better than cold "
+            f"(acceptance bar: >= 10x)"
+        )
+    conc = payload["concurrent"]
+    if not conc["all_answers_correct"]:
+        problems.append(
+            f"concurrent clients got {conc['mismatched_answers']} "
+            f"mismatched answers, errors={conc['errors']}"
+        )
+    if conc["snapshot"]["failed"] or conc["snapshot"]["shed"]:
+        problems.append(
+            "concurrent phase recorded failures/sheds: "
+            f"failed={conc['snapshot']['failed']} "
+            f"shed={conc['snapshot']['shed']}"
+        )
+    over = payload["overload"]
+    if over["shed"] == 0:
+        problems.append("overload burst shed nothing")
+    if over["completed"] != over["admitted"]:
+        problems.append(
+            f"only {over['completed']}/{over['admitted']} admitted "
+            f"requests completed under overload"
+        )
+    if over["shed"] + over["admitted"] != over["burst"]:
+        problems.append("overload accounting does not add up")
+    return problems
+
+
+def write_json(payload: Dict[str, Any], path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes; exit non-zero if acceptance checks fail",
+    )
+    parser.add_argument(
+        "--output", default=JSON_PATH, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_all(smoke=args.smoke)
+    path = write_json(payload, args.output)
+
+    cw = payload["cold_warm"]
+    print(
+        f"cold p50 {cw['cold']['p50_s']*1e3:8.2f} ms   "
+        f"warm p50 {cw['warm']['p50_s']*1e3:8.3f} ms   "
+        f"ratio {cw['cold_over_warm_p50']:.1f}x"
+    )
+    conc = payload["concurrent"]
+    lat = conc["latency"]
+    print(
+        f"{conc['num_clients']} clients: {conc['qps']:.0f} qps, "
+        f"p50 {lat['p50_s']*1e3:.2f} ms, "
+        f"p95 {lat['p95_s']*1e3:.2f} ms, "
+        f"p99 {lat['p99_s']*1e3:.2f} ms, "
+        f"correct={conc['all_answers_correct']}"
+    )
+    over = payload["overload"]
+    print(
+        f"overload: burst {over['burst']} -> admitted "
+        f"{over['admitted']}, shed {over['shed']}, completed "
+        f"{over['completed']}"
+    )
+    print(f"wrote {path}")
+
+    problems = check_smoke(payload)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,13 @@ from repro.rdd import (
     RetryPolicy,
     SJContext,
 )
+from repro.serve import (
+    QueryClient,
+    QueryServer,
+    QueryService,
+    ServiceSnapshot,
+)
+from repro.errors import ServiceOverloadError
 from repro.units import Quantity, Timestamp, TimeSpan
 
 __version__ = "1.0.0"
@@ -50,6 +57,11 @@ __all__ = [
     "FaultInjectingExecutor",
     "AdaptiveConfig",
     "ExecutionReport",
+    "QueryService",
+    "QueryServer",
+    "QueryClient",
+    "ServiceSnapshot",
+    "ServiceOverloadError",
     "Quantity",
     "Timestamp",
     "TimeSpan",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
@@ -90,6 +91,15 @@ class DerivationCache:
         self.hits = 0
         self.misses = 0
         self.cold_hits = 0
+        self.evictions = 0
+        self.demotions = 0
+        self.cold_evictions = 0
+        # All public operations run under one re-entrant lock, so a
+        # read's load + recency bump is atomic with respect to a
+        # concurrent put's eviction pass: an entry can never be evicted
+        # mid-read, and a freshly-read entry's mtime is already bumped
+        # before any eviction sorts by recency.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -104,32 +114,42 @@ class DerivationCache:
         """Fetch an entry, bumping its recency. None on miss.
 
         Checks the hot tier first, then the compressed cold tier;
-        a cold hit re-promotes the entry to hot.
+        a cold hit re-promotes the entry to hot. The recency bump and
+        the read happen atomically under the cache lock, so a
+        concurrent ``put``'s eviction pass can neither remove the
+        entry mid-read nor sort it by a stale timestamp.
         """
-        path = self._path(fingerprint)
-        if os.path.exists(path):
-            try:
-                with open(path, "rb") as f:
-                    entry = pickle.load(f)
-            except Exception as exc:
-                # A truncated or corrupt entry (e.g. half-written by a
-                # killed process) must not poison the cache permanently:
-                # evict the bad file and treat it as a miss.
-                self._evict_corrupt(path, exc)
+        with self._lock:
+            path = self._path(fingerprint)
+            if os.path.exists(path):
+                # Touch *before* loading: once recency is refreshed,
+                # even an eviction racing from another process sorts
+                # this entry as newest.
+                try:
+                    os.utime(path, None)
+                except OSError:
+                    pass
+                try:
+                    with open(path, "rb") as f:
+                        entry = pickle.load(f)
+                except Exception as exc:
+                    # A truncated or corrupt entry (e.g. half-written
+                    # by a killed process) must not poison the cache
+                    # permanently: evict the bad file, treat as miss.
+                    self._evict_corrupt(path, exc)
+                    self.misses += 1
+                    return None
+                self.hits += 1
+                return entry
+            entry = self._get_cold(fingerprint)
+            if entry is None:
                 self.misses += 1
                 return None
-            os.utime(path, None)  # LRU recency bump
             self.hits += 1
+            self.cold_hits += 1
+            self._write_hot(fingerprint, entry)  # promote
+            self._evict()
             return entry
-        entry = self._get_cold(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self.cold_hits += 1
-        self._write_hot(fingerprint, entry)  # promote
-        self._evict()
-        return entry
 
     def _get_cold(self, fingerprint: str) -> Optional[CachedResult]:
         if self.cold_directory is None:
@@ -185,8 +205,17 @@ class DerivationCache:
             schema_json=dataset.schema.to_json_dict(),
             name=dataset.name,
         )
-        self._write_hot(fingerprint, entry)
-        self._evict()
+        with self._lock:
+            self._write_hot(fingerprint, entry)
+            self._evict()
+
+    def put_entry(self, fingerprint: str, entry: CachedResult) -> None:
+        """Store an already-materialized :class:`CachedResult` — the
+        write-through path used by the serve layer's in-memory
+        ResultCache, which has the collected rows in hand already."""
+        with self._lock:
+            self._write_hot(fingerprint, entry)
+            self._evict()
 
     def _evict(self) -> None:
         files = [
@@ -196,15 +225,23 @@ class DerivationCache:
         ]
         if len(files) <= self.max_entries:
             return
-        files.sort(key=lambda p: os.path.getmtime(p))
+        files.sort(key=lambda p: self._mtime(p))
         for path in files[: len(files) - self.max_entries]:
             if self.cold_directory is not None:
                 self._demote(path)
             try:
                 os.remove(path)
+                self.evictions += 1
             except OSError:
                 pass
         self._evict_cold()
+
+    @staticmethod
+    def _mtime(path: str) -> float:
+        try:
+            return os.path.getmtime(path)
+        except OSError:  # removed by a concurrent process: oldest
+            return 0.0
 
     def _demote(self, hot_path: str) -> None:
         """Compress a hot entry into the cold tier."""
@@ -217,6 +254,7 @@ class DerivationCache:
             with open(hot_path, "rb") as src, gzip.open(tmp, "wb") as dst:
                 dst.write(src.read())
             os.replace(tmp, cold)
+            self.demotions += 1
         except OSError:
             try:
                 os.remove(tmp)
@@ -233,14 +271,36 @@ class DerivationCache:
         ]
         if len(files) <= self.max_cold_entries:
             return
-        files.sort(key=lambda p: os.path.getmtime(p))
+        files.sort(key=lambda p: self._mtime(p))
         for path in files[: len(files) - self.max_cold_entries]:
             try:
                 os.remove(path)
+                self.cold_evictions += 1
             except OSError:
                 pass
 
     # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters as one snapshot dict.
+
+        Surfaced through ``ctx.report`` after plan execution and
+        through the serve layer's ``ServiceMetrics`` — the
+        machine-readable replacement for grepping log lines.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "cold_hits": self.cold_hits,
+                "evictions": self.evictions,
+                "demotions": self.demotions,
+                "cold_evictions": self.cold_evictions,
+                "hit_rate": (self.hits / total) if total else None,
+                "entries": len(self),
+                "cold_entries": self.cold_len(),
+            }
 
     def __len__(self) -> int:
         return sum(
@@ -256,17 +316,19 @@ class DerivationCache:
         )
 
     def clear(self) -> None:
-        for f in os.listdir(self.directory):
-            if f.endswith(".pkl"):
-                try:
-                    os.remove(os.path.join(self.directory, f))
-                except OSError:
-                    pass
-        if self.cold_directory is not None:
-            for f in os.listdir(self.cold_directory):
-                if f.endswith(".pkl.gz"):
+        with self._lock:
+            for f in os.listdir(self.directory):
+                if f.endswith(".pkl"):
                     try:
-                        os.remove(os.path.join(self.cold_directory, f))
+                        os.remove(os.path.join(self.directory, f))
                     except OSError:
                         pass
-        self.hits = self.misses = self.cold_hits = 0
+            if self.cold_directory is not None:
+                for f in os.listdir(self.cold_directory):
+                    if f.endswith(".pkl.gz"):
+                        try:
+                            os.remove(os.path.join(self.cold_directory, f))
+                        except OSError:
+                            pass
+            self.hits = self.misses = self.cold_hits = 0
+            self.evictions = self.demotions = self.cold_evictions = 0

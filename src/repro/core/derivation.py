@@ -25,6 +25,7 @@ are gathered by code reflection, as in the paper.
 from __future__ import annotations
 
 import inspect
+import threading
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Type
 
@@ -184,29 +185,38 @@ class DerivationRegistry:
 
     def __init__(self) -> None:
         self._classes: Dict[str, Type[Derivation]] = {}
+        # Registration may now race with lookups: the query service
+        # plans on a shared session while experts register derivations,
+        # and GLOBAL_REGISTRY itself is process-wide shared state. The
+        # lock makes the check-then-set in register() atomic and lets
+        # readers take consistent snapshots.
+        self._lock = threading.RLock()
 
     def register(self, cls: Type[Derivation]) -> Type[Derivation]:
-        """Register a derivation class (usable as a decorator)."""
+        """Register a derivation class (usable as a decorator).
+        Thread-safe: the duplicate check and the insert are atomic."""
         if not cls.op_name:
             raise DerivationError(
                 f"{cls.__name__} must define a non-empty op_name"
             )
-        existing = self._classes.get(cls.op_name)
-        if existing is not None and existing is not cls:
-            raise DerivationError(
-                f"derivation name {cls.op_name!r} already registered "
-                f"by {existing.__name__}"
-            )
-        self._classes[cls.op_name] = cls
+        with self._lock:
+            existing = self._classes.get(cls.op_name)
+            if existing is not None and existing is not cls:
+                raise DerivationError(
+                    f"derivation name {cls.op_name!r} already registered "
+                    f"by {existing.__name__}"
+                )
+            self._classes[cls.op_name] = cls
         return cls
 
     def get(self, op_name: str) -> Type[Derivation]:
-        try:
-            return self._classes[op_name]
-        except KeyError:
-            raise PipelineError(
-                f"unknown derivation operation {op_name!r}"
-            ) from None
+        with self._lock:
+            try:
+                return self._classes[op_name]
+            except KeyError:
+                raise PipelineError(
+                    f"unknown derivation operation {op_name!r}"
+                ) from None
 
     def instantiate(self, spec: dict) -> Derivation:
         """Re-create a derivation from its JSON dict (``{"op": ..., **params}``)."""
@@ -224,20 +234,26 @@ class DerivationRegistry:
             ) from exc
 
     def transformations(self) -> List[Type[Transformation]]:
-        return [
-            c for c in self._classes.values()
-            if issubclass(c, Transformation)
-        ]
+        with self._lock:
+            classes = list(self._classes.values())
+        return [c for c in classes if issubclass(c, Transformation)]
 
     def combinations(self) -> List[Type[Combination]]:
-        return [
-            c for c in self._classes.values()
-            if issubclass(c, Combination)
-        ]
+        with self._lock:
+            classes = list(self._classes.values())
+        return [c for c in classes if issubclass(c, Combination)]
+
+    def op_names(self) -> List[str]:
+        """Sorted registered operation names — part of the semantic
+        fingerprint the serve-layer plan cache keys on (an expert
+        registration can change what plans are reachable)."""
+        with self._lock:
+            return sorted(self._classes)
 
     def copy(self) -> "DerivationRegistry":
         out = DerivationRegistry()
-        out._classes = dict(self._classes)
+        with self._lock:
+            out._classes = dict(self._classes)
         return out
 
 

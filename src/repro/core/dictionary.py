@@ -19,6 +19,7 @@ exactly one meaning.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.errors import DictionaryError, SemanticError, UnitError
@@ -36,6 +37,18 @@ class SemanticDictionary:
 
     def __init__(self, registry: Optional[UnitRegistry] = None) -> None:
         self.registry = registry or UnitRegistry()
+        # Mutation is rare (expert-driven keyword definition) but may
+        # now happen while served queries plan against the dictionary:
+        # the lock makes each definition atomic, and the version
+        # counter lets plan/result caches key on dictionary state and
+        # drop stale entries after any successful mutation.
+        self._lock = threading.RLock()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every successful definition."""
+        return self._version
 
     # ------------------------------------------------------------------
     # keyword definition
@@ -50,13 +63,18 @@ class SemanticDictionary:
     ) -> Dimension:
         """Add a dimension keyword; idempotent for identical meanings."""
         dim = Dimension(name, continuous, ordered, description)
-        try:
-            return self.registry.register_dimension(dim)
-        except UnitError as exc:
-            raise DictionaryError(
-                f"homonym: dimension keyword {name!r} already has a "
-                f"different meaning"
-            ) from exc
+        with self._lock:
+            is_new = not self.registry.has_dimension(name)
+            try:
+                out = self.registry.register_dimension(dim)
+            except UnitError as exc:
+                raise DictionaryError(
+                    f"homonym: dimension keyword {name!r} already has a "
+                    f"different meaning"
+                ) from exc
+            if is_new:  # idempotent re-definition leaves caches valid
+                self._version += 1
+            return out
 
     def define_unit(
         self,
@@ -68,23 +86,32 @@ class SemanticDictionary:
     ) -> Unit:
         """Add a unit keyword, enforcing the no-synonym/no-homonym rule."""
         unit = Unit(name, kind, dimension, scale, offset)
-        # Synonym check: an identical conversion signature under a
-        # different keyword would make two keywords mean one thing.
-        sig = self._signature(unit)
-        if sig is not None:
-            for existing in self.registry.units().values():
-                if existing.name != name and self._signature(existing) == sig:
-                    raise DictionaryError(
-                        f"synonym: unit keyword {name!r} duplicates the "
-                        f"meaning of {existing.name!r}; reuse that keyword"
-                    )
-        try:
-            return self.registry.register_unit(unit)
-        except UnitError as exc:
-            raise DictionaryError(
-                f"homonym: unit keyword {name!r} already has a "
-                f"different meaning"
-            ) from exc
+        with self._lock:
+            # Synonym check: an identical conversion signature under a
+            # different keyword would make two keywords mean one thing.
+            sig = self._signature(unit)
+            if sig is not None:
+                for existing in self.registry.units().values():
+                    if (
+                        existing.name != name
+                        and self._signature(existing) == sig
+                    ):
+                        raise DictionaryError(
+                            f"synonym: unit keyword {name!r} duplicates "
+                            f"the meaning of {existing.name!r}; reuse "
+                            f"that keyword"
+                        )
+            is_new = not self.registry.has_unit(name)
+            try:
+                out = self.registry.register_unit(unit)
+            except UnitError as exc:
+                raise DictionaryError(
+                    f"homonym: unit keyword {name!r} already has a "
+                    f"different meaning"
+                ) from exc
+            if is_new:
+                self._version += 1
+            return out
 
     @staticmethod
     def _signature(unit: Unit) -> Optional[Tuple]:

@@ -32,6 +32,7 @@ The search mirrors Algorithm 1:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
@@ -98,6 +99,12 @@ class DerivationEngine:
         # results at runtime). Keyed by schema fingerprints, so results
         # persist across queries over the same catalog.
         self._pair_memo: Dict[Tuple[str, str], List[Tuple]] = {}
+        # One search at a time per engine: the schema-only search is
+        # pure-Python CPU work (the GIL serializes it anyway) and the
+        # memo tables are not safe to grow from two threads at once.
+        # Concurrent callers — the serve-layer QueryService — queue
+        # here only on plan-cache misses.
+        self._solve_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # public API
@@ -111,6 +118,12 @@ class DerivationEngine:
         Raises :class:`~repro.errors.NoSolutionError` when no sequence
         exists within the configured search bounds.
         """
+        with self._solve_lock:
+            return self._solve(catalog, query)
+
+    def _solve(
+        self, catalog: Mapping[str, Schema], query: Query
+    ) -> DerivationPlan:
         query.validate(self.dictionary)
         if not catalog:
             raise NoSolutionError("the catalog is empty")

@@ -131,6 +131,48 @@ class WorkerPoolError(ExecutorError):
     serial execution after repeated consecutive deaths."""
 
 
+class ServiceError(ScrubJayError):
+    """Base class for failures of the ``repro.serve`` query service."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a query at admission.
+
+    Raised when the bounded admission queue is full: accepting more
+    work would only grow latency without bound, so excess load is
+    rejected immediately (fail-fast load shedding) instead of queueing
+    toward a deadlock or an OOM. Clients should back off and retry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: "int | None" = None,
+        max_queue: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class QueryTimeoutError(ServiceError):
+    """A served query exceeded its deadline (queue wait + execution).
+
+    Execution is not preempted mid-task — cancellation is cooperative
+    — but a query whose deadline passes while still queued is never
+    dispatched, and one that finishes late delivers this error instead
+    of its (stale) result.
+    """
+
+
+class QueryCancelledError(ServiceError):
+    """The query's ticket was cancelled before a result was delivered."""
+
+
+class ServiceClosedError(ServiceError):
+    """The query service has been closed and accepts no new queries."""
+
+
 class ShuffleKeyError(ScrubJayError):
     """A shuffle key's type has no process-stable portable hash.
 

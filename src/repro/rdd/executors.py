@@ -40,6 +40,7 @@ import concurrent.futures.process
 import logging
 import os
 import random
+import threading
 import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Collection, List, Optional
@@ -287,6 +288,14 @@ class ProcessExecutor(Executor):
         self._consecutive_pool_deaths = 0
         self._serial_fallback: Optional[SerialExecutor] = None
         self._stage_counter = 0
+        # The fork path broadcasts stage state to workers through
+        # module globals (_STAGE_FN/_STAGE_PARTITIONS, copy-on-write at
+        # fork time); when several driver threads share one executor —
+        # a QueryService multiplexing clients over one session — two
+        # concurrent stages would clobber each other's globals and fork
+        # workers against the wrong stage's inputs. Stages therefore
+        # run one at a time; tasks within a stage still parallelize.
+        self._stage_lock = threading.Lock()
         #: how many times a stage closure was cloudpickled (one per
         #: stage on the persistent-pool path, never per task)
         self.closure_pickle_count = 0
@@ -337,27 +346,28 @@ class ProcessExecutor(Executor):
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
         global _STAGE_FN, _STAGE_PARTITIONS
-        # retry runs inside the worker: an attempt costs no extra IPC
-        _STAGE_FN = make_retrying_task(fn, self.retry_policy)
-        _STAGE_PARTITIONS = partitions
         workers = min(self.num_workers, len(partitions))
         pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        try:
+        with self._stage_lock:
+            # retry runs inside the worker: an attempt costs no extra IPC
+            _STAGE_FN = make_retrying_task(fn, self.retry_policy)
+            _STAGE_PARTITIONS = partitions
             try:
-                pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=self._mp_ctx
-                )
-                futures = [
-                    pool.submit(_run_stage_task, i)
-                    for i in range(len(partitions))
-                ]
-                results = _collect_in_order(futures, partitions)
-            except (_BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:
-                raise self._note_pool_death(exc) from exc
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
-            _STAGE_FN = _STAGE_PARTITIONS = None
+                try:
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers, mp_context=self._mp_ctx
+                    )
+                    futures = [
+                        pool.submit(_run_stage_task, i)
+                        for i in range(len(partitions))
+                    ]
+                    results = _collect_in_order(futures, partitions)
+                except (_BrokenProcessPool, concurrent.futures.BrokenExecutor) as exc:
+                    raise self._note_pool_death(exc) from exc
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                _STAGE_FN = _STAGE_PARTITIONS = None
         self._consecutive_pool_deaths = 0
         return [
             Partition(p.index, r) for p, r in zip(partitions, results)
@@ -367,16 +377,18 @@ class ProcessExecutor(Executor):
         self, fn: PartitionFunc, partitions: List[Partition]
     ) -> List[Partition]:
         task = make_retrying_task(fn, self.retry_policy)
-        if self._fallback_pool is None:
-            self._fallback_pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.num_workers, mp_context=self._mp_ctx
-            )
+        with self._stage_lock:
+            if self._fallback_pool is None:
+                self._fallback_pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.num_workers, mp_context=self._mp_ctx
+                )
+            self._stage_counter += 1
+            stage_key = (id(self), self._stage_counter)
         # per-stage closure broadcast: cloudpickle the stage function
         # once, here; workers deserialize it once per stage (see
-        # _invoke_stage_task). Partition data rides the pool's stdlib
-        # pickler per task, as before.
-        self._stage_counter += 1
-        stage_key = (id(self), self._stage_counter)
+        # _invoke_stage_task; distinct concurrent stage_keys at worst
+        # thrash that one-slot cache, never corrupt it). Partition data
+        # rides the pool's stdlib pickler per task, as before.
         fn_payload = cloudpickle.dumps(task)
         self.closure_pickle_count += 1
         try:

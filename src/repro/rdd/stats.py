@@ -329,12 +329,22 @@ class ExecutionReport:
 
     def __init__(self) -> None:
         self.decisions: List[Any] = []
+        #: latest derivation-cache counter snapshot (hits, misses,
+        #: evictions, ...) — set by ScrubJaySession.execute after each
+        #: cached plan run, so cache effectiveness lands in the same
+        #: audit trail as the join/shuffle decisions instead of only
+        #: in log lines.
+        self.cache_stats: Dict[str, Any] = {}
 
     def add(self, decision: Any) -> None:
         self.decisions.append(decision)
 
+    def set_cache_stats(self, stats: Dict[str, Any]) -> None:
+        self.cache_stats = dict(stats)
+
     def clear(self) -> None:
         self.decisions.clear()
+        self.cache_stats = {}
 
     def joins(self) -> List[JoinDecision]:
         return [d for d in self.decisions if d.kind == "join"]
@@ -350,10 +360,22 @@ class ExecutionReport:
         return sum(d.shuffled_pairs for d in self.shuffles())
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"decisions": [d.as_dict() for d in self.decisions]}
+        out: Dict[str, Any] = {
+            "decisions": [d.as_dict() for d in self.decisions]
+        }
+        if self.cache_stats:
+            out["cache_stats"] = dict(self.cache_stats)
+        return out
 
     def summary(self) -> str:
         lines = [f"ExecutionReport: {len(self.decisions)} decisions"]
+        if self.cache_stats:
+            cs = self.cache_stats
+            lines.append(
+                f"  derivation cache: {cs.get('hits', 0)} hits /"
+                f" {cs.get('misses', 0)} misses,"
+                f" {cs.get('evictions', 0)} evictions"
+            )
         for d in self.decisions:
             if d.kind == "join":
                 lines.append(

@@ -1,0 +1,67 @@
+"""repro.serve — a concurrent, cached, multi-tenant query service.
+
+Turns a single-caller :class:`~repro.session.ScrubJaySession` into a
+server: many clients multiplex over one shared catalog, dictionary,
+engine, and executor pool, with repeated logical queries answered from
+semantic plan/result caches instead of re-running the §5.2 search and
+the data-parallel execution.
+
+Layers (see DESIGN.md "The serve subsystem")::
+
+    admission → per-tenant FIFO → plan cache → engine
+                                → result cache → executor pool
+
+Quick start::
+
+    from repro import ScrubJaySession
+
+    sj = ScrubJaySession()
+    sj.register_rows(rows, schema, name="temps")
+    with sj.serve(num_workers=4, max_queue=32) as svc:
+        ticket = svc.submit(domains=["time"], values=["temperature"],
+                            tenant="alice")
+        result = ticket.result()
+        print(svc.snapshot().summary())
+
+or over a socket (stdlib line-delimited JSON)::
+
+    from repro.serve import QueryServer, QueryClient
+
+    with QueryServer(svc) as server:
+        host, port = server.address
+        with QueryClient(host, port) as client:
+            rows, schema = client.query(["time"], ["temperature"])
+"""
+
+from repro.serve.keys import normalize_query, plan_key, result_key
+from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
+from repro.serve.plan_cache import PlanCache
+from repro.serve.result_cache import ResultCache, ResultEntry
+from repro.serve.service import QueryService, QueryTicket
+from repro.serve.wire import (
+    InProcessClient,
+    QueryClient,
+    QueryServer,
+    WireError,
+    decode_rows,
+    encode_rows,
+)
+
+__all__ = [
+    "normalize_query",
+    "plan_key",
+    "result_key",
+    "PlanCache",
+    "ResultCache",
+    "ResultEntry",
+    "ServiceMetrics",
+    "ServiceSnapshot",
+    "QueryService",
+    "QueryTicket",
+    "QueryServer",
+    "QueryClient",
+    "InProcessClient",
+    "WireError",
+    "encode_rows",
+    "decode_rows",
+]

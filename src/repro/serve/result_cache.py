@@ -1,0 +1,193 @@
+"""ResultCache: a bounded, TTL'd in-memory tier over the §5.4 cache.
+
+The on-disk :class:`~repro.core.cache.DerivationCache` memoizes plan
+*subtrees* by content fingerprint so expensive prefixes are shared
+across sessions. Serving adds a hotter, stricter need: a repeated
+logical query should return without touching the executor at all, and
+the entry must die the moment it can be stale. This tier provides
+that:
+
+- keyed **semantically** (:func:`repro.serve.keys.result_key`:
+  plan fingerprint + session state fingerprint + catalog data
+  version), so any register/drop/dictionary change orphans old
+  entries;
+- **TTL-bounded** — even a semantically valid entry expires after
+  ``ttl`` seconds, putting a ceiling on staleness windows the version
+  counters cannot see (e.g. an analyst re-running against wall-clock
+  data feeds);
+- **LRU-bounded** with hit/miss/eviction/expiration counters exposed
+  through :meth:`stats` and the service's ``ServiceMetrics``;
+- optionally **write-through** to a shared ``DerivationCache`` so a
+  restarted service warms from disk.
+
+All operations run under one lock: a read copies the entry reference
+out before releasing it, so an eviction racing with that read can
+never hand the caller a half-dropped entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.cache import CachedResult, DerivationCache
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema
+
+
+@dataclass
+class ResultEntry:
+    """One materialized result plus its bookkeeping."""
+
+    rows: List[Dict[str, Any]]
+    schema_json: dict
+    name: str
+    created_at: float
+
+    def to_dataset(self, ctx) -> ScrubJayDataset:
+        return ScrubJayDataset.from_rows(
+            ctx,
+            self.rows,
+            Schema.from_json_dict(self.schema_json),
+            self.name,
+        )
+
+
+class ResultCache:
+    """Semantic LRU+TTL result cache with an optional disk tier.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory bound; least recently used entries evict first.
+    ttl:
+        Seconds an entry stays servable; ``None`` disables expiry.
+    backing:
+        Optional :class:`DerivationCache`: misses fall through to it
+        (promoting hits into memory) and puts write through to it.
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        ttl: Optional[float] = None,
+        backing: Optional[DerivationCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.backing = backing
+        self._clock = clock
+        self._entries: "OrderedDict[str, ResultEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.backing_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def _expired(self, entry: ResultEntry) -> bool:
+        return (
+            self.ttl is not None
+            and self._clock() - entry.created_at > self.ttl
+        )
+
+    def get(self, key: str, ctx) -> Optional[ScrubJayDataset]:
+        """A live dataset for ``key`` (re-parallelized into ``ctx``),
+        or None. Recency refresh is atomic with the read."""
+        entry: Optional[ResultEntry] = None
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                if self._expired(found):
+                    del self._entries[key]
+                    self.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    entry = found
+        if entry is not None:
+            return entry.to_dataset(ctx)
+
+        # Fall through to the shared on-disk tier, if any.
+        if self.backing is not None:
+            cold = self.backing.get(key)
+            if cold is not None:
+                promoted = ResultEntry(
+                    rows=cold.rows,
+                    schema_json=cold.schema_json,
+                    name=cold.name,
+                    created_at=self._clock(),
+                )
+                with self._lock:
+                    self.hits += 1
+                    self.backing_hits += 1
+                    self._insert(key, promoted)
+                return promoted.to_dataset(ctx)
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, dataset: ScrubJayDataset) -> None:
+        """Materialize ``dataset`` under ``key`` (and write through to
+        the disk tier when configured)."""
+        entry = ResultEntry(
+            rows=dataset.collect(),
+            schema_json=dataset.schema.to_json_dict(),
+            name=dataset.name,
+            created_at=self._clock(),
+        )
+        with self._lock:
+            self._insert(key, entry)
+        if self.backing is not None:
+            self.backing.put_entry(
+                key,
+                CachedResult(
+                    rows=entry.rows,
+                    schema_json=entry.schema_json,
+                    name=entry.name,
+                ),
+            )
+
+    def _insert(self, key: str, entry: ResultEntry) -> None:
+        # caller holds self._lock
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "backing_hits": self.backing_hits,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": (self.hits / total) if total else None,
+                "entries": len(self._entries),
+                "ttl": self.ttl,
+            }

@@ -1,0 +1,475 @@
+"""QueryService: many concurrent clients, one shared session.
+
+The pipeline each admitted query walks::
+
+    admission (bounded, load-shedding)
+        → per-tenant FIFO queues (round-robin fairness)
+            → plan cache (memoized §5.2 search, single-flight)
+                → derivation engine (cold search only)
+            → result cache (semantic key + TTL/LRU)
+                → shared SJContext executor pool (cold results only)
+
+Design decisions, in the order they bite under load:
+
+- **Admission control.** The queue is bounded (``max_queue``). A
+  submit that finds it full is rejected *immediately* with
+  :class:`~repro.errors.ServiceOverloadError` — shedding at the door
+  keeps latency of admitted queries bounded and can never deadlock or
+  accumulate unbounded memory. This is the standard
+  fail-fast alternative to infinite queues.
+- **Fairness.** Each tenant gets its own FIFO; workers take from
+  tenants round-robin, so one chatty tenant cannot starve the rest —
+  within a tenant, order is preserved.
+- **Timeouts & cancellation.** A query's deadline covers queue wait +
+  execution. Expired-in-queue tickets are never dispatched;
+  cancellation is cooperative (a running query finishes its current
+  stage but its late result is discarded in favor of the typed
+  error). This mirrors the PR-1 taxonomy's stance: the executor owns
+  intra-task retries, the layer above owns end-to-end budgets.
+- **Retries.** Transient executor failures (worker pool death,
+  injected faults that exhausted the task budget) are retried whole —
+  classification reuses :meth:`repro.rdd.fault.RetryPolicy.is_transient`,
+  so the service and the executor agree on what "transient" means.
+- **One engine, many clients.** The schema-level search is serialized
+  by the engine's own lock and de-duplicated by the plan cache's
+  single-flight, so a thundering herd on a cold key pays exactly one
+  search.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.query import Query, ValueSpec
+from repro.errors import (
+    ExecutorError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ScrubJayError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.serve.keys import normalize_query, plan_key, result_key
+from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
+from repro.serve.plan_cache import PlanCache
+from repro.serve.result_cache import ResultCache
+
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class QueryTicket:
+    """Future-like handle for one submitted query."""
+
+    def __init__(
+        self,
+        tenant: str,
+        query: Query,
+        submitted_at: float,
+        deadline: Optional[float],
+    ) -> None:
+        self.tenant = tenant
+        self.query = query
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self.state = _QUEUED
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Optional[ScrubJayDataset] = None
+        self._error: Optional[BaseException] = None
+
+    # -- completion (service side) -------------------------------------
+
+    def _deliver(
+        self,
+        result: Optional[ScrubJayDataset],
+        error: Optional[BaseException],
+        finished_at: float,
+    ) -> None:
+        self._result = result
+        self._error = error
+        self.finished_at = finished_at
+        if self.state != _CANCELLED:
+            self.state = _DONE
+        self._event.set()
+
+    # -- client side ---------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ScrubJayDataset:
+        """Block until the query finishes; re-raise its error if it
+        failed. ``timeout`` bounds only this wait, not the query."""
+        if not self._event.wait(timeout):
+            raise QueryTimeoutError(
+                f"no result within {timeout}s (query still "
+                f"{self.state}; the ticket remains valid)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise QueryTimeoutError(f"no outcome within {timeout}s")
+        return self._error
+
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTicket(tenant={self.tenant!r}, state={self.state}, "
+            f"query={self.query})"
+        )
+
+
+class QueryService:
+    """Concurrent, cached, admission-controlled front-end over one
+    :class:`~repro.session.ScrubJaySession`.
+
+    Parameters
+    ----------
+    session:
+        The shared session (catalog + dictionary + engine + context).
+    num_workers:
+        Service worker threads (concurrent queries in execution).
+        Distinct from the executor's data-parallel workers: a service
+        worker drives one query end-to-end; the session's executor
+        pool parallelizes *within* each query.
+    max_queue:
+        Admission bound across all tenants; beyond it submissions shed
+        with :class:`ServiceOverloadError`.
+    default_timeout:
+        Per-query deadline (seconds, queue wait + execution) applied
+        when ``submit`` gets none. ``None`` = no deadline.
+    plan_cache_entries / result_cache_entries / result_ttl:
+        Cache bounds; see :class:`PlanCache` / :class:`ResultCache`.
+    use_disk_cache:
+        When True (default) and the session has a
+        :class:`~repro.core.cache.DerivationCache`, the result cache
+        writes through to it and warm-starts from it.
+    max_query_attempts:
+        End-to-end attempts per query on *transient* executor errors.
+    retry_policy:
+        Transient/fatal classifier; defaults to the session executor's
+        policy.
+    """
+
+    def __init__(
+        self,
+        session,
+        num_workers: int = 4,
+        max_queue: int = 64,
+        default_timeout: Optional[float] = None,
+        plan_cache_entries: int = 256,
+        result_cache_entries: int = 128,
+        result_ttl: Optional[float] = None,
+        use_disk_cache: bool = True,
+        max_query_attempts: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        metrics_window_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.session = session
+        self.default_timeout = default_timeout
+        self.max_queue = max_queue
+        self.max_query_attempts = max(1, max_query_attempts)
+        self.retry_policy = (
+            retry_policy
+            or getattr(
+                session.ctx.executor, "retry_policy", DEFAULT_RETRY_POLICY
+            )
+        )
+        self._clock = clock
+        self.plan_cache = PlanCache(plan_cache_entries)
+        backing = session.cache if use_disk_cache else None
+        self.result_cache = ResultCache(
+            result_cache_entries, result_ttl, backing=backing, clock=clock
+        )
+        self.metrics = ServiceMetrics(window_s=metrics_window_s, clock=clock)
+
+        self._cond = threading.Condition()
+        self._queues: Dict[str, "deque[QueryTicket]"] = {}
+        self._rr: List[str] = []  # tenants with queued work, in turn order
+        self._queued = 0
+        self._in_flight = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"sj-serve-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+    ) -> QueryTicket:
+        """Admit a query (or shed it) and return its ticket."""
+        query = Query.of(domains, values)
+        now = self._clock()
+        effective = self.default_timeout if timeout is None else timeout
+        deadline = None if effective is None else now + effective
+        ticket = QueryTicket(tenant, query, now, deadline)
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._queued >= self.max_queue:
+                self.metrics.record_shed()
+                raise ServiceOverloadError(
+                    f"admission queue full ({self._queued}/"
+                    f"{self.max_queue}); retry with backoff",
+                    queue_depth=self._queued,
+                    max_queue=self.max_queue,
+                )
+            q = self._queues.get(tenant)
+            if q is None:
+                q = self._queues[tenant] = deque()
+            q.append(ticket)
+            if tenant not in self._rr:
+                self._rr.append(tenant)
+            self._queued += 1
+            self.metrics.record_submitted()
+            self._cond.notify()
+        return ticket
+
+    def query(
+        self,
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+    ) -> ScrubJayDataset:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(domains, values, tenant, timeout).result()
+
+    def cancel(self, ticket: QueryTicket) -> bool:
+        """Cancel a still-queued ticket. Returns False once the query
+        is running or finished (cancellation is cooperative)."""
+        with self._cond:
+            if ticket.state != _QUEUED:
+                return False
+            q = self._queues.get(ticket.tenant)
+            if q is not None:
+                try:
+                    q.remove(ticket)
+                    self._queued -= 1
+                except ValueError:
+                    return False
+            ticket.state = _CANCELLED
+            self.metrics.record_cancelled()
+        ticket._deliver(
+            None,
+            QueryCancelledError("cancelled before dispatch"),
+            self._clock(),
+        )
+        return True
+
+    def invalidate(self) -> None:
+        """Explicitly flush both caches (keying already isolates stale
+        entries after catalog/dictionary changes; this reclaims them)."""
+        self.plan_cache.clear()
+        self.result_cache.clear()
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Current :class:`ServiceSnapshot` (counters, gauges, qps,
+        latency percentiles, all three cache stat blocks)."""
+        with self._cond:
+            queued = self._queued
+            in_flight = self._in_flight
+            tenants = len(self._queues)
+        derivation = (
+            self.session.cache.stats()
+            if self.session.cache is not None
+            else {}
+        )
+        return self.metrics.snapshot(
+            in_flight=in_flight,
+            queue_depth=queued,
+            tenants=tenants,
+            plan_cache=self.plan_cache.stats(),
+            result_cache=self.result_cache.stats(),
+            derivation_cache=derivation,
+        )
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop admitting; by default let workers drain queued work,
+        otherwise fail queued tickets with :class:`ServiceClosedError`."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                for q in self._queues.values():
+                    while q:
+                        t = q.popleft()
+                        self._queued -= 1
+                        t._deliver(
+                            None,
+                            ServiceClosedError("service closed"),
+                            self._clock(),
+                        )
+                self._rr.clear()
+            self._cond.notify_all()
+        for w in self._workers:
+            w.join(timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _next_ticket(self) -> Optional[QueryTicket]:
+        """Round-robin-fair blocking dequeue; None means shut down."""
+        with self._cond:
+            while True:
+                if self._queued > 0:
+                    tenant = self._rr.pop(0)
+                    q = self._queues[tenant]
+                    ticket = q.popleft()
+                    self._queued -= 1
+                    if q:  # tenant still has work: back of the turn order
+                        self._rr.append(tenant)
+                    ticket.state = _RUNNING
+                    self._in_flight += 1
+                    return ticket
+                if self._closed:
+                    return None
+                self._cond.wait()
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._next_ticket()
+            if ticket is None:
+                return
+            try:
+                self._run(ticket)
+            finally:
+                with self._cond:
+                    self._in_flight -= 1
+
+    def _run(self, ticket: QueryTicket) -> None:
+        now = self._clock()
+        ticket.started_at = now
+        if ticket.deadline is not None and now > ticket.deadline:
+            # Expired while queued: never dispatched to the engine.
+            self.metrics.record_timeout()
+            ticket._deliver(
+                None,
+                QueryTimeoutError(
+                    "deadline expired while queued "
+                    f"(waited {now - ticket.submitted_at:.3f}s)"
+                ),
+                now,
+            )
+            return
+
+        result: Optional[ScrubJayDataset] = None
+        error: Optional[BaseException] = None
+        try:
+            result = self._answer(ticket.query)
+        except ScrubJayError as exc:
+            error = exc
+        except Exception as exc:  # defensive: never kill a worker
+            error = exc
+
+        finished = self._clock()
+        latency = finished - ticket.submitted_at
+        if (
+            error is None
+            and ticket.deadline is not None
+            and finished > ticket.deadline
+        ):
+            # Finished, but past the deadline: the client contract is
+            # the deadline, so deliver the typed timeout instead of a
+            # result the caller may already have given up on.
+            self.metrics.record_timeout()
+            error, result = (
+                QueryTimeoutError(
+                    f"query exceeded its deadline ({latency:.3f}s)"
+                ),
+                None,
+            )
+        elif error is None:
+            self.metrics.record_completed(latency)
+        else:
+            self.metrics.record_failed(latency)
+        ticket._deliver(result, error, finished)
+
+    # ------------------------------------------------------------------
+    # the actual pipeline: plan cache → engine → result cache → executor
+    # ------------------------------------------------------------------
+
+    def _answer(self, query: Query) -> ScrubJayDataset:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._answer_once(query)
+            except ExecutorError as exc:
+                transient = self.retry_policy.is_transient(exc)
+                if not transient or attempts >= self.max_query_attempts:
+                    raise
+                self.metrics.record_retry()
+
+    def _answer_once(self, query: Query) -> ScrubJayDataset:
+        session = self.session
+        state = session.state_fingerprint()
+        version = session.catalog_version
+        nq = normalize_query(query)
+        pkey = plan_key(state, nq)
+        plan = self.plan_cache.get_or_solve(
+            pkey, lambda: session.engine.solve(session.schemas(), nq)
+        )
+        rkey = result_key(plan.fingerprint(), state, version)
+        hit = self.result_cache.get(rkey, session.ctx)
+        if hit is not None:
+            return hit
+        result = session.execute(plan)
+        # Pin the rows driver-side before publishing: a cached entry
+        # must not hold a lazy RDD whose lineage outlives its inputs.
+        self.result_cache.put(rkey, result)
+        return result
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"QueryService(workers={len(self._workers)}, "
+                f"queued={self._queued}, in_flight={self._in_flight}, "
+                f"closed={self._closed})"
+            )

@@ -1,0 +1,341 @@
+"""Thin wire layer: line-delimited JSON over TCP, stdlib only.
+
+One request per line, one JSON response per line — the simplest
+protocol that lets ``examples/`` run a real client/server demo and
+that a load generator can hammer from many sockets. The same request
+dispatcher backs an :class:`InProcessClient`, so tests and embedded
+callers speak the exact protocol without a socket.
+
+Requests (``op`` selects the action)::
+
+    {"op": "ping"}
+    {"op": "query",  "domains": [...], "values": [...],
+     "tenant": "...", "timeout": 1.5}
+    {"op": "explain","domains": [...], "values": [...]}
+    {"op": "metrics"}
+
+Responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": "<type name>", "message": "..."}`` — the
+error type name round-trips the server-side exception class so
+clients can tell a shed (``ServiceOverloadError``) from a timeout
+from a planning failure and react accordingly (back off, give up,
+fix the query).
+
+Row values are text-encoded with the semantic codec
+(:mod:`repro.wrappers.codec`) — the schema rides along, so a client
+holding a compatible dictionary can decode typed values back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.semantics import Schema
+from repro.errors import ScrubJayError, ServiceError, WrapperError
+from repro.serve.service import QueryService
+from repro.wrappers.codec import decode_value, encode_value
+
+
+# ----------------------------------------------------------------------
+# shared dispatch (socket handler + in-process handle)
+# ----------------------------------------------------------------------
+
+
+def _values_from_wire(values: Sequence[Any]) -> List[Any]:
+    """JSON arrays arrive as lists; Query.of wants str | (dim, units)."""
+    out: List[Any] = []
+    for v in values:
+        if isinstance(v, str):
+            out.append(v)
+        else:
+            dim, units = v
+            out.append((dim, units))
+    return out
+
+
+def encode_rows(
+    rows: List[Dict[str, Any]], schema: Schema, dictionary
+) -> List[Dict[str, str]]:
+    """Text-encode typed row values for JSON transport."""
+    out = []
+    for row in rows:
+        enc: Dict[str, str] = {}
+        for field, value in row.items():
+            sem = schema[field] if field in schema else None
+            if sem is None:
+                enc[field] = str(value)
+            else:
+                enc[field] = encode_value(value, sem, dictionary)
+        out.append(enc)
+    return out
+
+
+def decode_rows(
+    rows: List[Dict[str, str]], schema: Schema, dictionary
+) -> List[Dict[str, Any]]:
+    """Invert :func:`encode_rows` given a compatible dictionary."""
+    out = []
+    for row in rows:
+        dec: Dict[str, Any] = {}
+        for field, text in row.items():
+            if field in schema:
+                dec[field] = decode_value(text, schema[field], dictionary)
+            else:
+                dec[field] = text
+        out.append(dec)
+    return out
+
+
+def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one wire request against a service; never raises — all
+    failures become typed error responses."""
+    try:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "metrics": service.snapshot().as_dict(),
+            }
+        if op in ("query", "explain"):
+            domains = request.get("domains") or []
+            values = _values_from_wire(request.get("values") or [])
+            if op == "explain":
+                plan = service.session.query(domains, values)
+                return {
+                    "ok": True,
+                    "plan": plan.describe(),
+                    "operations": plan.operations(),
+                    "steps": plan.num_steps(),
+                }
+            dataset = service.query(
+                domains,
+                values,
+                tenant=str(request.get("tenant", "default")),
+                timeout=request.get("timeout"),
+            )
+            rows = dataset.collect()
+            return {
+                "ok": True,
+                "name": dataset.name,
+                "schema": dataset.schema.to_json_dict(),
+                "rows": encode_rows(
+                    rows, dataset.schema, service.session.dictionary
+                ),
+                "row_count": len(rows),
+            }
+        return {
+            "ok": False,
+            "error": "ProtocolError",
+            "message": f"unknown op {op!r}",
+        }
+    except (ScrubJayError, WrapperError) as exc:
+        return {
+            "ok": False,
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+    except Exception as exc:  # malformed requests must not kill a conn
+        return {
+            "ok": False,
+            "error": "InternalError",
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+
+
+class WireError(ServiceError):
+    """Client-side surfacing of an ``ok: false`` response."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.remote_message = message
+
+
+def _raise_on_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        raise WireError(
+            str(response.get("error", "UnknownError")),
+            str(response.get("message", "")),
+        )
+    return response
+
+
+# ----------------------------------------------------------------------
+# in-process handle
+# ----------------------------------------------------------------------
+
+
+class InProcessClient:
+    """The wire protocol without the wire: same requests/responses,
+    dispatched directly against a local service. Useful for embedding
+    and for protocol tests that should not depend on sockets."""
+
+    def __init__(self, service: QueryService) -> None:
+        self.service = service
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return dispatch(self.service, req)
+
+    def ping(self) -> bool:
+        return bool(_raise_on_error(self.request({"op": "ping"})).get("pong"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return _raise_on_error(self.request({"op": "metrics"}))["metrics"]
+
+    def explain(
+        self, domains: Sequence[str], values: Sequence[Any]
+    ) -> Dict[str, Any]:
+        return _raise_on_error(self.request({
+            "op": "explain",
+            "domains": list(domains),
+            "values": list(values),
+        }))
+
+    def query(
+        self,
+        domains: Sequence[str],
+        values: Sequence[Any],
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        dictionary=None,
+    ) -> Tuple[List[Dict[str, Any]], Schema]:
+        resp = _raise_on_error(self.request({
+            "op": "query",
+            "domains": list(domains),
+            "values": list(values),
+            "tenant": tenant,
+            "timeout": timeout,
+        }))
+        schema = Schema.from_json_dict(resp["schema"])
+        rows = resp["rows"]
+        if dictionary is not None:
+            rows = decode_rows(rows, schema, dictionary)
+        return rows, schema
+
+    def close(self) -> None:  # symmetry with QueryClient
+        pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# socket server
+# ----------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one connection, many requests
+        service = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                response = {
+                    "ok": False,
+                    "error": "ProtocolError",
+                    "message": f"malformed request line: {exc}",
+                }
+            else:
+                response = dispatch(service, request)
+            try:
+                self.wfile.write(
+                    (json.dumps(response) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class QueryServer:
+    """Line-delimited-JSON TCP front-end for a :class:`QueryService`.
+
+    Binds immediately (``port=0`` picks a free port — read
+    :attr:`address`); ``start()`` serves on a background thread.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "QueryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="sj-serve-wire",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class QueryClient(InProcessClient):
+    """Socket client speaking the NDJSON protocol.
+
+    Inherits the convenience surface (``query``/``explain``/
+    ``metrics``/``ping``) from :class:`InProcessClient`; only
+    :meth:`request` differs — it crosses the wire.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()  # one request/response at a time
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        payload = (json.dumps(req) + "\n").encode("utf-8")
+        with self._lock:
+            self._sock.sendall(payload)
+            line = self._rfile.readline()
+        if not line:
+            raise WireError("ConnectionClosed", "server closed the stream")
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()

@@ -23,6 +23,7 @@ Typical use::
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.errors import ScrubJayError
@@ -38,6 +39,7 @@ from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
 from repro.core.query import Query, ValueSpec
 from repro.core.semantics import Schema
+from repro.util.hashing import content_hash
 
 # Importing these modules registers ScrubJay's built-in derivations.
 import repro.core.transformations  # noqa: F401
@@ -90,6 +92,14 @@ class ScrubJaySession:
         self.registry = (registry or GLOBAL_REGISTRY).copy()
         self.engine = DerivationEngine(self.dictionary, self.registry, config)
         self.catalog: Dict[str, ScrubJayDataset] = {}
+        # Catalog mutation (register/drop) may race with in-flight
+        # queries when the session backs a QueryService: the lock makes
+        # each mutation atomic and the version counter lets serve-layer
+        # caches detect that the *data* changed even when the schema
+        # set (and hence state_fingerprint's schema part) did not —
+        # e.g. drop + re-register of same-named, same-schema rows.
+        self._catalog_lock = threading.RLock()
+        self._catalog_version = 0
         self.cache: Optional[DerivationCache] = (
             DerivationCache(cache_dir, cache_max_entries)
             if cache_dir
@@ -106,11 +116,13 @@ class ScrubJaySession:
         """Validate a dataset against the dictionary and add it to the
         catalog under ``name`` (defaults to the dataset's own name)."""
         name = name or dataset.name
-        if name in self.catalog:
-            raise ScrubJayError(f"dataset {name!r} already registered")
         dataset.validate(self.dictionary)
-        dataset.name = name
-        self.catalog[name] = dataset
+        with self._catalog_lock:
+            if name in self.catalog:
+                raise ScrubJayError(f"dataset {name!r} already registered")
+            dataset.name = name
+            self.catalog[name] = dataset
+            self._catalog_version += 1
         return dataset
 
     def register_rows(
@@ -130,14 +142,64 @@ class ScrubJaySession:
         """Load a dataset through a data wrapper and register it."""
         return self.register(wrapper.load(self.ctx), name)
 
+    def drop(self, name: str) -> ScrubJayDataset:
+        """Remove a dataset from the catalog (queries already running
+        against a snapshot that includes it are unaffected)."""
+        with self._catalog_lock:
+            try:
+                ds = self.catalog.pop(name)
+            except KeyError:
+                raise ScrubJayError(
+                    f"no dataset named {name!r}"
+                ) from None
+            self._catalog_version += 1
+            return ds
+
     def dataset(self, name: str) -> ScrubJayDataset:
-        try:
-            return self.catalog[name]
-        except KeyError:
-            raise ScrubJayError(f"no dataset named {name!r}") from None
+        with self._catalog_lock:
+            try:
+                return self.catalog[name]
+            except KeyError:
+                raise ScrubJayError(f"no dataset named {name!r}") from None
 
     def schemas(self) -> Dict[str, Schema]:
-        return {name: ds.schema for name, ds in self.catalog.items()}
+        with self._catalog_lock:
+            return {
+                name: ds.schema for name, ds in self.catalog.items()
+            }
+
+    def snapshot(self) -> Dict[str, ScrubJayDataset]:
+        """A point-in-time copy of the catalog mapping, safe to
+        execute against while other threads register/drop datasets."""
+        with self._catalog_lock:
+            return dict(self.catalog)
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter bumped by every register/drop."""
+        return self._catalog_version
+
+    def state_fingerprint(self) -> str:
+        """Content hash of everything a *plan* depends on: the catalog
+        schemas, the dictionary version, and the registered derivation
+        ops. Two sessions (or the same session at two instants) with
+        equal fingerprints produce identical plans for identical
+        queries — the serve-layer PlanCache keys on this.
+
+        Note this deliberately excludes row contents: plans are
+        schema-level. Result caching additionally keys on
+        :attr:`catalog_version` to track data changes.
+        """
+        with self._catalog_lock:
+            schema_part = {
+                name: ds.schema.to_json_dict()
+                for name, ds in self.catalog.items()
+            }
+        return content_hash({
+            "schemas": schema_part,
+            "dictionary_version": self.dictionary.version,
+            "ops": self.registry.op_names(),
+        })
 
     # ------------------------------------------------------------------
     # semantics & derivations
@@ -182,8 +244,17 @@ class ScrubJaySession:
         return self.query(domains, values).describe()
 
     def execute(self, plan: DerivationPlan) -> ScrubJayDataset:
-        """Execute a plan against the registered data."""
-        return plan.execute(self.catalog, self.dictionary, self.cache)
+        """Execute a plan against the registered data.
+
+        Runs against a point-in-time catalog snapshot, so concurrent
+        ``register``/``drop`` calls cannot mutate the mapping mid-walk;
+        afterwards the derivation-cache counters are published into
+        ``ctx.report`` for machine-readable inspection.
+        """
+        result = plan.execute(self.snapshot(), self.dictionary, self.cache)
+        if self.cache is not None:
+            self.ctx.report.set_cache_stats(self.cache.stats())
+        return result
 
     def ask(
         self, domains: Sequence[str], values: Sequence[ValueSpec]
@@ -204,6 +275,21 @@ class ScrubJaySession:
         """Re-instantiate a derivation sequence from JSON."""
         with open(path, "r", encoding="utf-8") as f:
             return DerivationPlan.from_json(f.read(), self.registry)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def serve(self, **kwargs) -> "QueryService":  # noqa: F821
+        """Wrap this session in a concurrent multi-tenant
+        :class:`~repro.serve.QueryService` (plan cache → engine →
+        result cache → shared executor pool). Keyword arguments are
+        forwarded to the service constructor — see
+        :class:`repro.serve.QueryService`.
+        """
+        from repro.serve import QueryService
+
+        return QueryService(self, **kwargs)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Shared serve-layer fixtures: a session whose catalog needs a real
+cross-dataset combination, so plan-cache hits actually skip a
+non-trivial §5.2 search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScrubJaySession
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    keyed_tables,
+)
+
+#: the two-dataset join query every serve test reuses
+JOIN_DOMAINS = ["compute nodes", "jobs"]
+JOIN_VALUES = ["power", "temperature"]
+
+#: single-dataset projection query (cheap, hot-path)
+HOT_DOMAINS = ["compute nodes"]
+HOT_VALUES = ["temperature"]
+
+
+def make_session(executor="serial", rows=200, keys=16, **kwargs):
+    sj = ScrubJaySession(executor=executor, **kwargs)
+    left, right = keyed_tables(rows, num_keys=keys)
+    sj.register_rows(left, KEYED_LEFT_SCHEMA, name="samples")
+    sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")
+    return sj
+
+
+@pytest.fixture()
+def serve_session():
+    sj = make_session()
+    yield sj
+    sj.close()
+
+
+def row_multiset(rows):
+    """Order-insensitive row comparison key."""
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows
+    )

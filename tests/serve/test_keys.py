@@ -1,0 +1,77 @@
+"""Semantic keying: logically equal requests must share cache keys;
+any state change must split them."""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.serve import normalize_query, plan_key, result_key
+
+from tests.serve.conftest import make_session
+
+
+def test_normalize_sorts_domains_and_values():
+    a = Query.of(["jobs", "racks"], ["heat", ("power", "watts")])
+    b = Query.of(["racks", "jobs"], [("power", "watts"), "heat"])
+    assert normalize_query(a) == normalize_query(b)
+
+
+def test_plan_key_invariant_under_permutation():
+    a = Query.of(["jobs", "racks"], ["heat", "power"])
+    b = Query.of(["racks", "jobs"], ["power", "heat"])
+    assert plan_key("state", a) == plan_key("state", b)
+
+
+def test_plan_key_differs_across_queries_and_states():
+    q = Query.of(["jobs"], ["heat"])
+    q2 = Query.of(["jobs"], ["power"])
+    assert plan_key("s", q) != plan_key("s", q2)
+    assert plan_key("s", q) != plan_key("t", q)
+
+
+def test_units_distinguish_value_terms():
+    q1 = Query.of(["jobs"], [("power", "watts")])
+    q2 = Query.of(["jobs"], ["power"])
+    assert plan_key("s", q1) != plan_key("s", q2)
+
+
+def test_result_key_tracks_catalog_version():
+    assert result_key("plan", "state", 1) != result_key("plan", "state", 2)
+    assert result_key("plan", "state", 1) == result_key("plan", "state", 1)
+
+
+def test_state_fingerprint_changes_on_register_drop_and_dictionary():
+    sj = make_session()
+    try:
+        fp0 = sj.state_fingerprint()
+        v0 = sj.catalog_version
+
+        sj.register_rows(
+            [{"node": 1, "metric_b": 1.0}],
+            sj.dataset("lookup").schema,
+            name="lookup2",
+        )
+        fp1 = sj.state_fingerprint()
+        assert fp1 != fp0
+        assert sj.catalog_version == v0 + 1
+
+        sj.drop("lookup2")
+        assert sj.state_fingerprint() == fp0  # same schema set again
+        assert sj.catalog_version == v0 + 2  # but the data version moved
+
+        sj.define_dimension("weirdness", continuous=True, ordered=True)
+        assert sj.state_fingerprint() != fp0
+    finally:
+        sj.close()
+
+
+def test_dictionary_version_idempotent_redefinition():
+    sj = make_session()
+    try:
+        v = sj.dictionary.version
+        # identical re-definition of an existing keyword: no bump
+        sj.define_dimension("time", continuous=True, ordered=True)
+        assert sj.dictionary.version == v
+        sj.define_dimension("brand-new", continuous=False, ordered=False)
+        assert sj.dictionary.version == v + 1
+    finally:
+        sj.close()

@@ -30,11 +30,19 @@ from repro.rdd.context import SJContext
 
 @dataclass
 class CachedResult:
-    """A materialized derivation result ready to re-enter a context."""
+    """A materialized derivation result ready to re-enter a context.
+
+    ``created_at_wall`` is an optional wall-clock creation stamp
+    (``time.time()``); the serve layer's ResultCache uses it to
+    enforce its TTL on entries promoted back from disk. Entries
+    pickled before the field existed load without it — read it with
+    ``getattr(..., "created_at_wall", None)``.
+    """
 
     rows: List[Dict[str, Any]]
     schema_json: dict
     name: str
+    created_at_wall: Optional[float] = None
 
     def to_dataset(self, ctx: SJContext) -> ScrubJayDataset:
         return ScrubJayDataset.from_rows(
@@ -216,6 +224,21 @@ class DerivationCache:
         with self._lock:
             self._write_hot(fingerprint, entry)
             self._evict()
+
+    def invalidate(self, fingerprint: str) -> None:
+        """Drop an entry from both tiers (no-op when absent) — used by
+        the serve layer when an entry expires by TTL, so the disk copy
+        cannot resurrect it."""
+        with self._lock:
+            try:
+                os.remove(self._path(fingerprint))
+            except OSError:
+                pass
+            if self.cold_directory is not None:
+                try:
+                    os.remove(self._cold_path(fingerprint))
+                except OSError:
+                    pass
 
     def _evict(self) -> None:
         files = [

@@ -36,6 +36,21 @@ from repro.core.pipeline import DerivationPlan
 from repro.errors import NoSolutionError
 
 
+def _copy_error(exc: BaseException) -> BaseException:
+    """A detached equal of ``exc`` — no traceback, no shared state."""
+    try:
+        fresh = type(exc)(*exc.args)
+        fresh.__dict__.update(exc.__dict__)
+    except Exception:  # exotic __init__ signature: fall back to copy
+        import copy
+
+        fresh = copy.copy(exc)
+    fresh.__traceback__ = None
+    fresh.__cause__ = None
+    fresh.__context__ = None
+    return fresh
+
+
 class PlanCache:
     """Bounded in-memory LRU of solved (or provably unsolvable) plans."""
 
@@ -76,7 +91,10 @@ class PlanCache:
                     kind, payload = hit
                     if kind == "error":
                         self.negative_hits += 1
-                        raise payload
+                        # Raise a fresh copy: re-raising one shared
+                        # instance from many threads races on its
+                        # __traceback__ and chains frames forever.
+                        raise _copy_error(payload)
                     return payload
                 waiter = self._inflight.get(key)
                 if waiter is None:
@@ -90,7 +108,9 @@ class PlanCache:
         try:
             plan = solver()
         except NoSolutionError as exc:
-            self._store(key, ("error", exc))
+            # Cache a detached copy so the stored entry does not pin
+            # the solver's stack frames via exc.__traceback__.
+            self._store(key, ("error", _copy_error(exc)))
             raise
         except BaseException:
             # Non-deterministic/invalid failures: drop the in-flight

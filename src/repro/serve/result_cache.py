@@ -68,8 +68,17 @@ class ResultCache:
     backing:
         Optional :class:`DerivationCache`: misses fall through to it
         (promoting hits into memory) and puts write through to it.
+        The TTL survives the round trip: write-throughs are stamped
+        with a wall-clock creation time, promotion re-checks the
+        entry's true age (stampless legacy entries are treated as
+        expired when a TTL is set), and a memory expiration also
+        invalidates the disk copy — the backing tier can never
+        resurrect a stale result past the TTL ceiling.
     clock:
         Injectable monotonic clock for tests.
+    wall_clock:
+        Injectable wall clock (``time.time``) for the backing-entry
+        age stamps, which must stay meaningful across restarts.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class ResultCache:
         ttl: Optional[float] = None,
         backing: Optional[DerivationCache] = None,
         clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -87,6 +97,7 @@ class ResultCache:
         self.ttl = ttl
         self.backing = backing
         self._clock = clock
+        self._wall = wall_clock
         self._entries: "OrderedDict[str, ResultEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -107,28 +118,49 @@ class ResultCache:
         """A live dataset for ``key`` (re-parallelized into ``ctx``),
         or None. Recency refresh is atomic with the read."""
         entry: Optional[ResultEntry] = None
+        expired_here = False
         with self._lock:
             found = self._entries.get(key)
             if found is not None:
                 if self._expired(found):
                     del self._entries[key]
                     self.expirations += 1
+                    expired_here = True
                 else:
                     self._entries.move_to_end(key)
                     self.hits += 1
                     entry = found
         if entry is not None:
             return entry.to_dataset(ctx)
+        if expired_here:
+            # Kill the write-through copy too, or the fallthrough
+            # below would re-promote the stale entry with a fresh TTL.
+            if self.backing is not None:
+                self.backing.invalidate(key)
+            with self._lock:
+                self.misses += 1
+            return None
 
         # Fall through to the shared on-disk tier, if any.
         if self.backing is not None:
             cold = self.backing.get(key)
             if cold is not None:
+                age = self._backing_age(cold)
+                if self.ttl is not None and (age is None or age > self.ttl):
+                    # Expired (or unknown-age legacy entry) on disk:
+                    # the TTL ceiling holds across restarts too.
+                    self.backing.invalidate(key)
+                    with self._lock:
+                        self.expirations += 1
+                        self.misses += 1
+                    return None
                 promoted = ResultEntry(
                     rows=cold.rows,
                     schema_json=cold.schema_json,
                     name=cold.name,
-                    created_at=self._clock(),
+                    # Back-date so the remaining TTL reflects the
+                    # entry's true age, not the promotion instant.
+                    created_at=self._clock() - (age or 0.0),
                 )
                 with self._lock:
                     self.hits += 1
@@ -138,6 +170,14 @@ class ResultCache:
         with self._lock:
             self.misses += 1
         return None
+
+    def _backing_age(self, cold: CachedResult) -> Optional[float]:
+        """Seconds since the backing entry was written, or None when
+        the entry predates creation stamps."""
+        stamp = getattr(cold, "created_at_wall", None)
+        if stamp is None:
+            return None
+        return max(0.0, self._wall() - stamp)
 
     def put(self, key: str, dataset: ScrubJayDataset) -> None:
         """Materialize ``dataset`` under ``key`` (and write through to
@@ -157,6 +197,7 @@ class ResultCache:
                     rows=entry.rows,
                     schema_json=entry.schema_json,
                     name=entry.name,
+                    created_at_wall=self._wall(),
                 ),
             )
 

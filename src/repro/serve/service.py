@@ -286,6 +286,14 @@ class QueryService:
                     self._queued -= 1
                 except ValueError:
                     return False
+                if not q:
+                    # The tenant has no queued work left: take it out
+                    # of the turn order, or a worker would popleft()
+                    # an empty deque and die.
+                    try:
+                        self._rr.remove(ticket.tenant)
+                    except ValueError:
+                        pass
             ticket.state = _CANCELLED
             self.metrics.record_cancelled()
         ticket._deliver(
@@ -358,9 +366,13 @@ class QueryService:
         """Round-robin-fair blocking dequeue; None means shut down."""
         with self._cond:
             while True:
-                if self._queued > 0:
+                while self._rr:
                     tenant = self._rr.pop(0)
-                    q = self._queues[tenant]
+                    q = self._queues.get(tenant)
+                    if not q:
+                        # Stale turn-order entry (e.g. every queued
+                        # ticket was cancelled): drop it, keep looking.
+                        continue
                     ticket = q.popleft()
                     self._queued -= 1
                     if q:  # tenant still has work: back of the turn order
@@ -463,7 +475,15 @@ class QueryService:
         result = session.execute(plan)
         # Pin the rows driver-side before publishing: a cached entry
         # must not hold a lazy RDD whose lineage outlives its inputs.
-        self.result_cache.put(rkey, result)
+        # Publish only if the catalog did not move between keying and
+        # execution — otherwise the rows were computed against a newer
+        # catalog than the key claims, and an in-flight reader still
+        # holding the old key would consume a mismatched result.
+        if (
+            session.catalog_version == version
+            and session.state_fingerprint() == state
+        ):
+            self.result_cache.put(rkey, result)
         return result
 
     def __repr__(self) -> str:

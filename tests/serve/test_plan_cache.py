@@ -85,6 +85,33 @@ def test_negative_caching(serve_session):
     assert cache.stats()["negative_hits"] == 1
 
 
+def test_negative_hits_raise_detached_copies(serve_session):
+    """Regression: negative hits used to re-raise the one cached
+    exception instance, so concurrent raisers raced on its shared
+    __traceback__ and chained each other's frames."""
+    cache = PlanCache()
+    q = Query.of(["racks"], ["power"])
+    key = plan_key(serve_session.state_fingerprint(), q)
+    solve, _ = _solver_counter(serve_session, q)
+
+    with pytest.raises(NoSolutionError):
+        cache.get_or_solve(key, solve)
+
+    raised = []
+    for _ in range(2):
+        try:
+            cache.get_or_solve(key, solve)
+        except NoSolutionError as exc:
+            raised.append(exc)
+    assert len(raised) == 2
+    assert raised[0] is not raised[1]  # fresh copy per hit
+    assert raised[0].args == raised[1].args
+    # the stored entry pins neither a traceback nor chained frames
+    stored = cache._entries[key][1]
+    assert stored not in raised
+    assert stored.__traceback__ is None
+
+
 def test_unexpected_solver_error_not_cached(serve_session):
     cache = PlanCache()
     boom = {"n": 0}

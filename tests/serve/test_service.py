@@ -230,6 +230,39 @@ def test_cancel_queued_ticket(serve_session):
         svc.close()
 
 
+def test_cancel_last_queued_ticket_does_not_kill_workers(serve_session):
+    """Regression: cancelling a tenant's only queued ticket used to
+    leave the tenant in the round-robin order with an empty deque; the
+    next dequeue then popleft()'d the empty deque, the IndexError
+    killed the worker thread, and every later submission hung."""
+    release = threading.Event()
+    original_execute = serve_session.execute
+    serve_session.execute = lambda plan: (
+        release.wait(5.0),
+        original_execute(plan),
+    )[1]
+    svc = QueryService(serve_session, num_workers=1, max_queue=8)
+    try:
+        blocker = svc.submit(HOT_DOMAINS, HOT_VALUES, tenant="a")
+        doomed = svc.submit(
+            ["compute nodes"], ["power"], tenant="b"
+        )
+        assert svc.cancel(doomed) is True
+        # tenant "b" now has no queued work; this submit from a third
+        # tenant must still be dispatched by the (sole) worker
+        survivor = svc.submit(HOT_DOMAINS, HOT_VALUES, tenant="c")
+        release.set()
+        blocker.result(timeout=10.0)
+        assert survivor.result(timeout=10.0).count() > 0
+        # repeat the pattern: every worker must still be alive
+        again = svc.submit(["compute nodes"], ["power"], tenant="b")
+        assert svc.cancel(again) is True
+        assert svc.query(HOT_DOMAINS, HOT_VALUES, tenant="d").count() > 0
+    finally:
+        release.set()
+        svc.close()
+
+
 def test_tenant_fairness_round_robin(serve_session):
     """One chatty tenant enqueues a burst; a second tenant's single
     query must not wait behind the whole burst."""
@@ -358,6 +391,40 @@ def test_invalidation_after_data_change(serve_session):
         # the memoized plan even though the result was recomputed
         assert snap.plan_cache["hits"] == plan_hits_before + 1
         assert snap.result_cache["misses"] >= 2
+    finally:
+        svc.close()
+
+
+def test_result_not_published_when_catalog_moves_mid_query(serve_session):
+    """Regression: a register/drop between keying and execution used to
+    cache rows computed against the *new* catalog under the *old*
+    version's result key, feeding a stale-keyed reader wrong data."""
+    from repro.datagen.synthetic import KEYED_LEFT_SCHEMA, keyed_tables
+
+    svc = QueryService(serve_session, num_workers=1, max_queue=8)
+    original_execute = serve_session.execute
+    raced = {"done": False}
+
+    def racing_execute(plan):
+        result = original_execute(plan)
+        if not raced["done"]:
+            raced["done"] = True
+            smaller, _ = keyed_tables(100, num_keys=16)
+            serve_session.drop("samples")
+            serve_session.register_rows(
+                smaller, KEYED_LEFT_SCHEMA, name="samples"
+            )
+        return result
+
+    serve_session.execute = racing_execute
+    try:
+        svc.query(JOIN_DOMAINS, JOIN_VALUES)
+        # the catalog moved mid-query: the result must not have been
+        # published under the pre-race key
+        assert svc.snapshot().result_cache["entries"] == 0
+        # and the next run (stable catalog) caches normally again
+        assert svc.query(JOIN_DOMAINS, JOIN_VALUES).count() == 100
+        assert svc.snapshot().result_cache["entries"] == 1
     finally:
         svc.close()
 

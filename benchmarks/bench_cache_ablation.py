@@ -35,8 +35,8 @@ def test_cache_cold_vs_warm(benchmark, dat1, recorder, tmp_path_factory):
     def run():
         with ScrubJaySession(cache_dir=cache_dir) as sj:
             dat1.register(sj)
-            plan = sj.query(domains=["jobs", "racks"],
-                            values=["applications", "heat"])
+            plan = (sj.query().across("jobs", "racks")
+                    .values("applications", "heat").plan())
             with Timer() as cold:
                 sj.execute(plan).count()
             with Timer() as warm:
@@ -61,13 +61,13 @@ def test_cache_shared_prefix_across_queries(benchmark, dat1, recorder,
     def run():
         with ScrubJaySession(cache_dir=cache_dir) as sj:
             dat1.register(sj)
-            plan_heat = sj.query(domains=["jobs", "racks"],
-                                 values=["applications", "heat"])
+            plan_heat = (sj.query().across("jobs", "racks")
+                         .values("applications", "heat").plan())
             with Timer() as first:
                 sj.execute(plan_heat).count()
             # a different query whose plan shares the join prefix
-            plan_temp = sj.query(domains=["jobs", "racks"],
-                                 values=["applications", "temperature"])
+            plan_temp = (sj.query().across("jobs", "racks")
+                         .values("applications", "temperature").plan())
             with Timer() as second:
                 sj.execute(plan_temp).count()
             return first.elapsed, second.elapsed, sj.cache.hits
@@ -87,7 +87,7 @@ def test_cache_disabled_by_default(benchmark, dat1):
         with ScrubJaySession() as sj:
             dat1.register(sj)
             assert sj.cache is None
-            plan = sj.query(domains=["racks"], values=["heat"])
+            plan = sj.query().across("racks").value("heat").plan()
             return sj.execute(plan).count()
 
     count = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -41,8 +41,8 @@ def test_fig4_pipeline_and_outlier(benchmark, dat1, recorder):
     def run():
         with ScrubJaySession() as sj:
             dat1.register(sj)
-            plan = sj.query(domains=["jobs", "racks"],
-                            values=["applications", "heat"])
+            plan = (sj.query().across("jobs", "racks")
+                    .values("applications", "heat").plan())
             result = sj.execute(plan)
             result.persist()
             ranked = rank_groups(result, ["job_name", "rack"], "heat", "max")

@@ -46,11 +46,13 @@ def test_fig6_derived_metrics(benchmark, dat2, recorder):
             config=EngineConfig(interpolation_window=8.0)
         ) as sj:
             dat2.register(sj)
-            plan = sj.query(
-                domains=["cpus"],
-                values=["active frequency", "instructions per time",
+            plan = (
+                sj.query()
+                .across("cpus")
+                .values("active frequency", "instructions per time",
                         "memory reads per time", "memory writes per time",
-                        "power", "temperature"],
+                        "power", "temperature")
+                .plan()
             )
             return plan, sj.execute(plan).collect()
 

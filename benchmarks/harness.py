@@ -38,7 +38,7 @@ _SRC = os.path.join(
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro import ScrubJayDataset, SJContext, default_dictionary  # noqa: E402
+from repro import ScrubJayDataset, SJContext, Tracer, default_dictionary  # noqa: E402
 from repro.core.combinations import NaturalJoin  # noqa: E402
 from repro.datagen.synthetic import (  # noqa: E402
     KEYED_LEFT_SCHEMA,
@@ -107,6 +107,75 @@ def run_natural_join(
         "strategy_reason": decision.reason if decision else None,
         "shuffled_pairs": shuffled_pairs,
         "report": report_dict,
+    }
+
+
+# Tracing must not tax the untraced path: the gate allows 5% relative
+# overhead plus a small absolute slack so sub-second runs don't fail
+# on scheduler jitter. Best-of-N on both sides suppresses noise.
+OVERHEAD_GATE_PCT = 5.0
+OVERHEAD_SLACK_S = 0.015
+
+
+def run_tracer_overhead(
+    num_rows: int,
+    num_keys: int = NUM_KEYS,
+    partitions: int = PARTITIONS,
+    repeats: int = 5,
+) -> Dict[str, Any]:
+    """Time the fig3 natural join untraced vs with tracing enabled.
+
+    "Untraced" is the default context (its tracer exists but is
+    disabled — the no-op path every normal run takes); "traced" flips
+    the tracer on, so every stage/task records spans. Returns best-of-
+    ``repeats`` wall clocks and the relative overhead.
+    """
+    left_rows, right_rows = keyed_tables(num_rows, num_keys=num_keys)
+
+    def one(enabled: bool):
+        with SJContext(
+            executor="serial",
+            default_parallelism=partitions,
+            tracer=Tracer(enabled=enabled),
+        ) as ctx:
+            left = ScrubJayDataset.from_rows(
+                ctx, left_rows, KEYED_LEFT_SCHEMA, "left", partitions
+            )
+            right = ScrubJayDataset.from_rows(
+                ctx, right_rows, KEYED_RIGHT_SCHEMA, "right", partitions
+            )
+            start = time.perf_counter()
+            count = NaturalJoin().apply(left, right, _DICT).count()
+            elapsed = time.perf_counter() - start
+            spans = sum(
+                1 for root in ctx.tracer.roots() for _ in root.walk()
+            )
+        return elapsed, count, spans
+
+    best_untraced = best_traced = float("inf")
+    count_untraced = count_traced = -1
+    spans = 0
+    for _ in range(max(1, repeats)):
+        # alternate to spread cache/allocator drift across both sides
+        elapsed, count_untraced, _ = one(False)
+        best_untraced = min(best_untraced, elapsed)
+        elapsed, count_traced, spans = one(True)
+        best_traced = min(best_traced, elapsed)
+    overhead_pct = (
+        (best_traced - best_untraced) / best_untraced * 100.0
+        if best_untraced > 0 else 0.0
+    )
+    return {
+        "rows": num_rows,
+        "partitions": partitions,
+        "repeats": max(1, repeats),
+        "untraced_seconds": best_untraced,
+        "traced_seconds": best_traced,
+        "overhead_pct": overhead_pct,
+        "gate_pct": OVERHEAD_GATE_PCT,
+        "slack_seconds": OVERHEAD_SLACK_S,
+        "spans_recorded": spans,
+        "output_rows_match": count_untraced == count_traced,
     }
 
 
@@ -186,6 +255,33 @@ def check_smoke(payload: Dict[str, Any]) -> List[str]:
                 f"forced-shuffle run at {r['rows']} rows chose "
                 f"{r['join_strategy']!r}; expected shuffle"
             )
+    overhead = payload.get("tracer_overhead")
+    if overhead is not None:
+        problems.extend(check_tracer_overhead(overhead))
+    return problems
+
+
+def check_tracer_overhead(o: Dict[str, Any]) -> List[str]:
+    """Gate the tracing tax: traced must stay within ``gate_pct`` of
+    untraced (plus absolute slack), record spans, and agree on rows."""
+    problems: List[str] = []
+    if not o["output_rows_match"]:
+        problems.append(
+            "traced and untraced runs disagree on joined row counts"
+        )
+    if o["spans_recorded"] <= 0:
+        problems.append("traced run recorded no spans")
+    limit = (
+        o["untraced_seconds"] * (1 + o["gate_pct"] / 100.0)
+        + o["slack_seconds"]
+    )
+    if o["traced_seconds"] > limit:
+        problems.append(
+            f"tracing overhead {o['overhead_pct']:.1f}% exceeds the "
+            f"{o['gate_pct']:.0f}% gate (untraced "
+            f"{o['untraced_seconds']:.4f}s, traced "
+            f"{o['traced_seconds']:.4f}s, limit {limit:.4f}s)"
+        )
     return problems
 
 
@@ -214,6 +310,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     payload = run_comparison(row_counts, repeats=repeats)
     payload["smoke"] = bool(args.smoke)
+    payload["tracer_overhead"] = run_tracer_overhead(
+        row_counts[0], repeats=max(5, repeats)
+    )
     path = write_json(payload, args.output)
 
     for r in payload["runs"]:
@@ -224,6 +323,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     for n, s in payload["speedups"].items():
         print(f"speedup at {n} rows: {s:.2f}x (shuffle / adaptive)")
+    o = payload["tracer_overhead"]
+    print(
+        f"tracer overhead at {o['rows']} rows: untraced "
+        f"{o['untraced_seconds']:.4f}s, traced "
+        f"{o['traced_seconds']:.4f}s ({o['overhead_pct']:+.1f}%, "
+        f"{o['spans_recorded']} spans)"
+    )
     print(f"wrote {path}")
 
     problems = check_smoke(payload)

@@ -41,11 +41,13 @@ def main() -> None:
         dat.register(sj)
         print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")
 
-        plan = sj.query(
-            domains=["cpus"],
-            values=["active frequency", "instructions per time",
+        plan = (
+            sj.query()
+            .across("cpus")
+            .values("active frequency", "instructions per time",
                     "memory reads per time", "memory writes per time",
-                    "power", "temperature"],
+                    "power", "temperature")
+            .plan()
         )
         print("derivation sequence (the paper's Figure 7):")
         print(plan.describe())

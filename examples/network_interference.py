@@ -44,8 +44,8 @@ def main() -> None:
         # ------------------------------------------------------------------
         # query 1: applications × network link traffic
         # ------------------------------------------------------------------
-        plan = sj.query(domains=["jobs", "network links"],
-                        values=["applications", "link bytes per time"])
+        plan = (sj.query().across("jobs", "network links")
+                .values("applications", "link bytes per time").plan())
         print("derivation sequence for {jobs, links} → "
               "{applications, byte rates}:")
         print(plan.describe())
@@ -60,8 +60,8 @@ def main() -> None:
         # ------------------------------------------------------------------
         # query 2: applications × filesystem pressure
         # ------------------------------------------------------------------
-        plan2 = sj.query(domains=["jobs", "filesystems"],
-                         values=["applications", "pending operations"])
+        plan2 = (sj.query().across("jobs", "filesystems")
+                 .values("applications", "pending operations").plan())
         print("\nderivation sequence for {jobs, filesystems} → "
               "{applications, pending ops}:")
         print(plan2.describe())

@@ -66,8 +66,8 @@ def main() -> None:
         sj.register_rows(sched.job_log_rows(), JOB_LOG_SCHEMA,
                          "job_queue_log")
 
-        plan = sj.query(domains=["jobs", "compute nodes"],
-                        values=["applications", "cpu utilization"])
+        plan = (sj.query().across("jobs", "compute nodes")
+                .values("applications", "cpu utilization").plan())
         print("\nderivation sequence:")
         print(plan.describe())
 

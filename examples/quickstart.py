@@ -75,9 +75,11 @@ def main() -> None:
         )
 
         # 3: a logical query — no table names, no join keys
-        plan = sj.query(
-            domains=["jobs", "compute nodes"],
-            values=["applications", "temperature"],
+        plan = (
+            sj.query()
+            .across("jobs", "compute nodes")
+            .values("applications", "temperature")
+            .plan()
         )
         print("derivation sequence the engine found:")
         print(plan.describe())

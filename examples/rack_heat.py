@@ -50,8 +50,8 @@ def main() -> None:
         dat.register(sj)
         print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")
 
-        plan = sj.query(domains=["jobs", "racks"],
-                        values=["applications", "heat"])
+        plan = (sj.query().across("jobs", "racks")
+                .values("applications", "heat").plan())
         print("derivation sequence (the paper's Figure 5):")
         print(plan.describe())
 

@@ -49,8 +49,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     plan_path = os.path.join(workdir, "heat_pipeline.json")
     with fresh_session(dat) as sj_a:
-        plan = sj_a.query(domains=["jobs", "racks"],
-                          values=["applications", "heat"])
+        plan = (sj_a.query().across("jobs", "racks")
+                .values("applications", "heat").plan())
         sj_a.save_plan(plan, plan_path)
         count_a = sj_a.execute(plan).count()
     print(f"analyst A derived {count_a} rows; pipeline saved to "

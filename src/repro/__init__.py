@@ -18,9 +18,18 @@ from repro.session import ScrubJaySession
 from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
 from repro.core.dictionary import SemanticDictionary, default_dictionary
 from repro.core.dataset import ScrubJayDataset
-from repro.core.query import Query
+from repro.core.query import Query, QueryBuilder
+from repro.core.answer import Answer
 from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    to_chrome_trace,
+    to_json_tree,
+    to_prometheus,
+)
 from repro.rdd import (
     AdaptiveConfig,
     ExecutionReport,
@@ -49,6 +58,14 @@ __all__ = [
     "default_dictionary",
     "ScrubJayDataset",
     "Query",
+    "QueryBuilder",
+    "Answer",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "to_json_tree",
+    "to_chrome_trace",
+    "to_prometheus",
     "DerivationEngine",
     "EngineConfig",
     "DerivationPlan",

@@ -1,0 +1,73 @@
+"""Answer: the single result object of the analyst entry points.
+
+``ask``/``execute`` used to return a bare
+:class:`~repro.core.dataset.ScrubJayDataset`, which silently dropped
+the two artifacts an analyst needs to *trust* the result: how the
+engine decided to compute it (the plan) and what actually happened
+while computing it (the trace). An :class:`Answer` bundles all three:
+
+- :attr:`dataset` — the result data;
+- :attr:`plan` — the executed :class:`~repro.core.pipeline.DerivationPlan`;
+- :attr:`trace` — the root :class:`~repro.obs.Span` of the execution
+  (``None`` when the session's tracer is disabled).
+
+Iteration and unknown attributes delegate to the dataset, so code
+written against the old return type (``result.collect()``,
+``result.schema``, ``for row in result``) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Answer:
+    """Result dataset + plan + trace from one executed query."""
+
+    def __init__(self, dataset, plan=None, trace=None) -> None:
+        # name-mangled slots so __getattr__ delegation stays clean
+        self._dataset = dataset
+        self._plan = plan
+        self._trace = trace
+
+    # -- the three artifacts -------------------------------------------
+
+    @property
+    def dataset(self):
+        """The result :class:`~repro.core.dataset.ScrubJayDataset`."""
+        return self._dataset
+
+    @property
+    def plan(self):
+        """The :class:`~repro.core.pipeline.DerivationPlan` that
+        produced the dataset (None for plan-less constructions)."""
+        return self._plan
+
+    @property
+    def trace(self):
+        """Root :class:`~repro.obs.Span` of this execution, or None
+        when tracing was off."""
+        return self._trace
+
+    # -- dataset delegation --------------------------------------------
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return self._dataset.collect()
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._dataset.collect())
+
+    def __getattr__(self, name: str) -> Any:
+        # only reached for names not found on Answer itself
+        return getattr(self._dataset, name)
+
+    def explain(self) -> str:
+        """The plan rendering (Figure 5/7 style); empty without a plan."""
+        return self._plan.describe() if self._plan is not None else ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Answer(dataset={self._dataset.name!r}, "
+            f"plan={'yes' if self._plan is not None else 'no'}, "
+            f"trace={'yes' if self._trace is not None else 'no'})"
+        )

@@ -83,6 +83,18 @@ class Candidate:
     steps: int
 
 
+#: counter taxonomy for one solve (see DESIGN.md "Observability")
+_ZERO_SOLVE_STATS: Dict[str, int] = {
+    "candidates_explored": 0,  # distinct (schema, plan) pairs reached
+    "candidates_pruned": 0,    # dropped by the max_candidates bound
+    "instantiations": 0,       # transformation instances tried
+    "pair_memo_hits": 0,       # CombinePair recipe memo hits
+    "pair_memo_misses": 0,
+    "subsets_examined": 0,     # dataset subsets walked by CombineSet
+    "max_subset_size": 0,      # largest subset size reached
+}
+
+
 class DerivationEngine:
     """Plans derivation sequences satisfying queries over a catalog."""
 
@@ -105,6 +117,19 @@ class DerivationEngine:
         # Concurrent callers — the serve-layer QueryService — queue
         # here only on plan-cache misses.
         self._solve_lock = threading.RLock()
+        # Observability: the session wires the context's shared tracer
+        # and registry in; per-solve search counters always accumulate
+        # (plain int bumps, trivial next to schema derivation) and land
+        # on the solve span / in the registry / in last_solve_stats.
+        self.tracer = None
+        self.metrics = None
+        self._stats: Dict[str, int] = dict(_ZERO_SOLVE_STATS)
+        #: counters from the most recent solve (explored, pruned,
+        #: memo hits, subsets, ...) — read by EXPLAIN ANALYZE
+        self.last_solve_stats: Dict[str, int] = {}
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        self._stats[key] += n
 
     # ------------------------------------------------------------------
     # public API
@@ -119,7 +144,34 @@ class DerivationEngine:
         exists within the configured search bounds.
         """
         with self._solve_lock:
-            return self._solve(catalog, query)
+            self._stats = dict(_ZERO_SOLVE_STATS)
+            tracer = self.tracer
+            try:
+                if tracer is not None and tracer.enabled:
+                    with tracer.span(
+                        "solve", kind="solve", query=str(query)
+                    ) as span:
+                        try:
+                            plan = self._solve(catalog, query)
+                            span.set("plan_steps", plan.num_steps())
+                            return plan
+                        finally:
+                            for k, v in self._stats.items():
+                                span.add(k, v)
+                return self._solve(catalog, query)
+            finally:
+                self.last_solve_stats = dict(self._stats)
+                if self.metrics is not None:
+                    self.metrics.inc("engine.solves")
+                    counts = dict(self._stats)
+                    # a high-water mark, not additive across solves
+                    depth = counts.pop("max_subset_size", 0)
+                    self.metrics.merge_counts(
+                        counts, prefix="engine.solve."
+                    )
+                    self.metrics.set_gauge(
+                        "engine.solve.max_subset_size", depth
+                    )
 
     def _solve(
         self, catalog: Mapping[str, Schema], query: Query
@@ -229,6 +281,11 @@ class DerivationEngine:
             frontier = new_frontier
             if not frontier:
                 break
+        self._bump("candidates_explored", len(seen))
+        self._bump(
+            "candidates_pruned",
+            max(0, len(seen) - self.config.max_candidates),
+        )
         out = sorted(seen.values(), key=lambda c: c.steps)
         return out[: self.config.max_candidates]
 
@@ -243,6 +300,7 @@ class DerivationEngine:
                         inst.field, self.config.explode_period
                     )
                 out.append(inst)
+        self._bump("instantiations", len(out))
         return out
 
     def _combine_set(
@@ -259,6 +317,9 @@ class DerivationEngine:
         """
         if names in memo:
             return memo[names]
+        self._bump("subsets_examined")
+        if len(names) > self._stats["max_subset_size"]:
+            self._stats["max_subset_size"] = len(names)
         results: Dict[str, Candidate] = {}
         for name in sorted(names):
             rest = names - {name}
@@ -283,7 +344,10 @@ class DerivationEngine:
         post-combination transformation closure."""
         memo_key = (ca.schema.fingerprint(), cb.schema.fingerprint())
         recipes = self._pair_memo.get(memo_key)
-        if recipes is None:
+        if recipes is not None:
+            self._bump("pair_memo_hits")
+        else:
+            self._bump("pair_memo_misses")
             recipes = []
             combinations = [
                 NaturalJoin(),

@@ -131,14 +131,27 @@ class DerivationPlan:
         catalog: Dict[str, ScrubJayDataset],
         dictionary: SemanticDictionary,
         cache: Optional["DerivationCache"] = None,  # noqa: F821
+        tracer=None,
+        measure: bool = False,
     ) -> ScrubJayDataset:
         """Run the pipeline against actual data.
 
         ``catalog`` maps dataset names to loaded datasets. When a
         :class:`~repro.core.cache.DerivationCache` is supplied,
         intermediate results are reused/stored by plan fingerprint.
+
+        ``tracer`` (an enabled :class:`~repro.obs.Tracer`) produces
+        one ``plan-node`` span per node, mirroring the plan tree, with
+        the cache outcome attached; stage/task spans from the RDD
+        scheduler nest under the node whose action materialized them.
+        ``measure`` additionally forces per-node materialization and
+        attaches measured ``rows_out``/``approx_bytes`` counters —
+        EXPLAIN ANALYZE mode. Ordinary runs must leave it off: it
+        defeats lazy whole-plan pipelining.
         """
-        return self._execute(self.root, catalog, dictionary, cache)
+        return self._execute(
+            self.root, catalog, dictionary, cache, tracer, measure
+        )
 
     def _execute(
         self,
@@ -146,6 +159,34 @@ class DerivationPlan:
         catalog: Dict[str, ScrubJayDataset],
         dictionary: SemanticDictionary,
         cache,
+        tracer=None,
+        measure: bool = False,
+    ) -> ScrubJayDataset:
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                node.label(), kind="plan-node", label=node.label()
+            ) as span:
+                result = self._execute_node(
+                    node, catalog, dictionary, cache, tracer, measure, span
+                )
+                if measure:
+                    st = result.stats()
+                    span.add("rows_out", st.total_rows)
+                    span.add("approx_bytes", st.approx_bytes)
+                return result
+        return self._execute_node(
+            node, catalog, dictionary, cache, tracer, measure, None
+        )
+
+    def _execute_node(
+        self,
+        node: PlanNode,
+        catalog: Dict[str, ScrubJayDataset],
+        dictionary: SemanticDictionary,
+        cache,
+        tracer,
+        measure: bool,
+        span,
     ) -> ScrubJayDataset:
         if isinstance(node, LoadNode):
             try:
@@ -158,15 +199,25 @@ class DerivationPlan:
         if cache is not None:
             hit = cache.get(node.fingerprint())
             if hit is not None:
+                if span is not None:
+                    span.set("cache", "hit")
                 ctx = next(iter(catalog.values())).ctx
                 return hit.to_dataset(ctx)
+            if span is not None:
+                span.set("cache", "miss")
 
         if isinstance(node, TransformNode):
-            upstream = self._execute(node.input, catalog, dictionary, cache)
+            upstream = self._execute(
+                node.input, catalog, dictionary, cache, tracer, measure
+            )
             result = node.derivation.apply(upstream, dictionary)
         elif isinstance(node, CombineNode):
-            left = self._execute(node.left, catalog, dictionary, cache)
-            right = self._execute(node.right, catalog, dictionary, cache)
+            left = self._execute(
+                node.left, catalog, dictionary, cache, tracer, measure
+            )
+            right = self._execute(
+                node.right, catalog, dictionary, cache, tracer, measure
+            )
             result = node.derivation.apply(left, right, dictionary)
         else:
             raise PipelineError(f"unknown plan node {type(node).__name__}")

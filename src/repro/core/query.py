@@ -99,3 +99,92 @@ class Query:
             for t in self.values
         )
         return f"Query(domains: {', '.join(self.domains)}; values: {vals})"
+
+
+class QueryBuilder:
+    """Fluent construction of a :class:`Query`.
+
+    The builder is the primary analyst-facing way to phrase a
+    question::
+
+        q = (session.query()
+             .across("jobs", "racks")
+             .value("heat", units="W")
+             .build())
+
+    Each call appends and returns the builder; :meth:`build` freezes
+    the accumulated terms into the immutable :class:`Query`
+    (``Query.of`` remains as a thin one-shot delegate). Builders
+    handed out by :meth:`ScrubJaySession.query` are session-bound and
+    additionally offer the terminals :meth:`plan`, :meth:`ask`, and
+    :meth:`explain`, which build and immediately hand the query to
+    the session.
+    """
+
+    def __init__(self, session=None) -> None:
+        self._session = session
+        self._domains: List[str] = []
+        self._values: List[ValueTerm] = []
+
+    # -- accumulation --------------------------------------------------
+
+    def across(self, *domains: str) -> "QueryBuilder":
+        """Add domain dimensions the answer must relate."""
+        self._domains.extend(domains)
+        return self
+
+    def value(
+        self, dimension: str, units: Optional[str] = None
+    ) -> "QueryBuilder":
+        """Add one value dimension, optionally with requested units."""
+        self._values.append(ValueTerm(dimension, units))
+        return self
+
+    def values(self, *dimensions: str) -> "QueryBuilder":
+        """Add several value dimensions (default units)."""
+        self._values.extend(ValueTerm(d) for d in dimensions)
+        return self
+
+    # -- terminals -----------------------------------------------------
+
+    def build(self) -> Query:
+        """Freeze into an immutable :class:`Query`."""
+        if not self._domains:
+            raise QueryError("a query needs at least one domain dimension")
+        if not self._values:
+            raise QueryError("a query needs at least one value dimension")
+        return Query(tuple(self._domains), tuple(self._values))
+
+    def _require_session(self, what: str):
+        if self._session is None:
+            raise QueryError(
+                f"this builder is not bound to a session; build() the "
+                f"query and pass it to a session to {what} it"
+            )
+        return self._session
+
+    def plan(self):
+        """Build and plan (but do not execute) via the bound session."""
+        return self._require_session("plan").plan(self.build())
+
+    def ask(self):
+        """Build, plan, and execute via the bound session; returns the
+        session's :class:`~repro.core.answer.Answer`."""
+        return self._require_session("ask").ask(self.build())
+
+    def explain(self, analyze: bool = False) -> str:
+        """Build and render the plan via the bound session (optionally
+        EXPLAIN ANALYZE — see :meth:`ScrubJaySession.explain`)."""
+        return self._require_session("explain").explain(
+            self.build(), analyze=analyze
+        )
+
+    def __repr__(self) -> str:
+        vals = ", ".join(
+            t.dimension + (f"[{t.units}]" if t.units else "")
+            for t in self._values
+        )
+        return (
+            f"QueryBuilder(across: {', '.join(self._domains) or '-'}; "
+            f"values: {vals or '-'})"
+        )

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Sequence, Union
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.rdd.executors import Executor, make_executor
 from repro.rdd.fault import RetryPolicy
 from repro.rdd.partition import split_into_partitions
@@ -53,6 +55,17 @@ class SJContext:
         estimated size is at most this many bytes is broadcast instead
         of shuffled. Set ``0`` to effectively disable broadcast joins
         while keeping the rest of the adaptive machinery on.
+    tracer:
+        A :class:`~repro.obs.Tracer` shared by every layer touching
+        this context (scheduler stages/tasks, derivation engine,
+        serve). Defaults to a fresh *disabled* tracer — instrumented
+        code then costs one attribute read per site. Flip
+        ``ctx.tracer.enabled`` (or pass an enabled tracer) to record
+        span trees.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` absorbing the cheap
+        always-on counters (stages run, rows, shuffle pairs, cache
+        hits, adaptive decisions). Defaults to a fresh registry.
     """
 
     def __init__(
@@ -63,6 +76,8 @@ class SJContext:
         retry_policy: Optional[RetryPolicy] = None,
         adaptive: Optional[AdaptiveConfig] = None,
         broadcast_threshold: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if isinstance(executor, Executor):
             self.executor: Executor = executor
@@ -76,10 +91,20 @@ class SJContext:
             self.adaptive = self.adaptive.with_broadcast_threshold(
                 broadcast_threshold
             )
+        # One tracer/registry object per context, shared (never copied)
+        # by the scheduler, engine, and serve layers — flipping
+        # tracer.enabled is observed everywhere at once.
+        self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics or MetricsRegistry()
         #: audit trail of every adaptive decision (joins, shuffles)
-        self.report = ExecutionReport()
+        self.report = ExecutionReport(metrics=self.metrics)
         self.planner = AdaptivePlanner(self.adaptive, self.report)
-        self.scheduler = Scheduler(self.executor, self.planner)
+        self.scheduler = Scheduler(
+            self.executor,
+            self.planner,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self._stopped = False
 
     # ------------------------------------------------------------------

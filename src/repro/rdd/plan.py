@@ -38,9 +38,13 @@ from __future__ import annotations
 
 import bisect
 import logging
+import os
+import time
 from typing import Any, Callable, List, Optional
 
 from repro.errors import WorkerPoolError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.rdd.executors import Executor
 from repro.rdd.fault import DEFAULT_RETRY_POLICY
 from repro.rdd.partition import Partition
@@ -71,6 +75,47 @@ logger = logging.getLogger("repro.rdd.plan")
 #: to stride 1 — sampling everything — on skewed partition counts)
 RANGE_SAMPLE_BUDGET = 32
 
+#: sentinel tag marking a traced task's return value — a plain string
+#: compared by equality, so it survives any pickle round trip through
+#: process executors unchanged
+_TASK_META = "__repro.obs.task_meta__"
+
+
+def _traced_task(
+    fn: Callable[[int, List[Any]], List[Any]],
+) -> Callable[[int, List[Any]], List[Any]]:
+    """Wrap a stage function to report per-task timings and row counts
+    back through its *return value* — the result side-channel.
+
+    Executor workers (including forked/spawned processes) cannot
+    mutate driver-side spans; instead each task returns
+    ``[_TASK_META, meta, real_output]`` and the scheduler unwraps the
+    envelope on the driver, turning the meta into task spans. Works
+    identically under every executor because the envelope rides the
+    same path as the data. ``perf_counter`` is CLOCK_MONOTONIC on
+    Linux — system-wide, so worker timestamps land on the driver's
+    time axis.
+    """
+
+    def traced(index: int, items: List[Any]) -> List[Any]:
+        t0 = time.perf_counter()
+        out = fn(index, items)
+        t1 = time.perf_counter()
+        return [
+            _TASK_META,
+            {
+                "index": index,
+                "t0": t0,
+                "t1": t1,
+                "rows_in": len(items),
+                "rows_out": len(out),
+                "pid": os.getpid(),
+            },
+            out,
+        ]
+
+    return traced
+
 
 class Scheduler:
     """Materializes RDDs by executing their lineage on an executor.
@@ -78,15 +123,27 @@ class Scheduler:
     ``planner`` (an :class:`~repro.rdd.stats.AdaptivePlanner`) drives
     the statistics-based choices; without one the scheduler falls back
     to fixed partition counts and shuffle joins, recording nothing.
+
+    ``tracer``/``metrics`` instrument stage submissions: every stage
+    run while the tracer is enabled produces a ``stage`` span holding
+    one retroactive ``task`` span per partition (timed inside the
+    executor via the result side-channel, see :func:`_traced_task`);
+    the registry counts stages, replays, and rows regardless of the
+    tracer switch — those few increments per *stage* are noise next
+    to per-row work.
     """
 
     def __init__(
         self,
         executor: Executor,
         planner: Optional[AdaptivePlanner] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.executor = executor
         self.planner = planner
+        self.tracer = tracer
+        self.metrics = metrics
         self._depth = 0  # materialize() recursion depth; 0 = a new job
 
     def materialize(self, rdd: RDD) -> List[Partition]:
@@ -117,6 +174,68 @@ class Scheduler:
         parts: List[Partition],
         origin: str,
     ) -> List[Partition]:
+        """Submit one stage, tracing it when the tracer is enabled.
+
+        The untraced path is one attribute check away from the
+        original code — the <5% no-op overhead budget rides on that.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._submit(fn, parts, origin)
+        with tracer.span(
+            f"stage:{origin}", kind="stage", origin=origin
+        ) as stage:
+            out = self._submit(_traced_task(fn), parts, origin)
+            return self._absorb_task_meta(out, stage, origin)
+
+    def _absorb_task_meta(
+        self, out: List[Partition], stage, origin: str
+    ) -> List[Partition]:
+        """Unwrap ``_traced_task`` envelopes: turn each task's meta
+        into a retroactive ``task`` span under ``stage`` and restore
+        the partitions' real payloads."""
+        tracer = self.tracer
+        rows_in = rows_out = 0
+        tasks = 0
+        unwrapped: List[Partition] = []
+        for p in out:
+            data = p.data
+            if (
+                isinstance(data, list)
+                and len(data) == 3
+                and data[0] == _TASK_META
+            ):
+                meta = data[1]
+                task = tracer.record(
+                    f"task:{origin}[{meta['index']}]",
+                    meta["t0"],
+                    meta["t1"],
+                    kind="task",
+                    parent=stage,
+                    index=meta["index"],
+                    worker=meta["pid"],
+                )
+                task.add("rows_in", meta["rows_in"])
+                task.add("rows_out", meta["rows_out"])
+                rows_in += meta["rows_in"]
+                rows_out += meta["rows_out"]
+                tasks += 1
+                unwrapped.append(Partition(p.index, data[2]))
+            else:
+                # an executor that synthesized a partition without
+                # running the task fn (e.g. an empty stage)
+                unwrapped.append(p)
+        stage.add("tasks", tasks)
+        stage.add("rows_in", rows_in)
+        stage.add("rows_out", rows_out)
+        return unwrapped
+
+    def _submit(
+        self,
+        fn: Callable[[int, List[Any]], List[Any]],
+        parts: List[Partition],
+        origin: str,
+    ) -> List[Partition]:
         """Submit one stage, replaying it from lineage on pool death.
 
         ``parts`` are the stage's lineage inputs, still materialized in
@@ -124,6 +243,8 @@ class Scheduler:
         identical inputs — Spark's recompute-from-lineage, with the
         recompute already in hand.
         """
+        if self.metrics is not None:
+            self.metrics.inc("rdd.stages", labels={"origin": origin})
         policy = self.executor.retry_policy or DEFAULT_RETRY_POLICY
         attempt = 1
         while True:
@@ -142,6 +263,10 @@ class Scheduler:
                     "replaying stage from lineage inputs: %s",
                     origin, attempt, policy.max_stage_attempts, exc,
                 )
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "rdd.stage.replays", labels={"origin": origin}
+                    )
                 policy.sleep(policy.backoff(attempt))
                 attempt += 1
 
@@ -265,6 +390,7 @@ class Scheduler:
             return [list(d.items()) for d in buckets]
 
         map_out = self._run_stage(map_task, parent_parts, "shuffle-map")
+        exchange_t0 = time.perf_counter()
 
         # Driver-side exchange: regroup bucket b from every map task,
         # splitting skewed buckets at key granularity so one hot bucket
@@ -314,6 +440,28 @@ class Scheduler:
                 skewed_buckets=skewed,
                 reason=n_reason,
             ))
+
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # retroactive span: the exchange just happened, between the
+            # map and reduce stage spans on the current thread's span
+            exchange = tracer.record(
+                "shuffle-exchange",
+                exchange_t0,
+                time.perf_counter(),
+                kind="stage",
+                origin="exchange",
+            )
+            exchange.add("shuffled_pairs", total_pairs)
+            exchange.add("buckets", n)
+            exchange.add("output_partitions", len(shuffle_parts))
+            if skewed:
+                exchange.add("skewed_buckets", len(skewed))
+            cfg = planner.config if planner is not None else None
+            exchange.add(
+                "approx_bytes",
+                collect_stats(shuffle_parts, cfg).approx_bytes,
+            )
 
         def reduce_task(_index: int, items: List[Any]) -> List[Any]:
             merged: dict = {}

@@ -325,10 +325,19 @@ class ExecutionReport:
     tests and benchmarks to prove the optimizer fired (acceptance
     criterion: the broadcast strategy must be *selected*, not
     hardcoded). Accumulates until :meth:`clear`.
+
+    When constructed with a :class:`~repro.obs.MetricsRegistry`
+    (every :class:`~repro.rdd.context.SJContext` does this), each
+    decision is also mirrored into the registry as labelled counters
+    (``rdd.join.decisions{strategy=...}``,
+    ``rdd.shuffle.decisions{origin=...}``,
+    ``rdd.shuffle.pairs``), so the Prometheus dump carries the same
+    evidence as the audit trail.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self.decisions: List[Any] = []
+        self.metrics = metrics
         #: latest derivation-cache counter snapshot (hits, misses,
         #: evictions, ...) — set by ScrubJaySession.execute after each
         #: cached plan run, so cache effectiveness lands in the same
@@ -338,9 +347,32 @@ class ExecutionReport:
 
     def add(self, decision: Any) -> None:
         self.decisions.append(decision)
+        if self.metrics is not None:
+            if decision.kind == "join":
+                self.metrics.inc(
+                    "rdd.join.decisions",
+                    labels={"strategy": decision.strategy},
+                )
+            elif decision.kind == "shuffle":
+                self.metrics.inc(
+                    "rdd.shuffle.decisions",
+                    labels={"origin": decision.origin},
+                )
+                self.metrics.inc(
+                    "rdd.shuffle.pairs", decision.shuffled_pairs
+                )
+                if decision.skewed_buckets:
+                    self.metrics.inc(
+                        "rdd.shuffle.skewed_buckets",
+                        len(decision.skewed_buckets),
+                    )
 
     def set_cache_stats(self, stats: Dict[str, Any]) -> None:
         self.cache_stats = dict(stats)
+        if self.metrics is not None:
+            # cumulative snapshot → gauges (re-publication must not
+            # double count)
+            self.metrics.set_gauges_from(stats, prefix="core.cache.")
 
     def clear(self) -> None:
         self.decisions.clear()

@@ -24,15 +24,28 @@ from typing import Any, Dict, List, Optional
 
 
 def percentile(sorted_values: List[float], p: float) -> Optional[float]:
-    """Nearest-rank percentile (``p`` in [0, 100]) of pre-sorted data."""
+    """Linearly interpolated percentile (``p`` in [0, 100]) of
+    pre-sorted data.
+
+    Interpolates between the two straddling order statistics (the
+    same definition as ``statistics.quantiles`` with
+    ``method='inclusive'``), replacing the old nearest-rank pick:
+    nearest-rank made small samples degenerate — with one sample every
+    percentile returned it but p95/p99 of two samples jumped straight
+    to the max — and reported quantiles the data never contained
+    biased high at every sample size.
+    """
     if not sorted_values:
         return None
     if p <= 0:
         return sorted_values[0]
     if p >= 100:
         return sorted_values[-1]
-    rank = max(1, int(round(p / 100.0 * len(sorted_values) + 0.5)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]
+    pos = p / 100.0 * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
 
 
 @dataclass
@@ -98,17 +111,26 @@ class ServiceSnapshot:
 
 
 class ServiceMetrics:
-    """Thread-safe metric sink for one QueryService."""
+    """Thread-safe metric sink for one QueryService.
+
+    ``registry`` (a :class:`~repro.obs.MetricsRegistry`, normally the
+    session context's) receives a mirror of every event as
+    ``serve.*`` counters and a ``serve.latency_s`` histogram, so the
+    service shows up in the same Prometheus dump as the engine and
+    the RDD layer.
+    """
 
     def __init__(
         self,
         reservoir: int = 4096,
         window_s: float = 30.0,
         clock=time.monotonic,
+        registry=None,
     ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._started = clock()
+        self.registry = registry
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -124,25 +146,34 @@ class ServiceMetrics:
     # recording (called by the service)
     # ------------------------------------------------------------------
 
+    def _mirror(self, event: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(f"serve.{event}")
+
     def record_submitted(self) -> None:
         with self._lock:
             self.submitted += 1
+        self._mirror("submitted")
 
     def record_shed(self) -> None:
         with self._lock:
             self.shed += 1
+        self._mirror("shed")
 
     def record_cancelled(self) -> None:
         with self._lock:
             self.cancelled += 1
+        self._mirror("cancelled")
 
     def record_timeout(self) -> None:
         with self._lock:
             self.timeouts += 1
+        self._mirror("timeouts")
 
     def record_retry(self) -> None:
         with self._lock:
             self.retried += 1
+        self._mirror("retried")
 
     def record_completed(self, latency_s: float) -> None:
         now = self._clock()
@@ -151,12 +182,16 @@ class ServiceMetrics:
             self._latencies.append(latency_s)
             self._completions.append(now)
             self._trim(now)
+        self._mirror("completed")
+        if self.registry is not None:
+            self.registry.observe("serve.latency_s", latency_s)
 
     def record_failed(self, latency_s: Optional[float] = None) -> None:
         with self._lock:
             self.failed += 1
             if latency_s is not None:
                 self._latencies.append(latency_s)
+        self._mirror("failed")
 
     def _trim(self, now: float) -> None:
         horizon = now - self._window_s

@@ -82,6 +82,10 @@ class QueryTicket:
         self.state = _QUEUED
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: root trace span of this query's service-side processing
+        #: (queue-wait, cache lookups, solve, execution) — None unless
+        #: the session's tracer is enabled
+        self.trace = None
         self._event = threading.Event()
         self._result: Optional[ScrubJayDataset] = None
         self._error: Optional[BaseException] = None
@@ -205,7 +209,11 @@ class QueryService:
         self.result_cache = ResultCache(
             result_cache_entries, result_ttl, backing=backing, clock=clock
         )
-        self.metrics = ServiceMetrics(window_s=metrics_window_s, clock=clock)
+        self.metrics = ServiceMetrics(
+            window_s=metrics_window_s,
+            clock=clock,
+            registry=getattr(session.ctx, "metrics", None),
+        )
 
         self._cond = threading.Condition()
         self._queues: Dict[str, "deque[QueryTicket]"] = {}
@@ -413,12 +421,43 @@ class QueryService:
 
         result: Optional[ScrubJayDataset] = None
         error: Optional[BaseException] = None
-        try:
-            result = self._answer(ticket.query)
-        except ScrubJayError as exc:
-            error = exc
-        except Exception as exc:  # defensive: never kill a worker
-            error = exc
+        tracer = getattr(self.session.ctx, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "query",
+                kind="query",
+                tenant=ticket.tenant,
+                query=str(ticket.query),
+            ) as root:
+                ticket.trace = root
+                # Queue wait is already over; record it retroactively
+                # on the span clock. The service clock is injectable
+                # (tests), so only the *duration* crosses clocks.
+                pc_now = time.perf_counter()
+                wait = max(0.0, now - ticket.submitted_at)
+                tracer.record(
+                    "queue-wait",
+                    pc_now - wait,
+                    pc_now,
+                    kind="queue",
+                    parent=root,
+                )
+                try:
+                    result = self._answer(ticket.query)
+                except ScrubJayError as exc:
+                    error = exc
+                except Exception as exc:  # defensive: never kill a worker
+                    error = exc
+                if error is not None:
+                    root.status = "error"
+                    root.set("error", type(error).__name__)
+        else:
+            try:
+                result = self._answer(ticket.query)
+            except ScrubJayError as exc:
+                error = exc
+            except Exception as exc:  # defensive: never kill a worker
+                error = exc
 
         finished = self._clock()
         latency = finished - ticket.submitted_at
@@ -461,18 +500,36 @@ class QueryService:
 
     def _answer_once(self, query: Query) -> ScrubJayDataset:
         session = self.session
+        tracer = getattr(session.ctx, "tracer", None)
+        traced = tracer is not None and tracer.enabled
         state = session.state_fingerprint()
         version = session.catalog_version
         nq = normalize_query(query)
         pkey = plan_key(state, nq)
-        plan = self.plan_cache.get_or_solve(
-            pkey, lambda: session.engine.solve(session.schemas(), nq)
-        )
+        # the single-flight cache gives no hit/miss return channel;
+        # whether *our* solver closure ran is exactly a cold miss
+        solver_ran: List[bool] = []
+
+        def solver():
+            solver_ran.append(True)
+            return session.engine.solve(session.schemas(), nq)
+
+        if traced:
+            with tracer.span("plan-cache", kind="cache") as ps:
+                plan = self.plan_cache.get_or_solve(pkey, solver)
+                ps.set("outcome", "miss" if solver_ran else "hit")
+        else:
+            plan = self.plan_cache.get_or_solve(pkey, solver)
         rkey = result_key(plan.fingerprint(), state, version)
-        hit = self.result_cache.get(rkey, session.ctx)
+        if traced:
+            with tracer.span("result-cache", kind="cache") as rs:
+                hit = self.result_cache.get(rkey, session.ctx)
+                rs.set("outcome", "hit" if hit is not None else "miss")
+        else:
+            hit = self.result_cache.get(rkey, session.ctx)
         if hit is not None:
             return hit
-        result = session.execute(plan)
+        result = session.execute(plan).dataset
         # Pin the rows driver-side before publishing: a cached entry
         # must not hold a lazy RDD whose lineage outlives its inputs.
         # Publish only if the catalog did not move between keying and

@@ -34,6 +34,7 @@ import socketserver
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.query import Query
 from repro.core.semantics import Schema
 from repro.errors import ScrubJayError, ServiceError, WrapperError
 from repro.serve.service import QueryService
@@ -106,7 +107,7 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
             domains = request.get("domains") or []
             values = _values_from_wire(request.get("values") or [])
             if op == "explain":
-                plan = service.session.query(domains, values)
+                plan = service.session.plan(Query.of(domains, values))
                 return {
                     "ok": True,
                     "plan": plan.describe(),

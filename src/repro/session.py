@@ -13,20 +13,30 @@ Typical use::
 
     sj = ScrubJaySession()
     sj.register_rows(rows, schema, name="rack_temperatures")
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
-    print(plan.describe())          # the Figure-5-style graph
-    result = sj.execute(plan)       # distributed execution
-    result.collect()
+    answer = (sj.query()
+              .across("jobs", "racks")
+              .values("applications", "heat")
+              .ask())
+    print(answer.plan.describe())   # the Figure-5-style graph
+    answer.collect()                # the result rows
+
+``sj.query()`` with no arguments returns a session-bound
+:class:`~repro.core.query.QueryBuilder`; ``ask``/``execute`` return an
+:class:`~repro.core.answer.Answer` bundling the result dataset, the
+executed plan, and (when tracing is on) the root trace span.
+``sj.explain(query, analyze=True)`` executes the plan and renders
+per-node runtime statistics — EXPLAIN ANALYZE.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Type
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
 from repro.errors import ScrubJayError
+from repro.core.answer import Answer
 from repro.core.cache import DerivationCache
 from repro.core.dataset import ScrubJayDataset
 from repro.core.derivation import (
@@ -37,8 +47,10 @@ from repro.core.derivation import (
 from repro.core.dictionary import SemanticDictionary, default_dictionary
 from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
-from repro.core.query import Query, ValueSpec
+from repro.core.query import Query, QueryBuilder, ValueSpec
 from repro.core.semantics import Schema
+from repro.obs.export import render_analyze
+from repro.obs.trace import Tracer
 from repro.util.hashing import content_hash
 
 # Importing these modules registers ScrubJay's built-in derivations.
@@ -63,6 +75,7 @@ class ScrubJaySession:
         retry_policy=None,
         adaptive=None,
         broadcast_threshold: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``executor``/``num_workers``/``retry_policy`` configure the
         data cluster when no ready-made ``ctx`` is passed: executor is
@@ -74,23 +87,36 @@ class ScrubJaySession:
         ``adaptive`` (an :class:`~repro.rdd.AdaptiveConfig`) and
         ``broadcast_threshold`` (bytes; ``0`` disables broadcast
         joins) tune statistics-driven execution — see DESIGN.md
-        "Adaptive execution"."""
+        "Adaptive execution". ``tracer`` (an enabled
+        :class:`~repro.obs.Tracer`) turns on span recording for every
+        query this session runs — see DESIGN.md "Observability"."""
         from repro.rdd.context import SJContext
 
         if ctx is not None and executor is not None:
             raise ScrubJayError("pass either ctx or executor, not both")
+        if ctx is not None and tracer is not None:
+            raise ScrubJayError(
+                "pass either ctx or tracer, not both (a ready-made "
+                "ctx carries its own tracer)"
+            )
         self.ctx = ctx or SJContext(
             executor=executor or "serial",
             num_workers=num_workers,
             retry_policy=retry_policy,
             adaptive=adaptive,
             broadcast_threshold=broadcast_threshold,
+            tracer=tracer,
         )
         self.dictionary = dictionary or default_dictionary()
         # Copy the global registry so session-local expert derivations
         # do not leak between sessions.
         self.registry = (registry or GLOBAL_REGISTRY).copy()
         self.engine = DerivationEngine(self.dictionary, self.registry, config)
+        # The engine shares the context's tracer/registry object, so a
+        # solve run by the serve layer or by EXPLAIN ANALYZE lands in
+        # the same trace tree as the stages it leads to.
+        self.engine.tracer = self.ctx.tracer
+        self.engine.metrics = self.ctx.metrics
         self.catalog: Dict[str, ScrubJayDataset] = {}
         # Catalog mutation (register/drop) may race with in-flight
         # queries when the session backs a QueryService: the lock makes
@@ -231,36 +257,159 @@ class ScrubJaySession:
     # ------------------------------------------------------------------
 
     def query(
-        self, domains: Sequence[str], values: Sequence[ValueSpec]
-    ) -> DerivationPlan:
-        """Plan — but do not execute — a derivation sequence."""
-        q = Query.of(domains, values)
-        return self.engine.solve(self.schemas(), q)
+        self,
+        domains: Optional[Sequence[str]] = None,
+        values: Optional[Sequence[ValueSpec]] = None,
+    ) -> Union[QueryBuilder, DerivationPlan]:
+        """With no arguments: a session-bound fluent
+        :class:`~repro.core.query.QueryBuilder`::
+
+            plan = sj.query().across("jobs", "racks").value("heat").plan()
+
+        The old two-argument form ``query(domains, values)`` still
+        plans directly but is deprecated — use the builder (or
+        :meth:`plan` with a built :class:`Query`).
+        """
+        if domains is None and values is None:
+            return QueryBuilder(self)
+        if isinstance(domains, Query):
+            return self.plan(domains)
+        warnings.warn(
+            "session.query(domains, values) is deprecated; use the "
+            "fluent builder — session.query().across(...).value(...) — "
+            "or session.plan(query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.plan(Query.of(domains, values))
+
+    def plan(self, query: Query) -> DerivationPlan:
+        """Plan — but do not execute — a derivation sequence for a
+        built :class:`Query`."""
+        return self.engine.solve(self.schemas(), query)
+
+    def _as_query(
+        self,
+        query: Union[Query, Sequence[str], None],
+        values: Optional[Sequence[ValueSpec]],
+        domains: Optional[Sequence[str]] = None,
+    ) -> Query:
+        """Normalize the accepted query spellings: a built ``Query``,
+        legacy positional ``(domains, values)``, or legacy
+        ``domains=``/``values=`` keywords."""
+        if isinstance(query, Query):
+            return query
+        if query is not None:
+            return Query.of(query, values or ())
+        return Query.of(domains or (), values or ())
 
     def explain(
-        self, domains: Sequence[str], values: Sequence[ValueSpec]
+        self,
+        query: Union[Query, Sequence[str], None] = None,
+        values: Optional[Sequence[ValueSpec]] = None,
+        *,
+        domains: Optional[Sequence[str]] = None,
+        analyze: bool = False,
     ) -> str:
-        """The Figure 5/7-style rendering of the plan for a query."""
-        return self.query(domains, values).describe()
+        """The Figure 5/7-style rendering of the plan for a query.
 
-    def execute(self, plan: DerivationPlan) -> ScrubJayDataset:
+        With ``analyze=True`` this is EXPLAIN ANALYZE: the plan is
+        *executed* (with per-node materialization) under a temporarily
+        enabled tracer, and each node renders with its measured row
+        count, approximate size, wall time, and derivation-cache
+        outcome, prefixed by a summary of the engine's search. The
+        resulting trace tree is also retained on ``ctx.tracer`` —
+        ``ctx.tracer.last_root()`` returns it for programmatic use.
+        """
+        q = self._as_query(query, values, domains)
+        if analyze:
+            return self._explain_analyze(q)
+        return self.plan(q).describe()
+
+    def _explain_analyze(self, q: Query) -> str:
+        tracer = self.ctx.tracer
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        try:
+            with tracer.span(
+                "explain-analyze", kind="query", query=str(q)
+            ) as root:
+                plan = self.engine.solve(self.schemas(), q)
+                plan.execute(
+                    self.snapshot(),
+                    self.dictionary,
+                    self.cache,
+                    tracer=tracer,
+                    measure=True,
+                )
+                if self.cache is not None:
+                    self.ctx.report.set_cache_stats(self.cache.stats())
+        finally:
+            tracer.enabled = was_enabled
+        lines = [f"EXPLAIN ANALYZE {q}"]
+        solve = root.find("solve")
+        if solve is not None:
+            c = solve.counters
+            lines.append(
+                f"solve: {solve.duration * 1e3:.1f}ms;"
+                f" {int(c.get('candidates_explored', 0))} candidates"
+                f" explored ({int(c.get('candidates_pruned', 0))}"
+                f" pruned);"
+                f" {int(c.get('subsets_examined', 0))} subsets;"
+                f" pair-memo {int(c.get('pair_memo_hits', 0))} hits /"
+                f" {int(c.get('pair_memo_misses', 0))} misses"
+            )
+        lines.append(render_analyze(root))
+        return "\n".join(lines)
+
+    def execute(self, plan: DerivationPlan) -> Answer:
         """Execute a plan against the registered data.
 
         Runs against a point-in-time catalog snapshot, so concurrent
         ``register``/``drop`` calls cannot mutate the mapping mid-walk;
         afterwards the derivation-cache counters are published into
-        ``ctx.report`` for machine-readable inspection.
+        ``ctx.report`` for machine-readable inspection. Returns an
+        :class:`Answer` (its unknown attributes delegate to the result
+        dataset, so dataset-shaped call sites keep working).
         """
-        result = plan.execute(self.snapshot(), self.dictionary, self.cache)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            with tracer.span("execute", kind="query") as root:
+                dataset = self._run_plan(plan, tracer)
+            return Answer(dataset, plan, root)
+        return Answer(self._run_plan(plan, None), plan, None)
+
+    def _run_plan(
+        self, plan: DerivationPlan, tracer
+    ) -> ScrubJayDataset:
+        result = plan.execute(
+            self.snapshot(), self.dictionary, self.cache, tracer=tracer
+        )
         if self.cache is not None:
             self.ctx.report.set_cache_stats(self.cache.stats())
         return result
 
     def ask(
-        self, domains: Sequence[str], values: Sequence[ValueSpec]
-    ) -> ScrubJayDataset:
-        """Plan and execute in one call."""
-        return self.execute(self.query(domains, values))
+        self,
+        query: Union[Query, Sequence[str], None] = None,
+        values: Optional[Sequence[ValueSpec]] = None,
+        *,
+        domains: Optional[Sequence[str]] = None,
+    ) -> Answer:
+        """Plan and execute in one call; accepts a built
+        :class:`Query` or the legacy ``(domains, values)`` spelling.
+        Returns an :class:`Answer` whose ``trace`` spans the solve and
+        the execution when the session's tracer is enabled.
+        """
+        q = self._as_query(query, values, domains)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            with tracer.span("query", kind="query", query=str(q)) as root:
+                plan = self.engine.solve(self.schemas(), q)
+                dataset = self._run_plan(plan, tracer)
+            return Answer(dataset, plan, root)
+        plan = self.engine.solve(self.schemas(), q)
+        return Answer(self._run_plan(plan, None), plan, None)
 
     # ------------------------------------------------------------------
     # reproducible pipelines

@@ -86,8 +86,8 @@ def test_execute_with_cache_skips_recompute(fig5_session, tmp_path):
     from repro.core.cache import DerivationCache
 
     sj.cache = DerivationCache(str(tmp_path))
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat").plan())
     first = sorted(map(repr, sj.execute(plan).collect()))
     assert sj.cache.hits == 0
     second = sorted(map(repr, sj.execute(plan).collect()))
@@ -102,12 +102,12 @@ def test_shared_prefix_reused_across_plans(fig5_session, tmp_path):
     from repro.core.cache import DerivationCache
 
     sj.cache = DerivationCache(str(tmp_path))
-    plan_a = sj.query(domains=["jobs", "racks"],
-                      values=["applications", "heat"])
+    plan_a = (sj.query().across("jobs", "racks")
+              .values("applications", "heat").plan())
     sj.execute(plan_a)
     misses_after_a = sj.cache.misses
-    plan_b = sj.query(domains=["jobs", "racks"],
-                      values=["applications", "temperature"])
+    plan_b = (sj.query().across("jobs", "racks")
+              .values("applications", "temperature").plan())
     sj.execute(plan_b)
     # plan_b shares at least one subtree with plan_a → at least one hit
     assert sj.cache.hits >= 1 or sj.cache.misses == misses_after_a

@@ -70,8 +70,8 @@ def test_session_schemas_saved_in_bulk(kb, fig5_session):
 
 def test_plan_round_trip_and_names(kb, fig5_session):
     sj = fig5_session
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat").plan())
     kb.save_plan("rack_heat", plan)
     assert kb.plan_names() == ["rack_heat"]
     back = kb.load_plan("rack_heat", sj.registry)
@@ -90,7 +90,7 @@ def test_knowledge_survives_store_reopen(tmp_path, fig5_session):
     root = str(tmp_path / "kb2")
     kb1 = KnowledgeBase(WideColumnStore(root))
     kb1.save_session_semantics(fig5_session)
-    plan = fig5_session.query(domains=["racks"], values=["heat"])
+    plan = fig5_session.query().across("racks").value("heat").plan()
     kb1.save_plan("heat", plan)
 
     kb2 = KnowledgeBase(WideColumnStore(root))

@@ -126,8 +126,8 @@ def test_execute_unknown_dataset(plan, dictionary):
 
 def test_execute_runs_pipeline(fig5_session):
     sj = fig5_session
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat").plan())
     result = sj.execute(plan)
     rows = result.collect()
     assert rows
@@ -136,8 +136,8 @@ def test_execute_runs_pipeline(fig5_session):
 
 def test_reexecution_is_deterministic(fig5_session):
     sj = fig5_session
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat").plan())
     a = sorted(map(repr, sj.execute(plan).collect()))
     b = sorted(map(repr, sj.execute(plan).collect()))
     assert a == b
@@ -145,8 +145,8 @@ def test_reexecution_is_deterministic(fig5_session):
 
 def test_serialized_plan_reexecutes_identically(fig5_session, tmp_path):
     sj = fig5_session
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat").plan())
     path = str(tmp_path / "plan.json")
     sj.save_plan(plan, path)
     reloaded = sj.load_plan(path)

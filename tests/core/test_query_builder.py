@@ -1,0 +1,109 @@
+"""QueryBuilder: fluent construction, session-bound terminals, and the
+legacy-form deprecation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Query, QueryBuilder
+from repro.core.query import ValueTerm
+from repro.errors import QueryError
+
+
+def test_build_produces_frozen_query():
+    q = (QueryBuilder()
+         .across("jobs", "racks")
+         .value("heat", units="W")
+         .build())
+    assert q == Query(
+        ("jobs", "racks"), (ValueTerm("heat", "W"),)
+    )
+
+
+def test_builder_equivalent_to_query_of():
+    built = (QueryBuilder()
+             .across("racks")
+             .values("heat", "power")
+             .build())
+    assert built == Query.of(["racks"], ["heat", "power"])
+
+
+def test_accumulation_across_calls():
+    q = (QueryBuilder()
+         .across("jobs")
+         .across("racks")
+         .value("heat")
+         .values("power", "temperature")
+         .build())
+    assert q.domains == ("jobs", "racks")
+    assert [t.dimension for t in q.values] == [
+        "heat", "power", "temperature"
+    ]
+
+
+def test_build_requires_domains_and_values():
+    with pytest.raises(QueryError):
+        QueryBuilder().value("heat").build()
+    with pytest.raises(QueryError):
+        QueryBuilder().across("racks").build()
+
+
+def test_unbound_terminals_raise():
+    b = QueryBuilder().across("racks").value("heat")
+    with pytest.raises(QueryError):
+        b.plan()
+    with pytest.raises(QueryError):
+        b.ask()
+    with pytest.raises(QueryError):
+        b.explain()
+
+
+def test_session_bound_builder_plans(fig5_session):
+    plan = (fig5_session.query()
+            .across("racks")
+            .value("heat")
+            .plan())
+    assert "derive_heat" in plan.operations()
+
+
+def test_session_bound_builder_asks(fig5_session):
+    answer = (fig5_session.query()
+              .across("racks")
+              .value("heat")
+              .ask())
+    assert answer.plan is not None
+    assert len(answer.collect()) > 0
+    assert list(answer) == answer.collect()
+
+
+def test_session_bound_builder_explains(fig5_session):
+    text = (fig5_session.query()
+            .across("racks")
+            .value("heat")
+            .explain())
+    assert "derive_heat" in text
+
+
+def test_legacy_two_argument_query_warns(fig5_session):
+    with pytest.warns(DeprecationWarning, match="fluent builder"):
+        plan = fig5_session.query(
+            domains=["racks"], values=["heat"]
+        )
+    assert "derive_heat" in plan.operations()
+
+
+def test_query_with_built_query_does_not_warn(fig5_session):
+    import warnings
+
+    q = Query.of(["racks"], ["heat"])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        plan = fig5_session.query(q)
+        fig5_session.query()  # bare builder is the blessed path
+    assert "derive_heat" in plan.operations()
+
+
+def test_repr_shows_accumulated_terms():
+    b = QueryBuilder().across("racks").value("heat", units="W")
+    assert "racks" in repr(b)
+    assert "heat[W]" in repr(b)

@@ -1,0 +1,119 @@
+"""A served query's trace: queue-wait → plan-cache/solve →
+result-cache → execution, exportable as valid chrome://tracing JSON,
+with service metrics mirrored into the shared registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ScrubJaySession, Tracer, to_chrome_trace, to_prometheus
+from tests.conftest import (
+    JOBS_SCHEMA,
+    LAYOUT_SCHEMA,
+    TEMPS_SCHEMA,
+    jobs_rows,
+    layout_rows,
+    temps_rows,
+)
+
+
+@pytest.fixture()
+def traced_service():
+    sj = ScrubJaySession(tracer=Tracer())
+    sj.register_rows(jobs_rows(), JOBS_SCHEMA, "job_queue_log")
+    sj.register_rows(layout_rows(), LAYOUT_SCHEMA, "node_layout")
+    sj.register_rows(temps_rows(), TEMPS_SCHEMA, "rack_temperatures")
+    svc = sj.serve(num_workers=1)
+    yield sj, svc
+    svc.close()
+    sj.close()
+
+
+def test_served_query_trace_tree(traced_service):
+    sj, svc = traced_service
+    ticket = svc.submit(["racks"], ["heat"], tenant="acme")
+    ticket.result(timeout=30.0)
+
+    root = ticket.trace
+    assert root is not None
+    assert root.name == "query"
+    assert root.attrs["tenant"] == "acme"
+    names = [s.name for s in root.walk()]
+    assert "queue-wait" in names
+    assert "plan-cache" in names
+    assert "solve" in names           # cold plan-cache miss solved live
+    assert "result-cache" in names
+    assert root.find("plan-cache").attrs["outcome"] == "miss"
+    assert root.find("result-cache").attrs["outcome"] == "miss"
+    assert any(s.kind == "stage" for s in root.walk())
+    assert any(s.kind == "task" for s in root.walk())
+
+    # queue-wait precedes everything else that has a measured start
+    qw = root.find("queue-wait")
+    solve = root.find("solve")
+    assert qw.end <= solve.start
+
+
+def test_repeat_query_hits_both_caches(traced_service):
+    sj, svc = traced_service
+    svc.query(["racks"], ["heat"])
+    svc.query(["racks"], ["heat"])
+    root = sj.ctx.tracer.last_root()
+    assert root.find("plan-cache").attrs["outcome"] == "hit"
+    assert root.find("result-cache").attrs["outcome"] == "hit"
+    assert root.find("solve") is None  # no live solve on a hit
+
+
+def test_served_trace_exports_valid_chrome_json(traced_service):
+    sj, svc = traced_service
+    ticket = svc.submit(["racks"], ["heat"])
+    ticket.result(timeout=30.0)
+
+    blob = json.dumps(to_chrome_trace(ticket.trace))
+    trace = json.loads(blob)
+    events = trace["traceEvents"]
+    assert events
+    names = {e["name"] for e in events}
+    assert "query" in names
+    assert "queue-wait" in names
+    assert "solve" in names
+    assert any(n.startswith("stage:") for n in names)
+    assert any(n.startswith("task:") for n in names)
+    for e in events:
+        assert set(e) == {
+            "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"
+        }
+        assert e["ph"] == "X"
+        assert isinstance(e["ts"], int)
+        assert isinstance(e["dur"], int) and e["dur"] >= 0
+
+
+def test_service_metrics_mirror_into_registry(traced_service):
+    sj, svc = traced_service
+    svc.query(["racks"], ["heat"])
+    m = sj.ctx.metrics
+    assert m.counter("serve.submitted") == 1
+    assert m.counter("serve.completed") == 1
+    assert m.histogram_summary("serve.latency_s")["count"] == 1
+
+    text = to_prometheus(m)
+    assert "serve_completed 1" in text
+    assert "serve_latency_s_count 1" in text
+    # the engine and rdd layers land in the same dump
+    assert "engine_solves" in text
+    assert "rdd_stages" in text
+
+
+def test_untraced_service_leaves_no_trace():
+    sj = ScrubJaySession()
+    sj.register_rows(jobs_rows(), JOBS_SCHEMA, "job_queue_log")
+    sj.register_rows(layout_rows(), LAYOUT_SCHEMA, "node_layout")
+    sj.register_rows(temps_rows(), TEMPS_SCHEMA, "rack_temperatures")
+    with sj.serve(num_workers=1) as svc:
+        ticket = svc.submit(["racks"], ["heat"])
+        ticket.result(timeout=30.0)
+        assert ticket.trace is None
+        assert sj.ctx.tracer.roots() == []
+    sj.close()

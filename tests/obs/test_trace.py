@@ -1,0 +1,142 @@
+"""Unit tests for the span/tracer core."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, NoopSpan, Span, Tracer
+
+
+def test_nested_spans_build_a_tree():
+    tr = Tracer()
+    with tr.span("outer", kind="query") as outer:
+        with tr.span("inner", kind="solve") as inner:
+            inner.add("things", 3)
+        with tr.span("inner2"):
+            pass
+    assert [c.name for c in outer.children] == ["inner", "inner2"]
+    assert outer.children[0].counters == {"things": 3}
+    assert tr.roots() == [outer]
+    assert tr.last_root() is outer
+
+
+def test_span_timing_and_duration():
+    tr = Tracer()
+    with tr.span("timed") as s:
+        pass
+    assert s.end is not None
+    assert s.duration >= 0.0
+    open_span = Span("open")
+    assert open_span.duration == 0.0
+
+
+def test_exception_marks_error_status():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("boom") as s:
+            raise ValueError("nope")
+    assert s.status == "error"
+    # the span still completed and was retained as a root
+    assert tr.last_root() is s
+    assert s.end is not None
+
+
+def test_disabled_tracer_yields_shared_noop():
+    tr = Tracer(enabled=False)
+    with tr.span("ignored") as s:
+        assert s is NOOP_SPAN
+        s.add("x")        # all mutations are no-ops
+        s.set("k", "v")
+        assert s.child("c") is s
+    assert tr.roots() == []
+    assert tr.record("late", 0.0, 1.0) is NOOP_SPAN
+
+
+def test_enabled_flag_is_live():
+    tr = Tracer(enabled=False)
+    with tr.span("off") as off:
+        pass
+    tr.enabled = True
+    with tr.span("on") as on:
+        pass
+    assert isinstance(off, NoopSpan)
+    assert isinstance(on, Span)
+    assert [r.name for r in tr.roots()] == ["on"]
+
+
+def test_record_retroactive_under_parent_and_as_root():
+    tr = Tracer()
+    with tr.span("parent") as parent:
+        child = tr.record("late-child", 1.0, 2.0, kind="queue")
+    assert child in parent.children
+    assert child.duration == 1.0
+    orphan = tr.record("orphan", 0.0, 0.5)
+    assert orphan in tr.roots()
+
+
+def test_record_explicit_parent_wins_over_current():
+    tr = Tracer()
+    with tr.span("a") as a:
+        with tr.span("b"):
+            s = tr.record("r", 0.0, 1.0, parent=a)
+    assert s in a.children
+    assert all(c.name != "r" for c in a.children[0].children)
+
+
+def test_thread_local_stacks_do_not_splice():
+    tr = Tracer()
+    ready = threading.Barrier(2)
+
+    def worker(name):
+        ready.wait()
+        with tr.span(name):
+            with tr.span(f"{name}-inner"):
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    roots = tr.roots()
+    assert sorted(r.name for r in roots) == ["t0", "t1"]
+    for r in roots:
+        assert [c.name for c in r.children] == [f"{r.name}-inner"]
+
+
+def test_max_roots_bounds_retention():
+    tr = Tracer(max_roots=3)
+    for i in range(10):
+        with tr.span(f"s{i}"):
+            pass
+    assert [r.name for r in tr.roots()] == ["s7", "s8", "s9"]
+    tr.clear()
+    assert tr.roots() == []
+
+
+def test_find_and_walk():
+    root = Span("root")
+    a = root.child("a", kind="stage")
+    b = a.child("b", kind="task")
+    assert root.find("b") is b
+    assert root.find("missing") is None
+    assert [s.name for s in root.walk()] == ["root", "a", "b"]
+
+
+def test_to_dict_round_trips_via_json():
+    import json
+
+    tr = Tracer()
+    with tr.span("q", kind="query", tenant="t1") as q:
+        q.add("rows", 5)
+        with tr.span("s", kind="stage"):
+            pass
+    blob = json.loads(json.dumps(q.to_dict()))
+    assert blob["name"] == "q"
+    assert blob["attrs"] == {"tenant": "t1"}
+    assert blob["counters"] == {"rows": 5}
+    assert [c["name"] for c in blob["children"]] == ["s"]

@@ -1,0 +1,61 @@
+"""Regression tests for the interpolated percentile.
+
+The old nearest-rank implementation was degenerate on small samples:
+p95/p99 of two samples jumped straight to the max, and a single sample
+reported itself for every percentile only by accident of rounding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.metrics import ServiceMetrics, percentile
+
+
+def test_empty_returns_none():
+    assert percentile([], 50) is None
+
+
+def test_single_sample_every_percentile():
+    for p in (0, 1, 50, 95, 99, 100):
+        assert percentile([0.25], p) == 0.25
+
+
+def test_two_samples_interpolate():
+    data = [1.0, 3.0]
+    assert percentile(data, 50) == 2.0
+    assert percentile(data, 95) == pytest.approx(1.0 + 0.95 * 2.0)
+    assert percentile(data, 99) == pytest.approx(1.0 + 0.99 * 2.0)
+    # the old nearest-rank returned 3.0 (the max) for both
+
+
+def test_bounds_clamp():
+    data = [1.0, 2.0, 3.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, -5) == 1.0
+    assert percentile(data, 100) == 3.0
+    assert percentile(data, 200) == 3.0
+
+
+def test_quartiles_of_five():
+    data = [10.0, 20.0, 30.0, 40.0, 50.0]
+    assert percentile(data, 25) == 20.0
+    assert percentile(data, 50) == 30.0
+    assert percentile(data, 75) == 40.0
+    assert percentile(data, 90) == pytest.approx(46.0)
+
+
+def test_snapshot_small_sample_percentiles():
+    m = ServiceMetrics()
+    m.record_submitted()
+    m.record_completed(0.1)
+    snap = m.snapshot()
+    assert snap.latency_s["p50"] == pytest.approx(0.1)
+    assert snap.latency_s["p99"] == pytest.approx(0.1)
+    assert snap.latency_s["samples"] == 1.0
+
+    m.record_completed(0.3)
+    snap = m.snapshot()
+    assert snap.latency_s["p50"] == pytest.approx(0.2)
+    assert snap.latency_s["p95"] < 0.3  # no jump-to-max at n=2
+    assert snap.latency_s["max"] == pytest.approx(0.3)

@@ -104,7 +104,7 @@ def expert_session():
 
 def test_engine_discovers_custom_derivation(expert_session):
     sj = expert_session
-    plan = sj.query(domains=["compute nodes"], values=["power budget use"])
+    plan = sj.query().across("compute nodes").value("power budget use").plan()
     ops = [op for op in plan.operations() if not op.startswith("load")]
     assert ops == ["derive_power_budget_use"]
     rows = sj.execute(plan).collect()
@@ -114,7 +114,7 @@ def test_engine_discovers_custom_derivation(expert_session):
 def test_custom_derivation_composes_with_builtins(expert_session):
     sj = expert_session
     # needs a combination AND the custom derivation
-    plan = sj.query(domains=["racks"], values=["power budget use"])
+    plan = sj.query().across("racks").value("power budget use").plan()
     ops = [op for op in plan.operations() if not op.startswith("load")]
     assert "derive_power_budget_use" in ops
     assert "natural_join" in ops
@@ -125,7 +125,7 @@ def test_custom_derivation_composes_with_builtins(expert_session):
 
 def test_custom_derivation_serializes_in_session(expert_session, tmp_path):
     sj = expert_session
-    plan = sj.query(domains=["compute nodes"], values=["power budget use"])
+    plan = sj.query().across("compute nodes").value("power budget use").plan()
     path = str(tmp_path / "plan.json")
     sj.save_plan(plan, path)
     reloaded = sj.load_plan(path)  # session registry knows the op
@@ -135,7 +135,7 @@ def test_custom_derivation_serializes_in_session(expert_session, tmp_path):
 def test_custom_derivation_unknown_to_other_sessions(expert_session,
                                                      tmp_path):
     sj = expert_session
-    plan = sj.query(domains=["compute nodes"], values=["power budget use"])
+    plan = sj.query().across("compute nodes").value("power budget use").plan()
     path = str(tmp_path / "plan.json")
     sj.save_plan(plan, path)
     from repro.errors import PipelineError
@@ -149,6 +149,6 @@ def test_expert_dictionary_entry_required(expert_session):
     # the derived schema validates against the session dictionary only
     # because the expert defined the new dimension
     sj = expert_session
-    plan = sj.query(domains=["compute nodes"], values=["power budget use"])
+    plan = sj.query().across("compute nodes").value("power budget use").plan()
     result = sj.execute(plan)
     result.validate(sj.dictionary)

@@ -24,8 +24,8 @@ def dat1_result():
     )
     with ScrubJaySession() as sj:
         dat.register(sj)
-        plan = sj.query(domains=["jobs", "racks"],
-                        values=["applications", "heat"])
+        plan = (sj.query().across("jobs", "racks")
+                .values("applications", "heat").plan())
         result = sj.execute(plan)
         result.persist()
         yield dat, plan, result
@@ -84,11 +84,13 @@ def dat2_result():
         config=EngineConfig(interpolation_window=8.0)
     ) as sj:
         dat.register(sj)
-        plan = sj.query(
-            domains=["cpus"],
-            values=["active frequency", "instructions per time",
+        plan = (
+            sj.query()
+            .across("cpus")
+            .values("active frequency", "instructions per time",
                     "memory reads per time", "memory writes per time",
-                    "temperature"],
+                    "temperature")
+            .plan()
         )
         result = sj.execute(plan)
         result.persist()

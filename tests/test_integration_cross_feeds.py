@@ -44,7 +44,7 @@ def test_humidity_uncorrelated_with_heat(dat1_session):
 
 def test_power_query_plan_joins_two_feeds(dat1_session):
     _dat, sj = dat1_session
-    plan = sj.query(domains=["racks"], values=["heat", "power"])
+    plan = sj.query().across("racks").values("heat", "power").plan()
     ops = [op for op in plan.operations() if not op.startswith("load")]
     assert "interpolation_join" in ops
     assert "derive_heat" in ops
@@ -84,8 +84,8 @@ def test_four_dataset_query(dat1_session):
 
     _dat, sj = dat1_session
     t0 = time.perf_counter()
-    plan = sj.query(domains=["jobs", "racks"],
-                    values=["applications", "heat", "power"])
+    plan = (sj.query().across("jobs", "racks")
+            .values("applications", "heat", "power").plan())
     assert time.perf_counter() - t0 < 5.0
     loads = {op for op in plan.operations() if op.startswith("load")}
     assert loads == {"load:job_queue_log", "load:node_layout",

@@ -31,8 +31,8 @@ def dat3_session():
 
 def test_network_query_plan_shape(dat3_session):
     _dat, sj = dat3_session
-    plan = sj.query(domains=["jobs", "network links"],
-                    values=["applications", "link bytes per time"])
+    plan = (sj.query().across("jobs", "network links")
+            .values("applications", "link bytes per time").plan())
     ops = [op for op in plan.operations() if not op.startswith("load")]
     # structurally the Figure 5 pattern on a new domain: explodes,
     # a rate derivation, one exact join, one windowed join

@@ -1,0 +1,226 @@
+"""Scan-pushdown benchmark: selective queries must not pay full scans.
+
+Builds the DAT1 rack-temperature feed, lands it in a wide-column store
+table (partitioned by rack, clustered by time, flushed into many
+segments), ingests it through ``session.ingest().table(...)``, and
+asks a selective question — one rack, one time window — twice:
+
+- **pushed**: the default engine, where the pushdown rewrite collapses
+  the ``.where()`` restrictions into the leaf scan (partition-key
+  pruning drops the other racks driver-side, zone maps skip segments
+  outside the time window worker-side);
+- **full scan**: the same session/query with
+  ``EngineConfig(pushdown=False)`` — filters run as plan nodes above
+  an unrestricted scan.
+
+Writes ``benchmarks/results/BENCH_scan.json`` with the physical read
+counters (``scan.rows_read``, ``segments_skipped``,
+``partitions_pruned``, ``bytes_scanned``) of both runs, wall-clock
+timings, and the row-multiset equality verdict.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scan_pushdown.py          # full
+    PYTHONPATH=src python benchmarks/bench_scan_pushdown.py --smoke  # CI
+
+``--smoke`` shrinks the dataset and exits non-zero if the pushed scan
+fails to read at least 2x fewer rows than the full scan or the two
+answers differ; the full run enforces the 5x acceptance bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_scan.json")
+
+# allow `python benchmarks/bench_scan_pushdown.py` without PYTHONPATH
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import EngineConfig, ScrubJaySession  # noqa: E402
+from repro.datagen.dat import (  # noqa: E402
+    RACK_TEMPERATURE_SCHEMA,
+    generate_dat1,
+)
+from repro.store import WideColumnStore  # noqa: E402
+
+DATASET = "rack_temperatures"
+TARGET_RACK = 17
+SEGMENTS = 12  # memtable is sized so the feed lands in ~this many
+
+
+def build_store(
+    root: str, rows: List[Dict[str, Any]]
+) -> WideColumnStore:
+    store = WideColumnStore(root)
+    table = store.create_table(
+        "facility",
+        DATASET,
+        ["rack"],
+        ["time"],
+        memtable_limit=max(1, len(rows) // SEGMENTS),
+    )
+    table.insert_many(rows)
+    table.flush()
+    return store
+
+
+def run_query(
+    store: WideColumnStore,
+    pushdown: bool,
+    t_lo: float,
+    t_hi: float,
+) -> Dict[str, Any]:
+    """One measured ask() against a fresh session over the store."""
+    sj = ScrubJaySession(config=EngineConfig(pushdown=pushdown))
+    try:
+        sj.ingest().table(
+            store, "facility", DATASET, RACK_TEMPERATURE_SCHEMA
+        ).register(DATASET)
+        t0 = time.perf_counter()
+        answer = (
+            sj.query()
+            .across("racks", "time")
+            .value("temperature")
+            .where("racks", equals=TARGET_RACK)
+            .where("time", between=(t_lo, t_hi))
+            .ask()
+        )
+        rows = answer.to_rows()
+        elapsed = time.perf_counter() - t0
+        labels = {"source": DATASET}
+        counters = {
+            name: sj.ctx.metrics.counter(f"scan.{name}", labels)
+            for name in (
+                "rows_read",
+                "bytes_scanned",
+                "segments_skipped",
+                "partitions_pruned",
+            )
+        }
+        return {
+            "mode": "pushed" if pushdown else "full-scan",
+            "seconds": round(elapsed, 4),
+            "result_rows": len(rows),
+            "scan": counters,
+            "rows": rows,
+        }
+    finally:
+        sj.close()
+
+
+def row_multiset(rows: Sequence[Dict[str, Any]]) -> List[Any]:
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows
+    )
+
+
+def run_all(smoke: bool, workdir: str) -> Dict[str, Any]:
+    duration = 1800.0 if smoke else 3.0 * 3600.0
+    bundle = generate_dat1(
+        duration=duration, include_aux_feeds=False
+    )
+    temps = bundle.rows(DATASET)
+    store = build_store(os.path.join(workdir, "store"), temps)
+    # the middle third of the session, one rack out of twenty
+    t_lo, t_hi = duration / 3.0, 2.0 * duration / 3.0
+
+    pushed = run_query(store, True, t_lo, t_hi)
+    full = run_query(store, False, t_lo, t_hi)
+    identical = row_multiset(pushed.pop("rows")) == row_multiset(
+        full.pop("rows")
+    )
+    read_pushed = pushed["scan"]["rows_read"]
+    read_full = full["scan"]["rows_read"]
+    reduction = (read_full / read_pushed) if read_pushed else float("inf")
+    return {
+        "benchmark": "scan-pushdown",
+        "smoke": smoke,
+        "dataset": DATASET,
+        "rows_stored": len(temps),
+        "query": {
+            "rack": TARGET_RACK,
+            "time": [t_lo, t_hi],
+        },
+        "pushed": pushed,
+        "full_scan": full,
+        "rows_read_reduction": round(reduction, 2),
+        "results_identical": identical,
+    }
+
+
+def check(payload: Dict[str, Any]) -> List[str]:
+    bar = 2.0 if payload["smoke"] else 5.0
+    failures: List[str] = []
+    if not payload["results_identical"]:
+        failures.append("pushed and full-scan answers differ")
+    if payload["pushed"]["result_rows"] == 0:
+        failures.append("selective query returned no rows")
+    if payload["rows_read_reduction"] < bar:
+        failures.append(
+            f"rows_read reduction {payload['rows_read_reduction']}x "
+            f"below the {bar}x bar"
+        )
+    if payload["pushed"]["scan"]["partitions_pruned"] == 0:
+        failures.append("no partitions were pruned")
+    if payload["pushed"]["scan"]["segments_skipped"] == 0:
+        failures.append("no segments were zone-map skipped")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scan-pushdown benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset + acceptance gates (CI mode)",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for the on-disk store (default: a tempdir)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    if args.workdir:
+        os.makedirs(args.workdir, exist_ok=True)
+        payload = run_all(args.smoke, args.workdir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = run_all(args.smoke, tmp)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+    print(json.dumps(
+        {k: v for k, v in payload.items() if k not in ("pushed", "full_scan")},
+        indent=2,
+    ))
+    print(f"pushed:    {payload['pushed']['scan']} "
+          f"in {payload['pushed']['seconds']}s")
+    print(f"full scan: {payload['full_scan']['scan']} "
+          f"in {payload['full_scan']['seconds']}s")
+    print(f"wrote {JSON_PATH}")
+
+    failures = check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

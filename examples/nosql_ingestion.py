@@ -8,8 +8,8 @@ wide-column store:
 
 1. stream LDMS node samples into a keyspace/table partitioned by node
    and clustered by time (segments flush as the memtable fills);
-2. wrap the table with the NoSQL data wrapper and register it with
-   semantics;
+2. ingest the table as a lazily scanned, partition-pruned dataset
+   (`session.ingest().table(...)`) registered with semantics;
 3. query {jobs, compute nodes} → {applications, cpu utilization} and
    watch the engine relate the ingested stream to the job log;
 4. correlate the derived utilization with jobs' presence.
@@ -26,7 +26,6 @@ from repro.datagen.dat import JOB_LOG_SCHEMA, LDMS_SCHEMA, ensure_semantics
 from repro.datagen.facility import Facility, FacilityConfig
 from repro.datagen.scheduler import JobScheduler
 from repro.store import WideColumnStore
-from repro.wrappers import NoSQLWrapper
 
 
 def main() -> None:
@@ -53,16 +52,17 @@ def main() -> None:
           f"{len(table._segment_paths())} on-disk segments)")
 
     # ------------------------------------------------------------------
-    # 2-3. wrap, register, query
+    # 2-3. ingest, register, query
     # ------------------------------------------------------------------
     with ScrubJaySession(
         config=EngineConfig(interpolation_window=10.0)
     ) as sj:
         ensure_semantics(sj.dictionary)
-        sj.register_wrapper(
-            NoSQLWrapper(store, "perf", "ldms", LDMS_SCHEMA, sj.dictionary),
-            "ldms",
-        )
+        # one scan partition per store partition key: reads happen
+        # lazily inside workers, and query restrictions prune
+        # partitions/segments before rows are unpickled
+        sj.ingest().table(store, "perf", "ldms", LDMS_SCHEMA) \
+          .register("ldms")
         sj.register_rows(sched.job_log_rows(), JOB_LOG_SCHEMA,
                          "job_queue_log")
 

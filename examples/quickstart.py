@@ -19,7 +19,6 @@ import os
 import tempfile
 
 from repro import DOMAIN, VALUE, Schema, ScrubJaySession, SemanticType
-from repro.wrappers import CSVWrapper
 
 JOBS_CSV = """\
 job_id,job_name,nodelist,timespan
@@ -65,14 +64,11 @@ def main() -> None:
         f.write(SENSOR_CSV)
 
     with ScrubJaySession() as sj:
-        # 1-2: wrap + annotate + register
-        sj.register_wrapper(
-            CSVWrapper(jobs_path, JOBS_SCHEMA, sj.dictionary), "job_log"
-        )
-        sj.register_wrapper(
-            CSVWrapper(sensors_path, SENSOR_SCHEMA, sj.dictionary),
-            "node_temps",
-        )
+        # 1-2: annotate + ingest as lazily scanned datasets (rows are
+        # decoded inside workers, and query restrictions push into the
+        # scan)
+        sj.ingest().csv(jobs_path, JOBS_SCHEMA).register("job_log")
+        sj.ingest().csv(sensors_path, SENSOR_SCHEMA).register("node_temps")
 
         # 3: a logical query — no table names, no join keys
         plan = (

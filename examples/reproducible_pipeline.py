@@ -27,7 +27,7 @@ import time
 from repro import ScrubJaySession
 from repro.datagen import generate_dat1
 from repro.datagen.facility import FacilityConfig
-from repro.wrappers import CSVUnwrapper, SQLUnwrapper, SQLWrapper
+from repro.wrappers import CSVUnwrapper, SQLUnwrapper
 
 
 def fresh_session(dat, cache_dir=None) -> ScrubJaySession:
@@ -100,8 +100,9 @@ def main() -> None:
         CSVUnwrapper(csv_path, sj_c.dictionary).save(result)
         db_path = os.path.join(workdir, "derived.db")
         SQLUnwrapper(db_path, "derived_heat", sj_c.dictionary).save(result)
-        back = SQLWrapper(db_path, result.schema, sj_c.dictionary,
-                          table="derived_heat").load(sj_c.ctx)
+        back = (sj_c.ingest()
+                .sql(db_path, result.schema, table="derived_heat")
+                .load("derived_heat"))
         assert back.count() == count_c
         print(f"unwrapped to {csv_path} and sqlite table 'derived_heat' ✓")
 

@@ -18,8 +18,17 @@ from repro.session import ScrubJaySession
 from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
 from repro.core.dictionary import SemanticDictionary, default_dictionary
 from repro.core.dataset import ScrubJayDataset
-from repro.core.query import Query, QueryBuilder
+from repro.core.query import FilterTerm, Query, QueryBuilder
 from repro.core.answer import Answer
+from repro.sources import (
+    ColumnPredicate,
+    CSVSource,
+    DataSource,
+    IngestBuilder,
+    RowsSource,
+    SQLSource,
+    TableSource,
+)
 from repro.core.engine import DerivationEngine, EngineConfig
 from repro.core.pipeline import DerivationPlan
 from repro.obs import (
@@ -43,7 +52,14 @@ from repro.serve import (
     QueryService,
     ServiceSnapshot,
 )
-from repro.errors import ServiceOverloadError
+from repro.errors import (
+    QueryTimeoutError,
+    ScrubJayError,
+    ServiceOverloadError,
+    SourceError,
+    TaskError,
+    WrapperError,
+)
 from repro.units import Quantity, Timestamp, TimeSpan
 
 __version__ = "1.0.0"
@@ -59,7 +75,15 @@ __all__ = [
     "ScrubJayDataset",
     "Query",
     "QueryBuilder",
+    "FilterTerm",
     "Answer",
+    "DataSource",
+    "IngestBuilder",
+    "ColumnPredicate",
+    "CSVSource",
+    "SQLSource",
+    "TableSource",
+    "RowsSource",
     "Tracer",
     "Span",
     "MetricsRegistry",
@@ -78,7 +102,12 @@ __all__ = [
     "QueryServer",
     "QueryClient",
     "ServiceSnapshot",
+    "ScrubJayError",
     "ServiceOverloadError",
+    "QueryTimeoutError",
+    "TaskError",
+    "WrapperError",
+    "SourceError",
     "Quantity",
     "Timestamp",
     "TimeSpan",

@@ -54,12 +54,31 @@ class Answer:
     def collect(self) -> List[Dict[str, Any]]:
         return self._dataset.collect()
 
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """The result rows as a plain list of dicts (alias of
+        :meth:`collect` with a name that reads as a conversion)."""
+        return self._dataset.collect()
+
+    def __len__(self) -> int:
+        """Number of result rows (materializes the dataset)."""
+        return self._dataset.count()
+
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self._dataset.collect())
 
     def __getattr__(self, name: str) -> Any:
-        # only reached for names not found on Answer itself
-        return getattr(self._dataset, name)
+        # Only reached for names not found on Answer itself. Fetch the
+        # dataset through object.__getattribute__: if unpickling or a
+        # subclass ever probes before __init__ ran, a plain
+        # self._dataset would re-enter __getattr__ forever.
+        try:
+            dataset = object.__getattribute__(self, "_dataset")
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute "
+                f"{name!r}"
+            ) from None
+        return getattr(dataset, name)
 
     def explain(self) -> str:
         """The plan rendering (Figure 5/7 style); empty without a plan."""

@@ -34,6 +34,10 @@ class ScrubJayDataset:
         #: JSON-able description of how this dataset was produced
         #: (a wrapper invocation or a derivation plan node).
         self.provenance = provenance or {"op": "source", "name": name}
+        #: the :class:`~repro.sources.base.DataSource` backing this
+        #: dataset, when it was ingested through ``session.ingest()`` —
+        #: lets the pushdown rewrite collapse predicates into the scan.
+        self.source = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -99,10 +103,16 @@ class ScrubJayDataset:
                     f"dataset {self.name!r} has no field {f!r}"
                 )
         keep = set(fields)
-        return self.with_rdd(
-            self.rdd.map(
+        from repro.rdd.rdd import ScanRDD  # deferred: avoids churn above
+        if isinstance(self.rdd, ScanRDD):
+            # projection pushdown: the source reads only these columns
+            rdd: RDD = self.rdd.with_columns(fields)
+        else:
+            rdd = self.rdd.map(
                 lambda row: {k: v for k, v in row.items() if k in keep}
-            ),
+            )
+        return self.with_rdd(
+            rdd,
             Schema({f: self.schema[f] for f in fields}),
             provenance={"op": "select", "fields": list(fields),
                         "input": self.provenance},

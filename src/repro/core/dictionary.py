@@ -50,6 +50,18 @@ class SemanticDictionary:
         """Monotonic counter bumped by every successful definition."""
         return self._version
 
+    # Dictionaries ride inside scan tasks (a CSV/SQL source decodes
+    # values in workers), so they must survive pickling to process
+    # executors; the lock is per-process state and is recreated fresh.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     # ------------------------------------------------------------------
     # keyword definition
     # ------------------------------------------------------------------

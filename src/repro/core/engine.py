@@ -51,9 +51,15 @@ from repro.core.pipeline import (
     PlanNode,
     TransformNode,
 )
+from repro.core.pushdown import push_down_plan
 from repro.core.query import Query
 from repro.core.semantics import DOMAIN, VALUE, Schema
-from repro.core.transformations import ConvertUnits, ExplodeContinuous
+from repro.core.transformations import (
+    ConvertUnits,
+    ExplodeContinuous,
+    FilterEquals,
+    FilterRange,
+)
 
 
 @dataclass
@@ -72,6 +78,10 @@ class EngineConfig:
     interpolation_window: float = InterpolationJoin.DEFAULT_WINDOW
     #: sampling period (seconds) for engine-inserted continuous explodes
     explode_period: float = ExplodeContinuous.DEFAULT_PERIOD
+    #: rewrite solved plans so filters collapse into the leaf scans
+    pushdown: bool = True
+    #: let the pushdown rewrite also prune scanned columns
+    projection: bool = True
 
 
 @dataclass
@@ -205,7 +215,7 @@ class DerivationEngine:
             [c for cands in closures.values() for c in cands], query
         )
         if best is not None:
-            return self._finalize(best, query)
+            return self._finalize(best, query, catalog)
 
         # Multi-dataset search: subsets in increasing size.
         names = sorted(catalog)
@@ -225,7 +235,7 @@ class DerivationEngine:
                     satisfying.append(best)
             if satisfying:
                 best = min(satisfying, key=lambda c: c.steps)
-                return self._finalize(best, query)
+                return self._finalize(best, query, catalog)
 
         raise NoSolutionError(
             f"no derivation sequence satisfies {query} within "
@@ -424,9 +434,16 @@ class DerivationEngine:
         except Exception:
             return False
 
-    def _finalize(self, cand: Candidate, query: Query) -> DerivationPlan:
+    def _finalize(
+        self,
+        cand: Candidate,
+        query: Query,
+        catalog: Mapping[str, Schema],
+    ) -> DerivationPlan:
         """Append unit conversions for value terms whose units were
-        requested explicitly but differ (yet convert)."""
+        requested explicitly but differ (yet convert), resolve the
+        query's dimension-level filters into field-level filter nodes,
+        and run the pushdown rewrite so they collapse into the scans."""
         plan = cand.plan
         schema = cand.schema
         for term in query.values:
@@ -446,4 +463,37 @@ class DerivationEngine:
                     f"value dimension {term.dimension!r} found but no "
                     f"field converts to requested units {term.units!r}"
                 )
-        return DerivationPlan(plan)
+        for flt in query.filters:
+            field = self._resolve_filter_field(schema, flt.dimension)
+            if flt.op == "eq":
+                derivation: Transformation = FilterEquals(field, flt.value)
+            else:
+                derivation = FilterRange(field, flt.low, flt.high)
+            plan = TransformNode(derivation, plan)
+        out = DerivationPlan(plan)
+        if self.config.pushdown:
+            out = push_down_plan(
+                out, dict(catalog), self.dictionary,
+                projection=self.config.projection,
+            )
+        return out
+
+    def _resolve_filter_field(self, schema: Schema, dimension: str) -> str:
+        """The field a dimension-level filter restricts: the single
+        domain field of the dimension when one exists, else its single
+        value field. Ambiguity is an error — guessing which of two
+        same-dimension fields the analyst meant would silently change
+        the answer."""
+        for semtype in (DOMAIN, VALUE):
+            fields = schema.fields_for(dimension, semtype)
+            if len(fields) == 1:
+                return fields[0]
+            if len(fields) > 1:
+                raise QueryError(
+                    f"filter on dimension {dimension!r} is ambiguous: "
+                    f"fields {sorted(fields)} all carry it"
+                )
+        raise QueryError(
+            f"filter dimension {dimension!r} does not appear in the "
+            f"answer's schema"
+        )

@@ -27,7 +27,55 @@ from repro.core.derivation import (
     Transformation,
 )
 from repro.core.dictionary import SemanticDictionary
+from repro.rdd.rdd import ScanRDD
+from repro.sources.predicate import ColumnPredicate
 from repro.util.hashing import content_hash
+
+
+def _apply_scan(base: ScrubJayDataset, node: "ScanNode") -> ScrubJayDataset:
+    """Execute a ScanNode against its catalog dataset.
+
+    Source-backed datasets (ingested via ``session.ingest()``) get a
+    real pushed scan: a fresh :class:`~repro.rdd.rdd.ScanRDD` carrying
+    the predicate/projection, so pruning happens in the storage layer.
+    Datasets without a source (e.g. ``register_rows``) fall back to an
+    equivalent lazy filter+project over their existing RDD.
+    """
+    predicate = node.predicate if node.predicate else None
+    columns = node.columns
+    source = getattr(base, "source", None)
+    if source is not None and isinstance(base.rdd, ScanRDD):
+        merged = base.rdd.predicate
+        if predicate is not None:
+            merged = predicate.also(merged) if merged is None \
+                else merged.also(predicate)
+        cols = columns
+        if cols is not None and base.rdd.columns is not None:
+            cols = [c for c in cols if c in base.rdd.columns]
+        elif cols is None:
+            cols = base.rdd.columns
+        rdd = ScanRDD(base.ctx, source, columns=cols, predicate=merged)
+    else:
+        rdd = base.rdd
+        if predicate is not None:
+            rdd = rdd.filter(predicate.matches)
+        if columns is not None:
+            wanted = set(columns)
+            rdd = rdd.map(
+                lambda row: {k: v for k, v in row.items() if k in wanted}
+            ).filter(bool)
+    return base.with_rdd(
+        rdd,
+        base.schema,
+        name=f"{base.name}|scan",
+        provenance={
+            "op": "scan",
+            "dataset": node.dataset_name,
+            "predicate": predicate.to_json_dict() if predicate else None,
+            "columns": list(columns) if columns is not None else None,
+            "input": base.provenance,
+        },
+    )
 
 
 class PlanNode:
@@ -64,6 +112,48 @@ class LoadNode(PlanNode):
 
     def label(self) -> str:
         return f"Load[{self.dataset_name}]"
+
+
+class ScanNode(PlanNode):
+    """Load a named dataset with predicates/projection pushed into the
+    scan.
+
+    Produced by the pushdown rewrite (:mod:`repro.core.pushdown`), not
+    by the search: semantically it is ``Load`` + the filters it
+    absorbed, executed inside the storage layer when the dataset is
+    backed by a :class:`~repro.sources.base.DataSource` (zone-map and
+    partition-key pruning apply), or as a plain filtered load when it
+    is not. Like :class:`LoadNode` it is never entered into the
+    derivation cache — it is the leaf read, and its output identity is
+    carried by its fingerprint (dataset + predicate + columns), which
+    keeps serve-layer result keys predicate-aware for free.
+    """
+
+    def __init__(
+        self,
+        dataset_name: str,
+        predicate=None,  # ColumnPredicate | None
+        columns: Optional[List[str]] = None,
+    ) -> None:
+        self.dataset_name = dataset_name
+        self.predicate = predicate
+        self.columns = sorted(columns) if columns is not None else None
+
+    def to_json_dict(self) -> dict:
+        out: dict = {"scan": {"dataset": self.dataset_name}}
+        if self.predicate is not None and self.predicate:
+            out["scan"]["predicate"] = self.predicate.to_json_dict()
+        if self.columns is not None:
+            out["scan"]["columns"] = list(self.columns)
+        return out
+
+    def label(self) -> str:
+        parts = [self.dataset_name]
+        if self.predicate is not None and self.predicate:
+            parts.append(repr(self.predicate))
+        if self.columns is not None:
+            parts.append("cols=" + ",".join(self.columns))
+        return f"Scan[{' | '.join(parts)}]"
 
 
 class TransformNode(PlanNode):
@@ -173,6 +263,12 @@ class DerivationPlan:
                     st = result.stats()
                     span.add("rows_out", st.total_rows)
                     span.add("approx_bytes", st.approx_bytes)
+                    # the stats() call above materialized the scan, so
+                    # its physical read counters are available now
+                    scan = getattr(result.rdd, "last_scan", None)
+                    if scan:
+                        for key, value in scan.items():
+                            span.add(f"scan.{key}", value)
                 return result
         return self._execute_node(
             node, catalog, dictionary, cache, tracer, measure, None
@@ -195,6 +291,15 @@ class DerivationPlan:
                 raise PipelineError(
                     f"plan loads unknown dataset {node.dataset_name!r}"
                 ) from None
+
+        if isinstance(node, ScanNode):
+            try:
+                base = catalog[node.dataset_name]
+            except KeyError:
+                raise PipelineError(
+                    f"plan scans unknown dataset {node.dataset_name!r}"
+                ) from None
+            return _apply_scan(base, node)
 
         if cache is not None:
             hit = cache.get(node.fingerprint())
@@ -240,7 +345,10 @@ class DerivationPlan:
         near-constant-time path the engine plans with)."""
 
         def walk(node: PlanNode):
-            if isinstance(node, LoadNode):
+            if isinstance(node, (LoadNode, ScanNode)):
+                # a scan filters/projects rows but (by design) leaves
+                # the schema intact, so joins planned against the
+                # catalog schema stay valid on pushed plans
                 try:
                     return catalog_schemas[node.dataset_name]
                 except KeyError:
@@ -274,6 +382,8 @@ class DerivationPlan:
                 out.append(node.derivation.op_name)
             elif isinstance(node, CombineNode):
                 out.append(node.derivation.op_name)
+            elif isinstance(node, ScanNode):
+                out.append(f"scan:{node.dataset_name}")
             else:
                 out.append(f"load:{node.dataset_name}")  # type: ignore[attr-defined]
 
@@ -321,6 +431,14 @@ def _node_from_json(data: dict, registry: DerivationRegistry) -> PlanNode:
         raise PipelineError(f"plan node must be an object, got {data!r}")
     if "load" in data:
         return LoadNode(data["load"])
+    if "scan" in data:
+        spec = data["scan"]
+        predicate = None
+        if spec.get("predicate"):
+            predicate = ColumnPredicate.from_json_dict(spec["predicate"])
+        return ScanNode(
+            spec["dataset"], predicate, spec.get("columns")
+        )
     if "transform" in data:
         derivation = registry.instantiate(data["transform"])
         if not isinstance(derivation, Transformation):

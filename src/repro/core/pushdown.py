@@ -1,0 +1,383 @@
+"""Plan rewrite: push filters and projections into the leaf scans.
+
+Walks a :class:`~repro.core.pipeline.DerivationPlan` top-down, absorbing
+``filter_equals``/``filter_range`` nodes into descending predicate
+terms and ``select_fields`` nodes into a required-column set, and
+carries both through every transformation they commute with:
+
+- ``rename_field`` retargets a term on the new name back to the old;
+- ``convert_units`` blocks terms on the converted field (the stored
+  value differs from the filtered one) and passes everything else;
+- ``explode_*`` block terms on the exploded output field;
+- ``derive_ratio`` blocks terms on the result field only;
+- ``derive_rate`` (and any unregistered transformation) is opaque —
+  every term is blocked and the required-column set collapses to "all".
+
+At a combination the terms split per side. A natural join pushes a
+term on a left field to the left input — and, when the field is a join
+field, to the matching right field too (rows it removes could never
+have produced a surviving output row). Terms on ``_r``-renamed right
+fields are mapped back through the merge-rename and pushed right. An
+interpolation join additionally widens a range on the left time field
+by the join window before pushing it to the right time field (a right
+sample further than the window from every selected left coordinate can
+never be attached), but never pushes terms on right *value* fields —
+their output values are interpolated, not raw.
+
+A term blocked at a node is re-materialized as a filter transform just
+above it, so the rewritten plan is always semantically identical to
+the input plan. Whatever reaches a leaf turns its ``LoadNode`` into a
+:class:`~repro.core.pipeline.ScanNode` carrying the collapsed
+:class:`~repro.sources.predicate.ColumnPredicate` and column list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.combinations import (
+    InterpolationJoin,
+    NaturalJoin,
+    _match_plan,
+    _merge_rename,
+)
+from repro.core.dictionary import SemanticDictionary
+from repro.core.pipeline import (
+    CombineNode,
+    DerivationPlan,
+    LoadNode,
+    PlanNode,
+    ScanNode,
+    TransformNode,
+)
+from repro.core.semantics import Schema
+from repro.core.transformations import (
+    ConvertUnits,
+    DeriveRatio,
+    ExplodeContinuous,
+    ExplodeDiscrete,
+    FilterEquals,
+    FilterRange,
+    RenameField,
+    SelectFields,
+)
+from repro.sources.predicate import ColumnPredicate, EqTerm, RangeTerm
+
+Term = object  # EqTerm | RangeTerm
+
+
+def _retarget(term, column: str):
+    if isinstance(term, EqTerm):
+        return EqTerm(column, term.value)
+    return RangeTerm(column, term.low, term.high)
+
+
+def _term_to_filter(term):
+    if isinstance(term, EqTerm):
+        return FilterEquals(term.column, term.value)
+    return FilterRange(term.column, term.low, term.high)
+
+
+def _wrap_residual(node: PlanNode, terms: List[Term]) -> PlanNode:
+    """Re-materialize blocked terms as filter nodes above ``node``,
+    innermost-first so the original stacking order is preserved."""
+    for term in reversed(terms):
+        node = TransformNode(_term_to_filter(term), node)
+    return node
+
+
+class _Pushdown:
+    def __init__(
+        self,
+        catalog: Dict[str, Schema],
+        dictionary: SemanticDictionary,
+        projection: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.dictionary = dictionary
+        self.projection = projection
+        self._schemas: Dict[int, Optional[Schema]] = {}
+
+    # ------------------------------------------------------------------
+    # bottom-up schema annotation (None = opaque: don't reason about it)
+    # ------------------------------------------------------------------
+
+    def schema_of(self, node: PlanNode) -> Optional[Schema]:
+        key = id(node)
+        if key in self._schemas:
+            return self._schemas[key]
+        schema: Optional[Schema] = None
+        try:
+            if isinstance(node, (LoadNode, ScanNode)):
+                schema = self.catalog.get(node.dataset_name)
+            elif isinstance(node, TransformNode):
+                inner = self.schema_of(node.input)
+                if inner is not None:
+                    schema = node.derivation.derive_schema(
+                        inner, self.dictionary
+                    )
+            elif isinstance(node, CombineNode):
+                left = self.schema_of(node.left)
+                right = self.schema_of(node.right)
+                if left is not None and right is not None:
+                    schema = node.derivation.derive_schema(
+                        left, right, self.dictionary
+                    )
+        except Exception:
+            schema = None
+        self._schemas[key] = schema
+        return schema
+
+    # ------------------------------------------------------------------
+    # top-down rewrite
+    # ------------------------------------------------------------------
+
+    def rewrite(
+        self,
+        node: PlanNode,
+        preds: List[Term],
+        required: Optional[Set[str]],
+    ) -> PlanNode:
+        if isinstance(node, (LoadNode, ScanNode)):
+            return self._rewrite_leaf(node, preds, required)
+        if isinstance(node, TransformNode):
+            return self._rewrite_transform(node, preds, required)
+        if isinstance(node, CombineNode):
+            return self._rewrite_combine(node, preds, required)
+        return _wrap_residual(node, preds)
+
+    # -- leaves ---------------------------------------------------------
+
+    def _rewrite_leaf(
+        self,
+        node: PlanNode,
+        preds: List[Term],
+        required: Optional[Set[str]],
+    ) -> PlanNode:
+        schema = self.schema_of(node)
+        if schema is None:
+            return _wrap_residual(node, preds)
+        columns: Optional[List[str]] = None
+        if self.projection and required is not None:
+            columns = sorted(c for c in required if c in schema)
+        if isinstance(node, ScanNode):
+            predicate = node.predicate or ColumnPredicate(())
+            if preds:
+                predicate = predicate.also(ColumnPredicate(tuple(preds)))
+            if columns is not None and node.columns is not None:
+                columns = [c for c in columns if c in node.columns]
+            elif columns is None:
+                columns = node.columns
+            return ScanNode(node.dataset_name, predicate, columns)
+        if not preds and columns is None:
+            return node
+        return ScanNode(
+            node.dataset_name, ColumnPredicate(tuple(preds)), columns
+        )
+
+    # -- transformations ------------------------------------------------
+
+    def _rewrite_transform(
+        self,
+        node: TransformNode,
+        preds: List[Term],
+        required: Optional[Set[str]],
+    ) -> PlanNode:
+        d = node.derivation
+        in_schema = self.schema_of(node.input)
+
+        # Absorb applicable filters into the descending predicate; the
+        # applicability check (field exists, dimension ordered) keeps
+        # the rewritten plan's validation behaviour identical.
+        if in_schema is not None and isinstance(d, FilterEquals) \
+                and d.applies(in_schema, self.dictionary):
+            return self.rewrite(
+                node.input, preds + [EqTerm(d.field, d.value)], required
+            )
+        if in_schema is not None and isinstance(d, FilterRange) \
+                and d.applies(in_schema, self.dictionary):
+            term = RangeTerm(d.field, d.low, d.high)
+            return self.rewrite(node.input, preds + [term], required)
+
+        passed, blocked, new_required = self._through_transform(
+            d, in_schema, preds, required
+        )
+        child = self.rewrite(node.input, passed, new_required)
+        return _wrap_residual(TransformNode(d, child), blocked)
+
+    def _through_transform(
+        self,
+        d,
+        in_schema: Optional[Schema],
+        preds: List[Term],
+        required: Optional[Set[str]],
+    ) -> Tuple[List[Term], List[Term], Optional[Set[str]]]:
+        """Split ``preds`` into (pushed-through, blocked) and map the
+        required-column set onto the transformation's input."""
+        if in_schema is None:
+            return [], list(preds), None
+
+        if isinstance(d, (FilterEquals, FilterRange)):
+            # A filter that was not absorbed (inapplicable as written):
+            # values are unchanged, so everything passes, but the
+            # filtered field must survive any projection.
+            req = None if required is None else set(required) | {d.field}
+            return list(preds), [], req
+
+        if isinstance(d, RenameField):
+            passed = [
+                _retarget(t, d.field) if t.column == d.to else t
+                for t in preds
+            ]
+            req = None
+            if required is not None:
+                req = {d.field if c == d.to else c for c in required}
+                req.add(d.field)
+            return passed, [], req
+
+        if isinstance(d, ConvertUnits):
+            passed = [t for t in preds if t.column != d.field]
+            blocked = [t for t in preds if t.column == d.field]
+            req = None
+            if required is not None:
+                req = set(required) | {d.field}
+                req.update(t.column for t in blocked)
+            return passed, blocked, req
+
+        if isinstance(d, (ExplodeDiscrete, ExplodeContinuous)):
+            out_field = f"{d.field}_exploded"
+            passed = [t for t in preds if t.column != out_field]
+            blocked = [t for t in preds if t.column == out_field]
+            req = None
+            if required is not None:
+                req = (set(required) - {out_field}) | {d.field}
+                req.update(t.column for t in blocked)
+            return passed, blocked, req
+
+        if isinstance(d, SelectFields):
+            fields = set(d.fields)
+            req = fields if required is None else (set(required) & fields)
+            if not req:
+                req = fields
+            return list(preds), [], req
+
+        if isinstance(d, DeriveRatio):
+            result = d.result_field
+            passed = [t for t in preds if t.column != result]
+            blocked = [t for t in preds if t.column == result]
+            req = None
+            if required is not None:
+                req = (set(required) - {result})
+                req.update((d.numerator, d.denominator))
+                req.update(t.column for t in blocked)
+            return passed, blocked, req
+
+        # derive_rate and anything unknown: opaque.
+        return [], list(preds), None
+
+    # -- combinations ---------------------------------------------------
+
+    def _rewrite_combine(
+        self,
+        node: CombineNode,
+        preds: List[Term],
+        required: Optional[Set[str]],
+    ) -> PlanNode:
+        d = node.derivation
+        lsch = self.schema_of(node.left)
+        rsch = self.schema_of(node.right)
+        lpreds: List[Term] = []
+        rpreds: List[Term] = []
+        blocked: List[Term] = []
+
+        if lsch is None or rsch is None:
+            blocked = list(preds)
+        elif isinstance(d, InterpolationJoin):
+            split = d._split_plan(lsch, rsch, self.dictionary)
+            if split is None:
+                blocked = list(preds)
+            else:
+                (_dim, ldt, rdt), exact = split
+                drop = [rdt] + [rf for _, _, rf in exact]
+                rename = _merge_rename(lsch, rsch, drop)
+                inv = {v: k for k, v in rename.items()}
+                exact_map = {lf: rf for _, lf, rf in exact}
+                window = getattr(d, "window", InterpolationJoin.DEFAULT_WINDOW)
+                for t in preds:
+                    c = t.column
+                    if c in lsch:
+                        lpreds.append(t)
+                        if c in exact_map:
+                            rpreds.append(_retarget(t, exact_map[c]))
+                        elif c == ldt:
+                            widened = _widen_time_term(t, rdt, window)
+                            if widened is not None:
+                                rpreds.append(widened)
+                    elif c in inv:
+                        rf = inv[c]
+                        if rsch[rf].is_value:
+                            # attached values are interpolated at the
+                            # left coordinate — the raw right value is
+                            # not the output value, so never push
+                            blocked.append(t)
+                        else:
+                            rpreds.append(_retarget(t, rf))
+                    else:
+                        blocked.append(t)
+        elif isinstance(d, NaturalJoin):
+            plan = _match_plan(lsch, rsch, self.dictionary)
+            if plan is None:
+                blocked = list(preds)
+            else:
+                rfields = [rf for _, rf, _ in plan.values()]
+                rename = _merge_rename(lsch, rsch, drop=rfields)
+                inv = {v: k for k, v in rename.items()}
+                join_map = {lf: rf for lf, rf, _ in plan.values()}
+                for t in preds:
+                    c = t.column
+                    if c in lsch:
+                        lpreds.append(t)
+                        if c in join_map:
+                            rpreds.append(_retarget(t, join_map[c]))
+                    elif c in inv:
+                        rpreds.append(_retarget(t, inv[c]))
+                    else:
+                        blocked.append(t)
+        else:
+            blocked = list(preds)
+
+        left = self.rewrite(node.left, lpreds, None)
+        right = self.rewrite(node.right, rpreds, None)
+        return _wrap_residual(CombineNode(d, left, right), blocked)
+
+
+def _widen_time_term(term, rdt: str, window: float):
+    """A range on the left time coordinate, widened by the join window
+    and retargeted at the right time coordinate. Right samples outside
+    it are further than ``window`` from every selected left coordinate
+    (the join matches ``|Δt| < window``), so dropping them early can
+    never change a surviving output row."""
+    if isinstance(term, RangeTerm):
+        low = term.low - window if term.low is not None else None
+        high = term.high + window if term.high is not None else None
+    else:
+        at = getattr(term.value, "epoch", term.value)
+        if not isinstance(at, (int, float)) or isinstance(at, bool):
+            return None
+        low, high = at - window, at + window
+    if low is None and high is None:
+        return None
+    return RangeTerm(rdt, low, high)
+
+
+def push_down_plan(
+    plan: DerivationPlan,
+    catalog_schemas: Dict[str, Schema],
+    dictionary: SemanticDictionary,
+    projection: bool = True,
+) -> DerivationPlan:
+    """Rewrite ``plan`` so leading filters/projections execute inside
+    the leaf scans. Always returns an equivalent plan; when nothing can
+    be pushed the rewritten plan is structurally identical."""
+    rewriter = _Pushdown(catalog_schemas, dictionary, projection)
+    return DerivationPlan(rewriter.rewrite(plan.root, [], None))

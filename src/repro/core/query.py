@@ -31,6 +31,58 @@ class ValueTerm:
 
 
 @dataclass(frozen=True)
+class FilterTerm:
+    """One restriction on a queried dimension.
+
+    Like the rest of the query, it names a *dimension*, not a field —
+    the engine resolves it against the solved plan's schema and appends
+    the corresponding filter derivation (which the pushdown rewrite
+    then collapses into the leaf scans). ``op`` is ``"eq"`` (field ==
+    value) or ``"range"`` (low ≤ field < high, either bound optional).
+    """
+
+    dimension: str
+    op: str = "eq"
+    value: object = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("eq", "range"):
+            raise QueryError(f"unknown filter op {self.op!r}")
+        if self.op == "range" and self.low is None and self.high is None:
+            raise QueryError(
+                "a range filter needs at least one of low/high"
+            )
+
+    def to_json_dict(self) -> dict:
+        out: dict = {"dimension": self.dimension, "op": self.op}
+        if self.op == "eq":
+            out["value"] = self.value
+        else:
+            out["low"] = self.low
+            out["high"] = self.high
+        return out
+
+    @staticmethod
+    def from_json_dict(d: dict) -> "FilterTerm":
+        return FilterTerm(
+            d["dimension"],
+            d.get("op", "eq"),
+            d.get("value"),
+            d.get("low"),
+            d.get("high"),
+        )
+
+    def __str__(self) -> str:
+        if self.op == "eq":
+            return f"{self.dimension} == {self.value!r}"
+        lo = "" if self.low is None else f"{self.low} <= "
+        hi = "" if self.high is None else f" < {self.high}"
+        return f"{lo}{self.dimension}{hi}"
+
+
+@dataclass(frozen=True)
 class Query:
     """A set of domain dimensions and value dimensions of interest.
 
@@ -42,10 +94,17 @@ class Query:
 
     domains: Tuple[str, ...]
     values: Tuple[ValueTerm, ...]
+    #: optional restrictions on dimensions; the engine appends them to
+    #: the solved plan (and the pushdown rewrite collapses them into
+    #: the leaf scans). Default empty keeps pre-filter queries —
+    #: including their JSON form and fingerprints — unchanged.
+    filters: Tuple[FilterTerm, ...] = ()
 
     @staticmethod
     def of(
-        domains: Sequence[str], values: Sequence[ValueSpec]
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        filters: Sequence[FilterTerm] = (),
     ) -> "Query":
         """Build a query from plain strings / (dimension, units) pairs."""
         if not domains:
@@ -59,7 +118,7 @@ class Query:
             else:
                 dim, units = v
                 terms.append(ValueTerm(dim, units))
-        return Query(tuple(domains), tuple(terms))
+        return Query(tuple(domains), tuple(terms), tuple(filters))
 
     def validate(self, dictionary) -> None:
         """Check every referenced dimension/unit keyword exists."""
@@ -73,15 +132,31 @@ class Query:
                 )
             if term.units is not None and not dictionary.has_unit(term.units):
                 raise QueryError(f"unknown units {term.units!r}")
+        for flt in self.filters:
+            if not dictionary.has_dimension(flt.dimension):
+                raise QueryError(
+                    f"unknown filter dimension {flt.dimension!r}"
+                )
+            if flt.op == "range" and \
+                    not dictionary.dimension(flt.dimension).ordered:
+                raise QueryError(
+                    f"range filter on unordered dimension "
+                    f"{flt.dimension!r}"
+                )
 
     def value_dimensions(self) -> List[str]:
         return [t.dimension for t in self.values]
 
     def to_json_dict(self) -> dict:
-        return {
+        out = {
             "domains": list(self.domains),
             "values": [t.to_json_dict() for t in self.values],
         }
+        # Only present when used, so unfiltered queries serialize (and
+        # hash, e.g. for serve-layer plan keys) exactly as before.
+        if self.filters:
+            out["filters"] = [f.to_json_dict() for f in self.filters]
+        return out
 
     @staticmethod
     def from_json_dict(d: dict) -> "Query":
@@ -91,6 +166,10 @@ class Query:
                 ValueTerm(t["dimension"], t.get("units"))
                 for t in d["values"]
             ),
+            tuple(
+                FilterTerm.from_json_dict(f)
+                for f in d.get("filters", ())
+            ),
         )
 
     def __str__(self) -> str:
@@ -98,7 +177,10 @@ class Query:
             t.dimension + (f" [{t.units}]" if t.units else "")
             for t in self.values
         )
-        return f"Query(domains: {', '.join(self.domains)}; values: {vals})"
+        out = f"Query(domains: {', '.join(self.domains)}; values: {vals}"
+        if self.filters:
+            out += "; where: " + ", ".join(str(f) for f in self.filters)
+        return out + ")"
 
 
 class QueryBuilder:
@@ -125,6 +207,7 @@ class QueryBuilder:
         self._session = session
         self._domains: List[str] = []
         self._values: List[ValueTerm] = []
+        self._filters: List[FilterTerm] = []
 
     # -- accumulation --------------------------------------------------
 
@@ -145,6 +228,46 @@ class QueryBuilder:
         self._values.extend(ValueTerm(d) for d in dimensions)
         return self
 
+    def where(
+        self,
+        dimension: str,
+        equals: object = None,
+        at_least: Optional[float] = None,
+        below: Optional[float] = None,
+        between: Optional[Tuple[float, float]] = None,
+    ) -> "QueryBuilder":
+        """Restrict a dimension: ``equals=`` for exact match, or
+        ``at_least=``/``below=``/``between=(lo, hi)`` for a half-open
+        range ``lo ≤ x < hi`` on an ordered dimension. The engine
+        resolves the dimension against the answer's schema and the
+        pushdown rewrite carries the restriction into the leaf scans.
+        """
+        range_args = [at_least, below, between]
+        if equals is not None and any(a is not None for a in range_args):
+            raise QueryError(
+                "where() takes either equals= or range bounds, not both"
+            )
+        if between is not None and (at_least is not None
+                                    or below is not None):
+            raise QueryError(
+                "where() takes either between= or at_least=/below=, "
+                "not both"
+            )
+        if equals is not None:
+            self._filters.append(FilterTerm(dimension, "eq", equals))
+            return self
+        if between is not None:
+            at_least, below = between
+        if at_least is None and below is None:
+            raise QueryError(
+                "where() needs equals=, at_least=, below=, or between="
+            )
+        # Timestamps compare by epoch in filter_range; accept them here.
+        low = getattr(at_least, "epoch", at_least)
+        high = getattr(below, "epoch", below)
+        self._filters.append(FilterTerm(dimension, "range", None, low, high))
+        return self
+
     # -- terminals -----------------------------------------------------
 
     def build(self) -> Query:
@@ -153,7 +276,9 @@ class QueryBuilder:
             raise QueryError("a query needs at least one domain dimension")
         if not self._values:
             raise QueryError("a query needs at least one value dimension")
-        return Query(tuple(self._domains), tuple(self._values))
+        return Query(
+            tuple(self._domains), tuple(self._values), tuple(self._filters)
+        )
 
     def _require_session(self, what: str):
         if self._session is None:

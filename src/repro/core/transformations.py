@@ -566,3 +566,47 @@ class FilterRange(Transformation):
                         "low": low, "high": high,
                         "input": dataset.provenance},
         )
+
+
+@register_derivation
+class SelectFields(Transformation):
+    """Keep only the named fields (projection as a derivation).
+
+    The projection counterpart of the filter transformations: a
+    first-class, serializable plan step, which the pushdown rewrite
+    can translate into scan-level column pruning. Rows that end up
+    empty after projection are dropped (a row with no fields carries
+    no information).
+    """
+
+    op_name = "select_fields"
+
+    def __init__(self, fields: List[str]) -> None:
+        if not fields:
+            raise DerivationError("select_fields needs at least one field")
+        self.fields = list(fields)
+
+    def applies(self, schema: Schema, dictionary: SemanticDictionary) -> bool:
+        return all(f in schema for f in self.fields)
+
+    def derive_schema(
+        self, schema: Schema, dictionary: SemanticDictionary
+    ) -> Schema:
+        return Schema({f: schema[f] for f in self.fields})
+
+    def apply(
+        self, dataset: ScrubJayDataset, dictionary: SemanticDictionary
+    ) -> ScrubJayDataset:
+        self._check(dataset, dictionary)
+        keep = frozenset(self.fields)
+
+        def project(row: Dict[str, Any]) -> Dict[str, Any]:
+            return {k: v for k, v in row.items() if k in keep}
+
+        return dataset.with_rdd(
+            dataset.rdd.map(project).filter(bool),
+            self.derive_schema(dataset.schema, dictionary),
+            name=f"{dataset.name}|{self.op_name}",
+            provenance={"op": self.op_name, "fields": list(self.fields),
+                        "input": dataset.provenance},
+        )

@@ -67,6 +67,13 @@ class WrapperError(ScrubJayError):
     """A data wrapper failed to parse its source into rows."""
 
 
+class SourceError(WrapperError):
+    """A :class:`~repro.sources.base.DataSource` failed to read or
+    describe its backing data. Subclasses :class:`WrapperError` so
+    code written against the deprecated wrapper classes keeps catching
+    ingestion failures unchanged."""
+
+
 class StoreError(ScrubJayError):
     """The wide-column store was used inconsistently (unknown table,
     missing partition key, schema mismatch on insert)."""
@@ -181,3 +188,32 @@ class ShuffleKeyError(ScrubJayError):
     land in different buckets on different workers and joins/groupByKey
     silently drop matches. Fix: use primitive/tuple/dataclass keys, or
     give the key type a ``__portable_hash__`` method."""
+
+
+#: the one import surface for the whole stack's typed errors; the
+#: subsystem packages (``repro.rdd``, ``repro.serve``) re-export their
+#: families as deprecated aliases of these same classes.
+__all__ = [
+    "ScrubJayError",
+    "SemanticError",
+    "DictionaryError",
+    "UnitError",
+    "DerivationError",
+    "QueryError",
+    "NoSolutionError",
+    "PipelineError",
+    "WrapperError",
+    "SourceError",
+    "StoreError",
+    "ExecutorError",
+    "TaskError",
+    "TransientTaskError",
+    "FatalTaskError",
+    "WorkerPoolError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "ServiceClosedError",
+    "ShuffleKeyError",
+]

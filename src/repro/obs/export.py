@@ -149,6 +149,18 @@ def _analyze_line(span: Span) -> str:
     cache = span.attrs.get("cache")
     if cache:
         stats.append(f"cache={cache}")
+    scan_rows = span.counters.get("scan.rows_read")
+    if scan_rows is not None:
+        stats.append(f"scan.rows_read={int(scan_rows)}")
+        skipped = span.counters.get("scan.segments_skipped")
+        if skipped:
+            stats.append(f"scan.segments_skipped={int(skipped)}")
+        pruned = span.counters.get("scan.partitions_pruned")
+        if pruned:
+            stats.append(f"scan.partitions_pruned={int(pruned)}")
+        nbytes = span.counters.get("scan.bytes_scanned")
+        if nbytes:
+            stats.append(f"scan.bytes_scanned={_fmt_bytes(nbytes)}")
     label = span.attrs.get("label", span.name)
     return f"{label}  [{'; '.join(stats)}]"
 

@@ -16,6 +16,18 @@ Public entry points::
     rdd.map(lambda x: (x % 10, x)).reduceByKey(lambda a, b: a + b).collect()
 """
 
+# Deprecated aliases: the task/executor error family is defined in (and
+# best imported from) repro.errors, the one import surface for the whole
+# stack's typed errors; these names stay importable from here for code
+# that learned them as rdd-level concepts.
+from repro.errors import (
+    ExecutorError,
+    FatalTaskError,
+    ShuffleKeyError,
+    TaskError,
+    TransientTaskError,
+    WorkerPoolError,
+)
 from repro.rdd.context import SJContext
 from repro.rdd.rdd import RDD
 from repro.rdd.partition import Partition
@@ -58,4 +70,11 @@ __all__ = [
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "no_retry_policy",
+    # deprecated aliases of the repro.errors classes
+    "ExecutorError",
+    "TaskError",
+    "TransientTaskError",
+    "FatalTaskError",
+    "WorkerPoolError",
+    "ShuffleKeyError",
 ]

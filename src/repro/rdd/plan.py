@@ -55,6 +55,7 @@ from repro.rdd.rdd import (
     MappedPartitionsRDD,
     RangePartitionedRDD,
     RepartitionedRDD,
+    ScanRDD,
     ShuffledRDD,
     SourceRDD,
     UnionRDD,
@@ -273,6 +274,8 @@ class Scheduler:
     def _compute(self, rdd: RDD) -> List[Partition]:
         if isinstance(rdd, SourceRDD):
             return rdd.partitions
+        if isinstance(rdd, ScanRDD):
+            return self._compute_scan(rdd)
         if isinstance(rdd, MappedPartitionsRDD):
             return self._compute_narrow_chain(rdd)
         if isinstance(rdd, UnionRDD):
@@ -288,6 +291,137 @@ class Scheduler:
         if isinstance(rdd, RangePartitionedRDD):
             return self._compute_range_partition(rdd)
         raise TypeError(f"scheduler cannot materialize {type(rdd).__name__}")
+
+    def _compute_scan(self, rdd: ScanRDD) -> List[Partition]:
+        """Materialize a ScanRDD: prune driver-side, read worker-side.
+
+        The source decides which partitions can possibly match
+        (``source.prune``); each surviving partition becomes one task
+        that calls ``source.read_partition_stats`` inside the worker.
+        Scan statistics ride the result side-channel (the same
+        ``_TASK_META`` envelope as traced tasks — always on here,
+        because the ``scan.*`` metrics are cheap and load-bearing) and
+        are aggregated into ``rdd.last_scan`` plus the metrics
+        registry; when the tracer is enabled each task also becomes a
+        retroactive span carrying its per-partition read stats.
+        """
+        source, columns = rdd.source, rdd.columns
+        predicate = rdd.predicate
+        selection = source.prune(predicate)
+        placeholders = [
+            Partition(i, [src_index])
+            for i, src_index in enumerate(selection.indices)
+        ]
+
+        def scan_task(index: int, items: List[Any]) -> List[Any]:
+            t0 = time.perf_counter()
+            rows, st = source.read_partition_stats(
+                items[0], columns, predicate
+            )
+            t1 = time.perf_counter()
+            return [
+                _TASK_META,
+                {
+                    "index": index,
+                    "t0": t0,
+                    "t1": t1,
+                    "rows_in": 0,
+                    "rows_out": len(rows),
+                    "pid": os.getpid(),
+                    "scan": st,
+                },
+                rows,
+            ]
+
+        agg = {
+            "rows_read": 0,
+            "bytes_scanned": 0,
+            "segments_read": 0,
+            "segments_skipped": 0,
+        }
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if placeholders:
+            if traced:
+                with tracer.span(
+                    "stage:scan", kind="stage", origin="scan",
+                    source=source.name,
+                ) as stage:
+                    raw = self._submit(scan_task, placeholders, "scan")
+                    out = self._absorb_scan_meta(raw, stage, agg)
+                    stage.add(
+                        "scan.partitions_total", selection.total
+                    )
+                    stage.add(
+                        "scan.partitions_scanned", len(placeholders)
+                    )
+                    for key, value in agg.items():
+                        stage.add(f"scan.{key}", value)
+            else:
+                raw = self._submit(scan_task, placeholders, "scan")
+                out = self._absorb_scan_meta(raw, None, agg)
+        else:
+            out = [Partition(0, [])]
+        agg["partitions_total"] = selection.total
+        agg["partitions_scanned"] = len(placeholders)
+        agg["partitions_pruned"] = selection.skipped
+        rdd.last_scan = agg
+        if self.metrics is not None:
+            labels = {"source": source.name}
+            self.metrics.inc("scan.rows_read", agg["rows_read"],
+                             labels=labels)
+            self.metrics.inc("scan.bytes_scanned", agg["bytes_scanned"],
+                             labels=labels)
+            self.metrics.inc("scan.segments_skipped",
+                             agg["segments_skipped"], labels=labels)
+            self.metrics.inc("scan.partitions_pruned", selection.skipped,
+                             labels=labels)
+        # leaf statistics come free here — downstream join planning
+        # (broadcast-vs-shuffle) sees real post-scan sizes
+        if rdd._stats is None and self.planner is not None:
+            rdd._stats = collect_stats(out, self.planner.config)
+        return out
+
+    def _absorb_scan_meta(
+        self, out: List[Partition], stage, agg: dict
+    ) -> List[Partition]:
+        """Unwrap scan-task envelopes, summing per-partition read stats
+        into ``agg`` (and emitting task spans when ``stage`` is set)."""
+        tracer = self.tracer
+        unwrapped: List[Partition] = []
+        rows_out = 0
+        for p in out:
+            data = p.data
+            if (
+                isinstance(data, list)
+                and len(data) == 3
+                and data[0] == _TASK_META
+            ):
+                meta = data[1]
+                st = meta.get("scan") or {}
+                for key in agg:
+                    agg[key] += st.get(key, 0)
+                rows_out += meta["rows_out"]
+                if stage is not None:
+                    task = tracer.record(
+                        f"task:scan[{meta['index']}]",
+                        meta["t0"],
+                        meta["t1"],
+                        kind="task",
+                        parent=stage,
+                        index=meta["index"],
+                        worker=meta["pid"],
+                    )
+                    task.add("rows_out", meta["rows_out"])
+                    for key, value in st.items():
+                        task.add(f"scan.{key}", value)
+                unwrapped.append(Partition(p.index, data[2]))
+            else:
+                unwrapped.append(p)
+        if stage is not None:
+            stage.add("tasks", len(unwrapped))
+            stage.add("rows_out", rows_out)
+        return unwrapped
 
     def _compute_narrow_chain(self, rdd: MappedPartitionsRDD) -> List[Partition]:
         """Pipeline consecutive narrow transformations into one task."""

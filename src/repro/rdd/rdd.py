@@ -550,6 +550,46 @@ class SourceRDD(RDD):
         return len(self.partitions)
 
 
+class ScanRDD(RDD):
+    """A leaf RDD that reads lazily from a
+    :class:`~repro.sources.base.DataSource`.
+
+    Partitions map 1:1 onto the source's surviving partitions after
+    driver-side pruning (``source.prune(predicate)``); each task reads
+    its partition inside the worker — projected to ``columns`` and
+    filtered by ``predicate`` as close to storage as the source
+    allows. The scheduler fills :attr:`last_scan` with the aggregated
+    read statistics after every materialization.
+    """
+
+    def __init__(
+        self,
+        ctx: "SJContext",
+        source: Any,
+        columns: Optional[List[str]] = None,
+        predicate: Any = None,
+    ) -> None:
+        super().__init__(ctx)
+        self.source = source
+        self.columns = list(columns) if columns is not None else None
+        self.predicate = predicate
+        #: {"rows_read", "bytes_scanned", "segments_read",
+        #:  "segments_skipped", "partitions_total",
+        #:  "partitions_scanned"} — set by Scheduler._compute_scan
+        self.last_scan: Optional[Dict[str, Any]] = None
+
+    def with_columns(self, columns: Iterable[str]) -> "ScanRDD":
+        """A copy projected to ``columns`` (intersected with any
+        existing projection)."""
+        cols = list(columns)
+        if self.columns is not None:
+            cols = [c for c in cols if c in self.columns]
+        return ScanRDD(self.ctx, self.source, cols, self.predicate)
+
+    def num_partitions(self) -> int:
+        return max(1, self.source.num_partitions())
+
+
 class MappedPartitionsRDD(RDD):
     """Narrow transformation: one output partition per parent partition."""
 

@@ -33,6 +33,17 @@ or over a socket (stdlib line-delimited JSON)::
             rows, schema = client.query(["time"], ["temperature"])
 """
 
+# Deprecated aliases: the service error family is defined in (and best
+# imported from) repro.errors, the one import surface for the whole
+# stack's typed errors; these names stay importable from here for code
+# that learned them as serve-level concepts.
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.serve.keys import normalize_query, plan_key, result_key
 from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
 from repro.serve.plan_cache import PlanCache
@@ -64,4 +75,10 @@ __all__ = [
     "WireError",
     "encode_rows",
     "decode_rows",
+    # deprecated aliases of the repro.errors classes
+    "ServiceError",
+    "ServiceOverloadError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "ServiceClosedError",
 ]

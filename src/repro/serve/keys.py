@@ -25,13 +25,22 @@ from repro.util.hashing import content_hash
 
 def normalize_query(query: Query) -> Query:
     """Canonical field order: a query is a *set* of dimensions (paper
-    §5.1), so domain/value order must not affect cache identity."""
+    §5.1), so domain/value order must not affect cache identity.
+    Filters are a conjunction, so their order is canonicalized too;
+    an empty filter tuple serializes to the pre-filter JSON form,
+    keeping historical keys stable."""
     return Query(
         tuple(sorted(query.domains)),
         tuple(
             sorted(
                 query.values,
                 key=lambda t: (t.dimension, t.units or ""),
+            )
+        ),
+        tuple(
+            sorted(
+                query.filters,
+                key=lambda f: repr(f.to_json_dict()),
             )
         ),
     )

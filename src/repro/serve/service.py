@@ -242,9 +242,10 @@ class QueryService:
         values: Sequence[ValueSpec],
         tenant: str = "default",
         timeout: Optional[float] = None,
+        filters: Sequence = (),
     ) -> QueryTicket:
         """Admit a query (or shed it) and return its ticket."""
-        query = Query.of(domains, values)
+        query = Query.of(domains, values, filters)
         now = self._clock()
         effective = self.default_timeout if timeout is None else timeout
         deadline = None if effective is None else now + effective
@@ -277,9 +278,12 @@ class QueryService:
         values: Sequence[ValueSpec],
         tenant: str = "default",
         timeout: Optional[float] = None,
+        filters: Sequence = (),
     ) -> ScrubJayDataset:
         """Synchronous convenience: submit and wait for the result."""
-        return self.submit(domains, values, tenant, timeout).result()
+        return self.submit(
+            domains, values, tenant, timeout, filters
+        ).result()
 
     def cancel(self, ticket: QueryTicket) -> bool:
         """Cancel a still-queued ticket. Returns False once the query

@@ -34,7 +34,7 @@ import socketserver
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.query import Query
+from repro.core.query import FilterTerm, Query
 from repro.core.semantics import Schema
 from repro.errors import ScrubJayError, ServiceError, WrapperError
 from repro.serve.service import QueryService
@@ -106,8 +106,14 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
         if op in ("query", "explain"):
             domains = request.get("domains") or []
             values = _values_from_wire(request.get("values") or [])
+            filters = tuple(
+                FilterTerm.from_json_dict(f)
+                for f in request.get("filters") or ()
+            )
             if op == "explain":
-                plan = service.session.plan(Query.of(domains, values))
+                plan = service.session.plan(
+                    Query.of(domains, values, filters)
+                )
                 return {
                     "ok": True,
                     "plan": plan.describe(),
@@ -119,6 +125,7 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
                 values,
                 tenant=str(request.get("tenant", "default")),
                 timeout=request.get("timeout"),
+                filters=filters,
             )
             rows = dataset.collect()
             return {
@@ -190,12 +197,16 @@ class InProcessClient:
         return _raise_on_error(self.request({"op": "metrics"}))["metrics"]
 
     def explain(
-        self, domains: Sequence[str], values: Sequence[Any]
+        self,
+        domains: Sequence[str],
+        values: Sequence[Any],
+        filters: Sequence = (),
     ) -> Dict[str, Any]:
         return _raise_on_error(self.request({
             "op": "explain",
             "domains": list(domains),
             "values": list(values),
+            "filters": [f.to_json_dict() for f in filters],
         }))
 
     def query(
@@ -205,6 +216,7 @@ class InProcessClient:
         tenant: str = "default",
         timeout: Optional[float] = None,
         dictionary=None,
+        filters: Sequence = (),
     ) -> Tuple[List[Dict[str, Any]], Schema]:
         resp = _raise_on_error(self.request({
             "op": "query",
@@ -212,6 +224,7 @@ class InProcessClient:
             "values": list(values),
             "tenant": tenant,
             "timeout": timeout,
+            "filters": [f.to_json_dict() for f in filters],
         }))
         schema = Schema.from_json_dict(resp["schema"])
         rows = resp["rows"]

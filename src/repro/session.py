@@ -168,6 +168,24 @@ class ScrubJaySession:
         """Load a dataset through a data wrapper and register it."""
         return self.register(wrapper.load(self.ctx), name)
 
+    def ingest(self) -> "IngestBuilder":  # noqa: F821
+        """Fluent ingestion of external data as a lazily scanned,
+        partitioned dataset (the successor to the wrapper classes)::
+
+            sj.ingest().csv("temps.csv", schema).register("temps")
+            sj.ingest().sql("perf.db", schema, table="samples") \\
+              .partitions(8).register("samples")
+
+        Each chained call configures one :class:`~repro.sources.base.
+        DataSource`; ``register(name)`` (or ``load()``) produces a
+        dataset backed by a :class:`~repro.rdd.rdd.ScanRDD`, read
+        partition by partition inside workers — and eligible for
+        predicate/projection pushdown into the source.
+        """
+        from repro.sources.ingest import IngestBuilder
+
+        return IngestBuilder(self)
+
     def drop(self, name: str) -> ScrubJayDataset:
         """Remove a dataset from the catalog (queries already running
         against a snapshot that includes it are unaffected)."""

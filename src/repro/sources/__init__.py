@@ -1,0 +1,34 @@
+"""Partitioned, predicate-aware data sources (the scan pipeline).
+
+The successor to :mod:`repro.wrappers` for ingestion: a
+:class:`DataSource` exposes driver-cheap ``partitions()`` and
+worker-side ``read_partition(i, columns, predicate)``, so datasets are
+scanned lazily and selectively instead of materialized on the driver.
+Use them through the fluent builder::
+
+    session.ingest().csv("temps.csv", schema).register("temps")
+
+See DESIGN.md "Storage and scan pushdown".
+"""
+
+from repro.sources.base import DataSource, ScanSelection, project_row
+from repro.sources.csv_source import CSVSource
+from repro.sources.ingest import IngestBuilder
+from repro.sources.predicate import ColumnPredicate, EqTerm, RangeTerm
+from repro.sources.rows_source import RowsSource
+from repro.sources.sql_source import SQLSource
+from repro.sources.table_source import TableSource
+
+__all__ = [
+    "ColumnPredicate",
+    "CSVSource",
+    "DataSource",
+    "EqTerm",
+    "IngestBuilder",
+    "project_row",
+    "RangeTerm",
+    "RowsSource",
+    "ScanSelection",
+    "SQLSource",
+    "TableSource",
+]

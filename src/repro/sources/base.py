@@ -1,0 +1,117 @@
+"""The DataSource protocol: partitioned, predicate-aware ingestion.
+
+A *data source* is the scan-pipeline successor to the legacy
+:class:`~repro.wrappers.base.DataWrapper`: instead of materializing
+the whole source as a driver-side row list, it exposes
+
+- ``schema()`` — the semantic annotation of the rows it produces;
+- ``partitions()`` — cheap driver-side descriptors (store partition
+  keys, CSV byte-ranges, SQL rowid ranges) that map 1:1 onto
+  :class:`~repro.rdd.rdd.ScanRDD` partitions;
+- ``read_partition(i, columns, predicate)`` — the worker-side read:
+  decode only partition ``i``, project to ``columns`` and filter by
+  ``predicate`` as close to the bytes as the format allows.
+
+``prune(predicate)`` runs driver-side before tasks are launched and
+returns a :class:`ScanSelection` — which partitions can possibly hold
+matching rows. Sources that cannot prune return everything; pruning
+must be conservative (never drop a partition that could match).
+
+Sources must be picklable: ``read_partition`` executes inside worker
+processes under the process executor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.semantics import Schema
+from repro.sources.predicate import ColumnPredicate
+
+
+@dataclass(frozen=True)
+class ScanSelection:
+    """Result of driver-side pruning: which partitions to scan."""
+
+    #: indices into ``source.partitions()`` that survived pruning
+    indices: Tuple[int, ...]
+    #: total partitions before pruning
+    total: int
+    #: free-form evidence (e.g. {"pruned_by": "partition-key"})
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def skipped(self) -> int:
+        return self.total - len(self.indices)
+
+
+class DataSource(ABC):
+    """Partitioned lazy reader for one external dataset."""
+
+    #: analyst-facing name; set by the ingest builder at registration
+    name: str = "source"
+
+    @abstractmethod
+    def schema(self) -> Schema:
+        """Semantic schema of the rows this source produces."""
+
+    @abstractmethod
+    def partitions(self) -> Sequence[Any]:
+        """Driver-side partition descriptors (cheap; no data reads)."""
+
+    @abstractmethod
+    def read_partition(
+        self,
+        index: int,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[ColumnPredicate] = None,
+    ) -> List[Dict[str, Any]]:
+        """Read one partition worker-side, projected and filtered.
+
+        ``columns=None`` means all schema fields. The predicate must be
+        applied exactly (``predicate.matches`` row semantics) — callers
+        rely on pushed scans returning identical rows to
+        scan-then-filter.
+        """
+
+    # -- optional refinements ------------------------------------------
+
+    def num_partitions(self) -> int:
+        return len(self.partitions())
+
+    def prune(self, predicate: Optional[ColumnPredicate]) -> ScanSelection:
+        """Driver-side partition pruning; conservative by default."""
+        total = self.num_partitions()
+        return ScanSelection(tuple(range(total)), total)
+
+    def read_partition_stats(
+        self,
+        index: int,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[ColumnPredicate] = None,
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Like :meth:`read_partition`, plus physical-read statistics.
+
+        The stats dict feeds the ``scan.*`` metrics:
+        ``rows_read`` (rows examined out of storage, pre-predicate),
+        ``bytes_scanned``, and optionally ``segments_read`` /
+        ``segments_skipped``. The default wraps ``read_partition`` and
+        can only report post-filter row counts — sources should
+        override to report honest physical numbers.
+        """
+        rows = self.read_partition(index, columns, predicate)
+        return rows, {"rows_read": len(rows), "bytes_scanned": 0}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def project_row(
+    row: Dict[str, Any], columns: Optional[Sequence[str]]
+) -> Dict[str, Any]:
+    """Project a row to ``columns`` (None = keep everything)."""
+    if columns is None:
+        return row
+    return {k: v for k, v in row.items() if k in columns}

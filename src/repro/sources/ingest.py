@@ -1,0 +1,142 @@
+"""Fluent ingestion builder: ``session.ingest().csv(path, schema)...``.
+
+The ingestion mirror of the query-side ``QueryBuilder``: one chain
+picks a source, tunes it, and lands it in the catalog::
+
+    temps = (
+        session.ingest()
+        .csv("temps.csv", RACK_TEMPERATURE_SCHEMA)
+        .partitions(8)
+        .register("rack_temperatures")
+    )
+
+Every terminal produces a :class:`~repro.core.dataset.ScrubJayDataset`
+backed by a :class:`~repro.rdd.rdd.ScanRDD` — rows are read lazily,
+partition by partition, inside workers; nothing is materialized on the
+driver at ingest time. The dataset keeps a reference to its
+:class:`~repro.sources.base.DataSource` (``dataset.source``) so the
+pushdown rewrite can collapse query predicates into the scan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema
+from repro.errors import SourceError
+from repro.rdd.rdd import ScanRDD
+from repro.sources.base import DataSource
+from repro.sources.csv_source import CSVSource
+from repro.sources.rows_source import RowsSource
+from repro.sources.sql_source import SQLSource
+from repro.sources.table_source import TableSource
+
+
+class IngestBuilder:
+    """One fluent chain = one source landed in a session's catalog."""
+
+    def __init__(self, session) -> None:
+        self._session = session
+        self._source: Optional[DataSource] = None
+        self._num_partitions: Optional[int] = None
+
+    # -- source selection (exactly one per chain) ----------------------
+
+    def _set(self, source: DataSource) -> "IngestBuilder":
+        if self._source is not None:
+            raise SourceError(
+                "ingest() chain already has a source "
+                f"({type(self._source).__name__}); build one source "
+                "per chain"
+            )
+        self._source = source
+        return self
+
+    def csv(self, path: str, schema: Schema) -> "IngestBuilder":
+        """A headered CSV file, split into byte-range partitions."""
+        return self._set(CSVSource(
+            path, schema, self._session.dictionary,
+            num_partitions=self._default_partitions(),
+        ))
+
+    def sql(
+        self,
+        db_path: str,
+        schema: Schema,
+        table: Optional[str] = None,
+        query: Optional[str] = None,
+    ) -> "IngestBuilder":
+        """A sqlite3 table (rowid-range partitioned) or SELECT query."""
+        return self._set(SQLSource(
+            db_path, schema, self._session.dictionary,
+            table=table, query=query,
+            num_partitions=self._default_partitions(),
+        ))
+
+    def table(
+        self, store, keyspace: str, table: str, schema: Schema
+    ) -> "IngestBuilder":
+        """A wide-column store table, one partition per partition key."""
+        return self._set(TableSource(store, keyspace, table, schema))
+
+    def rows(
+        self, data: Sequence[Dict[str, Any]], schema: Schema
+    ) -> "IngestBuilder":
+        """Already-materialized rows (tests, generators)."""
+        return self._set(RowsSource(
+            data, schema, num_partitions=self._default_partitions()
+        ))
+
+    def source(self, source: DataSource) -> "IngestBuilder":
+        """A custom :class:`DataSource` implementation."""
+        return self._set(source)
+
+    # -- tuning --------------------------------------------------------
+
+    def partitions(self, n: int) -> "IngestBuilder":
+        """Override the partition count (sources that support it)."""
+        self._num_partitions = max(1, int(n))
+        src = self._source
+        if src is not None and hasattr(src, "num_partitions_hint"):
+            src.num_partitions_hint = self._num_partitions
+            for cache in ("_ranges", "_slices"):
+                if getattr(src, cache, None) is not None:
+                    setattr(src, cache, None)
+        if isinstance(src, RowsSource):
+            rebuilt = RowsSource(
+                src._rows, src.schema(), src.name, self._num_partitions
+            )
+            self._source = rebuilt
+        return self
+
+    def _default_partitions(self) -> int:
+        return self._num_partitions or self._session.ctx.default_parallelism
+
+    # -- terminals -----------------------------------------------------
+
+    def load(self, name: Optional[str] = None) -> ScrubJayDataset:
+        """Build the lazily-scanned dataset without registering it."""
+        if self._source is None:
+            raise SourceError(
+                "ingest() chain has no source; call .csv()/.sql()/"
+                ".table()/.rows()/.source() first"
+            )
+        src = self._source
+        if name:
+            src.name = name
+        ds = ScrubJayDataset(
+            ScanRDD(self._session.ctx, src),
+            src.schema(),
+            name or src.name,
+            provenance={"op": "scan", "source": type(src).__name__,
+                        "name": name or src.name},
+        )
+        ds.source = src
+        return ds
+
+    def register(self, name: str) -> ScrubJayDataset:
+        """Build the dataset and register it under ``name``."""
+        ds = self.load(name)
+        self._session.register(ds, name)
+        return ds

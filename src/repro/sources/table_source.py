@@ -1,0 +1,108 @@
+"""Wide-column store tables as partition-pruned data sources.
+
+Scan partitions map 1:1 onto the table's partition keys (the
+Cassandra model: a partition is the unit of locality). Pruning happens
+at two levels:
+
+- **partition-key pruning** (driver-side, :meth:`TableSource.prune`):
+  predicate terms over partition-key columns eliminate whole
+  partitions before any task is launched;
+- **zone-map pruning** (worker-side, inside ``Table.scan``): segments
+  whose per-column min/max/null statistics rule out both the partition
+  key and the predicate are never unpickled.
+
+Rows already hold typed values (no codec); fields absent from the
+schema and None values are dropped, like the legacy NoSQLWrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.semantics import Schema
+from repro.sources.base import DataSource, ScanSelection
+from repro.sources.predicate import ColumnPredicate
+from repro.store.wide_column import WideColumnStore
+
+
+class TableSource(DataSource):
+    """Read one wide-column table, one scan partition per store
+    partition key."""
+
+    def __init__(
+        self,
+        store: WideColumnStore,
+        keyspace: str,
+        table: str,
+        schema: Schema,
+        name: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.keyspace = keyspace
+        self.table_name = table
+        self._schema = schema
+        self.name = name or f"{keyspace}.{table}"
+        self._keys: Optional[List[Tuple]] = None
+
+    def schema(self) -> Schema:
+        return self._schema
+
+    def _table(self):
+        return self.store.table(self.keyspace, self.table_name)
+
+    # -- driver side ---------------------------------------------------
+
+    def partitions(self) -> Sequence[Tuple]:
+        if self._keys is None:
+            self._keys = self._table().partitions()
+        return self._keys
+
+    def prune(self, predicate: Optional[ColumnPredicate]) -> ScanSelection:
+        keys = self.partitions()
+        if predicate is None:
+            return ScanSelection(tuple(range(len(keys))), len(keys))
+        key_cols = self._table().partition_key
+        indices = tuple(
+            i
+            for i, key in enumerate(keys)
+            if predicate.partition_may_match(key_cols, key)
+        )
+        return ScanSelection(
+            indices, len(keys), {"pruned_by": "partition-key"}
+        )
+
+    # -- worker side ---------------------------------------------------
+
+    def read_partition(
+        self,
+        index: int,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[ColumnPredicate] = None,
+    ) -> List[Dict[str, Any]]:
+        rows, _ = self.read_partition_stats(index, columns, predicate)
+        return rows
+
+    def read_partition_stats(
+        self,
+        index: int,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[ColumnPredicate] = None,
+    ):
+        key = self.partitions()[index]
+        fields = set(self._schema.fields())
+        wanted = fields if columns is None else fields & set(columns)
+        raw, stats = self._table().scan_stats(
+            partition=key, columns=None, predicate=predicate
+        )
+        out: List[Dict[str, Any]] = []
+        for record in raw:
+            row = {
+                k: v
+                for k, v in record.items()
+                if k in wanted and v is not None
+            }
+            if row:
+                out.append(row)
+        return out, stats
+    # NB: projection happens here (after the schema-field filter), not
+    # in Table.scan — predicate columns need not survive into the row.

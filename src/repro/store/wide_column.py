@@ -10,9 +10,13 @@ store"):
 - **clustering columns** order rows inside a partition — e.g. the
   sample timestamp;
 - writes append to a per-table **memtable**; ``flush()`` (or exceeding
-  the memtable limit) writes an immutable, sorted **segment** file;
+  the memtable limit) writes an immutable, sorted **segment** file
+  plus a **zone map** sidecar (per-column min/max/null-count and the
+  partition keys present) used to skip segments at scan time;
 - ``scan()`` merge-reads segments plus the memtable, optionally
-  restricted to one partition.
+  restricted to one partition, projected to ``columns``, and filtered
+  by a pushed-down ``predicate`` — segments whose zone map proves no
+  row can match are never unpickled.
 
 Values must be picklable; rows are plain dicts.
 """
@@ -24,6 +28,68 @@ import pickle
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StoreError
+
+#: zone maps list explicit partition keys up to this many per segment;
+#: beyond it the list is dropped (pruning falls back to reading rows)
+ZONE_PKEY_CAP = 1024
+
+
+def _zone_epoch(value: Any) -> Any:
+    """Normalize orderable values (Timestamps → epoch) for min/max."""
+    return getattr(value, "epoch", value)
+
+
+def build_zone_map(rows: Sequence[Dict[str, Any]],
+                   pkeys: Sequence[Tuple]) -> Dict[str, Any]:
+    """Per-segment statistics: row count, partition keys, and for each
+    column its non-null min/max plus null count.
+
+    A column absent from ``columns`` appears in *no* row; a column with
+    ``min``/``max`` of None holds unorderable (or mixed-type) values
+    and cannot be range-pruned. Conservative by construction — pruning
+    built on these stats may only skip segments that provably cannot
+    match.
+    """
+    columns: Dict[str, Dict[str, Any]] = {}
+    unorderable: set = set()
+    for row in rows:
+        for col, value in row.items():
+            if value is None:
+                stats = columns.setdefault(
+                    col, {"min": None, "max": None, "present": 0}
+                )
+                continue
+            stats = columns.setdefault(
+                col, {"min": None, "max": None, "present": 0}
+            )
+            stats["present"] += 1
+            if col in unorderable:
+                continue
+            v = _zone_epoch(value)
+            try:
+                if stats["min"] is None or v < stats["min"]:
+                    stats["min"] = v
+                if stats["max"] is None or v > stats["max"]:
+                    stats["max"] = v
+            except TypeError:
+                unorderable.add(col)
+                stats["min"] = None
+                stats["max"] = None
+    n = len(rows)
+    out_cols = {
+        col: {
+            "min": None if col in unorderable else stats["min"],
+            "max": None if col in unorderable else stats["max"],
+            "nulls": n - stats["present"],
+        }
+        for col, stats in columns.items()
+    }
+    key_list = sorted(set(pkeys), key=repr)
+    return {
+        "rows": n,
+        "pkeys": key_list if len(key_list) <= ZONE_PKEY_CAP else None,
+        "columns": out_cols,
+    }
 
 
 class Table:
@@ -76,17 +142,21 @@ class Table:
             self.insert(row)
 
     def flush(self) -> Optional[str]:
-        """Write the memtable as one sorted, immutable segment file."""
+        """Write the memtable as one sorted, immutable segment file,
+        plus its zone-map sidecar (``zones-NNNNNN.pkl``)."""
         if not self._memtable:
             return None
         seg_rows: List[dict] = []
         for pkey in sorted(self._memtable, key=repr):
             part = sorted(self._memtable[pkey], key=self._ckey)
             seg_rows.extend(part)
+        zone = build_zone_map(seg_rows, list(self._memtable))
         seg_id = len(self._segment_paths())
         path = os.path.join(self.directory, f"segment-{seg_id:06d}.pkl")
         with open(path, "wb") as f:
             pickle.dump(seg_rows, f)
+        with open(self._zone_path(path), "wb") as f:
+            pickle.dump(zone, f)
         self._memtable.clear()
         self._memtable_rows = 0
         return path
@@ -102,30 +172,141 @@ class Table:
             if f.startswith("segment-") and f.endswith(".pkl")
         )
 
+    @staticmethod
+    def _zone_path(segment_path: str) -> str:
+        head, tail = os.path.split(segment_path)
+        return os.path.join(head, "zones-" + tail[len("segment-"):])
+
+    def _load_zone(self, segment_path: str) -> Optional[Dict[str, Any]]:
+        zpath = self._zone_path(segment_path)
+        if not os.path.exists(zpath):
+            return None  # pre-zone-map segment: never prune it
+        try:
+            with open(zpath, "rb") as f:
+                return pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError):
+            return None
+
+    def segment_zones(self) -> List[Tuple[str, Optional[Dict[str, Any]]]]:
+        """(segment path, zone map or None) for every segment."""
+        return [(p, self._load_zone(p)) for p in self._segment_paths()]
+
+    def _segment_skippable(
+        self,
+        zone: Optional[Dict[str, Any]],
+        partition: Optional[Tuple],
+        predicate: Optional[Any],
+    ) -> bool:
+        """True when the zone map proves no segment row can match."""
+        if zone is None:
+            return False
+        if partition is not None and zone.get("pkeys") is not None \
+                and partition not in zone["pkeys"]:
+            return True
+        if predicate is not None:
+            may = getattr(predicate, "segment_may_match", None)
+            if may is not None and not may(zone):
+                return True
+        return False
+
     def scan(
-        self, partition: Optional[Tuple] = None
+        self,
+        partition: Optional[Tuple] = None,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Any] = None,
     ) -> Iterator[Dict[str, Any]]:
         """Iterate rows (all, or one partition), clustering-ordered
-        within each source."""
+        within each source.
+
+        ``predicate`` is a row filter exposing ``matches(row)`` and
+        (optionally) ``segment_may_match(zone)`` — typically a
+        :class:`repro.sources.predicate.ColumnPredicate`. Segments the
+        zone maps rule out are skipped without being read; ``columns``
+        projects surviving rows.
+        """
+        stats: Dict[str, Any] = {}
+        return self._scan_impl(partition, columns, predicate, stats)
+
+    def scan_stats(
+        self,
+        partition: Optional[Tuple] = None,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Any] = None,
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Materializing :meth:`scan` that also reports read statistics:
+        ``rows_read`` (rows examined after partition restriction,
+        before the predicate), ``bytes_scanned`` (segment file bytes
+        unpickled), ``segments_read`` and ``segments_skipped``."""
+        stats: Dict[str, Any] = {}
+        rows = list(self._scan_impl(partition, columns, predicate, stats))
+        return rows, stats
+
+    def _scan_impl(
+        self,
+        partition: Optional[Tuple],
+        columns: Optional[Sequence[str]],
+        predicate: Optional[Any],
+        stats: Dict[str, Any],
+    ) -> Iterator[Dict[str, Any]]:
         if partition is not None and not isinstance(partition, tuple):
             partition = (partition,)
+        wanted = set(columns) if columns is not None else None
+        stats.update(
+            rows_read=0, bytes_scanned=0, segments_read=0,
+            segments_skipped=0,
+        )
+
+        def emit(row: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+            stats["rows_read"] += 1
+            if predicate is not None and not predicate.matches(row):
+                return None
+            if wanted is None:
+                return row
+            projected = {k: v for k, v in row.items() if k in wanted}
+            return projected or None
+
         for path in self._segment_paths():
+            if self._segment_skippable(
+                self._load_zone(path), partition, predicate
+            ):
+                stats["segments_skipped"] += 1
+                continue
+            stats["segments_read"] += 1
+            try:
+                stats["bytes_scanned"] += os.path.getsize(path)
+            except OSError:
+                pass
             with open(path, "rb") as f:
                 for row in pickle.load(f):
                     if partition is None or self._pkey(row) == partition:
-                        yield row
+                        out = emit(row)
+                        if out is not None:
+                            yield out
         for pkey, rows in self._memtable.items():
             if partition is None or pkey == partition:
-                yield from sorted(rows, key=self._ckey)
+                for row in sorted(rows, key=self._ckey):
+                    out = emit(row)
+                    if out is not None:
+                        yield out
 
     def count(self) -> int:
         return sum(1 for _ in self.scan())
 
     def partitions(self) -> List[Tuple]:
-        """Distinct partition keys across segments and memtable."""
+        """Distinct partition keys across segments and memtable.
+
+        Reads zone-map sidecars where available; only segments without
+        one (or whose key list overflowed the cap) are scanned."""
         seen = set()
-        for row in self.scan():
-            seen.add(self._pkey(row))
+        for path in self._segment_paths():
+            zone = self._load_zone(path)
+            if zone is not None and zone.get("pkeys") is not None:
+                seen.update(zone["pkeys"])
+                continue
+            with open(path, "rb") as f:
+                for row in pickle.load(f):
+                    seen.add(self._pkey(row))
+        seen.update(self._memtable)
         return sorted(seen, key=repr)
 
 

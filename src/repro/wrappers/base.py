@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional
 
@@ -46,7 +47,12 @@ class DataWrapper(ABC):
 
 
 class RowsWrapper(DataWrapper):
-    """Wrap rows that are already in memory (tests, generators)."""
+    """Deprecated shim: wrap rows that are already in memory.
+
+    Use ``session.register_rows(...)`` or
+    ``session.ingest().rows(data, schema)`` instead; ``rows()`` still
+    returns the original list object (not a copy), as it always did.
+    """
 
     def __init__(
         self,
@@ -56,6 +62,12 @@ class RowsWrapper(DataWrapper):
         name: str,
         num_partitions: Optional[int] = None,
     ) -> None:
+        warnings.warn(
+            "RowsWrapper is deprecated; use session.register_rows() "
+            "or session.ingest().rows(data, schema)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(schema, dictionary, name, num_partitions)
         self.data = data
 

@@ -11,6 +11,7 @@ empty cells yield sparse rows.
 from __future__ import annotations
 
 import csv
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.errors import WrapperError
@@ -18,11 +19,16 @@ from repro.core.dataset import ScrubJayDataset
 from repro.core.dictionary import SemanticDictionary
 from repro.core.semantics import Schema
 from repro.wrappers.base import DataWrapper, Unwrapper
-from repro.wrappers.codec import decode_value, encode_value
+from repro.wrappers.codec import encode_value
 
 
 class CSVWrapper(DataWrapper):
-    """Read a CSV file with a header row into an annotated dataset."""
+    """Deprecated shim over :class:`~repro.sources.csv_source.CSVSource`.
+
+    Materializes every partition on the driver, exactly like the
+    original wrapper did — use ``session.ingest().csv(...)`` for lazy,
+    partitioned, pushdown-capable reads.
+    """
 
     def __init__(
         self,
@@ -32,38 +38,28 @@ class CSVWrapper(DataWrapper):
         name: Optional[str] = None,
         num_partitions: Optional[int] = None,
     ) -> None:
+        warnings.warn(
+            "CSVWrapper is deprecated; use "
+            "session.ingest().csv(path, schema) for a lazy, "
+            "partitioned scan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             schema, dictionary, name or path, num_partitions
         )
         self.path = path
+        # deferred: repro.sources imports this package's codec module
+        from repro.sources.csv_source import CSVSource
+
+        self._source = CSVSource(
+            path, schema, dictionary, name=self.name, num_partitions=1
+        )
 
     def rows(self) -> List[Dict[str, Any]]:
         out: List[Dict[str, Any]] = []
-        try:
-            with open(self.path, "r", newline="", encoding="utf-8") as f:
-                reader = csv.DictReader(f)
-                if reader.fieldnames is None:
-                    raise WrapperError(f"{self.path}: empty CSV (no header)")
-                known = [
-                    c for c in reader.fieldnames if c in self.schema
-                ]
-                if not known:
-                    raise WrapperError(
-                        f"{self.path}: no CSV column matches the schema "
-                        f"fields {self.schema.fields()}"
-                    )
-                for record in reader:
-                    row: Dict[str, Any] = {}
-                    for col in known:
-                        value = decode_value(
-                            record.get(col), self.schema[col], self.dictionary
-                        )
-                        if value is not None:
-                            row[col] = value
-                    if row:
-                        out.append(row)
-        except OSError as exc:
-            raise WrapperError(f"cannot read {self.path}: {exc}") from exc
+        for i in range(self._source.num_partitions()):
+            out.extend(self._source.read_partition(i))
         return out
 
 

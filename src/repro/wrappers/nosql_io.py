@@ -9,6 +9,7 @@ fields absent from the schema are dropped on load.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.dataset import ScrubJayDataset
@@ -19,7 +20,13 @@ from repro.wrappers.base import DataWrapper, Unwrapper
 
 
 class NoSQLWrapper(DataWrapper):
-    """Scan a wide-column table into an annotated dataset."""
+    """Deprecated shim over
+    :class:`~repro.sources.table_source.TableSource`.
+
+    Materializes every store partition on the driver, exactly like the
+    original wrapper did — use ``session.ingest().table(...)`` for
+    lazy per-partition scans with partition-key and zone-map pruning.
+    """
 
     def __init__(
         self,
@@ -31,25 +38,30 @@ class NoSQLWrapper(DataWrapper):
         name: Optional[str] = None,
         num_partitions: Optional[int] = None,
     ) -> None:
+        warnings.warn(
+            "NoSQLWrapper is deprecated; use "
+            "session.ingest().table(store, keyspace, table, schema) "
+            "for a lazy, pruned scan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             schema, dictionary, name or f"{keyspace}.{table}", num_partitions
         )
         self.store = store
         self.keyspace = keyspace
         self.table = table
+        # deferred: repro.sources imports this package's codec module
+        from repro.sources.table_source import TableSource
+
+        self._source = TableSource(
+            store, keyspace, table, schema, name=self.name
+        )
 
     def rows(self) -> List[Dict[str, Any]]:
-        table = self.store.table(self.keyspace, self.table)
-        fields = set(self.schema.fields())
         out: List[Dict[str, Any]] = []
-        for record in table.scan():
-            row = {
-                k: v
-                for k, v in record.items()
-                if k in fields and v is not None
-            }
-            if row:
-                out.append(row)
+        for i in range(self._source.num_partitions()):
+            out.extend(self._source.read_partition(i))
         return out
 
 

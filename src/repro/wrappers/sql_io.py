@@ -11,6 +11,7 @@ the live cursor description, values are decoded per field semantics.
 from __future__ import annotations
 
 import sqlite3
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.errors import WrapperError
@@ -18,11 +19,16 @@ from repro.core.dataset import ScrubJayDataset
 from repro.core.dictionary import SemanticDictionary
 from repro.core.semantics import Schema
 from repro.wrappers.base import DataWrapper, Unwrapper
-from repro.wrappers.codec import decode_value, encode_value
+from repro.wrappers.codec import encode_value
 
 
 class SQLWrapper(DataWrapper):
-    """Read a table (or arbitrary SELECT) from a sqlite3 database."""
+    """Deprecated shim over :class:`~repro.sources.sql_source.SQLSource`.
+
+    Materializes every partition on the driver, exactly like the
+    original wrapper did — use ``session.ingest().sql(...)`` for lazy,
+    rowid-partitioned, pushdown-capable reads.
+    """
 
     def __init__(
         self,
@@ -34,8 +40,22 @@ class SQLWrapper(DataWrapper):
         name: Optional[str] = None,
         num_partitions: Optional[int] = None,
     ) -> None:
-        if (table is None) == (query is None):
-            raise WrapperError("provide exactly one of table= or query=")
+        warnings.warn(
+            "SQLWrapper is deprecated; use "
+            "session.ingest().sql(db_path, schema, table=...) for a "
+            "lazy, partitioned scan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # deferred: repro.sources imports this package's codec module
+        from repro.sources.sql_source import SQLSource
+
+        # the source performs the table-xor-query validation (its
+        # SourceError subclasses WrapperError, message unchanged)
+        self._source = SQLSource(
+            db_path, schema, dictionary, table=table, query=query,
+            name=name, num_partitions=1,
+        )
         super().__init__(
             schema, dictionary, name or table or "sql", num_partitions
         )
@@ -44,36 +64,9 @@ class SQLWrapper(DataWrapper):
         self.query = query
 
     def rows(self) -> List[Dict[str, Any]]:
-        sql = self.query or f'SELECT * FROM "{self.table}"'
         out: List[Dict[str, Any]] = []
-        try:
-            with sqlite3.connect(self.db_path) as conn:
-                cursor = conn.execute(sql)
-                columns = [d[0] for d in cursor.description]
-                known = [c for c in columns if c in self.schema]
-                if not known:
-                    raise WrapperError(
-                        f"{self.db_path}: no column of {columns} matches "
-                        f"the schema fields {self.schema.fields()}"
-                    )
-                for record in cursor:
-                    named = dict(zip(columns, record))
-                    row: Dict[str, Any] = {}
-                    for col in known:
-                        raw = named[col]
-                        value = decode_value(
-                            None if raw is None else str(raw),
-                            self.schema[col],
-                            self.dictionary,
-                        )
-                        if value is not None:
-                            row[col] = value
-                    if row:
-                        out.append(row)
-        except sqlite3.Error as exc:
-            raise WrapperError(
-                f"sqlite error reading {self.db_path}: {exc}"
-            ) from exc
+        for i in range(self._source.num_partitions()):
+            out.extend(self._source.read_partition(i))
         return out
 
 

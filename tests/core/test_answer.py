@@ -1,0 +1,66 @@
+"""Answer: dataset delegation, sizing, and __getattr__ hygiene."""
+
+import pickle
+
+import pytest
+
+from repro.core.answer import Answer
+
+
+def test_len_and_to_rows(fig5_session):
+    answer = (
+        fig5_session.query()
+        .across("racks", "time")
+        .value("temperature")
+        .ask()
+    )
+    rows = answer.to_rows()
+    assert rows == answer.collect()
+    assert len(answer) == len(rows)
+    assert len(answer) > 0
+
+
+def test_iteration_matches_collect(fig5_session):
+    answer = (
+        fig5_session.query()
+        .across("racks", "time")
+        .value("temperature")
+        .ask()
+    )
+    assert list(answer) == answer.collect()
+
+
+def test_delegates_dataset_attributes(fig5_session):
+    answer = (
+        fig5_session.query()
+        .across("racks", "time")
+        .value("temperature")
+        .ask()
+    )
+    # old code written against the bare-dataset return type still works
+    assert answer.count() == len(answer)
+    assert "rack" in answer.schema
+
+
+def test_unknown_attribute_raises_attribute_error(fig5_session):
+    answer = (
+        fig5_session.query()
+        .across("racks", "time")
+        .value("temperature")
+        .ask()
+    )
+    with pytest.raises(AttributeError):
+        answer.no_such_attribute
+
+
+def test_getattr_before_init_does_not_recurse():
+    # __reduce__-style probing touches attributes before __init__ runs;
+    # the delegation must answer AttributeError, not recurse forever
+    blank = Answer.__new__(Answer)
+    with pytest.raises(AttributeError, match="no attribute"):
+        blank._dataset
+    with pytest.raises(AttributeError, match="no attribute"):
+        blank.collect_everything
+    # __reduce_ex__ probes dunders before __init__ ran — must not
+    # recurse (a plain self._dataset lookup here would loop forever)
+    pickle.dumps(blank)

@@ -1,0 +1,177 @@
+"""Column predicates: row semantics, pruning oracles, serialization."""
+
+import pytest
+
+from repro.sources.predicate import ColumnPredicate, EqTerm, RangeTerm
+from repro.units import Timestamp
+
+
+# ----------------------------------------------------------------------
+# row-level matching (must mirror FilterEquals / FilterRange)
+# ----------------------------------------------------------------------
+
+def test_eq_term_matches_and_missing_field():
+    t = EqTerm("rack", 17)
+    assert t.matches({"rack": 17})
+    assert not t.matches({"rack": 18})
+    # a missing field reads as None — matches only value None
+    assert not t.matches({})
+    assert EqTerm("rack", None).matches({})
+    assert EqTerm("rack", None).matches({"rack": None})
+
+
+def test_range_term_half_open_and_missing_field():
+    t = RangeTerm("time", 1.0, 5.0)
+    assert t.matches({"time": 1.0})
+    assert t.matches({"time": 4.999})
+    assert not t.matches({"time": 5.0})  # high-exclusive
+    assert not t.matches({"time": 0.5})
+    assert not t.matches({})  # missing column never in range
+
+
+def test_range_term_one_sided():
+    assert RangeTerm("v", low=2.0).matches({"v": 2.0})
+    assert not RangeTerm("v", low=2.0).matches({"v": 1.0})
+    assert RangeTerm("v", high=2.0).matches({"v": 1.0})
+    assert not RangeTerm("v", high=2.0).matches({"v": 2.0})
+
+
+def test_range_term_needs_a_bound():
+    with pytest.raises(ValueError):
+        RangeTerm("v")
+
+
+def test_range_term_compares_timestamps_by_epoch():
+    t = RangeTerm("time", 100.0, 200.0)
+    assert t.matches({"time": Timestamp(150.0)})
+    assert not t.matches({"time": Timestamp(200.0)})
+
+
+def test_range_term_unorderable_value_never_matches():
+    assert not RangeTerm("v", 0.0, 10.0).matches({"v": "oops"})
+
+
+def test_predicate_conjunction_and_also():
+    p = ColumnPredicate.equals("rack", 17).also(
+        ColumnPredicate.range("time", 0.0, 10.0)
+    )
+    assert p.matches({"rack": 17, "time": 5.0})
+    assert not p.matches({"rack": 18, "time": 5.0})
+    assert not p.matches({"rack": 17, "time": 10.0})
+    assert p.columns() == ["rack", "time"]
+    assert p.also(None) is p
+    assert bool(ColumnPredicate([])) is False
+    assert bool(p) is True
+
+
+# ----------------------------------------------------------------------
+# zone-map pruning oracle
+# ----------------------------------------------------------------------
+
+def zone(rows=10, **columns):
+    return {"rows": rows, "pkeys": None, "columns": columns}
+
+
+def test_segment_pruning_by_range():
+    p = ColumnPredicate.range("time", 100.0, 200.0)
+    inside = zone(time={"min": 0.0, "max": 150.0, "nulls": 0})
+    below = zone(time={"min": 0.0, "max": 50.0, "nulls": 0})
+    above = zone(time={"min": 200.0, "max": 300.0, "nulls": 0})
+    assert p.segment_may_match(inside)
+    assert not p.segment_may_match(below)
+    assert not p.segment_may_match(above)
+
+
+def test_segment_pruning_by_equality():
+    p = ColumnPredicate.equals("rack", 17)
+    assert p.segment_may_match(zone(rack={"min": 10, "max": 20, "nulls": 0}))
+    assert not p.segment_may_match(
+        zone(rack={"min": 18, "max": 20, "nulls": 0})
+    )
+
+
+def test_segment_column_absent_from_zone():
+    stats = zone(other={"min": 0, "max": 1, "nulls": 0})
+    # no row holds the column: Eq-against-None still matches...
+    assert ColumnPredicate.equals("rack", None).segment_may_match(stats)
+    # ...every other term fails for all rows
+    assert not ColumnPredicate.equals("rack", 17).segment_may_match(stats)
+    assert not ColumnPredicate.range("rack", 0.0).segment_may_match(stats)
+
+
+def test_segment_all_null_column():
+    stats = zone(rows=5, v={"min": None, "max": None, "nulls": 5})
+    # ranges can never hold over nulls-only data
+    assert not ColumnPredicate.range("v", 0.0).segment_may_match(stats)
+    # but equality against a value stays conservative (min/max unknown)
+    assert ColumnPredicate.equals("v", 3).segment_may_match(stats)
+
+
+def test_segment_no_nulls_prunes_eq_none():
+    stats = zone(rows=5, v={"min": 0, "max": 9, "nulls": 0})
+    assert not ColumnPredicate.equals("v", None).segment_may_match(stats)
+    withnulls = zone(rows=5, v={"min": 0, "max": 9, "nulls": 2})
+    assert ColumnPredicate.equals("v", None).segment_may_match(withnulls)
+
+
+def test_segment_unknown_zone_is_conservative():
+    p = ColumnPredicate.equals("rack", 17)
+    assert p.segment_may_match(None)
+    assert p.segment_may_match({})
+
+
+def test_segment_incomparable_stats_stay_conservative():
+    stats = zone(rack={"min": 0, "max": 9, "nulls": 0})
+    assert ColumnPredicate.equals("rack", "r17").segment_may_match(stats)
+
+
+# ----------------------------------------------------------------------
+# partition-key pruning oracle
+# ----------------------------------------------------------------------
+
+def test_partition_pruning():
+    p = ColumnPredicate.equals("rack", 17)
+    assert p.partition_may_match(("rack",), (17,))
+    assert not p.partition_may_match(("rack",), (18,))
+    # terms over non-key columns never prune partitions
+    assert ColumnPredicate.equals("time", 5.0).partition_may_match(
+        ("rack",), (18,)
+    )
+
+
+def test_partition_pruning_composite_key():
+    p = ColumnPredicate.equals("rack", 17).also(
+        ColumnPredicate.range("aisle", 2.0, 4.0)
+    )
+    assert p.partition_may_match(("rack", "aisle"), (17, 3.0))
+    assert not p.partition_may_match(("rack", "aisle"), (17, 9.0))
+    assert not p.partition_may_match(("rack", "aisle"), (18, 3.0))
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def test_json_round_trip():
+    p = ColumnPredicate([
+        EqTerm("rack", 17),
+        RangeTerm("time", 0.0, 10.0),
+        RangeTerm("v", low=3.0),
+    ])
+    back = ColumnPredicate.from_json_dict(p.to_json_dict())
+    assert back == p
+    assert hash(back) == hash(p)
+
+
+def test_json_rejects_unknown_term():
+    with pytest.raises(ValueError, match="unknown predicate term"):
+        ColumnPredicate.from_json_dict([{"op": "like", "column": "x"}])
+
+
+def test_repr_mentions_terms():
+    p = ColumnPredicate.equals("rack", 17).also(
+        ColumnPredicate.range("time", high=9.0)
+    )
+    text = repr(p)
+    assert "rack==17" in text
+    assert "time" in text and "9.0" in text

@@ -1,0 +1,355 @@
+"""DataSource implementations: partition layout, equivalence with the
+legacy wrappers, predicate/projection correctness, wrapper shims."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.dataset import ScrubJayDataset
+from repro.core.semantics import Schema, domain, value
+from repro.errors import SourceError, WrapperError
+from repro.sources import (
+    ColumnPredicate,
+    CSVSource,
+    RowsSource,
+    SQLSource,
+    TableSource,
+)
+from repro.store import WideColumnStore
+from repro.units.temporal import Timestamp
+from repro.wrappers import (
+    CSVUnwrapper,
+    CSVWrapper,
+    NoSQLUnwrapper,
+    NoSQLWrapper,
+    RowsWrapper,
+    SQLUnwrapper,
+    SQLWrapper,
+)
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "time": domain("time", "datetime"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def make_rows(n=40):
+    return [
+        {"node": i % 4, "time": Timestamp(float(i)), "temp": 20.0 + i % 7}
+        for i in range(n)
+    ]
+
+
+def key(row):
+    return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+
+def all_rows(source, columns=None, predicate=None):
+    out = []
+    for i in range(source.num_partitions()):
+        out.extend(source.read_partition(i, columns, predicate))
+    return out
+
+
+def write_csv(ctx, dictionary, path, rows):
+    ds = ScrubJayDataset.from_rows(ctx, rows, SCHEMA, "t")
+    CSVUnwrapper(path, dictionary).save(ds)
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+def test_csv_partitioned_read_equals_wrapper(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    rows = make_rows()
+    write_csv(ctx, dictionary, path, rows)
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=5)
+    assert src.num_partitions() > 1
+    with pytest.warns(DeprecationWarning):
+        legacy = CSVWrapper(path, SCHEMA, dictionary).rows()
+    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+
+
+@pytest.mark.parametrize("parts", [1, 3, 7, 64])
+def test_csv_partition_count_does_not_change_rows(
+    ctx, dictionary, tmp_path, parts
+):
+    path = str(tmp_path / "d.csv")
+    rows = make_rows(23)
+    write_csv(ctx, dictionary, path, rows)
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=parts)
+    got = sorted(all_rows(src), key=key)
+    assert got == sorted(rows, key=key)
+
+
+def test_csv_partitions_are_disjoint(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    write_csv(ctx, dictionary, path, make_rows(31))
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=4)
+    counts = [
+        len(src.read_partition(i)) for i in range(src.num_partitions())
+    ]
+    assert sum(counts) == 31
+
+
+def test_csv_predicate_equals_read_then_filter(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    write_csv(ctx, dictionary, path, make_rows())
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=3)
+    pred = ColumnPredicate.equals("node", 2).also(
+        ColumnPredicate.range("time", 4.0, 30.0)
+    )
+    pushed = all_rows(src, predicate=pred)
+    manual = [r for r in all_rows(src) if pred.matches(r)]
+    assert sorted(pushed, key=key) == sorted(manual, key=key)
+    assert pushed  # the filter is not vacuous
+
+
+def test_csv_projection_drops_other_columns(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    write_csv(ctx, dictionary, path, make_rows(8))
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=2)
+    rows = all_rows(src, columns=["node", "temp"])
+    assert rows and all(set(r) <= {"node", "temp"} for r in rows)
+    # predicate columns need not survive into the projected row
+    pred = ColumnPredicate.range("time", 2.0, 6.0)
+    rows = all_rows(src, columns=["temp"], predicate=pred)
+    assert rows and all(set(r) == {"temp"} for r in rows)
+
+
+def test_csv_scan_stats_report_physical_reads(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    write_csv(ctx, dictionary, path, make_rows(20))
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=1)
+    pred = ColumnPredicate.equals("node", 0)
+    rows, stats = src.read_partition_stats(0, predicate=pred)
+    # rows_read counts rows examined, not rows returned
+    assert stats["rows_read"] == 20
+    assert len(rows) == 5
+    assert stats["bytes_scanned"] > 0
+
+
+def test_csv_missing_file_raises_source_error(dictionary, tmp_path):
+    src = CSVSource(str(tmp_path / "nope.csv"), SCHEMA, dictionary)
+    with pytest.raises(SourceError, match="cannot read"):
+        src.partitions()
+
+
+# ----------------------------------------------------------------------
+# SQL
+# ----------------------------------------------------------------------
+
+def make_db(ctx, dictionary, path, rows):
+    ds = ScrubJayDataset.from_rows(ctx, rows, SCHEMA, "t")
+    SQLUnwrapper(path, "temps", dictionary).save(ds)
+
+
+def test_sql_rowid_partitions_equal_wrapper(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    rows = make_rows()
+    make_db(ctx, dictionary, db, rows)
+    src = SQLSource(db, SCHEMA, dictionary, table="temps", num_partitions=4)
+    assert src.num_partitions() == 4
+    with pytest.warns(DeprecationWarning):
+        legacy = SQLWrapper(db, SCHEMA, dictionary, table="temps").rows()
+    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+
+
+def test_sql_query_mode_single_partition(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    make_db(ctx, dictionary, db, make_rows(10))
+    src = SQLSource(
+        db, SCHEMA, dictionary,
+        query='SELECT * FROM temps WHERE node = "2"', num_partitions=4,
+    )
+    assert src.num_partitions() == 1
+    assert all(r["node"] == 2 for r in all_rows(src))
+
+
+def test_sql_predicate_pushed_into_where(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    rows = make_rows()
+    make_db(ctx, dictionary, db, rows)
+    src = SQLSource(db, SCHEMA, dictionary, table="temps", num_partitions=2)
+    # temp is a quantity → SQL-side WHERE; datetime filters only in Python
+    pred = ColumnPredicate.range("temp", 21.0, 24.0).also(
+        ColumnPredicate.range("time", 0.0, 25.0)
+    )
+    pushed = all_rows(src, predicate=pred)
+    manual = [r for r in rows if pred.matches(r)]
+    assert sorted(pushed, key=key) == sorted(manual, key=key)
+    _, stats = src.read_partition_stats(0, predicate=pred)
+    # the WHERE clause shrank the physical read below the half-table
+    assert stats["rows_read"] < 20
+
+
+def test_sql_table_xor_query(dictionary, tmp_path):
+    with pytest.raises(SourceError, match="exactly one"):
+        SQLSource(str(tmp_path / "x.db"), SCHEMA, dictionary)
+    with pytest.raises(SourceError, match="exactly one"):
+        SQLSource(str(tmp_path / "x.db"), SCHEMA, dictionary,
+                  table="a", query="SELECT 1")
+    # SourceError stays catchable as the legacy WrapperError
+    assert issubclass(SourceError, WrapperError)
+
+
+def test_sql_empty_table(ctx, dictionary, tmp_path):
+    db = str(tmp_path / "empty.db")
+    with sqlite3.connect(db) as conn:
+        conn.execute("CREATE TABLE temps (node INTEGER, temp REAL)")
+    src = SQLSource(db, SCHEMA, dictionary, table="temps")
+    assert all_rows(src) == []
+
+
+# ----------------------------------------------------------------------
+# Rows
+# ----------------------------------------------------------------------
+
+def test_rows_source_slices_cover_everything():
+    rows = make_rows(10)
+    src = RowsSource(rows, SCHEMA, num_partitions=3)
+    assert src.num_partitions() == 3
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
+
+
+def test_rows_source_more_partitions_than_rows():
+    rows = make_rows(2)
+    src = RowsSource(rows, SCHEMA, num_partitions=16)
+    assert src.num_partitions() <= 2
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
+
+
+def test_rows_source_empty():
+    src = RowsSource([], SCHEMA)
+    assert src.num_partitions() == 1
+    assert all_rows(src) == []
+
+
+def test_rows_source_predicate_and_projection():
+    rows = make_rows(12)
+    src = RowsSource(rows, SCHEMA, num_partitions=2)
+    pred = ColumnPredicate.equals("node", 1)
+    got = all_rows(src, columns=["temp"], predicate=pred)
+    want = [{"temp": r["temp"]} for r in rows if r["node"] == 1]
+    assert sorted(got, key=key) == sorted(want, key=key)
+
+
+# ----------------------------------------------------------------------
+# wide-column table
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def store(tmp_path):
+    return WideColumnStore(str(tmp_path / "store"))
+
+
+def make_table(store, rows, memtable_limit=10):
+    t = store.create_table(
+        "perf", "temps", ["node"], ["time"], memtable_limit=memtable_limit
+    )
+    t.insert_many(rows)
+    t.flush()
+    return t
+
+
+def test_table_source_partitions_follow_store(store):
+    rows = make_rows(20)
+    make_table(store, rows)
+    src = TableSource(store, "perf", "temps", SCHEMA)
+    assert list(src.partitions()) == [(0,), (1,), (2,), (3,)]
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
+
+
+def test_table_source_equals_wrapper(ctx, dictionary, store):
+    rows = make_rows(16)
+    make_table(store, rows)
+    src = TableSource(store, "perf", "temps", SCHEMA)
+    with pytest.warns(DeprecationWarning):
+        legacy = NoSQLWrapper(
+            store, "perf", "temps", SCHEMA, dictionary
+        ).rows()
+    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+
+
+def test_table_source_partition_key_pruning(store):
+    make_table(store, make_rows(20))
+    src = TableSource(store, "perf", "temps", SCHEMA)
+    sel = src.prune(ColumnPredicate.equals("node", 2))
+    assert sel.total == 4
+    assert sel.indices == (2,)
+    assert sel.skipped == 3
+    # non-key predicates prune nothing
+    sel = src.prune(ColumnPredicate.range("time", 0.0, 5.0))
+    assert sel.indices == (0, 1, 2, 3)
+
+
+def test_table_source_drops_unschema_fields_and_nulls(store):
+    t = store.create_table("perf", "temps", ["node"])
+    t.insert({"node": 1, "temp": 20.0, "mystery": 9, "time": None})
+    t.flush()
+    src = TableSource(store, "perf", "temps", SCHEMA)
+    assert all_rows(src) == [{"node": 1, "temp": 20.0}]
+
+
+def test_table_source_zone_map_skips_segments(store):
+    # 40 rows / memtable_limit=10 → 4 segments, each a distinct time band
+    rows = make_rows(40)
+    t = store.create_table(
+        "perf", "temps", ["node"], ["time"], memtable_limit=10
+    )
+    for r in sorted(rows, key=lambda r: r["time"].epoch):
+        t.insert(r)
+    t.flush()
+    assert len(t._segment_paths()) == 4
+    src = TableSource(store, "perf", "temps", SCHEMA)
+    pred = ColumnPredicate.range("time", 0.0, 9.5)
+    skipped = 0
+    got = []
+    for i in range(src.num_partitions()):
+        part, stats = src.read_partition_stats(i, predicate=pred)
+        got.extend(part)
+        skipped += stats["segments_skipped"]
+    assert sorted(got, key=key) == sorted(
+        (r for r in rows if pred.matches(r)), key=key
+    )
+    assert skipped > 0
+
+
+# ----------------------------------------------------------------------
+# legacy wrapper shims
+# ----------------------------------------------------------------------
+
+def test_all_wrappers_warn_deprecation(ctx, dictionary, tmp_path, store):
+    path = str(tmp_path / "d.csv")
+    db = str(tmp_path / "perf.db")
+    rows = make_rows(6)
+    write_csv(ctx, dictionary, path, rows)
+    make_db(ctx, dictionary, db, rows)
+    make_table(store, rows)
+    with pytest.warns(DeprecationWarning, match="CSVWrapper is deprecated"):
+        CSVWrapper(path, SCHEMA, dictionary)
+    with pytest.warns(DeprecationWarning, match="SQLWrapper is deprecated"):
+        SQLWrapper(db, SCHEMA, dictionary, table="temps")
+    with pytest.warns(DeprecationWarning, match="NoSQLWrapper is deprecated"):
+        NoSQLWrapper(store, "perf", "temps", SCHEMA, dictionary)
+    with pytest.warns(DeprecationWarning, match="RowsWrapper is deprecated"):
+        RowsWrapper(rows, SCHEMA, dictionary, "t")
+
+
+def test_rows_wrapper_still_returns_same_list(dictionary):
+    rows = make_rows(3)
+    with pytest.warns(DeprecationWarning):
+        w = RowsWrapper(rows, SCHEMA, dictionary, "t")
+    assert w.rows() is rows
+
+
+def test_wrapper_load_keeps_wrap_provenance(ctx, dictionary, tmp_path):
+    path = str(tmp_path / "d.csv")
+    write_csv(ctx, dictionary, path, make_rows(4))
+    with pytest.warns(DeprecationWarning):
+        ds = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
+    assert ds.provenance == {
+        "op": "wrap", "wrapper": "CSVWrapper", "name": path,
+    }

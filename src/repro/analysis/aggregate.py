@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
+from repro.columnar import kernels
 from repro.errors import SemanticError
 from repro.core.dataset import ScrubJayDataset
 
@@ -44,6 +45,24 @@ def group_aggregate(
             f"{sorted(_AGGREGATORS)}"
         ) from None
     gf = list(group_fields)
+
+    if getattr(dataset, "batched", False):
+        # Columnar path: partial aggregation per partition over the
+        # batches (no shuffle at all — partials are tiny), merged
+        # driver-side with the same merge the row path shuffles with.
+        merge = _merge_for(how)
+        partials = dataset.rdd.mapPartitions(
+            lambda items: [
+                kernels.group_aggregate_partial(
+                    items, gf, value_field, zero, seq
+                )
+            ]
+        ).collect()
+        acc: Dict[Tuple, Any] = {}
+        for part in partials:
+            for k, v in part.items():
+                acc[k] = merge(acc[k], v) if k in acc else v
+        return {k: finalize(v) for k, v in acc.items()}
 
     def key(row):
         return tuple(row.get(f) for f in gf)
@@ -82,8 +101,23 @@ def time_series(
         if f not in dataset.schema:
             raise SemanticError(f"dataset has no field {f!r}")
     gf = list(group_fields)
+    rdd = dataset.rdd
+    if getattr(dataset, "batched", False):
+        from repro.columnar import ColumnBatch
+
+        rdd = rdd.mapPartitions(
+            lambda items: [
+                row
+                for item in items
+                for row in (
+                    item.to_rows()
+                    if isinstance(item, ColumnBatch)
+                    else [item]
+                )
+            ]
+        )
     pairs = (
-        dataset.rdd.filter(
+        rdd.filter(
             lambda row: value_field in row and time_field in row
             and all(f in row for f in gf)
         )

@@ -42,6 +42,7 @@ import os
 import time
 from typing import Any, Callable, List, Optional
 
+from repro.columnar.batch import ColumnBatch, count_rows
 from repro.errors import WorkerPoolError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -108,14 +109,23 @@ def _traced_task(
                 "index": index,
                 "t0": t0,
                 "t1": t1,
-                "rows_in": len(items),
-                "rows_out": len(out),
+                "rows_in": _logical_rows(items),
+                "rows_out": _logical_rows(out),
                 "pid": os.getpid(),
             },
             out,
         ]
 
     return traced
+
+
+def _logical_rows(items: List[Any]) -> int:
+    """Row count of a partition payload; partitions carrying columnar
+    batches count the rows *inside* the batches, so stats and spans
+    report data volume, not element counts."""
+    if items and isinstance(items[0], ColumnBatch):
+        return count_rows(items)
+    return len(items)
 
 
 class Scheduler:
@@ -307,6 +317,7 @@ class Scheduler:
         """
         source, columns = rdd.source, rdd.columns
         predicate = rdd.predicate
+        batched = getattr(rdd, "batched", False)
         selection = source.prune(predicate)
         placeholders = [
             Partition(i, [src_index])
@@ -315,9 +326,16 @@ class Scheduler:
 
         def scan_task(index: int, items: List[Any]) -> List[Any]:
             t0 = time.perf_counter()
-            rows, st = source.read_partition_stats(
-                items[0], columns, predicate
-            )
+            if batched:
+                out, st = source.read_partition_batches_stats(
+                    items[0], columns, predicate
+                )
+                n = count_rows(out)
+            else:
+                out, st = source.read_partition_stats(
+                    items[0], columns, predicate
+                )
+                n = len(out)
             t1 = time.perf_counter()
             return [
                 _TASK_META,
@@ -326,11 +344,11 @@ class Scheduler:
                     "t0": t0,
                     "t1": t1,
                     "rows_in": 0,
-                    "rows_out": len(rows),
+                    "rows_out": n,
                     "pid": os.getpid(),
                     "scan": st,
                 },
-                rows,
+                out,
             ]
 
         agg = {

@@ -33,11 +33,14 @@ from dataclasses import dataclass, field, replace
 from itertools import islice
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.columnar.batch import ColumnBatch, count_rows
+
 __all__ = [
     "AdaptiveConfig",
     "AdaptivePlanner",
     "ExecutionReport",
     "JoinDecision",
+    "KernelDecision",
     "PartitionStats",
     "RDDStats",
     "ShuffleDecision",
@@ -145,6 +148,8 @@ def _approx_size(obj: Any, depth: int = 0) -> int:
     Cheap and rough on purpose — it feeds threshold comparisons, not
     accounting.
     """
+    if isinstance(obj, ColumnBatch):
+        return obj.approx_bytes()
     size = sys.getsizeof(obj, 64)
     if depth >= 5:
         return size
@@ -200,6 +205,16 @@ def collect_stats(
     )
 
     for p in partitions:
+        if p.data and isinstance(p.data[0], ColumnBatch):
+            # Columnar partitions: logical rows and exact byte counts
+            # come straight off the batches — no sampling, no census
+            # (batches are not (key, value) pairs).
+            rows = count_rows(p.data)
+            total_rows += rows
+            approx = sum(b.approx_bytes() for b in p.data)
+            total_bytes += approx
+            per_part.append(PartitionStats(p.index, rows, rows, approx))
+            continue
         rows = len(p.data)
         total_rows += rows
         if rows == 0:
@@ -318,6 +333,33 @@ class ShuffleDecision:
         }
 
 
+@dataclass
+class KernelDecision:
+    """One operator's batch-vs-row execution choice.
+
+    Recorded by the columnar execution path so EXPLAIN ANALYZE and the
+    equivalence tests can assert which kernel actually ran: ``choice``
+    is ``"batch"`` when the vectorized kernel handled the operator and
+    ``"row-fallback"`` when it exploded to the row path (with the
+    reason — unsupported operator, stray row elements, oversized build
+    side, ...).
+    """
+
+    op: str  # "filter_equals" | "natural_join" | "groupby" | ...
+    choice: str  # "batch" | "row-fallback"
+    reason: str
+
+    kind = "kernel"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "choice": self.choice,
+            "reason": self.reason,
+        }
+
+
 class ExecutionReport:
     """Audit trail of every adaptive decision taken on a context.
 
@@ -366,6 +408,11 @@ class ExecutionReport:
                         "rdd.shuffle.skewed_buckets",
                         len(decision.skewed_buckets),
                     )
+            elif decision.kind == "kernel":
+                self.metrics.inc(
+                    "core.kernel.decisions",
+                    labels={"choice": decision.choice},
+                )
 
     def set_cache_stats(self, stats: Dict[str, Any]) -> None:
         self.cache_stats = dict(stats)
@@ -383,6 +430,9 @@ class ExecutionReport:
 
     def shuffles(self) -> List[ShuffleDecision]:
         return [d for d in self.decisions if d.kind == "shuffle"]
+
+    def kernels(self) -> List[KernelDecision]:
+        return [d for d in self.decisions if d.kind == "kernel"]
 
     def broadcast_joins(self) -> List[JoinDecision]:
         return [d for d in self.joins() if d.strategy == "broadcast"]
@@ -417,7 +467,7 @@ class ExecutionReport:
                     f" R {d.right_rows} rows/{d.right_bytes} B,"
                     f" threshold {d.threshold_bytes} B): {d.reason}"
                 )
-            else:
+            elif d.kind == "shuffle":
                 skew = (
                     f", skewed buckets {d.skewed_buckets}"
                     if d.skewed_buckets
@@ -429,6 +479,10 @@ class ExecutionReport:
                     f" {d.output_partitions} partitions"
                     f" (requested {d.requested_partitions},"
                     f" chosen {d.chosen_partitions}{skew}): {d.reason}"
+                )
+            elif d.kind == "kernel":
+                lines.append(
+                    f"  kernel[{d.op}] -> {d.choice}: {d.reason}"
                 )
         return "\n".join(lines)
 

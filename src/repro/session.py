@@ -359,6 +359,7 @@ class ScrubJaySession:
                     self.cache,
                     tracer=tracer,
                     measure=True,
+                    columnar=self.engine.config.columnar,
                 )
                 if self.cache is not None:
                     self.ctx.report.set_cache_stats(self.cache.stats())
@@ -401,7 +402,8 @@ class ScrubJaySession:
         self, plan: DerivationPlan, tracer
     ) -> ScrubJayDataset:
         result = plan.execute(
-            self.snapshot(), self.dictionary, self.cache, tracer=tracer
+            self.snapshot(), self.dictionary, self.cache, tracer=tracer,
+            columnar=self.engine.config.columnar,
         )
         if self.cache is not None:
             self.ctx.report.set_cache_stats(self.cache.stats())

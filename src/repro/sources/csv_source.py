@@ -1,16 +1,15 @@
 """CSV files as byte-range-partitioned data sources.
 
-The driver reads only the header line and the file size; each scan
-partition owns a contiguous byte range of the data region and is
-decoded worker-side. Range ownership follows the classic
-record-reader convention: a record belongs to the partition containing
-its first byte, so a reader seeks to ``start - 1``, discards through
-the end of the line containing that byte, then parses lines until its
-range is exhausted (reading past ``end`` to finish a spanning record).
-
-Limitation (inherited from byte-range splitting everywhere): records
-must not contain embedded newlines inside quoted cells when
-``num_partitions > 1`` — HPC monitoring logs never do.
+The driver reads the header line and the file size, then aligns naive
+byte-range boundaries to true record starts with a single quote-parity
+pass over the data region: a newline only ends a record when it falls
+outside quoted cells, so boundaries never split a quoted field and
+never sit ambiguously on a row boundary. Each scan partition owns the
+half-open byte range between two aligned boundaries and is decoded
+worker-side; readers seek straight to ``start`` (always a record
+start) and parse quote-aware records until the range is exhausted.
+Quoted cells containing embedded newlines are handled exactly — a
+record spanning lines is accumulated until its quotes balance.
 """
 
 from __future__ import annotations
@@ -85,11 +84,65 @@ class CSVSource(DataSource):
             return self._ranges
         n = min(n, span)
         step = -(-span // n)
-        self._ranges = [
-            (s, min(s + step, size))
-            for s in range(data_start, size, step)
-        ]
+        naive = list(range(data_start + step, size, step))
+        aligned = self._align_to_record_starts(naive, data_start, size)
+        ranges: List[Tuple[int, int]] = []
+        prev = data_start
+        for bound in aligned + [size]:
+            ranges.append((prev, bound))
+            prev = bound
+        self._ranges = ranges
         return self._ranges
+
+    def _align_to_record_starts(
+        self, targets: List[int], data_start: int, size: int
+    ) -> List[int]:
+        """Snap each naive boundary to the first true record start at or
+        after it (one sequential quote-parity pass; boundaries beyond
+        the last newline snap to end-of-file)."""
+        if not targets:
+            return []
+        aligned: List[int] = []
+        ti = 0
+        parity = 0
+        pos = data_start
+        chunk_size = 1 << 16
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(data_start)
+                while ti < len(targets) and pos < size:
+                    chunk = f.read(chunk_size)
+                    if not chunk:
+                        break
+                    if parity == 0 and b'"' not in chunk:
+                        # quote-free chunk: every newline ends a record
+                        while ti < len(targets):
+                            scan_from = max(0, targets[ti] - pos - 1)
+                            idx = chunk.find(b"\n", scan_from)
+                            if idx < 0:
+                                break
+                            start = pos + idx + 1
+                            while ti < len(targets) and \
+                                    targets[ti] <= start:
+                                aligned.append(start)
+                                ti += 1
+                    else:
+                        for off, byte in enumerate(chunk):
+                            if byte == 0x22:  # '"'
+                                parity ^= 1
+                            elif byte == 0x0A and parity == 0:
+                                start = pos + off + 1
+                                while ti < len(targets) and \
+                                        targets[ti] <= start:
+                                    aligned.append(start)
+                                    ti += 1
+                                if ti >= len(targets):
+                                    break
+                    pos += len(chunk)
+        except OSError as exc:
+            raise SourceError(f"cannot read {self.path}: {exc}") from exc
+        aligned.extend(size for _ in range(len(targets) - ti))
+        return aligned
 
     # -- worker side ---------------------------------------------------
 
@@ -108,7 +161,7 @@ class CSVSource(DataSource):
         columns: Optional[Sequence[str]] = None,
         predicate: Optional[ColumnPredicate] = None,
     ):
-        header, data_start, _size = self._read_layout()
+        header, _data_start, _size = self._read_layout()
         start, end = self.partitions()[index]
         known = [c for c in header if c in self._schema]
         if columns is None:
@@ -124,16 +177,23 @@ class CSVSource(DataSource):
         rows_read = 0
         try:
             with open(self.path, "rb") as f:
-                if start > data_start:
-                    f.seek(start - 1)
-                    f.readline()  # finish the previous range's record
-                else:
-                    f.seek(start)
+                f.seek(start)  # aligned boundaries are record starts
                 while f.tell() < end:
                     raw = f.readline()
                     if not raw:
                         break
-                    text = raw.decode("utf-8").rstrip("\r\n")
+                    # a quoted cell may span lines: keep reading until
+                    # the record's quotes balance
+                    while raw.count(b'"') % 2 == 1:
+                        cont = f.readline()
+                        if not cont:
+                            break
+                        raw += cont
+                    text = raw.decode("utf-8")
+                    if text.endswith("\n"):
+                        text = text[:-1]
+                    if text.endswith("\r"):
+                        text = text[:-1]
                     if not text:
                         continue
                     fields = next(csv.reader([text]))

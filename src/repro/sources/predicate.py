@@ -132,8 +132,9 @@ class ColumnPredicate:
         """Could any row of a segment with zone stats ``zone`` match?
 
         ``zone`` is the per-segment sidecar written by ``Table.flush``:
-        ``{"rows": n, "columns": {col: {"min", "max", "nulls"}}}``.
-        Unknown/missing statistics always answer True.
+        ``{"rows": n, "columns": {col: {"min", "max", "nulls", "nans"}}}``
+        where min/max cover non-null finite values only. Unknown or
+        missing statistics always answer True.
         """
         if not zone:
             return True
@@ -155,6 +156,12 @@ class ColumnPredicate:
                 continue
             if isinstance(t, RangeTerm) and nulls >= rows and rows > 0:
                 return False  # present only as nulls — range never holds
+            if stats.get("nans", 0):
+                # NaN/±inf rows sit outside min/max: a NaN passes every
+                # RangeTerm at row level (both bound comparisons are
+                # False) and ±inf can equal an infinite EqTerm value,
+                # so min/max pruning is unsound for this column.
+                continue
             lo, hi = stats.get("min"), stats.get("max")
             if lo is None or hi is None:
                 continue  # unorderable or untracked column: can't prune

@@ -106,3 +106,29 @@ class TableSource(DataSource):
         return out, stats
     # NB: projection happens here (after the schema-field filter), not
     # in Table.scan — predicate columns need not survive into the row.
+
+    def read_partition_batches_stats(
+        self,
+        index: int,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[ColumnPredicate] = None,
+    ):
+        """Columnar read: segments decode straight into batches inside
+        the store (:meth:`Table.scan_batches`); the schema-field filter
+        and projection run as column drops instead of per-row dict
+        rebuilds. Row-path equivalent of :meth:`read_partition_stats`
+        (None values are nulls; rows empty after projection drop)."""
+        key = self.partitions()[index]
+        fields = set(self._schema.fields())
+        wanted = fields if columns is None else fields & set(columns)
+        raw, stats = self._table().scan_batches(
+            partition=key, columns=None, predicate=predicate
+        )
+        out = []
+        for batch in raw:
+            batch = batch.project(
+                [c for c in batch.columns() if c in wanted]
+            ).drop_all_null_rows()
+            if batch.num_rows:
+                out.append(batch)
+        return out, stats

@@ -23,6 +23,7 @@ Values must be picklable; rows are plain dicts.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -42,30 +43,38 @@ def _zone_epoch(value: Any) -> Any:
 def build_zone_map(rows: Sequence[Dict[str, Any]],
                    pkeys: Sequence[Tuple]) -> Dict[str, Any]:
     """Per-segment statistics: row count, partition keys, and for each
-    column its non-null min/max plus null count.
+    column its min/max over non-null *finite* values, a null count, and
+    a count of non-finite (NaN/±inf) values.
 
     A column absent from ``columns`` appears in *no* row; a column with
     ``min``/``max`` of None holds unorderable (or mixed-type) values
-    and cannot be range-pruned. Conservative by construction — pruning
-    built on these stats may only skip segments that provably cannot
-    match.
+    and cannot be range-pruned. NaN and ±inf never fold into min/max —
+    a single NaN would otherwise poison both bounds (every comparison
+    with NaN is False, freezing min/max at whatever came before it) and
+    let pruning skip segments whose NaN rows the row-level filter would
+    keep. Conservative by construction — pruning built on these stats
+    may only skip segments that provably cannot match.
     """
     columns: Dict[str, Dict[str, Any]] = {}
     unorderable: set = set()
     for row in rows:
         for col, value in row.items():
-            if value is None:
-                stats = columns.setdefault(
-                    col, {"min": None, "max": None, "present": 0}
-                )
-                continue
             stats = columns.setdefault(
-                col, {"min": None, "max": None, "present": 0}
+                col, {"min": None, "max": None, "present": 0, "nans": 0}
             )
+            if value is None:
+                continue
             stats["present"] += 1
             if col in unorderable:
                 continue
             v = _zone_epoch(value)
+            try:
+                finite = math.isfinite(v)
+            except TypeError:
+                finite = True  # non-numeric; orderability decided below
+            if not finite:
+                stats["nans"] += 1
+                continue
             try:
                 if stats["min"] is None or v < stats["min"]:
                     stats["min"] = v
@@ -81,6 +90,7 @@ def build_zone_map(rows: Sequence[Dict[str, Any]],
             "min": None if col in unorderable else stats["min"],
             "max": None if col in unorderable else stats["max"],
             "nulls": n - stats["present"],
+            "nans": stats["nans"],
         }
         for col, stats in columns.items()
     }
@@ -143,7 +153,8 @@ class Table:
 
     def flush(self) -> Optional[str]:
         """Write the memtable as one sorted, immutable segment file,
-        plus its zone-map sidecar (``zones-NNNNNN.pkl``)."""
+        plus its zone-map sidecar (``zones-NNNNNN.pkl``) stamped with
+        the segment's mtime/length so staleness is detectable."""
         if not self._memtable:
             return None
         seg_rows: List[dict] = []
@@ -155,8 +166,7 @@ class Table:
         path = os.path.join(self.directory, f"segment-{seg_id:06d}.pkl")
         with open(path, "wb") as f:
             pickle.dump(seg_rows, f)
-        with open(self._zone_path(path), "wb") as f:
-            pickle.dump(zone, f)
+        self._write_zone(path, zone)
         self._memtable.clear()
         self._memtable_rows = 0
         return path
@@ -177,15 +187,56 @@ class Table:
         head, tail = os.path.split(segment_path)
         return os.path.join(head, "zones-" + tail[len("segment-"):])
 
+    @staticmethod
+    def _segment_stamp(segment_path: str) -> Optional[Dict[str, Any]]:
+        try:
+            st = os.stat(segment_path)
+        except OSError:
+            return None
+        return {"mtime": st.st_mtime, "size": st.st_size}
+
+    def _write_zone(self, segment_path: str, zone: Dict[str, Any]) -> None:
+        zone = dict(zone, stamp=self._segment_stamp(segment_path))
+        with open(self._zone_path(segment_path), "wb") as f:
+            pickle.dump(zone, f)
+
     def _load_zone(self, segment_path: str) -> Optional[Dict[str, Any]]:
         zpath = self._zone_path(segment_path)
         if not os.path.exists(zpath):
             return None  # pre-zone-map segment: never prune it
         try:
             with open(zpath, "rb") as f:
-                return pickle.load(f)
+                zone = pickle.load(f)
         except (OSError, pickle.PickleError, EOFError):
             return None
+        # a sidecar surviving a segment rewrite must not be believed:
+        # only trust it when its stamp matches the live segment file
+        if zone.get("stamp") != self._segment_stamp(segment_path):
+            return None
+        return zone
+
+    def ensure_zone_maps(self) -> int:
+        """Backfill missing or stale zone-map sidecars; returns how many
+        segments were (re)scanned.
+
+        Segments whose sidecar exists and matches the segment's current
+        mtime/length are skipped without being read, so opening a table
+        whose sidecars are all present touches no segment data.
+        """
+        rebuilt = 0
+        for path in self._segment_paths():
+            if self._load_zone(path) is not None:
+                continue
+            try:
+                with open(path, "rb") as f:
+                    seg_rows = pickle.load(f)
+            except (OSError, pickle.PickleError, EOFError):
+                continue  # unreadable segment: leave unpruned
+            pkeys = {self._pkey(row) for row in seg_rows}
+            self._write_zone(path, build_zone_map(seg_rows, sorted(
+                pkeys, key=repr)))
+            rebuilt += 1
+        return rebuilt
 
     def segment_zones(self) -> List[Tuple[str, Optional[Dict[str, Any]]]]:
         """(segment path, zone map or None) for every segment."""
@@ -289,6 +340,68 @@ class Table:
                     if out is not None:
                         yield out
 
+    def scan_batches(
+        self,
+        partition: Optional[Tuple] = None,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Any] = None,
+    ) -> Tuple[List[Any], Dict[str, Any]]:
+        """Columnar :meth:`scan_stats`: one
+        :class:`~repro.columnar.batch.ColumnBatch` per surviving
+        segment (plus one for the memtable), with the predicate
+        evaluated as a vectorized mask and the projection applied
+        column-wise. Zone-map skipping and the reported statistics are
+        identical to the row scan; the segment rows never become
+        per-row work downstream — they pivot straight into typed
+        column buffers here.
+        """
+        from repro.columnar import ColumnBatch, kernels
+
+        if partition is not None and not isinstance(partition, tuple):
+            partition = (partition,)
+        stats: Dict[str, Any] = dict(
+            rows_read=0, bytes_scanned=0, segments_read=0,
+            segments_skipped=0,
+        )
+        batches: List[Any] = []
+
+        def emit(rows: List[dict]) -> None:
+            stats["rows_read"] += len(rows)
+            if not rows:
+                return
+            batch = ColumnBatch.from_rows(rows)
+            if predicate is not None:
+                batch = kernels.apply_predicate(batch, predicate)
+            if columns is not None:
+                batch = batch.project(columns).drop_all_null_rows()
+            if batch.num_rows:
+                batches.append(batch)
+
+        for path in self._segment_paths():
+            if self._segment_skippable(
+                self._load_zone(path), partition, predicate
+            ):
+                stats["segments_skipped"] += 1
+                continue
+            stats["segments_read"] += 1
+            try:
+                stats["bytes_scanned"] += os.path.getsize(path)
+            except OSError:
+                pass
+            with open(path, "rb") as f:
+                seg_rows = pickle.load(f)
+            if partition is not None:
+                seg_rows = [
+                    r for r in seg_rows if self._pkey(r) == partition
+                ]
+            emit(seg_rows)
+        mem_rows: List[dict] = []
+        for pkey, rows in self._memtable.items():
+            if partition is None or pkey == partition:
+                mem_rows.extend(sorted(rows, key=self._ckey))
+        emit(mem_rows)
+        return batches, stats
+
     def count(self) -> int:
         return sum(1 for _ in self.scan())
 
@@ -369,6 +482,7 @@ class WideColumnStore:
             meta["partition_key"],
             meta["clustering"],
         )
+        table.ensure_zone_maps()
         self._tables[key] = table
         return table
 

@@ -1,0 +1,102 @@
+"""CSV byte-range partitioning regressions.
+
+Pre-fix, naive byte boundaries could (a) split a record whose quoted
+cell contains an embedded newline — the trailing partition re-parsed
+from mid-record garbage — and (b) leave the final partition short when
+the last naive boundary snapped past end-of-file. The partition-count
+sweep fails on that code: some counts duplicated rows, others lost
+them.
+"""
+
+import pytest
+
+from repro.core.semantics import Schema, domain, value
+from repro.sources import CSVSource
+
+SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "name": value("applications", "label"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def _key(row):
+    return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+
+def _collect(src):
+    out = []
+    for i in range(src.num_partitions()):
+        out.extend(src.read_partition(i))
+    return out
+
+
+@pytest.fixture()
+def tricky_csv(tmp_path):
+    """37 rows; every third row has a quoted cell holding embedded
+    newlines and commas, so naive boundaries land mid-record often."""
+    lines = ["node,name,temp"]
+    for i in range(37):
+        if i % 3 == 0:
+            name = f'"app\n{i},\nmulti""line"'
+        else:
+            name = f"app{i}"
+        lines.append(f"{i},{name},{20 + i % 7}.5")
+    path = tmp_path / "tricky.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def test_partition_count_sweep_identical(tricky_csv, dictionary):
+    reference = _collect(
+        CSVSource(tricky_csv, SCHEMA, dictionary, num_partitions=1)
+    )
+    assert len(reference) == 37
+    ref_keys = sorted(_key(r) for r in reference)
+    for n in range(2, 30):
+        src = CSVSource(tricky_csv, SCHEMA, dictionary, num_partitions=n)
+        got = _collect(src)
+        assert sorted(_key(r) for r in got) == ref_keys, (
+            f"num_partitions={n}: {len(got)} rows != 37"
+        )
+
+
+def test_ranges_tile_the_data_region(tricky_csv, dictionary):
+    src = CSVSource(tricky_csv, SCHEMA, dictionary, num_partitions=8)
+    ranges = src.partitions()
+    _header, data_start, size = src._read_layout()
+    assert ranges[0][0] == data_start
+    assert ranges[-1][1] == size
+    for (a, b), (c, _d) in zip(ranges, ranges[1:]):
+        assert b == c  # half-open ranges abut exactly
+
+    # every interior boundary is a true record start: seeking there and
+    # reading a line yields a parseable record, not a quoted tail
+    with open(tricky_csv, "rb") as f:
+        for start, _end in ranges[1:]:
+            if start >= size:
+                continue
+            f.seek(start - 1)
+            assert f.read(1) == b"\n"
+
+
+def test_no_trailing_newline(tmp_path, dictionary):
+    path = tmp_path / "plain.csv"
+    body = "\n".join(
+        f"{i},app{i},{20 + i}.0" for i in range(11)
+    )
+    path.write_text("node,name,temp\n" + body)  # no final newline
+    for n in (1, 2, 3, 5, 11):
+        src = CSVSource(str(path), SCHEMA, dictionary, num_partitions=n)
+        rows = _collect(src)
+        assert len(rows) == 11, f"num_partitions={n}"
+        assert {r["node"] for r in rows} == set(range(11))
+
+
+def test_more_partitions_than_rows(tmp_path, dictionary):
+    path = tmp_path / "tiny.csv"
+    path.write_text("node,name,temp\n1,a,20.0\n2,b,21.0\n")
+    src = CSVSource(str(path), SCHEMA, dictionary, num_partitions=64)
+    rows = _collect(src)
+    assert len(rows) == 2
+    assert {r["node"] for r in rows} == {1, 2}

@@ -1,0 +1,75 @@
+"""Zone-map sidecar lifecycle: backfill on open, stamps, staleness.
+
+Pre-fix, opening a table re-derived nothing (segments written before
+zone maps existed were never prunable) and a sidecar surviving a
+segment rewrite was trusted blindly. These tests fail on that code.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.store import WideColumnStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return WideColumnStore(str(tmp_path / "store"))
+
+
+def _zone_paths(table):
+    return [table._zone_path(p) for p in table._segment_paths()]
+
+
+def test_fresh_sidecars_skipped_without_reads(store):
+    t = store.create_table("perf", "temps", ["node"])
+    t.insert_many([{"node": n, "v": float(n)} for n in range(6)])
+    t.flush()
+    # flush wrote a stamped sidecar: nothing to backfill
+    assert t.ensure_zone_maps() == 0
+
+
+def test_missing_sidecar_backfilled_on_open(tmp_path):
+    root = str(tmp_path / "store")
+    t = WideColumnStore(root).create_table("perf", "temps", ["node"])
+    t.insert_many([{"node": n, "v": float(n)} for n in range(6)])
+    t.flush()
+    for zpath in _zone_paths(t):
+        os.remove(zpath)
+    assert all(z is None for _, z in t.segment_zones())
+
+    # a second store opening the same directory must backfill
+    reopened = WideColumnStore(root).table("perf", "temps")
+    zones = reopened.segment_zones()
+    assert zones and all(z is not None for _, z in zones)
+    assert zones[0][1]["columns"]["v"]["max"] == 5.0
+    assert reopened.ensure_zone_maps() == 0  # now all fresh
+
+
+def test_sidecar_carries_segment_stamp(store):
+    t = store.create_table("perf", "temps", ["node"])
+    t.insert({"node": 1, "v": 1.0})
+    t.flush()
+    seg = t._segment_paths()[0]
+    with open(t._zone_path(seg), "rb") as f:
+        zone = pickle.load(f)
+    st = os.stat(seg)
+    assert zone["stamp"] == {"mtime": st.st_mtime, "size": st.st_size}
+
+
+def test_stale_sidecar_distrusted_and_recomputed(store):
+    t = store.create_table("perf", "temps", ["node"])
+    t.insert({"node": 1, "v": 1.0})
+    t.flush()
+    seg = t._segment_paths()[0]
+    # rewrite the segment behind the sidecar's back (different length,
+    # so the stamp cannot match)
+    with open(seg, "wb") as f:
+        pickle.dump([{"node": 2, "v": 99.0}, {"node": 2, "v": 98.0}], f)
+    assert t._load_zone(seg) is None  # stale sidecar must not be believed
+    assert t.ensure_zone_maps() == 1
+    zone = t._load_zone(seg)
+    assert zone is not None
+    assert zone["columns"]["v"]["max"] == 99.0
+    assert zone["pkeys"] == [(2,)]

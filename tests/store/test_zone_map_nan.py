@@ -1,0 +1,92 @@
+"""Zone-map NaN regression: a NaN must never poison min/max bounds.
+
+Pre-fix, ``build_zone_map`` folded NaN into the running min/max — every
+comparison with NaN is False, so the bounds froze at whatever came
+before it (or stayed None), and segment pruning could skip a segment
+whose NaN rows the row-level filter keeps (NaN passes both bound checks
+of a RangeTerm). These tests fail on that code.
+"""
+
+import math
+
+import pytest
+
+from repro.sources.predicate import ColumnPredicate
+from repro.store import WideColumnStore
+from repro.store.wide_column import build_zone_map
+
+NAN = float("nan")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return WideColumnStore(str(tmp_path / "store"))
+
+
+def test_nan_excluded_from_bounds_and_counted():
+    zone = build_zone_map(
+        [
+            {"node": 1, "v": 1.0},
+            {"node": 1, "v": NAN},
+            {"node": 1, "v": 3.0},
+        ],
+        [(1,)],
+    )
+    stats = zone["columns"]["v"]
+    assert stats["min"] == 1.0
+    assert stats["max"] == 3.0
+    assert stats["nans"] == 1
+    assert stats["nulls"] == 0
+
+
+def test_leading_nan_does_not_freeze_bounds():
+    # pre-fix, NaN-first left min/max stuck at None forever
+    zone = build_zone_map([{"v": NAN}, {"v": 5.0}], [(1,)])
+    stats = zone["columns"]["v"]
+    assert stats["min"] == 5.0
+    assert stats["max"] == 5.0
+    assert stats["nans"] == 1
+
+
+def test_infinities_counted_not_folded():
+    zone = build_zone_map(
+        [{"v": float("inf")}, {"v": 2.0}, {"v": float("-inf")}], [(1,)]
+    )
+    stats = zone["columns"]["v"]
+    assert stats["min"] == 2.0
+    assert stats["max"] == 2.0
+    assert stats["nans"] == 2
+
+
+def test_pushed_scan_keeps_nan_rows(store):
+    """The end-to-end soundness property: a pushed range scan must
+    return exactly the rows scan-then-filter returns, NaN included."""
+    t = store.create_table("perf", "flops", ["node"])
+    t.insert_many(
+        [
+            {"node": 1, "v": 1.0},
+            {"node": 1, "v": NAN},
+            {"node": 1, "v": 2.0},
+        ]
+    )
+    t.flush()
+    # bounds say v <= 2.0, but the NaN row passes the row-level range
+    predicate = ColumnPredicate.range("v", low=100.0)
+    pushed, stats = t.scan_stats(predicate=predicate)
+    reference = [r for r in t.scan() if predicate.matches(r)]
+    assert len(pushed) == 1 and math.isnan(pushed[0]["v"])
+    # NaN != NaN, so compare by repr
+    assert [repr(r) for r in pushed] == [repr(r) for r in reference]
+    assert stats["segments_skipped"] == 0
+
+
+def test_nan_free_segments_still_prune(store):
+    """The fix must not cost pruning where there is no NaN."""
+    t = store.create_table("perf", "flops", ["node"])
+    t.insert_many([{"node": 1, "v": float(i)} for i in range(10)])
+    t.flush()
+    rows, stats = t.scan_stats(
+        predicate=ColumnPredicate.range("v", low=100.0)
+    )
+    assert rows == []
+    assert stats["segments_skipped"] == 1

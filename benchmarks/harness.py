@@ -45,12 +45,25 @@ from repro.datagen.synthetic import (  # noqa: E402
     KEYED_RIGHT_SCHEMA,
     keyed_tables,
 )
+from repro.util.benchstats import measure, summarize  # noqa: E402
 
 ROW_COUNTS = [20_000, 40_000, 80_000]
 NUM_KEYS = 1024  # the right (lookup) side: always broadcast-sized
 PARTITIONS = 20
 
 _DICT = default_dictionary()
+
+
+def adaptive_timing(sample_fn, cap: int):
+    """Adaptive repetition (Mittal et al.'s stopping rule, see
+    :mod:`repro.util.benchstats`): keep sampling until the 95% CI is
+    tight relative to the mean or ``cap`` repeats have run. A cap of
+    1–2 degenerates to plain fixed repetition (smoke mode)."""
+    if cap <= 2:
+        return summarize([sample_fn() for _ in range(max(1, cap))])
+    return measure(
+        sample_fn, min_repeats=3, max_repeats=cap, rel_ci=0.05, warmup=0
+    )
 
 
 def run_natural_join(
@@ -64,16 +77,18 @@ def run_natural_join(
 
     ``broadcast_threshold=None`` leaves the adaptive defaults in place
     (mode ``"adaptive"``); ``0`` disables the broadcast path so the
-    join must shuffle (mode ``"forced-shuffle"``). Wall-clock is the
-    best of ``repeats`` runs on the serial executor.
+    join must shuffle (mode ``"forced-shuffle"``). ``repeats`` caps
+    the adaptive stopping rule; ``wall_seconds`` is the best sample
+    and the full interval statistics land under ``timing`` (with
+    ``ci`` bounds).
     """
     left_rows, right_rows = keyed_tables(num_rows, num_keys=num_keys)
-    best_s = float("inf")
-    count = -1
-    report_dict: Dict[str, Any] = {}
-    joins: List[Any] = []
-    shuffled_pairs = 0
-    for _ in range(max(1, repeats)):
+    state: Dict[str, Any] = {
+        "best": float("inf"), "count": -1, "report": {},
+        "joins": [], "shuffled": 0,
+    }
+
+    def sample() -> float:
         with SJContext(
             executor="serial",
             default_parallelism=partitions,
@@ -86,13 +101,19 @@ def run_natural_join(
                 ctx, right_rows, KEYED_RIGHT_SCHEMA, "right", partitions
             )
             start = time.perf_counter()
-            count = NaturalJoin().apply(left, right, _DICT).count()
+            state["count"] = NaturalJoin().apply(
+                left, right, _DICT
+            ).count()
             elapsed = time.perf_counter() - start
-            if elapsed < best_s:
-                best_s = elapsed
-                report_dict = ctx.report.as_dict()
-                joins = ctx.report.joins()
-                shuffled_pairs = ctx.report.shuffle_volume()
+            if elapsed < state["best"]:
+                state["best"] = elapsed
+                state["report"] = ctx.report.as_dict()
+                state["joins"] = ctx.report.joins()
+                state["shuffled"] = ctx.report.shuffle_volume()
+        return elapsed
+
+    timing = adaptive_timing(sample, max(1, repeats))
+    joins = state["joins"]
     decision = joins[-1] if joins else None
     return {
         "mode": "adaptive" if broadcast_threshold is None
@@ -100,13 +121,14 @@ def run_natural_join(
         "rows": num_rows,
         "num_keys": num_keys,
         "partitions": partitions,
-        "wall_seconds": best_s,
-        "output_rows": count,
+        "wall_seconds": timing.best,
+        "timing": timing.as_dict(),
+        "output_rows": state["count"],
         "join_strategy": decision.strategy if decision else None,
         "strategy_adaptive": decision.adaptive if decision else None,
         "strategy_reason": decision.reason if decision else None,
-        "shuffled_pairs": shuffled_pairs,
-        "report": report_dict,
+        "shuffled_pairs": state["shuffled"],
+        "report": state["report"],
     }
 
 
@@ -201,8 +223,10 @@ def run_comparison(
         "benchmark": "natural_join_broadcast_vs_shuffle",
         "description": (
             "Fig 3a natural join, adaptive (broadcast-hash selected "
-            "from statistics) vs forced-shuffle, serial executor, "
-            "best-of-%d wall-clock" % max(1, repeats)
+            "from statistics) vs forced-shuffle, serial executor; "
+            "adaptive repetition (95%% CI stopping rule, cap %d), "
+            "wall_seconds is the best sample and `timing.ci` the "
+            "interval" % max(1, repeats)
         ),
         "row_counts": list(row_counts),
         "runs": runs,
@@ -294,7 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=None,
-        help="timing repeats per configuration (best is kept)",
+        help="repeat cap per configuration (the adaptive stopping "
+             "rule may finish earlier once the CI is tight)",
     )
     parser.add_argument(
         "--output", default=JSON_PATH, help="JSON output path"
@@ -306,7 +331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats = args.repeats or 1
     else:
         row_counts = ROW_COUNTS
-        repeats = args.repeats or 3
+        repeats = args.repeats or 10
 
     payload = run_comparison(row_counts, repeats=repeats)
     payload["smoke"] = bool(args.smoke)

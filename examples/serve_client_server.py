@@ -11,6 +11,11 @@ Spins up the whole repro.serve stack in one process:
 4. hammer it from several socket clients in parallel, then read the
    service's own metrics: cache hit rates, latency percentiles, qps.
 
+then does it again sharded: ``sj.serve(shards=2)`` forks two shard
+processes each owning half the samples table (hash-split on the node
+key), and the same queries scatter-gather across them — eq-filtered
+ones pruned down to the single owning shard.
+
 Run: python examples/serve_client_server.py
 """
 
@@ -18,6 +23,7 @@ import threading
 import time
 
 from repro import ScrubJaySession
+from repro.core.query import FilterTerm
 from repro.datagen.synthetic import (
     KEYED_LEFT_SCHEMA,
     KEYED_RIGHT_SCHEMA,
@@ -89,6 +95,47 @@ def main() -> None:
             f"latency p50 {lat['p50'] * 1e3:.2f} ms, "
             f"p95 {lat['p95'] * 1e3:.2f} ms, "
             f"p99 {lat['p99'] * 1e3:.2f} ms"
+        )
+
+    sharded_main()
+
+
+def sharded_main() -> None:
+    """The same service scaled out: two shard processes, the samples
+    table hash-split on its node key, queries scatter-gathered."""
+    print("\n--- sharded: serve(shards=2) ---\n")
+    sj = ScrubJaySession(executor="serial")
+    samples, lookup = keyed_tables(5_000, num_keys=64)
+    sj.register_rows(samples, KEYED_LEFT_SCHEMA, name="samples")
+    sj.register_rows(lookup, KEYED_RIGHT_SCHEMA, name="lookup")
+
+    with sj, sj.serve(
+        shards=2,
+        shard_on={"samples": ["node"]},  # hash-partitioned fleet-wide
+        num_workers=2,
+    ) as router:
+        # an eq-filter on the shard key routes to exactly one shard —
+        # the other is pruned without being asked
+        for node in (3, 17, 42):
+            ds = router.query(
+                ["compute nodes", "jobs"], ["power", "temperature"],
+                filters=(FilterTerm("compute nodes", value=node),),
+            )
+            print(f"node {node}: {len(ds.collect())} joined rows")
+
+        # grouped aggregates merge per-shard partials — only small
+        # (sum, count) pairs cross the wire, never rows
+        means = router.aggregate(
+            ["compute nodes", "jobs"], ["power", "temperature"],
+            group_by=["node"], value_field="metric_b", how="mean",
+        )
+        print(f"mean metric_b over {len(means)} node groups")
+
+        routing = router.snapshot().shards["routing"]
+        print(
+            f"routing: {routing['scattered']} scatters, "
+            f"{routing['shard_requests']} shard requests, "
+            f"{routing['pruned']} pruned"
         )
 
 

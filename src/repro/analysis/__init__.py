@@ -8,12 +8,21 @@ rack 17), and per-entity time-series extraction for plotting-style
 output.
 """
 
-from repro.analysis.aggregate import group_aggregate, time_series
+from repro.analysis.aggregate import (
+    finalize_group_partials,
+    group_aggregate,
+    group_aggregate_partials,
+    merge_group_partials,
+    time_series,
+)
 from repro.analysis.correlate import correlate, correlation_matrix
 from repro.analysis.outliers import rank_groups, zscore_outliers
 
 __all__ = [
     "group_aggregate",
+    "group_aggregate_partials",
+    "merge_group_partials",
+    "finalize_group_partials",
     "time_series",
     "correlate",
     "correlation_matrix",

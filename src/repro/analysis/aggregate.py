@@ -23,22 +23,28 @@ _AGGREGATORS: Dict[str, Tuple[Any, Callable, Callable]] = {
 }
 
 
-def group_aggregate(
+def group_aggregate_partials(
     dataset: ScrubJayDataset,
     group_fields: Sequence[str],
     value_field: str,
     how: str = "mean",
 ) -> Dict[Tuple, Any]:
-    """Aggregate ``value_field`` per distinct ``group_fields`` tuple.
+    """Per-dataset *unfinalized* aggregation state, mergeable across
+    datasets.
 
-    ``how`` is one of mean/sum/min/max/count. Rows missing any group
-    or value field are skipped. Returns ``{group_tuple: aggregate}``.
+    The distributable half of :func:`group_aggregate`: a sharded serve
+    tier computes partials on each shard's slice, merges them with
+    :func:`merge_group_partials`, and finalizes once driver-side with
+    :func:`finalize_group_partials` — the same split the columnar
+    :func:`~repro.columnar.kernels.group_aggregate_partial` kernel
+    already makes per partition. ``mean`` partials are ``(sum, count)``
+    tuples; the other aggregators' partials are their own values.
     """
     for f in list(group_fields) + [value_field]:
         if f not in dataset.schema:
             raise SemanticError(f"dataset has no field {f!r}")
     try:
-        zero, seq, finalize = _AGGREGATORS[how]
+        zero, seq, _finalize = _AGGREGATORS[how]
     except KeyError:
         raise ValueError(
             f"unknown aggregator {how!r}; expected one of "
@@ -50,7 +56,6 @@ def group_aggregate(
         # Columnar path: partial aggregation per partition over the
         # batches (no shuffle at all — partials are tiny), merged
         # driver-side with the same merge the row path shuffles with.
-        merge = _merge_for(how)
         partials = dataset.rdd.mapPartitions(
             lambda items: [
                 kernels.group_aggregate_partial(
@@ -60,9 +65,8 @@ def group_aggregate(
         ).collect()
         acc: Dict[Tuple, Any] = {}
         for part in partials:
-            for k, v in part.items():
-                acc[k] = merge(acc[k], v) if k in acc else v
-        return {k: finalize(v) for k, v in acc.items()}
+            merge_group_partials(acc, part, how)
+        return acc
 
     def key(row):
         return tuple(row.get(f) for f in gf)
@@ -76,7 +80,42 @@ def group_aggregate(
         .aggregateByKey(zero, seq, _merge_for(how))
         .collect()
     )
-    return {k: finalize(v) for k, v in pairs}
+    return dict(pairs)
+
+
+def merge_group_partials(
+    acc: Dict[Tuple, Any], part: Dict[Tuple, Any], how: str
+) -> Dict[Tuple, Any]:
+    """Merge one partial-aggregation state into ``acc`` (in place)."""
+    merge = _merge_for(how)
+    for k, v in part.items():
+        acc[k] = merge(acc[k], v) if k in acc else v
+    return acc
+
+
+def finalize_group_partials(
+    acc: Dict[Tuple, Any], how: str
+) -> Dict[Tuple, Any]:
+    """Turn merged partial state into final aggregate values."""
+    _zero, _seq, finalize = _AGGREGATORS[how]
+    return {k: finalize(v) for k, v in acc.items()}
+
+
+def group_aggregate(
+    dataset: ScrubJayDataset,
+    group_fields: Sequence[str],
+    value_field: str,
+    how: str = "mean",
+) -> Dict[Tuple, Any]:
+    """Aggregate ``value_field`` per distinct ``group_fields`` tuple.
+
+    ``how`` is one of mean/sum/min/max/count. Rows missing any group
+    or value field are skipped. Returns ``{group_tuple: aggregate}``.
+    """
+    return finalize_group_partials(
+        group_aggregate_partials(dataset, group_fields, value_field, how),
+        how,
+    )
 
 
 def _merge_for(how: str) -> Callable:

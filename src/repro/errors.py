@@ -180,6 +180,76 @@ class ServiceClosedError(ServiceError):
     """The query service has been closed and accepts no new queries."""
 
 
+class ProtocolVersionError(ServiceError):
+    """Client and server speak incompatible wire-protocol versions.
+
+    Raised on the ``hello`` handshake instead of letting a
+    mixed-version router/shard fleet fail later with an opaque decode
+    error mid-query. Carries both version numbers so the operator can
+    see which side is behind.
+    """
+
+    def __init__(
+        self, message: str, local: int = 0, remote: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.local = local
+        self.remote = remote
+
+
+class ShardError(ServiceError):
+    """A shard of a sharded serve fleet failed to answer.
+
+    Raised by the :class:`~repro.serve.sharded.ShardRouter` after a
+    shard request could not be completed — connection refused/reset,
+    the shard process died, or the shard returned a server-side
+    internal error — and no replica could answer either.
+    """
+
+    def __init__(self, message: str, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardStaleReadError(ShardError):
+    """A scatter straddled a catalog change and read inconsistent
+    shard states.
+
+    Replication applies a mutation shard by shard; a query fanned out
+    at just the wrong moment can see some shards before the mutation
+    and some after. The router detects this from the
+    ``catalog_version``/``state`` stamps every shard response carries
+    and retries the whole query against the settled fleet; this error
+    surfaces only when retries run out (sustained churn).
+    """
+
+
+class ShardStateError(ServiceError):
+    """A shard's replicated catalog/dictionary state diverged from the
+    router's.
+
+    Every replicated mutation echoes the shard's resulting
+    ``state_fingerprint``/``catalog_version``; a mismatch means the
+    shard would plan or execute against different schemas than the
+    router keyed its caches on, so the fleet fails loudly instead of
+    serving silently inconsistent answers. The usual cause is
+    router-side state that does not replicate (session-local expert
+    derivations, ad-hoc dictionary edits made directly on the session
+    instead of through the router).
+    """
+
+
+class ShardRoutingError(ServiceError):
+    """A query's plan cannot be correctly scatter-gathered.
+
+    Raised when a plan combines two datasets sharded on *different*
+    key columns: their matching rows live on different shards, so
+    per-shard execution plus concatenation would silently drop join
+    matches. Co-shard the datasets (same ``shard_on`` columns) or
+    replicate one of them.
+    """
+
+
 class ShuffleKeyError(ScrubJayError):
     """A shuffle key's type has no process-stable portable hash.
 
@@ -215,5 +285,10 @@ __all__ = [
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceClosedError",
+    "ProtocolVersionError",
+    "ShardError",
+    "ShardStaleReadError",
+    "ShardStateError",
+    "ShardRoutingError",
     "ShuffleKeyError",
 ]

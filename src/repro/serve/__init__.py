@@ -38,23 +38,37 @@ or over a socket (stdlib line-delimited JSON)::
 # stack's typed errors; these names stay importable from here for code
 # that learned them as serve-level concepts.
 from repro.errors import (
+    ProtocolVersionError,
     QueryCancelledError,
     QueryTimeoutError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
+    ShardError,
+    ShardRoutingError,
+    ShardStaleReadError,
+    ShardStateError,
 )
 from repro.serve.keys import normalize_query, plan_key, result_key
 from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
 from repro.serve.plan_cache import PlanCache
 from repro.serve.result_cache import ResultCache, ResultEntry
-from repro.serve.service import QueryService, QueryTicket
+from repro.serve.service import AggregateSpec, QueryService, QueryTicket
+from repro.serve.sharded import (
+    ShardConfig,
+    ShardHandle,
+    ShardPlacement,
+    ShardRouter,
+)
 from repro.serve.wire import (
+    PROTOCOL_VERSION,
     InProcessClient,
     QueryClient,
     QueryServer,
     WireError,
+    decode_groups,
     decode_rows,
+    encode_groups,
     encode_rows,
 )
 
@@ -67,18 +81,31 @@ __all__ = [
     "ResultEntry",
     "ServiceMetrics",
     "ServiceSnapshot",
+    "AggregateSpec",
     "QueryService",
     "QueryTicket",
     "QueryServer",
     "QueryClient",
     "InProcessClient",
     "WireError",
+    "PROTOCOL_VERSION",
     "encode_rows",
     "decode_rows",
+    "encode_groups",
+    "decode_groups",
+    "ShardConfig",
+    "ShardHandle",
+    "ShardPlacement",
+    "ShardRouter",
     # deprecated aliases of the repro.errors classes
     "ServiceError",
     "ServiceOverloadError",
     "QueryTimeoutError",
     "QueryCancelledError",
     "ServiceClosedError",
+    "ProtocolVersionError",
+    "ShardError",
+    "ShardStaleReadError",
+    "ShardStateError",
+    "ShardRoutingError",
 ]

@@ -69,6 +69,9 @@ class ServiceSnapshot:
     plan_cache: Dict[str, Any] = field(default_factory=dict)
     result_cache: Dict[str, Any] = field(default_factory=dict)
     derivation_cache: Dict[str, Any] = field(default_factory=dict)
+    #: per-shard snapshots plus fleet totals, populated only by a
+    #: :class:`~repro.serve.sharded.ShardRouter` (empty otherwise)
+    shards: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -89,6 +92,7 @@ class ServiceSnapshot:
             "plan_cache": dict(self.plan_cache),
             "result_cache": dict(self.result_cache),
             "derivation_cache": dict(self.derivation_cache),
+            "shards": dict(self.shards),
         }
 
     def summary(self) -> str:
@@ -192,6 +196,12 @@ class ServiceMetrics:
             if latency_s is not None:
                 self._latencies.append(latency_s)
         self._mirror("failed")
+        # Mirror the latency into the registry histogram too: the
+        # snapshot percentiles above include failed-query latencies,
+        # so the Prometheus-side serve.latency_s must as well or the
+        # two views of the same service disagree.
+        if self.registry is not None and latency_s is not None:
+            self.registry.observe("serve.latency_s", latency_s)
 
     def _trim(self, now: float) -> None:
         horizon = now - self._window_s

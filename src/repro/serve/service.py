@@ -41,8 +41,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.aggregate import (
+    finalize_group_partials,
+    group_aggregate_partials,
+)
 from repro.core.dataset import ScrubJayDataset
 from repro.core.query import Query, ValueSpec
 from repro.errors import (
@@ -52,6 +57,7 @@ from repro.errors import (
     ScrubJayError,
     ServiceClosedError,
     ServiceOverloadError,
+    ShardStaleReadError,
 )
 from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.serve.keys import normalize_query, plan_key, result_key
@@ -65,6 +71,31 @@ _DONE = "done"
 _CANCELLED = "cancelled"
 
 
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A grouped aggregation to apply to a query's result.
+
+    Mirrors :func:`repro.analysis.aggregate.group_aggregate`:
+    ``value_field`` aggregated per distinct ``group_by`` tuple with
+    ``how`` (mean/sum/min/max/count), all over the *result* dataset's
+    field names. Attached to a :class:`QueryTicket`, it makes the
+    ticket deliver the small ``{group_tuple: value}`` dict instead of
+    the dataset — which is what lets a sharded fleet answer it from
+    per-shard partial aggregates instead of shipping rows.
+
+    ``partial=True`` skips the finalize step and delivers the raw
+    mergeable partials (``mean`` → ``(sum, count)`` tuples). That mode
+    exists for the wire's scatter-gather: a shard answers with its
+    partials and the router merges across shards before finalizing
+    once.
+    """
+
+    group_by: Tuple[str, ...]
+    value_field: str
+    how: str = "mean"
+    partial: bool = False
+
+
 class QueryTicket:
     """Future-like handle for one submitted query."""
 
@@ -74,11 +105,15 @@ class QueryTicket:
         query: Query,
         submitted_at: float,
         deadline: Optional[float],
+        aggregate: Optional[AggregateSpec] = None,
     ) -> None:
         self.tenant = tenant
         self.query = query
         self.submitted_at = submitted_at
         self.deadline = deadline
+        #: when set, the ticket delivers ``{group_tuple: value}``
+        #: (see :class:`AggregateSpec`) instead of a dataset
+        self.aggregate = aggregate
         self.state = _QUEUED
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -87,14 +122,19 @@ class QueryTicket:
         #: the session's tracer is enabled
         self.trace = None
         self._event = threading.Event()
-        self._result: Optional[ScrubJayDataset] = None
+        #: a ScrubJayDataset, or a {group_tuple: value} dict for
+        #: aggregate tickets
+        self._result: Optional[Any] = None
         self._error: Optional[BaseException] = None
+        #: result-dataset schema, populated for aggregate tickets so
+        #: the wire layer can codec-encode group-key parts
+        self.result_schema = None
 
     # -- completion (service side) -------------------------------------
 
     def _deliver(
         self,
-        result: Optional[ScrubJayDataset],
+        result: Optional[Any],
         error: Optional[BaseException],
         finished_at: float,
     ) -> None:
@@ -110,9 +150,11 @@ class QueryTicket:
     def done(self) -> bool:
         return self._event.is_set()
 
-    def result(self, timeout: Optional[float] = None) -> ScrubJayDataset:
+    def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the query finishes; re-raise its error if it
-        failed. ``timeout`` bounds only this wait, not the query."""
+        failed. ``timeout`` bounds only this wait, not the query.
+        Returns the result dataset — or the ``{group_tuple: value}``
+        dict for aggregate tickets."""
         if not self._event.wait(timeout):
             raise QueryTimeoutError(
                 f"no result within {timeout}s (query still "
@@ -243,13 +285,14 @@ class QueryService:
         tenant: str = "default",
         timeout: Optional[float] = None,
         filters: Sequence = (),
+        aggregate: Optional[AggregateSpec] = None,
     ) -> QueryTicket:
         """Admit a query (or shed it) and return its ticket."""
         query = Query.of(domains, values, filters)
         now = self._clock()
         effective = self.default_timeout if timeout is None else timeout
         deadline = None if effective is None else now + effective
-        ticket = QueryTicket(tenant, query, now, deadline)
+        ticket = QueryTicket(tenant, query, now, deadline, aggregate)
         with self._cond:
             if self._closed:
                 raise ServiceClosedError("service is closed")
@@ -284,6 +327,57 @@ class QueryService:
         return self.submit(
             domains, values, tenant, timeout, filters
         ).result()
+
+    def aggregate(
+        self,
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        group_by: Sequence[str],
+        value_field: str,
+        how: str = "mean",
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        filters: Sequence = (),
+    ) -> Dict[Tuple, Any]:
+        """Answer a query and aggregate ``value_field`` per distinct
+        ``group_by`` tuple (fields of the *result* schema), returning
+        the small ``{group_tuple: value}`` dict.
+
+        Goes through the same admission/fairness/deadline pipeline as
+        :meth:`query`; a sharded fleet answers it from per-shard
+        partial aggregates merged driver-side, so only group partials
+        — never rows — cross the wire.
+        """
+        spec = AggregateSpec(tuple(group_by), value_field, how)
+        return self.submit(
+            domains, values, tenant, timeout, filters, aggregate=spec
+        ).result()
+
+    def _aggregate_for_wire(
+        self,
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        spec: AggregateSpec,
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        filters: Sequence = (),
+        partial: bool = False,
+    ) -> Tuple[Dict[Tuple, Any], Any]:
+        """Wire-layer aggregate entry: returns ``(groups, schema)``.
+
+        ``partial=True`` is how a shard serves the router — it answers
+        with unfinalized mergeable partials. The result schema rides
+        along so the caller can codec-encode the group-key parts.
+        """
+        if partial and not spec.partial:
+            spec = AggregateSpec(
+                spec.group_by, spec.value_field, spec.how, True
+            )
+        ticket = self.submit(
+            domains, values, tenant, timeout, filters, aggregate=spec
+        )
+        groups = ticket.result()
+        return groups, ticket.result_schema
 
     def cancel(self, ticket: QueryTicket) -> bool:
         """Cancel a still-queued ticket. Returns False once the query
@@ -423,7 +517,7 @@ class QueryService:
             )
             return
 
-        result: Optional[ScrubJayDataset] = None
+        result: Optional[Any] = None
         error: Optional[BaseException] = None
         tracer = getattr(self.session.ctx, "tracer", None)
         if tracer is not None and tracer.enabled:
@@ -447,7 +541,7 @@ class QueryService:
                     parent=root,
                 )
                 try:
-                    result = self._answer(ticket.query)
+                    result = self._answer(ticket)
                 except ScrubJayError as exc:
                     error = exc
                 except Exception as exc:  # defensive: never kill a worker
@@ -457,7 +551,7 @@ class QueryService:
                     root.set("error", type(error).__name__)
         else:
             try:
-                result = self._answer(ticket.query)
+                result = self._answer(ticket)
             except ScrubJayError as exc:
                 error = exc
             except Exception as exc:  # defensive: never kill a worker
@@ -490,25 +584,36 @@ class QueryService:
     # the actual pipeline: plan cache → engine → result cache → executor
     # ------------------------------------------------------------------
 
-    def _answer(self, query: Query) -> ScrubJayDataset:
+    def _answer(self, ticket: QueryTicket) -> Any:
         attempts = 0
         while True:
             attempts += 1
             try:
-                return self._answer_once(query)
+                return self._answer_once(ticket)
+            except ShardStaleReadError:
+                # A scatter straddled replicated catalog churn; the
+                # fleet settles as soon as the mutation finishes, so
+                # re-plan and re-fan-out (its own budget — churn is
+                # expected, executor faults are not). The ramping
+                # backoff lets a multi-shard replication complete
+                # instead of burning the budget inside its window.
+                if attempts >= max(self.max_query_attempts, 8):
+                    raise
+                self.metrics.record_retry()
+                time.sleep(min(0.02 * attempts, 0.2))
             except ExecutorError as exc:
                 transient = self.retry_policy.is_transient(exc)
                 if not transient or attempts >= self.max_query_attempts:
                     raise
                 self.metrics.record_retry()
 
-    def _answer_once(self, query: Query) -> ScrubJayDataset:
+    def _answer_once(self, ticket: QueryTicket) -> Any:
         session = self.session
         tracer = getattr(session.ctx, "tracer", None)
         traced = tracer is not None and tracer.enabled
         state = session.state_fingerprint()
         version = session.catalog_version
-        nq = normalize_query(query)
+        nq = normalize_query(ticket.query)
         pkey = plan_key(state, nq)
         # the single-flight cache gives no hit/miss return channel;
         # whether *our* solver closure ran is exactly a cold miss
@@ -524,6 +629,21 @@ class QueryService:
                 ps.set("outcome", "miss" if solver_ran else "hit")
         else:
             plan = self.plan_cache.get_or_solve(pkey, solver)
+        if ticket.aggregate is not None:
+            return self._aggregate_plan(plan, ticket, state, version)
+        return self._dataset_for(plan, ticket, state, version)
+
+    def _dataset_for(
+        self,
+        plan,
+        ticket: QueryTicket,
+        state: str,
+        version: int,
+    ) -> ScrubJayDataset:
+        """Result-cache lookup around the execution hook."""
+        session = self.session
+        tracer = getattr(session.ctx, "tracer", None)
+        traced = tracer is not None and tracer.enabled
         rkey = result_key(plan.fingerprint(), state, version)
         if traced:
             with tracer.span("result-cache", kind="cache") as rs:
@@ -533,7 +653,7 @@ class QueryService:
             hit = self.result_cache.get(rkey, session.ctx)
         if hit is not None:
             return hit
-        result = session.execute(plan).dataset
+        result = self._execute_plan(plan, ticket, state, version)
         # Pin the rows driver-side before publishing: a cached entry
         # must not hold a lazy RDD whose lineage outlives its inputs.
         # Publish only if the catalog did not move between keying and
@@ -546,6 +666,42 @@ class QueryService:
         ):
             self.result_cache.put(rkey, result)
         return result
+
+    # ------------------------------------------------------------------
+    # execution hooks — a ShardRouter overrides these to scatter-gather
+    # over its shard fleet instead of executing locally
+    # ------------------------------------------------------------------
+
+    def _execute_plan(
+        self,
+        plan,
+        ticket: QueryTicket,
+        state: str,
+        version: int,
+    ) -> ScrubJayDataset:
+        """Materialize one solved plan (cold result-cache path)."""
+        return self.session.execute(plan).dataset
+
+    def _aggregate_plan(
+        self,
+        plan,
+        ticket: QueryTicket,
+        state: str,
+        version: int,
+    ) -> Dict[Tuple, Any]:
+        """Answer an aggregate ticket from the solved plan. The base
+        service materializes the result dataset (through the result
+        cache, so repeated aggregates over one result reuse it) and
+        groups driver-side."""
+        spec = ticket.aggregate
+        dataset = self._dataset_for(plan, ticket, state, version)
+        ticket.result_schema = dataset.schema
+        partials = group_aggregate_partials(
+            dataset, list(spec.group_by), spec.value_field, spec.how
+        )
+        if spec.partial:
+            return partials
+        return finalize_group_partials(partials, spec.how)
 
     def __repr__(self) -> str:
         with self._cond:

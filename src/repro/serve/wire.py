@@ -8,11 +8,30 @@ callers speak the exact protocol without a socket.
 
 Requests (``op`` selects the action)::
 
+    {"op": "hello",  "version": 2}
     {"op": "ping"}
     {"op": "query",  "domains": [...], "values": [...],
      "tenant": "...", "timeout": 1.5}
+    {"op": "aggregate", "domains": [...], "values": [...],
+     "group_by": [...], "value_field": "...", "how": "mean",
+     "partial": false}
     {"op": "explain","domains": [...], "values": [...]}
     {"op": "metrics"}
+    {"op": "register", "name": "...", "schema": {...}, "rows": [...]}
+    {"op": "drop", "name": "..."}
+    {"op": "define_dimension" / "define_unit", ...}
+    {"op": "sync"}
+    {"op": "trace"}
+
+The ``hello`` handshake pins the protocol version: a client opening a
+connection announces its :data:`PROTOCOL_VERSION`, and a server on a
+different version answers with a typed ``ProtocolVersionError`` naming
+both versions — so a mixed-version router/shard fleet fails with one
+clear message instead of a mid-query decode error. ``register``/
+``drop``/``define_*``/``sync`` are the replication surface the sharded
+serve tier (:mod:`repro.serve.sharded`) drives its catalog fan-out
+with; their responses echo the server session's ``catalog_version``
+and ``state`` fingerprint so the replicator can verify convergence.
 
 Responses are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": "<type name>", "message": "..."}`` — the
@@ -36,9 +55,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import FilterTerm, Query
 from repro.core.semantics import Schema
-from repro.errors import ScrubJayError, ServiceError, WrapperError
-from repro.serve.service import QueryService
+from repro.errors import (
+    ProtocolVersionError,
+    ScrubJayError,
+    ServiceError,
+    WrapperError,
+)
+from repro.serve.service import AggregateSpec, QueryService
 from repro.wrappers.codec import decode_value, encode_value
+
+#: NDJSON protocol version. Bump on any incompatible change to the
+#: request/response shapes; the ``hello`` handshake compares versions
+#: exactly (no negotiation — the fleet is deployed as one unit).
+PROTOCOL_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -91,17 +120,168 @@ def decode_rows(
     return out
 
 
+def encode_groups(
+    groups: Dict[tuple, Any],
+    group_by: Sequence[str],
+    schema: Schema,
+    dictionary,
+) -> List[List[Any]]:
+    """Wire form of a ``{group_tuple: value}`` aggregate: each entry is
+    ``[[key parts (codec text)...], value]``. Key parts ride through
+    the semantic codec (the group fields are result-schema fields);
+    values must be JSON-native (numbers / ``[sum, count]`` partials)."""
+    out: List[List[Any]] = []
+    for key, value in groups.items():
+        enc_key = []
+        for field, part in zip(group_by, key):
+            sem = schema[field] if field in schema else None
+            if sem is None or part is None:
+                enc_key.append(None if part is None else str(part))
+            else:
+                enc_key.append(encode_value(part, sem, dictionary))
+        if isinstance(value, tuple):
+            value = list(value)
+        out.append([enc_key, value])
+    return out
+
+
+def decode_groups(
+    groups: Sequence[Sequence[Any]],
+    group_by: Sequence[str],
+    schema: Schema,
+    dictionary,
+    partial_how: Optional[str] = None,
+) -> Dict[tuple, Any]:
+    """Invert :func:`encode_groups`. ``partial_how`` names the
+    aggregator when the values are *unfinalized* partials (``mean``
+    partials come back as 2-lists and must become tuples again)."""
+    out: Dict[tuple, Any] = {}
+    for enc_key, value in groups:
+        key = []
+        for field, part in zip(group_by, enc_key):
+            if part is None:
+                key.append(None)
+            elif field in schema:
+                key.append(decode_value(part, schema[field], dictionary))
+            else:
+                key.append(part)
+        if partial_how == "mean" and isinstance(value, list):
+            value = tuple(value)
+        out[tuple(key)] = value
+    return out
+
+
+def _state_stamp(service: QueryService) -> Dict[str, Any]:
+    """The catalog consistency stamp replication and scatter-gather
+    verify against."""
+    return {
+        "catalog_version": service.session.catalog_version,
+        "state": service.session.state_fingerprint(),
+    }
+
+
 def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one wire request against a service; never raises — all
     failures become typed error responses."""
     try:
         op = request.get("op")
+        v = request.get("v")
+        if v is not None and v != PROTOCOL_VERSION:
+            raise ProtocolVersionError(
+                f"request speaks wire protocol v{v}, server speaks "
+                f"v{PROTOCOL_VERSION}; upgrade the older side",
+                local=PROTOCOL_VERSION,
+                remote=int(v),
+            )
+        if op == "hello":
+            remote = request.get("version")
+            if remote != PROTOCOL_VERSION:
+                raise ProtocolVersionError(
+                    f"client speaks wire protocol v{remote}, server "
+                    f"speaks v{PROTOCOL_VERSION}; upgrade the older "
+                    f"side of the connection",
+                    local=PROTOCOL_VERSION,
+                    remote=int(remote or 0),
+                )
+            return {"ok": True, "version": PROTOCOL_VERSION}
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "metrics":
             return {
                 "ok": True,
                 "metrics": service.snapshot().as_dict(),
+            }
+        if op == "sync":
+            return {"ok": True, **_state_stamp(service)}
+        if op == "trace":
+            from repro.obs.export import to_chrome_trace
+
+            tracer = getattr(service.session.ctx, "tracer", None)
+            roots = tracer.roots() if tracer is not None else []
+            return {"ok": True, "trace": to_chrome_trace(roots)}
+        if op == "register":
+            schema = Schema.from_json_dict(request["schema"])
+            rows = decode_rows(
+                request.get("rows") or [], schema,
+                service.session.dictionary,
+            )
+            service.session.register_rows(
+                rows, schema, name=request["name"],
+                num_partitions=request.get("partitions"),
+            )
+            return {"ok": True, **_state_stamp(service)}
+        if op == "drop":
+            service.session.drop(request["name"])
+            return {"ok": True, **_state_stamp(service)}
+        if op == "define_dimension":
+            service.session.define_dimension(
+                request["name"],
+                bool(request.get("continuous")),
+                bool(request.get("ordered")),
+                request.get("description", ""),
+            )
+            return {"ok": True, **_state_stamp(service)}
+        if op == "define_unit":
+            service.session.define_unit(
+                request["name"],
+                request["kind"],
+                request.get("dimension"),
+                request.get("scale", 1.0),
+                request.get("offset", 0.0),
+            )
+            return {"ok": True, **_state_stamp(service)}
+        if op == "aggregate":
+            domains = request.get("domains") or []
+            values = _values_from_wire(request.get("values") or [])
+            filters = tuple(
+                FilterTerm.from_json_dict(f)
+                for f in request.get("filters") or ()
+            )
+            group_by = list(request.get("group_by") or [])
+            spec = AggregateSpec(
+                tuple(group_by),
+                str(request.get("value_field")),
+                str(request.get("how", "mean")),
+            )
+            partial = bool(request.get("partial"))
+            groups, schema = service._aggregate_for_wire(
+                domains,
+                values,
+                spec,
+                tenant=str(request.get("tenant", "default")),
+                timeout=request.get("timeout"),
+                filters=filters,
+                partial=partial,
+            )
+            return {
+                "ok": True,
+                "schema": schema.to_json_dict(),
+                "groups": encode_groups(
+                    groups, group_by, schema, service.session.dictionary
+                ),
+                "group_count": len(groups),
+                "partial": partial,
+                **_state_stamp(service),
             }
         if op in ("query", "explain"):
             domains = request.get("domains") or []
@@ -136,6 +316,7 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
                     rows, dataset.schema, service.session.dictionary
                 ),
                 "row_count": len(rows),
+                **_state_stamp(service),
             }
         return {
             "ok": False,
@@ -143,11 +324,15 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
             "message": f"unknown op {op!r}",
         }
     except (ScrubJayError, WrapperError) as exc:
-        return {
+        resp = {
             "ok": False,
             "error": type(exc).__name__,
             "message": str(exc),
         }
+        if isinstance(exc, ProtocolVersionError):
+            resp["local"] = exc.local
+            resp["remote"] = exc.remote
+        return resp
     except Exception as exc:  # malformed requests must not kill a conn
         return {
             "ok": False,
@@ -193,8 +378,140 @@ class InProcessClient:
     def ping(self) -> bool:
         return bool(_raise_on_error(self.request({"op": "ping"})).get("pong"))
 
+    def hello(self) -> int:
+        """Version handshake. Returns the server's protocol version;
+        raises a typed :class:`ProtocolVersionError` on mismatch."""
+        resp = self.request({"op": "hello", "version": PROTOCOL_VERSION})
+        if not resp.get("ok"):
+            if resp.get("error") == "ProtocolVersionError":
+                raise ProtocolVersionError(
+                    str(resp.get("message", "protocol version mismatch")),
+                    local=PROTOCOL_VERSION,
+                    remote=int(resp.get("local", 0)),
+                )
+            _raise_on_error(resp)
+        return int(resp["version"])
+
     def metrics(self) -> Dict[str, Any]:
         return _raise_on_error(self.request({"op": "metrics"}))["metrics"]
+
+    def sync(self) -> Dict[str, Any]:
+        """The server session's current consistency stamp."""
+        resp = _raise_on_error(self.request({"op": "sync"}))
+        return {
+            "catalog_version": resp["catalog_version"],
+            "state": resp["state"],
+        }
+
+    def trace(self) -> Dict[str, Any]:
+        """The server's span tree as Chrome Trace Event Format JSON."""
+        return _raise_on_error(self.request({"op": "trace"}))["trace"]
+
+    def register_rows(
+        self,
+        rows: List[Dict[str, Any]],
+        schema: Schema,
+        name: str,
+        dictionary,
+        partitions: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Register in-memory rows on the server (replication op).
+        Returns the server's post-mutation consistency stamp."""
+        resp = _raise_on_error(self.request({
+            "op": "register",
+            "name": name,
+            "schema": schema.to_json_dict(),
+            "rows": encode_rows(rows, schema, dictionary),
+            "partitions": partitions,
+        }))
+        return {
+            "catalog_version": resp["catalog_version"],
+            "state": resp["state"],
+        }
+
+    def drop(self, name: str) -> Dict[str, Any]:
+        resp = _raise_on_error(self.request({"op": "drop", "name": name}))
+        return {
+            "catalog_version": resp["catalog_version"],
+            "state": resp["state"],
+        }
+
+    def define_dimension(
+        self,
+        name: str,
+        continuous: bool,
+        ordered: bool,
+        description: str = "",
+    ) -> Dict[str, Any]:
+        resp = _raise_on_error(self.request({
+            "op": "define_dimension",
+            "name": name,
+            "continuous": continuous,
+            "ordered": ordered,
+            "description": description,
+        }))
+        return {
+            "catalog_version": resp["catalog_version"],
+            "state": resp["state"],
+        }
+
+    def define_unit(
+        self,
+        name: str,
+        kind: str,
+        dimension: Optional[str] = None,
+        scale: float = 1.0,
+        offset: float = 0.0,
+    ) -> Dict[str, Any]:
+        resp = _raise_on_error(self.request({
+            "op": "define_unit",
+            "name": name,
+            "kind": kind,
+            "dimension": dimension,
+            "scale": scale,
+            "offset": offset,
+        }))
+        return {
+            "catalog_version": resp["catalog_version"],
+            "state": resp["state"],
+        }
+
+    def aggregate(
+        self,
+        domains: Sequence[str],
+        values: Sequence[Any],
+        group_by: Sequence[str],
+        value_field: str,
+        how: str = "mean",
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        filters: Sequence = (),
+        partial: bool = False,
+        dictionary=None,
+    ) -> Tuple[Dict[tuple, Any], Schema]:
+        """Grouped aggregate over the wire. With a ``dictionary`` the
+        group keys come back as typed tuples; without one they stay
+        codec text (same contract as :meth:`query`)."""
+        resp = _raise_on_error(self.request({
+            "op": "aggregate",
+            "domains": list(domains),
+            "values": list(values),
+            "group_by": list(group_by),
+            "value_field": value_field,
+            "how": how,
+            "tenant": tenant,
+            "timeout": timeout,
+            "filters": [f.to_json_dict() for f in filters],
+            "partial": partial,
+        }))
+        schema = Schema.from_json_dict(resp["schema"])
+        groups: Any = resp["groups"]
+        if dictionary is not None:
+            groups = decode_groups(
+                groups, list(group_by), schema, dictionary,
+                partial_how=how if partial else None,
+            )
+        return groups, schema
 
     def explain(
         self,
@@ -332,12 +649,29 @@ class QueryClient(InProcessClient):
     Inherits the convenience surface (``query``/``explain``/
     ``metrics``/``ping``) from :class:`InProcessClient`; only
     :meth:`request` differs — it crosses the wire.
+
+    Opening a connection performs the ``hello`` handshake and raises
+    :class:`~repro.errors.ProtocolVersionError` against a server on a
+    different protocol version (``handshake=False`` skips it, for
+    protocol tests that need to speak raw).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        handshake: bool = True,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
         self._lock = threading.Lock()  # one request/response at a time
+        if handshake:
+            try:
+                self.hello()
+            except BaseException:
+                self.close()
+                raise
 
     def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
         payload = (json.dumps(req) + "\n").encode("utf-8")

@@ -449,13 +449,28 @@ class ScrubJaySession:
     # serving
     # ------------------------------------------------------------------
 
-    def serve(self, **kwargs) -> "QueryService":  # noqa: F821
+    def serve(
+        self, shards: Optional[int] = None, **kwargs
+    ) -> "QueryService":  # noqa: F821
         """Wrap this session in a concurrent multi-tenant
         :class:`~repro.serve.QueryService` (plan cache → engine →
         result cache → shared executor pool). Keyword arguments are
         forwarded to the service constructor — see
         :class:`repro.serve.QueryService`.
+
+        ``shards=N`` scales the serve tier *out* instead: the session
+        is fronted by a :class:`~repro.serve.sharded.ShardRouter` over
+        N forked shard processes, with datasets named in ``shard_on``
+        hash-partitioned across them and queries scatter-gathered with
+        prune-aware routing — see :mod:`repro.serve.sharded`::
+
+            svc = sj.serve(shards=4, shard_on={"samples": ["node"]},
+                           replication=2)
         """
+        if shards is not None:
+            from repro.serve.sharded import ShardRouter
+
+            return ShardRouter(self, shards=shards, **kwargs)
         from repro.serve import QueryService
 
         return QueryService(self, **kwargs)

@@ -191,6 +191,24 @@ class ColumnPredicate:
                 return False
         return True
 
+    def any_partition_may_match(
+        self,
+        key_columns: Sequence[str],
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> bool:
+        """Could any of a *collection* of partitions match?
+
+        The shard-routing oracle: a shard owning partition keys
+        ``keys`` (over ``key_columns``) needs to see a query exactly
+        when at least one of its partitions may hold a matching row.
+        Conservative like the per-partition form — an empty key set
+        means the shard provably holds no rows and is safely skipped,
+        but any uncertain key answers True.
+        """
+        return any(
+            self.partition_may_match(key_columns, key) for key in keys
+        )
+
     # -- serialization -------------------------------------------------
 
     def to_json_dict(self) -> List[Dict[str, Any]]:

@@ -1,6 +1,16 @@
-"""Small shared utilities: stable hashing, JSON helpers, timers."""
+"""Small shared utilities: stable hashing, JSON helpers, timers, and
+adaptive benchmark-timing statistics."""
 
+from repro.util.benchstats import TimingResult, measure, summarize, t_critical
 from repro.util.hashing import content_hash, stable_json
 from repro.util.timer import Timer
 
-__all__ = ["content_hash", "stable_json", "Timer"]
+__all__ = [
+    "content_hash",
+    "stable_json",
+    "Timer",
+    "TimingResult",
+    "measure",
+    "summarize",
+    "t_critical",
+]

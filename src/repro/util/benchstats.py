@@ -1,0 +1,132 @@
+"""Adaptive-stopping statistics for benchmark timings.
+
+Fixed repeat counts are always wrong in one direction: too few repeats
+on a noisy box report garbage, too many on a quiet box waste minutes.
+Following the adaptive stopping rule of Mittal et al. (SC'23
+workshops), :func:`measure` keeps collecting samples until the
+confidence interval around the mean is *tight* — the 95% CI
+half-width falls at or below a relative tolerance of the mean — or a
+repeat cap is reached, and reports the bounds either way so a
+``BENCH_*.json`` consumer can see how trustworthy each number is.
+
+The t critical values are tabulated (two-sided 95%); a benchmark
+harness must not grow a SciPy dependency for one quantile.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+#: two-sided 95% Student-t critical values by degrees of freedom
+#: (1-30); beyond the table the normal approximation is within 2%.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+]
+_Z95 = 1.960
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom."""
+    if df <= 0:
+        return float("inf")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return _Z95
+
+
+@dataclass
+class TimingResult:
+    """Samples plus the interval statistics the stopping rule used."""
+
+    samples: List[float]
+    mean: float
+    std: float          #: sample standard deviation (ddof=1)
+    ci_low: float       #: 95% CI lower bound on the mean
+    ci_high: float      #: 95% CI upper bound on the mean
+    rel_halfwidth: float  #: CI half-width / mean (the stopping metric)
+    converged: bool     #: True when the rule stopped, False at the cap
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON block benchmark payloads embed (``ci`` is the
+        [low, high] bound pair)."""
+        return {
+            "mean_seconds": self.mean,
+            "best_seconds": self.best,
+            "std_seconds": self.std,
+            "ci": [self.ci_low, self.ci_high],
+            "rel_ci_halfwidth": self.rel_halfwidth,
+            "repeats": self.repeats,
+            "converged": self.converged,
+            "samples": list(self.samples),
+        }
+
+
+def summarize(samples: List[float]) -> TimingResult:
+    """Interval statistics over already-collected samples."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n < 2:
+        return TimingResult(
+            list(samples), mean, 0.0, mean, mean,
+            float("inf"), False,
+        )
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    std = math.sqrt(var)
+    half = t_critical(n - 1) * std / math.sqrt(n)
+    rel = half / mean if mean > 0 else float("inf")
+    return TimingResult(
+        list(samples), mean, std, mean - half, mean + half, rel, False,
+    )
+
+
+def measure(
+    sample_fn: Callable[[], float],
+    min_repeats: int = 3,
+    max_repeats: int = 30,
+    rel_ci: float = 0.05,
+    warmup: int = 1,
+) -> TimingResult:
+    """Collect timing samples adaptively.
+
+    ``sample_fn`` runs one measured iteration and returns its duration
+    in seconds (self-timed, so callers keep setup out of the clock; a
+    function returning None is timed wall-clock here as a
+    convenience). Sampling repeats until the 95% CI half-width is at
+    most ``rel_ci`` of the mean (with at least ``min_repeats``
+    samples) or ``max_repeats`` is hit; ``warmup`` unmeasured calls
+    run first to absorb cold caches and lazy imports.
+    """
+    if min_repeats < 2:
+        raise ValueError("min_repeats must be >= 2 for an interval")
+    if max_repeats < min_repeats:
+        raise ValueError("max_repeats must be >= min_repeats")
+    for _ in range(max(0, warmup)):
+        sample_fn()
+    samples: List[float] = []
+    while len(samples) < max_repeats:
+        start = time.perf_counter()
+        out = sample_fn()
+        elapsed = time.perf_counter() - start
+        samples.append(float(out) if out is not None else elapsed)
+        if len(samples) >= min_repeats:
+            result = summarize(samples)
+            if result.rel_halfwidth <= rel_ci:
+                result.converged = True
+                return result
+    return summarize(samples)

@@ -1,0 +1,70 @@
+"""Regression: failed-query latencies reach the registry histogram.
+
+The snapshot percentiles are computed from the in-process reservoir,
+which ``record_failed`` has always fed; the Prometheus-side
+``serve.latency_s`` histogram used to receive only completions, so the
+two views of one service disagreed whenever queries failed. Both sinks
+must see the same observations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.metrics import ServiceMetrics
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def metrics(registry):
+    return ServiceMetrics(registry=registry)
+
+
+def test_failed_latency_lands_in_registry_histogram(metrics, registry):
+    metrics.record_completed(0.10)
+    metrics.record_failed(0.25)
+    hist = registry.histogram_summary("serve.latency_s")
+    assert hist["count"] == 2
+    assert hist["sum"] == pytest.approx(0.35)
+    assert hist["max"] == pytest.approx(0.25)
+    assert registry.counter("serve.failed") == 1
+    assert registry.counter("serve.completed") == 1
+
+
+def test_failed_without_latency_counts_but_observes_nothing(
+    metrics, registry
+):
+    # a query shed before execution has no latency to record; the
+    # failure still counts, the histogram stays empty
+    metrics.record_failed()
+    assert metrics.failed == 1
+    assert registry.counter("serve.failed") == 1
+    assert registry.histogram_summary("serve.latency_s") is None
+
+
+def test_reservoir_and_registry_see_identical_observations(
+    metrics, registry
+):
+    latencies = [0.05, 0.10, 0.15, 0.20]
+    metrics.record_completed(latencies[0])
+    metrics.record_failed(latencies[1])
+    metrics.record_completed(latencies[2])
+    metrics.record_failed(latencies[3])
+    hist = registry.histogram_summary("serve.latency_s")
+    assert hist["count"] == len(latencies)
+    assert hist["sum"] == pytest.approx(sum(latencies))
+    # the snapshot percentiles draw from the same four observations
+    snap = metrics.snapshot()
+    assert snap.latency_s["max"] == pytest.approx(0.20)
+
+
+def test_no_registry_is_fine():
+    m = ServiceMetrics()
+    m.record_failed(0.5)
+    m.record_completed(0.1)
+    assert m.failed == 1 and m.completed == 1

@@ -1,0 +1,100 @@
+"""Adaptive benchmark-timing statistics (repro.util.benchstats)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.benchstats import TimingResult, measure, summarize, t_critical
+
+
+def test_t_critical_matches_table_endpoints():
+    assert t_critical(1) == pytest.approx(12.706)
+    assert t_critical(2) == pytest.approx(4.303)
+    assert t_critical(30) == pytest.approx(2.042)
+    # beyond the table: the normal approximation
+    assert t_critical(31) == pytest.approx(1.960)
+    assert t_critical(10_000) == pytest.approx(1.960)
+    assert t_critical(0) == float("inf")
+
+
+def test_summarize_interval_math():
+    samples = [1.0, 2.0, 3.0]
+    r = summarize(samples)
+    assert r.mean == pytest.approx(2.0)
+    assert r.std == pytest.approx(1.0)
+    half = t_critical(2) * 1.0 / math.sqrt(3)
+    assert r.ci_low == pytest.approx(2.0 - half)
+    assert r.ci_high == pytest.approx(2.0 + half)
+    assert r.rel_halfwidth == pytest.approx(half / 2.0)
+    assert r.best == 1.0
+    assert r.repeats == 3
+
+
+def test_summarize_single_sample_never_converged():
+    r = summarize([0.5])
+    assert r.mean == 0.5
+    assert r.rel_halfwidth == float("inf")
+    assert not r.converged
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_as_dict_carries_ci_bounds():
+    d = summarize([1.0, 1.1, 0.9]).as_dict()
+    assert len(d["ci"]) == 2
+    assert d["ci"][0] <= d["mean_seconds"] <= d["ci"][1]
+    assert d["repeats"] == 3
+    assert d["samples"] == [1.0, 1.1, 0.9]
+    assert "converged" in d and "rel_ci_halfwidth" in d
+
+
+def test_measure_stops_early_when_tight():
+    calls = {"n": 0}
+
+    def sample():
+        calls["n"] += 1
+        return 1.0  # zero variance: CI collapses immediately
+
+    r = measure(sample, min_repeats=3, max_repeats=30, warmup=2)
+    assert r.converged
+    assert r.repeats == 3
+    assert calls["n"] == 5  # 2 warmup + 3 measured
+
+
+def test_measure_runs_to_cap_when_noisy():
+    seq = iter([1.0, 100.0] * 50)  # hopeless variance
+
+    def sample():
+        return next(seq)
+
+    r = measure(sample, min_repeats=3, max_repeats=7, warmup=0)
+    assert not r.converged
+    assert r.repeats == 7
+    assert r.rel_halfwidth > 0.05
+
+
+def test_measure_wall_clocks_none_returning_fn():
+    def sample():
+        return None  # timed here rather than self-timed
+
+    r = measure(sample, min_repeats=3, max_repeats=5, rel_ci=10.0,
+                warmup=0)
+    assert all(s >= 0.0 for s in r.samples)
+
+
+def test_measure_validates_bounds():
+    with pytest.raises(ValueError):
+        measure(lambda: 1.0, min_repeats=1)
+    with pytest.raises(ValueError):
+        measure(lambda: 1.0, min_repeats=5, max_repeats=4)
+
+
+def test_timing_result_best_property():
+    r = TimingResult([3.0, 1.0, 2.0], 2.0, 1.0, 1.0, 3.0, 0.5, False)
+    assert r.best == 1.0
+    assert r.repeats == 3

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Continuous ingestion into the NoSQL store, then analysis (§7.1).
+"""Continuous ingestion into the NoSQL store, tailed live (§7.1).
 
 The paper: "we employed a distributed ingestion framework to
 continuously collect LDMS data into a distributed NoSQL database
 store." This example replays that pipeline end to end on the
-wide-column store:
+wide-column store — and keeps it *running*:
 
-1. stream LDMS node samples into a keyspace/table partitioned by node
-   and clustered by time (segments flush as the memtable fills);
-2. ingest the table as a lazily scanned, partition-pruned dataset
-   (`session.ingest().table(...)`) registered with semantics;
-3. query {jobs, compute nodes} → {applications, cpu utilization} and
-   watch the engine relate the ingested stream to the job log;
-4. correlate the derived utilization with jobs' presence.
+1. stream the first hour of LDMS node samples into a keyspace/table
+   partitioned by node and clustered by time;
+2. register the table as a **live** dataset
+   (`session.ingest().table(...).tail("ldms")`): the feed's watermark
+   is the sealed-segment count, and every later `append_rows()` seals
+   fresh immutable segments without rewriting old ones;
+3. install a standing query {jobs, compute nodes} → {applications,
+   cpu utilization} as a serve-tier subscription;
+4. keep collecting: each new batch of samples is appended to the
+   store and `advance()`d through the service — the subscription's
+   answer refreshes to the new watermark (incrementally when the
+   derivation is delta-safe, by scoped replay otherwise) instead of
+   being recomputed from a cold start;
+5. correlate the final derived utilization with jobs' presence.
 
 Run: python examples/nosql_ingestion.py
 """
@@ -31,12 +38,12 @@ from repro.store import WideColumnStore
 def main() -> None:
     facility = Facility(FacilityConfig(num_racks=1, nodes_per_rack=4))
     sched = JobScheduler(facility)
-    sched.pin("Kripke", [0, 1], 300.0, 1500.0)
-    sched.pin("prime95", [2], 600.0, 1200.0)
+    sched.pin("Kripke", [0, 1], 300.0, 2300.0)
+    sched.pin("prime95", [2], 600.0, 2200.0)
     # node 3 stays idle for contrast
 
     # ------------------------------------------------------------------
-    # 1. continuous ingestion into the wide-column store
+    # 1. the first hour of ingestion into the wide-column store
     # ------------------------------------------------------------------
     store = WideColumnStore(tempfile.mkdtemp(prefix="scrubjay-store-"))
     table = store.create_table(
@@ -44,25 +51,22 @@ def main() -> None:
         memtable_limit=2000,
     )
     sim = CounterSimulator(facility, sched, seed=5)
-    samples = sim.ldms_rows(facility.nodes(), 0.0, 2400.0, period=5.0)
-    table.insert_many(samples)   # memtable flushes segments on the way
-    table.flush()
-    print(f"ingested {table.count()} LDMS samples into perf.ldms "
+    backfill = sim.ldms_rows(facility.nodes(), 0.0, 1200.0, period=5.0)
+    table.insert_many(backfill)
+    table.flush()   # seal: only sealed segments are feed-visible
+    print(f"backfilled {table.count()} LDMS samples into perf.ldms "
           f"({len(table.partitions())} partitions, "
-          f"{len(table._segment_paths())} on-disk segments)")
+          f"{table.segment_count()} sealed segments)")
 
     # ------------------------------------------------------------------
-    # 2-3. ingest, register, query
+    # 2-3. tail the table as a live dataset, subscribe a standing query
     # ------------------------------------------------------------------
     with ScrubJaySession(
         config=EngineConfig(interpolation_window=10.0)
     ) as sj:
         ensure_semantics(sj.dictionary)
-        # one scan partition per store partition key: reads happen
-        # lazily inside workers, and query restrictions prune
-        # partitions/segments before rows are unpickled
-        sj.ingest().table(store, "perf", "ldms", LDMS_SCHEMA) \
-          .register("ldms")
+        feed = sj.ingest().table(store, "perf", "ldms", LDMS_SCHEMA) \
+                 .tail("ldms")
         sj.register_rows(sched.job_log_rows(), JOB_LOG_SCHEMA,
                          "job_queue_log")
 
@@ -71,19 +75,51 @@ def main() -> None:
         print("\nderivation sequence:")
         print(plan.describe())
 
-        result = sj.execute(plan).persist()
-        print(f"\nderived {result.count()} rows")
+        with sj.serve(num_workers=2) as svc:
+            sub = svc.subscribe(["jobs", "compute nodes"],
+                                ["applications", "cpu utilization"])
+            print(f"\nstanding query installed: "
+                  f"{len(sub.current().rows)} rows at "
+                  f"watermark {feed.watermark} "
+                  f"(sealed segments)")
 
-        # ------------------------------------------------------------------
-        # 4. analysis: utilization per application
-        # ------------------------------------------------------------------
-        agg = group_aggregate(result, ["job_name"], "cpu_util", "mean")
-        print("\nmean CPU utilization while each application ran:")
-        for (app,), util in sorted(agg.items(), key=lambda kv: -kv[1]):
-            print(f"  {app:>9}: {util:5.1f} %")
-        assert all(util > 80.0 for util in agg.values()), \
-            "busy nodes should show high utilization"
-        print("\n(idle node 3 never appears: no job-instant relates to it)")
+            # ----------------------------------------------------------
+            # 4. ingestion keeps running: append, seal, advance, refresh
+            # ----------------------------------------------------------
+            for t0 in (1200.0, 1500.0, 1800.0, 2100.0):
+                batch = sim.ldms_rows(facility.nodes(), t0, t0 + 300.0,
+                                      period=5.0)
+                store.append_rows("perf", "ldms", batch)
+                out = svc.advance("ldms")
+                upd = sub.current()
+                print(f"  t={t0:6.0f}s  +{len(batch)} samples  "
+                      f"watermark {out['since']} -> {out['watermark']}  "
+                      f"answer v{upd.version}: {len(upd.rows)} rows")
+
+            print(f"\nrefreshes: {sub.delta_refreshes} incremental, "
+                  f"{sub.replay_refreshes} scoped replays")
+
+            # the standing answer equals a from-scratch query at the
+            # same watermark — the exactly-once-per-watermark guarantee
+            fresh = sj.ask(["jobs", "compute nodes"],
+                           ["applications", "cpu utilization"])
+            result = fresh.dataset.persist()
+            assert len(sub.current().rows) == result.count(), \
+                "subscription answer must match a fresh query"
+
+            # ----------------------------------------------------------
+            # 5. analysis: utilization per application
+            # ----------------------------------------------------------
+            agg = group_aggregate(result, ["job_name"], "cpu_util",
+                                  "mean")
+            print("\nmean CPU utilization while each application ran:")
+            for (app,), util in sorted(agg.items(),
+                                       key=lambda kv: -kv[1]):
+                print(f"  {app:>9}: {util:5.1f} %")
+            assert all(util > 80.0 for util in agg.values()), \
+                "busy nodes should show high utilization"
+            print("\n(idle node 3 never appears: no job-instant "
+                  "relates to it)")
 
 
 if __name__ == "__main__":

@@ -52,12 +52,17 @@ from repro.serve import (
     QueryService,
     ServiceSnapshot,
 )
+from repro.sources.feed_source import FeedSource
+from repro.stream import DeltaPlan, Feed, FeedAdvance
 from repro.errors import (
+    FeedError,
+    FeedRewoundError,
     QueryTimeoutError,
     ScrubJayError,
     ServiceOverloadError,
     SourceError,
     TaskError,
+    UnsupportedOpError,
     WrapperError,
 )
 from repro.units import Quantity, Timestamp, TimeSpan
@@ -102,6 +107,13 @@ __all__ = [
     "QueryServer",
     "QueryClient",
     "ServiceSnapshot",
+    "Feed",
+    "FeedAdvance",
+    "FeedSource",
+    "DeltaPlan",
+    "FeedError",
+    "FeedRewoundError",
+    "UnsupportedOpError",
     "ScrubJayError",
     "ServiceOverloadError",
     "QueryTimeoutError",

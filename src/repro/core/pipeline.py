@@ -553,6 +553,25 @@ class DerivationPlan:
     def num_steps(self) -> int:
         return self.root.num_steps()
 
+    def dataset_names(self) -> List[str]:
+        """Distinct catalog dataset names this plan reads (its leaf
+        Load/Scan inputs), in first-appearance order. Serve-layer
+        result caching keys dependency tracking on this — a feed
+        advance on one of these names invalidates the cached answer."""
+        out: List[str] = []
+        seen = set()
+
+        def walk(node: PlanNode) -> None:
+            if isinstance(node, (LoadNode, ScanNode)):
+                if node.dataset_name not in seen:
+                    seen.add(node.dataset_name)
+                    out.append(node.dataset_name)
+            for c in node.children():
+                walk(c)
+
+        walk(self.root)
+        return out
+
     def operations(self) -> List[str]:
         """Operation names, leaves-first (execution order)."""
         out: List[str] = []

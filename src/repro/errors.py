@@ -74,6 +74,33 @@ class SourceError(WrapperError):
     ingestion failures unchanged."""
 
 
+class FeedError(SourceError):
+    """A streaming feed operation failed — the source is not
+    appendable, a push was rejected, or tailing state is invalid."""
+
+
+class FeedRewoundError(FeedError):
+    """A tailed source moved *backwards* past a committed watermark.
+
+    Raised when ``append_scan(since_offset)`` is asked to resume from
+    an offset beyond the source's current end — the file was truncated
+    or rewritten, or the store lost sealed segments. The feed cannot
+    silently re-read: rows before the watermark were already delivered
+    exactly once, so the caller must decide whether to reset the feed
+    (replaying everything) or treat the source as corrupt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        since_offset: "int | None" = None,
+        current_offset: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.since_offset = since_offset
+        self.current_offset = current_offset
+
+
 class StoreError(ScrubJayError):
     """The wide-column store was used inconsistently (unknown table,
     missing partition key, schema mismatch on insert)."""
@@ -197,6 +224,43 @@ class ProtocolVersionError(ServiceError):
         self.remote = remote
 
 
+class UnsupportedOpError(ServiceError):
+    """The server does not implement the requested wire op.
+
+    Returned as a typed response (op name + the server's supported op
+    list) instead of killing the connection, so newer clients can
+    degrade gracefully against older servers — e.g. fall back from
+    ``subscribe`` to polling ``query`` when the fleet predates the
+    streaming ops.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: "str | None" = None,
+        supported: "tuple | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.supported = tuple(supported or ())
+
+
+class SubscriptionError(ServiceError):
+    """A standing-query subscription was used inconsistently —
+    unknown subscription id, subscribing over a dataset with no feed,
+    or advancing a feed the session does not know."""
+
+
+class StaleRefreshError(SubscriptionError):
+    """A subscription refresh kept racing feed advances.
+
+    The refresh machinery pins each refresh to explicit watermarks and
+    retries (like :class:`ShardStaleReadError`) when a gathered shard
+    answer carries different watermarks than the router pushed; this
+    error surfaces only when the retries run out.
+    """
+
+
 class ShardError(ServiceError):
     """A shard of a sharded serve fleet failed to answer.
 
@@ -274,6 +338,8 @@ __all__ = [
     "PipelineError",
     "WrapperError",
     "SourceError",
+    "FeedError",
+    "FeedRewoundError",
     "StoreError",
     "ExecutorError",
     "TaskError",
@@ -286,6 +352,9 @@ __all__ = [
     "QueryCancelledError",
     "ServiceClosedError",
     "ProtocolVersionError",
+    "UnsupportedOpError",
+    "SubscriptionError",
+    "StaleRefreshError",
     "ShardError",
     "ShardStaleReadError",
     "ShardStateError",

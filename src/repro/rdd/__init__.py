@@ -44,6 +44,7 @@ from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy, no_retry_policy
 from repro.rdd.stats import (
     AdaptiveConfig,
     AdaptivePlanner,
+    DeltaDecision,
     ExecutionReport,
     JoinDecision,
     RDDStats,
@@ -56,6 +57,7 @@ __all__ = [
     "Partition",
     "AdaptiveConfig",
     "AdaptivePlanner",
+    "DeltaDecision",
     "ExecutionReport",
     "JoinDecision",
     "RDDStats",

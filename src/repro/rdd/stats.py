@@ -360,6 +360,34 @@ class KernelDecision:
         }
 
 
+@dataclass
+class DeltaDecision:
+    """One standing-query refresh's delta-vs-replay choice.
+
+    Recorded by the streaming layer (:mod:`repro.stream`) each time a
+    feed advance refreshes a subscription: ``choice`` is ``"delta"``
+    when only the newly appended rows were pushed through the plan
+    (union-distributive path) and ``"replay"`` when a
+    non-incrementalizable operator forced a scoped recompute at the
+    new watermark — with the operator and reason, so tests and
+    benchmarks can assert the incremental path actually ran.
+    """
+
+    op: str  # offending/root op, e.g. "natural_join"
+    choice: str  # "delta" | "replay"
+    reason: str
+
+    kind = "delta"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "choice": self.choice,
+            "reason": self.reason,
+        }
+
+
 class ExecutionReport:
     """Audit trail of every adaptive decision taken on a context.
 
@@ -413,6 +441,11 @@ class ExecutionReport:
                     "core.kernel.decisions",
                     labels={"choice": decision.choice},
                 )
+            elif decision.kind == "delta":
+                self.metrics.inc(
+                    "stream.delta.decisions",
+                    labels={"choice": decision.choice},
+                )
 
     def set_cache_stats(self, stats: Dict[str, Any]) -> None:
         self.cache_stats = dict(stats)
@@ -433,6 +466,9 @@ class ExecutionReport:
 
     def kernels(self) -> List[KernelDecision]:
         return [d for d in self.decisions if d.kind == "kernel"]
+
+    def deltas(self) -> List[DeltaDecision]:
+        return [d for d in self.decisions if d.kind == "delta"]
 
     def broadcast_joins(self) -> List[JoinDecision]:
         return [d for d in self.joins() if d.strategy == "broadcast"]
@@ -483,6 +519,10 @@ class ExecutionReport:
             elif d.kind == "kernel":
                 lines.append(
                     f"  kernel[{d.op}] -> {d.choice}: {d.reason}"
+                )
+            elif d.kind == "delta":
+                lines.append(
+                    f"  delta[{d.op}] -> {d.choice}: {d.reason}"
                 )
         return "\n".join(lines)
 

@@ -48,12 +48,16 @@ from repro.errors import (
     ShardRoutingError,
     ShardStaleReadError,
     ShardStateError,
+    StaleRefreshError,
+    SubscriptionError,
+    UnsupportedOpError,
 )
 from repro.serve.keys import normalize_query, plan_key, result_key
 from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
 from repro.serve.plan_cache import PlanCache
 from repro.serve.result_cache import ResultCache, ResultEntry
 from repro.serve.service import AggregateSpec, QueryService, QueryTicket
+from repro.serve.subscribe import Subscription, SubscriptionUpdate
 from repro.serve.sharded import (
     ShardConfig,
     ShardHandle,
@@ -84,6 +88,8 @@ __all__ = [
     "AggregateSpec",
     "QueryService",
     "QueryTicket",
+    "Subscription",
+    "SubscriptionUpdate",
     "QueryServer",
     "QueryClient",
     "InProcessClient",
@@ -108,4 +114,7 @@ __all__ = [
     "ShardStaleReadError",
     "ShardStateError",
     "ShardRoutingError",
+    "SubscriptionError",
+    "StaleRefreshError",
+    "UnsupportedOpError",
 ]

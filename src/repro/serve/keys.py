@@ -58,10 +58,22 @@ def result_key(
     plan_fingerprint: str,
     state_fingerprint: str,
     catalog_version: int,
+    data_versions=None,
 ) -> str:
-    """Cache key for a materialized query result."""
-    return content_hash({
+    """Cache key for a materialized query result.
+
+    ``data_versions`` — the *non-zero* per-dataset feed versions of
+    the plan's inputs (:meth:`repro.session.ScrubJaySession.
+    data_versions`) — lets a feed advance re-key only queries reading
+    that dataset, without the fleet-wide churn of bumping
+    ``catalog_version``. An empty/absent mapping hashes to the
+    pre-streaming key form, keeping historical keys stable.
+    """
+    payload = {
         "plan": plan_fingerprint,
         "state": state_fingerprint,
         "catalog_version": catalog_version,
-    })
+    }
+    if data_versions:
+        payload["data_versions"] = dict(sorted(data_versions.items()))
+    return content_hash(payload)

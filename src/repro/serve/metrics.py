@@ -72,6 +72,9 @@ class ServiceSnapshot:
     #: per-shard snapshots plus fleet totals, populated only by a
     #: :class:`~repro.serve.sharded.ShardRouter` (empty otherwise)
     shards: Dict[str, Any] = field(default_factory=dict)
+    #: streaming state — feed watermarks, standing-subscription count,
+    #: delta/replay refresh counters (empty when nothing streams)
+    streams: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -93,6 +96,7 @@ class ServiceSnapshot:
             "result_cache": dict(self.result_cache),
             "derivation_cache": dict(self.derivation_cache),
             "shards": dict(self.shards),
+            "streams": dict(self.streams),
         }
 
     def summary(self) -> str:
@@ -218,6 +222,7 @@ class ServiceMetrics:
         plan_cache: Optional[Dict[str, Any]] = None,
         result_cache: Optional[Dict[str, Any]] = None,
         derivation_cache: Optional[Dict[str, Any]] = None,
+        streams: Optional[Dict[str, Any]] = None,
     ) -> ServiceSnapshot:
         now = self._clock()
         with self._lock:
@@ -249,4 +254,5 @@ class ServiceMetrics:
                 plan_cache=dict(plan_cache or {}),
                 result_cache=dict(result_cache or {}),
                 derivation_cache=dict(derivation_cache or {}),
+                streams=dict(streams or {}),
             )

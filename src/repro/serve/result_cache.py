@@ -46,6 +46,9 @@ class ResultEntry:
     schema_json: dict
     name: str
     created_at: float
+    #: catalog dataset names the producing plan read (dependency
+    #: tracking for invalidate_dataset); empty = unknown provenance
+    datasets: tuple = ()
 
     def to_dataset(self, ctx) -> ScrubJayDataset:
         return ScrubJayDataset.from_rows(
@@ -99,12 +102,15 @@ class ResultCache:
         self._clock = clock
         self._wall = wall_clock
         self._entries: "OrderedDict[str, ResultEntry]" = OrderedDict()
+        #: dataset name -> keys of entries whose plan read it
+        self._deps: Dict[str, set] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
         self.backing_hits = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
 
@@ -124,6 +130,7 @@ class ResultCache:
             if found is not None:
                 if self._expired(found):
                     del self._entries[key]
+                    self._unindex(key, found)
                     self.expirations += 1
                     expired_here = True
                 else:
@@ -179,14 +186,23 @@ class ResultCache:
             return None
         return max(0.0, self._wall() - stamp)
 
-    def put(self, key: str, dataset: ScrubJayDataset) -> None:
+    def put(
+        self,
+        key: str,
+        dataset: ScrubJayDataset,
+        datasets: Optional[List[str]] = None,
+    ) -> None:
         """Materialize ``dataset`` under ``key`` (and write through to
-        the disk tier when configured)."""
+        the disk tier when configured). ``datasets`` names the catalog
+        inputs the producing plan read, so
+        :meth:`invalidate_dataset` can evict exactly the dependents of
+        an appended-to dataset."""
         entry = ResultEntry(
             rows=dataset.collect(),
             schema_json=dataset.schema.to_json_dict(),
             name=dataset.name,
             created_at=self._clock(),
+            datasets=tuple(datasets or ()),
         )
         with self._lock:
             self._insert(key, entry)
@@ -203,17 +219,55 @@ class ResultCache:
 
     def _insert(self, key: str, entry: ResultEntry) -> None:
         # caller holds self._lock
+        old = self._entries.get(key)
+        if old is not None:
+            self._unindex(key, old)
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        for name in entry.datasets:
+            self._deps.setdefault(name, set()).add(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted_key, evicted)
             self.evictions += 1
+
+    def _unindex(self, key: str, entry: ResultEntry) -> None:
+        # caller holds self._lock
+        for name in entry.datasets:
+            keys = self._deps.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._deps[name]
+
+    def invalidate_dataset(self, name: str) -> int:
+        """Evict every entry whose producing plan read dataset
+        ``name`` (and its write-through copies); unrelated entries
+        survive. The fix for the append story: before this, growing a
+        dataset meant drop + re-register, which bumps
+        ``catalog_version`` and orphans *every* tenant's cached
+        results fleet-wide. A feed advance calls this instead —
+        eviction scoped to actual dependents. Returns how many
+        entries were dropped.
+        """
+        with self._lock:
+            keys = list(self._deps.get(name, ()))
+            for key in keys:
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._unindex(key, entry)
+            self.invalidations += len(keys)
+        if self.backing is not None:
+            for key in keys:
+                self.backing.invalidate(key)
+        return len(keys)
 
     # ------------------------------------------------------------------
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._deps.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -228,6 +282,7 @@ class ResultCache:
                 "backing_hits": self.backing_hits,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "invalidations": self.invalidations,
                 "hit_rate": (self.hits / total) if total else None,
                 "entries": len(self._entries),
                 "ttl": self.ttl,

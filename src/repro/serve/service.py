@@ -58,12 +58,17 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadError,
     ShardStaleReadError,
+    StaleRefreshError,
+    SubscriptionError,
 )
 from repro.rdd.fault import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.rdd.rdd import ScanRDD
 from repro.serve.keys import normalize_query, plan_key, result_key
 from repro.serve.metrics import ServiceMetrics, ServiceSnapshot
 from repro.serve.plan_cache import PlanCache
 from repro.serve.result_cache import ResultCache
+from repro.serve.subscribe import Subscription, SubscriptionUpdate
+from repro.stream import DeltaPlan
 
 _QUEUED = "queued"
 _RUNNING = "running"
@@ -257,6 +262,15 @@ class QueryService:
             registry=getattr(session.ctx, "metrics", None),
         )
 
+        self._subs: Dict[str, Subscription] = {}
+        self._subs_lock = threading.Lock()
+        self._sub_counter = 0
+        self._stream_stats = {
+            "refresh_delta": 0,
+            "refresh_replay": 0,
+            "refresh_rows": 0,
+        }
+
         self._cond = threading.Condition()
         self._queues: Dict[str, "deque[QueryTicket]"] = {}
         self._rr: List[str] = []  # tenants with queued work, in turn order
@@ -379,6 +393,293 @@ class QueryService:
         groups = ticket.result()
         return groups, ticket.result_schema
 
+    # ------------------------------------------------------------------
+    # standing subscriptions (the streaming serve tier)
+    # ------------------------------------------------------------------
+
+    def _columnar(self) -> bool:
+        return bool(getattr(
+            getattr(self.session.engine, "config", None),
+            "columnar", False,
+        ))
+
+    def _pinned_catalog(
+        self, watermarks: Dict[str, int]
+    ) -> Dict[str, ScrubJayDataset]:
+        """The session catalog with each feed dataset in
+        ``watermarks`` swapped for a frozen snapshot bounded at its
+        watermark — execution against it can never observe rows a
+        concurrent writer appends mid-flight (the no-mixed-watermark
+        rule)."""
+        session = self.session
+        catalog = session.snapshot()
+        for name, mark in watermarks.items():
+            feed = session.feeds.get(name)
+            if feed is None:
+                continue
+            src = feed.source.bounded(mark)
+            src.name = name
+            ds = ScrubJayDataset(
+                ScanRDD(session.ctx, src),
+                src.schema(),
+                name,
+                provenance={"op": "scan",
+                            "source": type(src).__name__,
+                            "name": name, "bounded_at": mark},
+            )
+            ds.source = src
+            catalog[name] = ds
+        return catalog
+
+    def subscribe(
+        self,
+        domains: Sequence[str],
+        values: Sequence[ValueSpec],
+        tenant: str = "default",
+        filters: Sequence = (),
+        aggregate: Optional[AggregateSpec] = None,
+    ) -> Subscription:
+        """Install a standing query and return its
+        :class:`~repro.serve.subscribe.Subscription`.
+
+        The initial answer is computed synchronously against the
+        plan's feed inputs pinned at their current watermarks. From
+        then on, :meth:`advance` refreshes it — incrementally when
+        the plan is delta-safe (see
+        :class:`~repro.stream.DeltaPlan`), by scoped replay
+        otherwise. ``aggregate`` keeps mergeable group partials
+        instead of rows, so delta refreshes fold appends in at
+        O(delta) regardless of history size.
+        """
+        session = self.session
+        query = Query.of(domains, values, filters)
+        state = session.state_fingerprint()
+        nq = normalize_query(query)
+        pkey = plan_key(state, nq)
+        plan = self.plan_cache.get_or_solve(
+            pkey,
+            lambda: session.engine.solve(session.schemas(), nq),
+        )
+        dplan = DeltaPlan(plan)
+        feed_names = tuple(
+            n for n in dplan.dataset_names() if n in session.feeds
+        )
+        marks = {
+            n: session.feeds[n].watermark for n in feed_names
+        }
+        dataset = dplan.execute_full(
+            self._pinned_catalog(marks),
+            session.dictionary,
+            columnar=self._columnar(),
+        )
+        rows = partials = None
+        if aggregate is not None:
+            partials = group_aggregate_partials(
+                dataset, list(aggregate.group_by),
+                aggregate.value_field, aggregate.how,
+            )
+        else:
+            rows = dataset.collect()
+        with self._subs_lock:
+            self._sub_counter += 1
+            sub_id = f"sub-{self._sub_counter}"
+            sub = Subscription(
+                sub_id, tenant, query, plan, dplan, aggregate,
+                feed_names, marks, dataset.schema,
+                rows=rows, partials=partials,
+            )
+            self._subs[sub_id] = sub
+        reg = getattr(session.ctx, "metrics", None)
+        if reg is not None:
+            reg.inc("stream.subscribe")
+        return sub
+
+    def subscription(self, sub_id: str) -> Subscription:
+        with self._subs_lock:
+            sub = self._subs.get(sub_id)
+        if sub is None:
+            raise SubscriptionError(
+                f"no subscription {sub_id!r}"
+            )
+        return sub
+
+    def subscriptions(self) -> List[Subscription]:
+        with self._subs_lock:
+            return list(self._subs.values())
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        with self._subs_lock:
+            sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return False
+        sub._close()
+        reg = getattr(self.session.ctx, "metrics", None)
+        if reg is not None:
+            reg.inc("stream.unsubscribe")
+        return True
+
+    def advance(
+        self,
+        name: str,
+        rows: Optional[List[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """Advance feed ``name`` (pushing ``rows`` first when given,
+        otherwise tailing whatever its source committed), then keep
+        the serve tier honest about it: scoped-evict the result-cache
+        entries whose plans read the dataset
+        (:meth:`ResultCache.invalidate_dataset` — unrelated tenants'
+        entries survive) and synchronously refresh every dependent
+        subscription to the new watermark."""
+        session = self.session
+        try:
+            feed = session.feed(name)
+        except ScrubJayError as exc:
+            raise SubscriptionError(str(exc)) from exc
+        adv = feed.push(rows) if rows is not None else feed.advance()
+        evicted = refreshed = 0
+        if adv.advanced:
+            evicted = self.result_cache.invalidate_dataset(name)
+            with self._subs_lock:
+                dependents = [
+                    s for s in self._subs.values()
+                    if name in s.feed_names and not s.closed
+                ]
+            for sub in dependents:
+                if self._refresh_subscription(sub):
+                    refreshed += 1
+        return {
+            "name": name,
+            "since": adv.since,
+            "watermark": adv.watermark,
+            "rows_added": adv.rows_added,
+            "evicted": evicted,
+            "subscriptions_refreshed": refreshed,
+        }
+
+    def _refresh_subscription(self, sub: Subscription) -> bool:
+        """Bring one subscription to its feeds' current watermarks;
+        True when at least one commit happened.
+
+        Runs under the subscription's refresh lock and loops: a feed
+        advancing *mid-refresh* just means another round — every
+        committed answer is internally consistent at its recorded
+        watermarks, so the race costs a retry, never a mixed-
+        watermark answer. A writer that outruns the refresher for 16
+        straight rounds raises :class:`StaleRefreshError` rather than
+        looping forever.
+        """
+        session = self.session
+        reg = getattr(session.ctx, "metrics", None)
+        committed = False
+        with sub._refresh_lock:
+            for _ in range(16):
+                if sub.closed:
+                    return committed
+                base = dict(sub.watermarks)
+                targets = dict(base)
+                changed = set()
+                for n in sub.feed_names:
+                    feed = session.feeds.get(n)
+                    if feed is None:
+                        continue
+                    targets[n] = feed.watermark
+                    if targets[n] != base.get(n):
+                        changed.add(n)
+                if not changed:
+                    return committed
+                mode, decisions = sub.delta_plan.classify(changed)
+                sub.delta_plan.record(
+                    getattr(session.ctx, "report", None), decisions
+                )
+                if mode == "delta":
+                    self._refresh_delta(sub, base, targets, changed)
+                else:
+                    self._refresh_replay(sub, targets)
+                committed = True
+                key = ("refresh_delta" if mode == "delta"
+                       else "refresh_replay")
+                with self._subs_lock:
+                    self._stream_stats[key] += 1
+                if reg is not None:
+                    reg.inc(
+                        "stream.refresh.delta" if mode == "delta"
+                        else "stream.refresh.replay"
+                    )
+            raise StaleRefreshError(
+                f"subscription {sub.sub_id!r} cannot catch up: its "
+                "feeds kept advancing across 16 refresh rounds"
+            )
+
+    def _refresh_delta(
+        self,
+        sub: Subscription,
+        base: Dict[str, int],
+        targets: Dict[str, int],
+        changed,
+    ) -> None:
+        """Delta refresh: run the plan with each changed leaf bound
+        to only the rows committed in ``[base, target)`` and every
+        unchanged feed pinned at its old watermark, then union/merge
+        into the standing answer."""
+        session = self.session
+        deltas: Dict[str, ScrubJayDataset] = {}
+        delta_rows = 0
+        for n in sorted(changed):
+            feed = session.feeds[n]
+            rows, _ = feed.source.append_scan(
+                base.get(n, 0), targets[n]
+            )
+            delta_rows += len(rows)
+            deltas[n] = ScrubJayDataset.from_rows(
+                session.ctx, rows, session.dataset(n).schema, n
+            )
+        pinned = {
+            n: base[n] for n in sub.feed_names
+            if n not in changed and n in base
+        }
+        result = sub.delta_plan.execute_delta(
+            self._pinned_catalog(pinned), deltas,
+            session.dictionary, columnar=self._columnar(),
+        )
+        if delta_rows:
+            with self._subs_lock:
+                self._stream_stats["refresh_rows"] += delta_rows
+            reg = getattr(session.ctx, "metrics", None)
+            if reg is not None:
+                reg.inc("stream.refresh.rows", delta_rows)
+        if sub.aggregate is not None:
+            spec = sub.aggregate
+            part = group_aggregate_partials(
+                result, list(spec.group_by),
+                spec.value_field, spec.how,
+            )
+            sub._commit_delta(targets, partials=part)
+        else:
+            sub._commit_delta(targets, rows=result.collect())
+
+    def _refresh_replay(
+        self, sub: Subscription, targets: Dict[str, int]
+    ) -> None:
+        """Scoped replay: full recompute with every feed input
+        bounded at its target watermark, replacing the answer."""
+        session = self.session
+        result = sub.delta_plan.execute_full(
+            self._pinned_catalog({
+                n: targets[n] for n in sub.feed_names if n in targets
+            }),
+            session.dictionary,
+            columnar=self._columnar(),
+        )
+        if sub.aggregate is not None:
+            spec = sub.aggregate
+            part = group_aggregate_partials(
+                result, list(spec.group_by),
+                spec.value_field, spec.how,
+            )
+            sub._commit_replace(targets, partials=part)
+        else:
+            sub._commit_replace(targets, rows=result.collect())
+
     def cancel(self, ticket: QueryTicket) -> bool:
         """Cancel a still-queued ticket. Returns False once the query
         is running or finished (cancellation is cooperative)."""
@@ -434,7 +735,29 @@ class QueryService:
             plan_cache=self.plan_cache.stats(),
             result_cache=self.result_cache.stats(),
             derivation_cache=derivation,
+            streams=self._streams_snapshot(),
         )
+
+    def _streams_snapshot(self) -> Dict[str, Any]:
+        session = self.session
+        with self._subs_lock:
+            n_subs = len(self._subs)
+            stats = dict(self._stream_stats)
+        feeds = {
+            name: {
+                "watermark": feed.watermark,
+                "rows_ingested": feed.rows_ingested,
+                "data_version": session.data_version(name),
+            }
+            for name, feed in list(session.feeds.items())
+        }
+        if not feeds and not n_subs and not any(stats.values()):
+            return {}
+        return {
+            "feeds": feeds,
+            "subscriptions": n_subs,
+            **stats,
+        }
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop admitting; by default let workers drain queued work,
@@ -455,6 +778,11 @@ class QueryService:
                         )
                 self._rr.clear()
             self._cond.notify_all()
+        with self._subs_lock:
+            subs = list(self._subs.values())
+            self._subs.clear()
+        for sub in subs:
+            sub._close()
         for w in self._workers:
             w.join(timeout)
 
@@ -644,7 +972,18 @@ class QueryService:
         session = self.session
         tracer = getattr(session.ctx, "tracer", None)
         traced = tracer is not None and tracer.enabled
-        rkey = result_key(plan.fingerprint(), state, version)
+        # Fold the plan's per-dataset feed versions into the key: a
+        # feed advance re-keys exactly the queries reading that
+        # dataset (zero churn for everyone else). Non-feed datasets
+        # report version 0 and are omitted, keeping legacy keys
+        # byte-identical.
+        names = plan.dataset_names()
+        dv = {
+            n: session.data_version(n)
+            for n in names
+            if session.data_version(n)
+        }
+        rkey = result_key(plan.fingerprint(), state, version, dv)
         if traced:
             with tracer.span("result-cache", kind="cache") as rs:
                 hit = self.result_cache.get(rkey, session.ctx)
@@ -663,8 +1002,12 @@ class QueryService:
         if (
             session.catalog_version == version
             and session.state_fingerprint() == state
+            and all(
+                session.data_version(n) == dv.get(n, 0)
+                for n in names
+            )
         ):
-            self.result_cache.put(rkey, result)
+            self.result_cache.put(rkey, result, datasets=names)
         return result
 
     # ------------------------------------------------------------------

@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -76,15 +77,21 @@ from repro.analysis.aggregate import (
 )
 from repro.core.dataset import ScrubJayDataset
 from repro.core.pipeline import LoadNode, ScanNode
+from repro.core.query import Query
 from repro.core.semantics import Schema
 from repro.errors import (
+    ScrubJayError,
     ShardError,
     ShardRoutingError,
     ShardStaleReadError,
     ShardStateError,
+    StaleRefreshError,
+    SubscriptionError,
 )
 from repro.rdd.shuffle import portable_hash
-from repro.serve.service import QueryService, QueryTicket
+from repro.serve.keys import normalize_query, plan_key
+from repro.serve.service import AggregateSpec, QueryService, QueryTicket
+from repro.serve.subscribe import Subscription
 from repro.serve.wire import (
     QueryClient,
     WireError,
@@ -92,6 +99,7 @@ from repro.serve.wire import (
     decode_rows,
     encode_rows,
 )
+from repro.stream import DeltaPlan
 
 __all__ = [
     "ShardConfig",
@@ -337,6 +345,27 @@ class ShardPlacement:
         self.keys[name] = keys
         return parts
 
+    def append(
+        self, name: str, rows: Sequence[Dict[str, Any]]
+    ) -> List[List[Dict[str, Any]]]:
+        """Split *appended* rows per shard and extend ``name``'s
+        routing table in place — sealed placements never rewrite, new
+        key tuples just join their shard's key set (so the predicate
+        oracle keeps pruning correctly as a feed grows)."""
+        cols = self.shard_on[name]
+        parts: List[List[Dict[str, Any]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        keys = self.keys.setdefault(
+            name, [set() for _ in range(self.num_shards)]
+        )
+        for row in rows:
+            key = tuple(row.get(c) for c in cols)
+            j = portable_hash(key, strict=True) % self.num_shards
+            parts[j].append(row)
+            keys[j].add(key)
+        return parts
+
     def forget(self, name: str) -> None:
         self.keys.pop(name, None)
 
@@ -448,6 +477,12 @@ class ShardRouter(QueryService):
         self._fleet_lock = threading.RLock()
         self._fleet_stamp: Optional[Tuple[int, str]] = None
         self._rr_cursor = 0  # round-robin cursor for unprunable dispatch
+        #: (feed name, shard index) -> the shard's feed watermark after
+        #: the router's last fan-out; the updates-gather verifies shard
+        #: answers against this bookkeeping
+        self._feed_marks: Dict[Tuple[str, int], int] = {}
+        #: router sub_id -> per-shard subscription bookkeeping
+        self._router_subs: Dict[str, Dict[str, Any]] = {}
         self._routing = {
             "scattered": 0,       # queries fanned out
             "shard_requests": 0,  # per-shard query/aggregate requests
@@ -506,22 +541,31 @@ class ShardRouter(QueryService):
             for j, replicas in enumerate(self._fleet):
                 payload = self._register_request(name, schema, parts[j])
                 for handle in self._live_handles(replicas):
-                    self._replicate(handle, payload)
+                    resp = self._replicate(handle, payload)
+                    if "watermark" in resp:
+                        self._feed_marks[(name, j)] = resp["watermark"]
         else:
             payload = self._register_request(name, schema, rows)
-            for replicas in self._fleet:
+            for j, replicas in enumerate(self._fleet):
                 for handle in self._live_handles(replicas):
-                    self._replicate(handle, payload)
+                    resp = self._replicate(handle, payload)
+                    if "watermark" in resp:
+                        self._feed_marks[(name, j)] = resp["watermark"]
 
     def _register_request(
         self, name: str, schema: Schema, rows: List[Dict[str, Any]]
     ) -> Dict[str, Any]:
-        return {
+        req = {
             "op": "register",
             "name": name,
             "schema": schema.to_json_dict(),
             "rows": encode_rows(rows, schema, self.session.dictionary),
         }
+        if name in self.session.feeds:
+            # Live dataset: the shard backs it with a push feed so the
+            # router's advance fan-out can grow it in place.
+            req["feed"] = True
+        return req
 
     def _replicate(
         self, handle: ShardHandle, request: Dict[str, Any]
@@ -850,6 +894,304 @@ class ShardRouter(QueryService):
         if spec.partial:
             return merged
         return finalize_group_partials(merged, spec.how)
+
+    # ------------------------------------------------------------------
+    # streaming: feed fan-out and scatter-gather subscriptions
+    # ------------------------------------------------------------------
+
+    def _stream_request(
+        self, handle: ShardHandle, req: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        resp = handle.request(req)
+        if not resp.get("ok"):
+            raise WireError(
+                str(resp.get("error", "UnknownError")),
+                f"{handle.name}: " + str(resp.get("message", "")),
+            )
+        return resp
+
+    def subscribe(
+        self,
+        domains: Sequence[str],
+        values: Sequence[Any],
+        tenant: str = "default",
+        filters: Sequence = (),
+        aggregate: Optional[AggregateSpec] = None,
+    ) -> Subscription:
+        """Standing query over the fleet: subscribe on *every* shard
+        (future appends may hash new key tuples anywhere, so routing
+        cannot prune standing queries) and keep the merged answer
+        router-side — row concatenation for datasets, partial-
+        aggregate merge for grouped aggregates. Shard refreshes run
+        shard-local (delta where their plans allow); the router only
+        re-gathers and re-merges."""
+        session = self.session
+        query = Query.of(domains, values, filters)
+        state = session.state_fingerprint()
+        nq = normalize_query(query)
+        plan = self.plan_cache.get_or_solve(
+            plan_key(state, nq),
+            lambda: session.engine.solve(session.schemas(), nq),
+        )
+        dplan = DeltaPlan(plan)
+        feed_names = tuple(
+            n for n in dplan.dataset_names() if n in session.feeds
+        )
+        wire_values: List[Any] = []
+        for t in query.values:
+            if getattr(t, "units", None):
+                wire_values.append([t.dimension, t.units])
+            else:
+                wire_values.append(t.dimension)
+        req: Dict[str, Any] = {
+            "op": "subscribe",
+            "domains": list(query.domains),
+            "values": wire_values,
+            "tenant": tenant,
+            "filters": [f.to_json_dict() for f in query.filters],
+        }
+        if aggregate is not None:
+            req.update(
+                group_by=list(aggregate.group_by),
+                value_field=aggregate.value_field,
+                how=aggregate.how,
+                partial=True,  # the router merges, then finalizes
+            )
+        with self._fleet_lock:
+            marks = {
+                n: session.feeds[n].watermark for n in feed_names
+            }
+            book: Dict[str, Any] = {
+                "shard_subs": {}, "versions": {},
+                "rows": {}, "partials": {},
+            }
+            schema: Optional[Schema] = None
+            for j in range(self.num_shards):
+                # Primary only: a subscription is stateful server-side,
+                # so its updates must keep hitting the same process.
+                resp = self._stream_request(self._fleet[j][0], req)
+                book["shard_subs"][j] = resp["sub_id"]
+                book["versions"][j] = resp["version"]
+                if schema is None and resp.get("schema") is not None:
+                    schema = Schema.from_json_dict(resp["schema"])
+                if aggregate is not None:
+                    book["partials"][j] = decode_groups(
+                        resp.get("groups") or [],
+                        list(aggregate.group_by),
+                        schema, session.dictionary,
+                        partial_how=aggregate.how,
+                    )
+                else:
+                    book["rows"][j] = decode_rows(
+                        resp.get("rows") or [], schema,
+                        session.dictionary,
+                    )
+            rows = partials = None
+            if aggregate is not None:
+                partials = {}
+                for part in book["partials"].values():
+                    merge_group_partials(partials, part, aggregate.how)
+            else:
+                rows = [
+                    r for j in sorted(book["rows"])
+                    for r in book["rows"][j]
+                ]
+            with self._subs_lock:
+                self._sub_counter += 1
+                sub_id = f"sub-{self._sub_counter}"
+                sub = Subscription(
+                    sub_id, tenant, query, plan, dplan, aggregate,
+                    feed_names, marks, schema,
+                    rows=rows, partials=partials,
+                )
+                self._subs[sub_id] = sub
+            self._router_subs[sub_id] = book
+        reg = self.metrics.registry
+        if reg is not None:
+            reg.inc("stream.subscribe")
+        return sub
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        with self._fleet_lock:
+            book = self._router_subs.pop(sub_id, None)
+            if book is not None:
+                for j, shard_sub in book["shard_subs"].items():
+                    try:
+                        self._stream_request(
+                            self._fleet[j][0],
+                            {"op": "unsubscribe", "sub_id": shard_sub},
+                        )
+                    except (ShardError, WireError):
+                        pass  # best-effort: the shard GCs on close
+        return super().unsubscribe(sub_id)
+
+    def advance(
+        self,
+        name: str,
+        rows: Optional[List[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """Advance feed ``name`` fleet-wide: grow the router session's
+        feed, route the appended rows to their owning shards (hash
+        placement for sharded datasets — extending the routing table
+        in place — whole-row replication otherwise), then refresh
+        dependent standing subscriptions by re-gathering shard
+        answers. Serialized under the fleet lock, so concurrent
+        advances and refreshes can never interleave into a
+        mixed-watermark answer."""
+        session = self.session
+        try:
+            feed = session.feed(name)
+        except ScrubJayError as exc:
+            raise SubscriptionError(str(exc)) from exc
+        with self._fleet_lock:
+            adv = (
+                feed.push(rows) if rows is not None else feed.advance()
+            )
+            evicted = refreshed = 0
+            if adv.advanced:
+                self._fan_feed_rows(
+                    name, adv.rows, session.dataset(name).schema
+                )
+                evicted = self.result_cache.invalidate_dataset(name)
+                with self._subs_lock:
+                    dependents = [
+                        s for s in self._subs.values()
+                        if name in s.feed_names and not s.closed
+                    ]
+                for sub in dependents:
+                    if self._refresh_subscription(sub):
+                        refreshed += 1
+            return {
+                "name": name,
+                "since": adv.since,
+                "watermark": adv.watermark,
+                "rows_added": adv.rows_added,
+                "evicted": evicted,
+                "subscriptions_refreshed": refreshed,
+            }
+
+    def _fan_feed_rows(
+        self, name: str, rows: List[Dict[str, Any]], schema: Schema
+    ) -> None:
+        """Route appended feed rows to the fleet (caller holds the
+        fleet lock) and record each shard's post-append watermark."""
+        parts = (
+            self.placement.append(name, rows)
+            if self.placement.is_sharded(name)
+            else None
+        )
+        for j, replicas in enumerate(self._fleet):
+            shard_rows = parts[j] if parts is not None else rows
+            req = {
+                "op": "advance",
+                "name": name,
+                "rows": encode_rows(
+                    shard_rows, schema, self.session.dictionary
+                ),
+            }
+            marks: Set[int] = set()
+            for handle in self._live_handles(replicas):
+                resp = self._replicate(handle, req)
+                marks.add(int(resp["watermark"]))
+            if len(marks) != 1:
+                raise ShardStateError(
+                    f"replicas of shard {j} disagree on the feed "
+                    f"watermark of {name!r}: {sorted(marks)}"
+                )
+            self._feed_marks[(name, j)] = marks.pop()
+
+    def _refresh_subscription(self, sub: Subscription) -> bool:
+        """Scatter-gather refresh: pull each shard's standing answer
+        forward (``updates`` since the version the router last saw)
+        and re-merge. Every shard answer's watermarks must match the
+        router's fan-out bookkeeping — a shard that advanced outside
+        the router (or hasn't settled) is retried briefly, then
+        surfaces :class:`StaleRefreshError`, mirroring the
+        ShardStaleReadError contract of the query path."""
+        book = self._router_subs.get(sub.sub_id)
+        if book is None:  # not a fleet subscription (defensive)
+            return super()._refresh_subscription(sub)
+        session = self.session
+        with sub._refresh_lock:
+            targets = {
+                n: session.feeds[n].watermark
+                for n in sub.feed_names if n in session.feeds
+            }
+            if targets == sub.watermarks:
+                return False
+            modes: List[str] = []
+            for j, shard_sub in book["shard_subs"].items():
+                handle = self._fleet[j][0]
+                resp = None
+                for attempt in range(4):
+                    resp = self._stream_request(handle, {
+                        "op": "updates",
+                        "sub_id": shard_sub,
+                        "since_version": book["versions"][j],
+                    })
+                    settled = all(
+                        resp.get("watermarks", {}).get(n)
+                        == self._feed_marks.get((n, j))
+                        for n in sub.feed_names
+                        if (n, j) in self._feed_marks
+                    )
+                    if settled:
+                        break
+                    self._routing["stale_retries"] += 1
+                    time.sleep(0.01 * (attempt + 1))
+                else:
+                    raise StaleRefreshError(
+                        f"shard {j} never settled at the router's "
+                        f"watermarks for subscription {sub.sub_id!r}"
+                    )
+                book["versions"][j] = resp["version"]
+                if resp.get("changed"):
+                    modes.append(str(resp.get("refresh_mode")))
+                    if sub.aggregate is not None:
+                        book["partials"][j] = decode_groups(
+                            resp.get("groups") or [],
+                            list(sub.aggregate.group_by),
+                            sub.schema, session.dictionary,
+                            partial_how=sub.aggregate.how,
+                        )
+                    else:
+                        book["rows"][j] = decode_rows(
+                            resp.get("rows") or [], sub.schema,
+                            session.dictionary,
+                        )
+            mode = (
+                "delta"
+                if modes and all(m == "delta" for m in modes)
+                else "replay"
+            )
+            if sub.aggregate is not None:
+                merged: Dict[Tuple, Any] = {}
+                for part in book["partials"].values():
+                    merge_group_partials(
+                        merged, part, sub.aggregate.how
+                    )
+                sub._commit_replace(targets, partials=merged, mode=mode)
+            else:
+                sub._commit_replace(
+                    targets,
+                    rows=[
+                        r for j in sorted(book["rows"])
+                        for r in book["rows"][j]
+                    ],
+                    mode=mode,
+                )
+            key = (
+                "refresh_delta" if mode == "delta" else "refresh_replay"
+            )
+            with self._subs_lock:
+                self._stream_stats[key] += 1
+            reg = self.metrics.registry
+            if reg is not None:
+                reg.inc(
+                    "stream.refresh.delta" if mode == "delta"
+                    else "stream.refresh.replay"
+                )
+        return True
 
     # ------------------------------------------------------------------
     # observability

@@ -59,6 +59,7 @@ from repro.errors import (
     ProtocolVersionError,
     ScrubJayError,
     ServiceError,
+    UnsupportedOpError,
     WrapperError,
 )
 from repro.serve.service import AggregateSpec, QueryService
@@ -66,8 +67,23 @@ from repro.wrappers.codec import decode_value, encode_value
 
 #: NDJSON protocol version. Bump on any incompatible change to the
 #: request/response shapes; the ``hello`` handshake compares versions
-#: exactly (no negotiation — the fleet is deployed as one unit).
+#: exactly (no negotiation — the fleet is deployed as one unit). The
+#: streaming ops (``subscribe``/``updates``/``unsubscribe``/
+#: ``advance``) are *additive*, so they ride on v2: an older v2 server
+#: answers them with a typed ``UnsupportedOpError`` naming the op and
+#: its supported set, which clients surface as
+#: :class:`~repro.errors.UnsupportedOpError` — graceful degradation
+#: instead of a handshake break.
 PROTOCOL_VERSION = 2
+
+#: every op this dispatcher understands (advertised in the typed
+#: unknown-op error so a client can see what the server speaks)
+SUPPORTED_OPS = (
+    "hello", "ping", "metrics", "sync", "trace",
+    "register", "drop", "define_dimension", "define_unit",
+    "query", "explain", "aggregate",
+    "subscribe", "updates", "unsubscribe", "advance",
+)
 
 
 # ----------------------------------------------------------------------
@@ -112,7 +128,10 @@ def decode_rows(
     for row in rows:
         dec: Dict[str, Any] = {}
         for field, text in row.items():
-            if field in schema:
+            # only strings rode the codec; JSON-native values (a
+            # client pushing plain ints/floats without a dictionary)
+            # pass through untouched
+            if field in schema and isinstance(text, str):
                 dec[field] = decode_value(text, schema[field], dictionary)
             else:
                 dec[field] = text
@@ -171,6 +190,40 @@ def decode_groups(
     return out
 
 
+def _sub_payload(service: QueryService, sub, upd) -> Dict[str, Any]:
+    """Wire form of one :class:`~repro.serve.subscribe.
+    SubscriptionUpdate` (rows/groups ride the semantic codec; an
+    unchanged long-poll answer carries no data)."""
+    body: Dict[str, Any] = {
+        "sub_id": upd.sub_id,
+        "version": upd.version,
+        "watermarks": dict(upd.watermarks),
+        "changed": bool(upd.changed),
+        "refresh_mode": upd.refresh_mode,
+        "schema": (
+            sub.schema.to_json_dict() if sub.schema is not None else None
+        ),
+    }
+    if not upd.changed:
+        return body
+    if upd.groups is not None:
+        spec = sub.aggregate
+        body["groups"] = encode_groups(
+            upd.groups, list(spec.group_by), sub.schema,
+            service.session.dictionary,
+        )
+        body["group_by"] = list(spec.group_by)
+        body["how"] = spec.how
+        body["partial"] = bool(spec.partial)
+        body["group_count"] = len(upd.groups)
+    elif upd.rows is not None:
+        body["rows"] = encode_rows(
+            upd.rows, sub.schema, service.session.dictionary
+        )
+        body["row_count"] = len(upd.rows)
+    return body
+
+
 def _state_stamp(service: QueryService) -> Dict[str, Any]:
     """The catalog consistency stamp replication and scatter-gather
     verify against."""
@@ -225,11 +278,80 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
                 request.get("rows") or [], schema,
                 service.session.dictionary,
             )
+            if request.get("feed"):
+                # Replicating a *live* dataset: back it with a push
+                # feed so later `advance` ops can grow it in place
+                # (the sharded router's feed fan-out path).
+                builder = service.session.ingest().feed(
+                    schema, rows=rows
+                )
+                if request.get("partitions"):
+                    builder = builder.partitions(
+                        int(request["partitions"])
+                    )
+                feed = builder.tail(request["name"])
+                return {
+                    "ok": True,
+                    "feed": True,
+                    "watermark": feed.watermark,
+                    **_state_stamp(service),
+                }
             service.session.register_rows(
                 rows, schema, name=request["name"],
                 num_partitions=request.get("partitions"),
             )
             return {"ok": True, **_state_stamp(service)}
+        if op == "advance":
+            name = request["name"]
+            rows_in = request.get("rows")
+            rows = None
+            if rows_in is not None:
+                schema = service.session.dataset(name).schema
+                rows = decode_rows(
+                    rows_in, schema, service.session.dictionary
+                )
+            out = service.advance(name, rows=rows)
+            return {"ok": True, **out, **_state_stamp(service)}
+        if op == "subscribe":
+            domains = request.get("domains") or []
+            values = _values_from_wire(request.get("values") or [])
+            filters = tuple(
+                FilterTerm.from_json_dict(f)
+                for f in request.get("filters") or ()
+            )
+            spec = None
+            if request.get("group_by"):
+                spec = AggregateSpec(
+                    tuple(request["group_by"]),
+                    str(request.get("value_field")),
+                    str(request.get("how", "mean")),
+                    bool(request.get("partial")),
+                )
+            sub = service.subscribe(
+                domains, values,
+                tenant=str(request.get("tenant", "default")),
+                filters=filters,
+                aggregate=spec,
+            )
+            return {
+                "ok": True,
+                **_sub_payload(service, sub, sub.current()),
+                **_state_stamp(service),
+            }
+        if op == "updates":
+            sub = service.subscription(request["sub_id"])
+            upd = sub.updates(
+                int(request.get("since_version", 0)),
+                timeout=request.get("timeout"),
+            )
+            return {
+                "ok": True,
+                **_sub_payload(service, sub, upd),
+                **_state_stamp(service),
+            }
+        if op == "unsubscribe":
+            removed = service.unsubscribe(request["sub_id"])
+            return {"ok": True, "removed": removed}
         if op == "drop":
             service.session.drop(request["name"])
             return {"ok": True, **_state_stamp(service)}
@@ -320,8 +442,13 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
             }
         return {
             "ok": False,
-            "error": "ProtocolError",
-            "message": f"unknown op {op!r}",
+            "error": "UnsupportedOpError",
+            "message": (
+                f"unknown op {op!r}; this server supports: "
+                + ", ".join(SUPPORTED_OPS)
+            ),
+            "op": op,
+            "supported": list(SUPPORTED_OPS),
         }
     except (ScrubJayError, WrapperError) as exc:
         resp = {
@@ -352,10 +479,20 @@ class WireError(ServiceError):
 
 def _raise_on_error(response: Dict[str, Any]) -> Dict[str, Any]:
     if not response.get("ok"):
-        raise WireError(
-            str(response.get("error", "UnknownError")),
-            str(response.get("message", "")),
-        )
+        err = str(response.get("error", "UnknownError"))
+        msg = str(response.get("message", ""))
+        if err == "UnsupportedOpError" or (
+            # A pre-streaming v2 server answers unknown ops with a
+            # generic ProtocolError; map it to the same typed error so
+            # callers degrade gracefully against old fleets too.
+            err == "ProtocolError" and msg.startswith("unknown op")
+        ):
+            raise UnsupportedOpError(
+                msg,
+                op=response.get("op"),
+                supported=response.get("supported") or (),
+            )
+        raise WireError(err, msg)
     return response
 
 
@@ -414,20 +551,29 @@ class InProcessClient:
         name: str,
         dictionary,
         partitions: Optional[int] = None,
+        feed: bool = False,
     ) -> Dict[str, Any]:
         """Register in-memory rows on the server (replication op).
+        ``feed=True`` registers them as a *live* dataset backed by a
+        push feed, so later :meth:`advance` calls can grow it.
         Returns the server's post-mutation consistency stamp."""
-        resp = _raise_on_error(self.request({
+        req: Dict[str, Any] = {
             "op": "register",
             "name": name,
             "schema": schema.to_json_dict(),
             "rows": encode_rows(rows, schema, dictionary),
             "partitions": partitions,
-        }))
-        return {
+        }
+        if feed:
+            req["feed"] = True
+        resp = _raise_on_error(self.request(req))
+        out = {
             "catalog_version": resp["catalog_version"],
             "state": resp["state"],
         }
+        if "watermark" in resp:
+            out["watermark"] = resp["watermark"]
+        return out
 
     def drop(self, name: str) -> Dict[str, Any]:
         resp = _raise_on_error(self.request({"op": "drop", "name": name}))
@@ -548,6 +694,122 @@ class InProcessClient:
         if dictionary is not None:
             rows = decode_rows(rows, schema, dictionary)
         return rows, schema
+
+    # -- streaming ops (additive on v2; an old server answers these
+    # -- with UnsupportedOpError) --------------------------------------
+
+    def _decode_sub(
+        self, resp: Dict[str, Any], dictionary
+    ) -> Dict[str, Any]:
+        out = {
+            "sub_id": resp["sub_id"],
+            "version": resp["version"],
+            "watermarks": dict(resp.get("watermarks") or {}),
+            "changed": bool(resp.get("changed")),
+            "refresh_mode": resp.get("refresh_mode"),
+            "schema": None,
+            "rows": None,
+            "groups": None,
+        }
+        schema = None
+        if resp.get("schema") is not None:
+            schema = Schema.from_json_dict(resp["schema"])
+            out["schema"] = schema
+        if resp.get("groups") is not None:
+            groups: Any = resp["groups"]
+            if dictionary is not None and schema is not None:
+                groups = decode_groups(
+                    groups, list(resp.get("group_by") or []),
+                    schema, dictionary,
+                    partial_how=(
+                        resp.get("how") if resp.get("partial") else None
+                    ),
+                )
+            out["groups"] = groups
+        elif resp.get("rows") is not None:
+            rows: Any = resp["rows"]
+            if dictionary is not None and schema is not None:
+                rows = decode_rows(rows, schema, dictionary)
+            out["rows"] = rows
+        return out
+
+    def subscribe(
+        self,
+        domains: Sequence[str],
+        values: Sequence[Any],
+        tenant: str = "default",
+        filters: Sequence = (),
+        group_by: Optional[Sequence[str]] = None,
+        value_field: Optional[str] = None,
+        how: str = "mean",
+        partial: bool = False,
+        dictionary=None,
+    ) -> Dict[str, Any]:
+        """Install a standing query; returns its initial answer plus
+        the ``sub_id`` to poll :meth:`updates` with."""
+        req: Dict[str, Any] = {
+            "op": "subscribe",
+            "domains": list(domains),
+            "values": list(values),
+            "tenant": tenant,
+            "filters": [f.to_json_dict() for f in filters],
+        }
+        if group_by:
+            req["group_by"] = list(group_by)
+            req["value_field"] = value_field
+            req["how"] = how
+            req["partial"] = partial
+        resp = _raise_on_error(self.request(req))
+        return self._decode_sub(resp, dictionary)
+
+    def updates(
+        self,
+        sub_id: str,
+        since_version: int = 0,
+        timeout: Optional[float] = None,
+        dictionary=None,
+    ) -> Dict[str, Any]:
+        """The subscription's answer if it changed past
+        ``since_version`` (``changed: False`` otherwise); ``timeout``
+        long-polls server-side for the change."""
+        resp = _raise_on_error(self.request({
+            "op": "updates",
+            "sub_id": sub_id,
+            "since_version": since_version,
+            "timeout": timeout,
+        }))
+        return self._decode_sub(resp, dictionary)
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        resp = _raise_on_error(self.request({
+            "op": "unsubscribe", "sub_id": sub_id,
+        }))
+        return bool(resp.get("removed"))
+
+    def advance(
+        self,
+        name: str,
+        rows: Optional[List[Dict[str, Any]]] = None,
+        schema: Optional[Schema] = None,
+        dictionary=None,
+    ) -> Dict[str, Any]:
+        """Advance feed ``name`` on the server (pushing ``rows``
+        first when given; they ride the codec, so pass the feed's
+        ``schema`` and a compatible ``dictionary``)."""
+        req: Dict[str, Any] = {"op": "advance", "name": name}
+        if rows is not None:
+            if schema is not None and dictionary is not None:
+                rows = encode_rows(rows, schema, dictionary)
+            req["rows"] = rows
+        resp = _raise_on_error(self.request(req))
+        return {
+            "name": resp["name"],
+            "since": resp["since"],
+            "watermark": resp["watermark"],
+            "rows_added": resp["rows_added"],
+            "evicted": resp["evicted"],
+            "subscriptions_refreshed": resp["subscriptions_refreshed"],
+        }
 
     def close(self) -> None:  # symmetry with QueryClient
         pass

@@ -126,6 +126,13 @@ class ScrubJaySession:
         # e.g. drop + re-register of same-named, same-schema rows.
         self._catalog_lock = threading.RLock()
         self._catalog_version = 0
+        # Streaming: datasets tailed as live feeds, plus a per-dataset
+        # data version bumped by feed advances. Deliberately separate
+        # from catalog_version — an append changes one dataset's rows,
+        # not the catalog shape, so only caches keyed on that dataset
+        # should churn (see repro.stream).
+        self.feeds: Dict[str, Any] = {}
+        self._data_versions: Dict[str, int] = {}
         self.cache: Optional[DerivationCache] = (
             DerivationCache(cache_dir, cache_max_entries)
             if cache_dir
@@ -197,6 +204,8 @@ class ScrubJaySession:
                     f"no dataset named {name!r}"
                 ) from None
             self._catalog_version += 1
+            self.feeds.pop(name, None)
+            self._data_versions.pop(name, None)
             return ds
 
     def dataset(self, name: str) -> ScrubJayDataset:
@@ -222,6 +231,49 @@ class ScrubJaySession:
     def catalog_version(self) -> int:
         """Monotonic counter bumped by every register/drop."""
         return self._catalog_version
+
+    # ------------------------------------------------------------------
+    # streaming feeds (see repro.stream)
+    # ------------------------------------------------------------------
+
+    def feed(self, name: str) -> Any:
+        """The :class:`~repro.stream.Feed` tailing dataset ``name``."""
+        with self._catalog_lock:
+            try:
+                return self.feeds[name]
+            except KeyError:
+                raise ScrubJayError(
+                    f"no feed named {name!r}; create one with "
+                    "session.ingest()....tail(name)"
+                ) from None
+
+    def _register_feed(self, feed: Any) -> None:
+        with self._catalog_lock:
+            self.feeds[feed.name] = feed
+            self._data_versions.setdefault(feed.name, 0)
+
+    def data_version(self, name: str) -> int:
+        """Monotonic per-dataset counter bumped by feed advances.
+
+        0 for datasets that never advanced — so result keys computed
+        before streaming existed stay byte-identical.
+        """
+        with self._catalog_lock:
+            return self._data_versions.get(name, 0)
+
+    def data_versions(self) -> Dict[str, int]:
+        """The non-zero per-dataset data versions (see
+        :meth:`data_version`)."""
+        with self._catalog_lock:
+            return {
+                k: v for k, v in self._data_versions.items() if v
+            }
+
+    def _bump_data_version(self, name: str) -> int:
+        with self._catalog_lock:
+            self._data_versions[name] = \
+                self._data_versions.get(name, 0) + 1
+            return self._data_versions[name]
 
     def state_fingerprint(self) -> str:
         """Content hash of everything a *plan* depends on: the catalog

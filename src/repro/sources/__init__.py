@@ -13,6 +13,7 @@ See DESIGN.md "Storage and scan pushdown".
 
 from repro.sources.base import DataSource, ScanSelection, project_row
 from repro.sources.csv_source import CSVSource
+from repro.sources.feed_source import FeedSource
 from repro.sources.ingest import IngestBuilder
 from repro.sources.predicate import ColumnPredicate, EqTerm, RangeTerm
 from repro.sources.rows_source import RowsSource
@@ -24,6 +25,7 @@ __all__ = [
     "CSVSource",
     "DataSource",
     "EqTerm",
+    "FeedSource",
     "IngestBuilder",
     "project_row",
     "RangeTerm",

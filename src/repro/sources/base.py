@@ -125,6 +125,71 @@ class DataSource(ABC):
         batches = [ColumnBatch.from_rows(rows)] if rows else []
         return batches, stats
 
+    # -- append capability (streaming feeds) ---------------------------
+    #
+    # An *appendable* source exposes a monotonic integer offset over
+    # its committed contents (bytes past the CSV header, sealed store
+    # segments, pushed feed rows). ``append_scan(since, until)``
+    # returns exactly the rows committed in ``[since, until)`` plus
+    # the offset actually reached; offsets returned here are always
+    # *committed record boundaries*, so re-scanning from a returned
+    # offset never re-delivers or splits a row. Feeds build their
+    # exactly-once-per-watermark guarantee on that property.
+
+    def supports_append(self) -> bool:
+        """Whether this source can be tailed as a growing feed."""
+        return False
+
+    def current_offset(self) -> int:
+        """The committed end offset right now (monotonic integer)."""
+        from repro.errors import FeedError
+
+        raise FeedError(
+            f"{type(self).__name__} ({self.name!r}) is not appendable"
+        )
+
+    def append_scan(
+        self,
+        since_offset: Optional[int] = None,
+        until_offset: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Rows committed in ``[since_offset, until_offset)``.
+
+        ``since_offset=None`` starts from the beginning of the data;
+        ``until_offset=None`` reads to the current committed end.
+        Returns ``(rows, new_offset)`` where ``new_offset`` is the
+        committed boundary actually reached (pass it back as the next
+        ``since_offset``). Raises
+        :class:`~repro.errors.FeedRewoundError` when ``since_offset``
+        lies beyond the source's current end (truncation/rewrite).
+        """
+        from repro.errors import FeedError
+
+        raise FeedError(
+            f"{type(self).__name__} ({self.name!r}) is not appendable"
+        )
+
+    def refresh(self) -> None:
+        """Drop any cached layout so new appends become visible to
+        ``partitions()``/``read_partition``. No-op by default."""
+
+    def bounded(self, offset: int) -> "DataSource":
+        """A frozen snapshot source over ``[0, offset)``.
+
+        Used by feed-pinned execution (subscription refreshes, scoped
+        replay) so an answer computed "at watermark *w*" never reads
+        rows a concurrent writer appended past *w*. The default
+        materializes the prefix through :meth:`append_scan` into a
+        rows-backed snapshot; sources with a cheap native bound (CSV
+        byte ranges) override.
+        """
+        from repro.sources.rows_source import RowsSource
+
+        rows, _ = self.append_scan(None, offset)
+        snap = RowsSource(rows, self.schema(), name=self.name)
+        snap.name = self.name
+        return snap
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 

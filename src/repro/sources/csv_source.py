@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dictionary import SemanticDictionary
 from repro.core.semantics import Schema
-from repro.errors import SourceError
+from repro.errors import FeedRewoundError, SourceError
 from repro.sources.base import DataSource
 from repro.sources.predicate import ColumnPredicate
 from repro.wrappers.codec import decode_value
@@ -36,12 +36,15 @@ class CSVSource(DataSource):
         dictionary: SemanticDictionary,
         name: Optional[str] = None,
         num_partitions: int = 4,
+        end_offset: Optional[int] = None,
     ) -> None:
         self.path = path
         self._schema = schema
         self.dictionary = dictionary
         self.name = name or path
         self.num_partitions_hint = max(1, num_partitions)
+        #: frozen byte bound for `bounded()` snapshots (None = live file)
+        self.end_offset = end_offset
         self._layout: Optional[Tuple[List[str], int, int]] = None
         self._ranges: Optional[List[Tuple[int, int]]] = None
 
@@ -61,6 +64,8 @@ class CSVSource(DataSource):
                 data_start = f.tell()
         except OSError as exc:
             raise SourceError(f"cannot read {self.path}: {exc}") from exc
+        if self.end_offset is not None:
+            size = min(size, self.end_offset)
         text = header_line.decode("utf-8").rstrip("\r\n")
         if not text:
             raise SourceError(f"{self.path}: empty CSV (no header)")
@@ -223,3 +228,108 @@ class CSVSource(DataSource):
             "rows_read": rows_read,
             "bytes_scanned": max(0, consumed),
         }
+
+    # -- append capability (tailing a growing file) --------------------
+
+    def supports_append(self) -> bool:
+        return self.end_offset is None
+
+    def refresh(self) -> None:
+        """Forget cached layout/ranges so new appends are visible."""
+        self._layout = None
+        self._ranges = None
+
+    def current_offset(self) -> int:
+        """Byte offset just past the last *committed* record."""
+        _rows, offset = self.append_scan(None, None)
+        return offset
+
+    def bounded(self, offset: int) -> "CSVSource":
+        """A frozen byte-clamped view over ``[header, offset)`` — no
+        materialization; partition ranges are computed inside the
+        clamp. ``offset`` must be a committed record boundary (as
+        returned by :meth:`append_scan`)."""
+        snap = CSVSource(
+            self.path, self._schema, self.dictionary, name=self.name,
+            num_partitions=self.num_partitions_hint, end_offset=offset,
+        )
+        return snap
+
+    def tail(
+        self,
+        since_offset: Optional[int] = None,
+        until_offset: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Alias for :meth:`append_scan` — tail a growing CSV file."""
+        return self.append_scan(since_offset, until_offset)
+
+    def append_scan(
+        self,
+        since_offset: Optional[int] = None,
+        until_offset: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Decode rows committed in ``[since_offset, until_offset)``.
+
+        A record is *committed* only when it is newline-terminated with
+        balanced quotes — a torn final line (a writer mid-append) or a
+        quoted cell whose closing quote has not landed yet is left for
+        the next scan and the returned offset stops before it, so no
+        row is ever delivered twice or split across scans.
+        """
+        # re-stat fresh: the cached layout is for frozen scan planning
+        self._layout = None
+        self._ranges = None
+        header, data_start, size = self._read_layout()
+        start = data_start if since_offset is None else since_offset
+        if start > size:
+            raise FeedRewoundError(
+                f"{self.path}: tail offset {start} is beyond the file "
+                f"end {size} (file truncated or rewritten?)",
+                since_offset=start, current_offset=size,
+            )
+        if until_offset is not None and until_offset > size:
+            raise FeedRewoundError(
+                f"{self.path}: requested bound {until_offset} is beyond "
+                f"the file end {size}",
+                since_offset=start, current_offset=size,
+            )
+        bound = size if until_offset is None else until_offset
+        known = [c for c in header if c in self._schema]
+        out: List[Dict[str, Any]] = []
+        committed = start
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(start)
+                while f.tell() < bound:
+                    raw = f.readline()
+                    if not raw:
+                        break
+                    while raw.count(b'"') % 2 == 1:
+                        cont = f.readline()
+                        if not cont:
+                            break
+                        raw += cont
+                    if raw.count(b'"') % 2 == 1 or \
+                            not raw.endswith(b"\n"):
+                        break  # torn record: writer not done yet
+                    if f.tell() > bound:
+                        break  # record straddles the requested bound
+                    text = raw.decode("utf-8").rstrip("\r\n")
+                    committed = f.tell()
+                    if not text:
+                        continue
+                    fields = next(csv.reader([text]))
+                    record = dict(zip(header, fields))
+                    row: Dict[str, Any] = {}
+                    for col in known:
+                        value = decode_value(
+                            record.get(col), self._schema[col],
+                            self.dictionary,
+                        )
+                        if value is not None:
+                            row[col] = value
+                    if row:
+                        out.append(row)
+        except OSError as exc:
+            raise SourceError(f"cannot read {self.path}: {exc}") from exc
+        return out, committed

@@ -24,10 +24,11 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.dataset import ScrubJayDataset
 from repro.core.semantics import Schema
-from repro.errors import SourceError
+from repro.errors import FeedError, SourceError
 from repro.rdd.rdd import ScanRDD
 from repro.sources.base import DataSource
 from repro.sources.csv_source import CSVSource
+from repro.sources.feed_source import FeedSource
 from repro.sources.rows_source import RowsSource
 from repro.sources.sql_source import SQLSource
 from repro.sources.table_source import TableSource
@@ -92,6 +93,20 @@ class IngestBuilder:
         """A custom :class:`DataSource` implementation."""
         return self._set(source)
 
+    def feed(
+        self,
+        schema: Schema,
+        rows: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> "IngestBuilder":
+        """An in-process push feed (see
+        :class:`~repro.sources.feed_source.FeedSource`): producers
+        ``push()`` rows in, and the ``.tail(name)`` terminal turns it
+        into a live dataset."""
+        return self._set(FeedSource(
+            schema, rows=rows,
+            num_partitions=self._default_partitions(),
+        ))
+
     # -- tuning --------------------------------------------------------
 
     def partitions(self, n: int) -> "IngestBuilder":
@@ -140,3 +155,32 @@ class IngestBuilder:
         ds = self.load(name)
         self._session.register(ds, name)
         return ds
+
+    def tail(self, name: str) -> "Feed":  # noqa: F821
+        """Register the source as a *live* dataset and return a
+        :class:`~repro.stream.Feed` handle tailing it.
+
+        The source must support the append capability
+        (:meth:`~repro.sources.base.DataSource.supports_append`):
+        CSV files being appended to, wide-column tables gaining sealed
+        segments, push :meth:`feed` endpoints. The feed starts at the
+        source's current committed offset; ``feed.advance()`` folds
+        newly committed rows into the session (bumping the dataset's
+        data version) and returns them.
+        """
+        from repro.stream.feed import Feed
+
+        if self._source is None:
+            raise SourceError(
+                "ingest() chain has no source; call .csv()/.table()/"
+                ".feed()/.source() first"
+            )
+        if not self._source.supports_append():
+            raise FeedError(
+                f"{type(self._source).__name__} cannot be tailed; "
+                "use .register() for static sources"
+            )
+        ds = self.register(name)
+        feed = Feed(self._session, ds, self._source, name)
+        self._session._register_feed(feed)
+        return feed

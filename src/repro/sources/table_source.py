@@ -71,6 +71,54 @@ class TableSource(DataSource):
             indices, len(keys), {"pruned_by": "partition-key"}
         )
 
+    # -- append capability (tailing sealed segments) -------------------
+
+    def supports_append(self) -> bool:
+        return True
+
+    def refresh(self) -> None:
+        """Forget the cached partition-key list so partitions sealed by
+        an append become visible to planning."""
+        self._keys = None
+
+    def current_offset(self) -> int:
+        """Sealed segment count — memtable rows are not feed-visible
+        until :meth:`~repro.store.wide_column.Table.append_rows` (or a
+        flush) seals them."""
+        return self._table().segment_count()
+
+    def append_scan(
+        self,
+        since_offset: Optional[int] = None,
+        until_offset: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Rows of segments sealed in ``[since_offset, until_offset)``,
+        filtered to schema fields like :meth:`read_partition_stats`."""
+        from repro.errors import FeedRewoundError
+
+        table = self._table()
+        count = table.segment_count()
+        lo = 0 if since_offset is None else since_offset
+        hi = count if until_offset is None else until_offset
+        if lo > count or hi > count:
+            raise FeedRewoundError(
+                f"{self.name}: tail offset {max(lo, hi)} is beyond the "
+                f"sealed segment count {count} (segments lost?)",
+                since_offset=lo, current_offset=count,
+            )
+        self._keys = None  # new segments may carry new partition keys
+        fields = set(self._schema.fields())
+        out: List[Dict[str, Any]] = []
+        for record in table.read_segment_range(lo, hi):
+            row = {
+                k: v
+                for k, v in record.items()
+                if k in fields and v is not None
+            }
+            if row:
+                out.append(row)
+        return out, hi
+
     # -- worker side ---------------------------------------------------
 
     def read_partition(

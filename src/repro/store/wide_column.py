@@ -171,9 +171,63 @@ class Table:
         self._memtable_rows = 0
         return path
 
+    def append_rows(
+        self, rows: Sequence[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Insert ``rows`` and seal them into new immutable segments.
+
+        The streaming-ingestion write path: every call ends with the
+        appended rows durably sealed (a ``flush`` even below the
+        memtable limit), each new segment carrying its zone-map
+        sidecar, and *no sealed segment rewritten* — ``flush`` only
+        ever writes ``segment-{next_id}`` files. Returns the sealed
+        segment paths and the table's new committed segment count (the
+        feed offset for :class:`~repro.sources.table_source.TableSource`
+        tailing).
+        """
+        before = self.segment_count()
+        had_memtable = self._memtable_rows > 0
+        self.insert_many(rows)
+        if self._memtable:
+            self.flush()
+        paths = self._segment_paths()
+        return {
+            "sealed": paths[before:],
+            "segment_count": len(paths),
+            "rows": len(rows),
+            # rows that were sitting in the memtable before this call
+            # get sealed along with the append
+            "flushed_memtable": had_memtable,
+        }
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
+
+    def segment_count(self) -> int:
+        """Number of sealed segments (the append-feed offset)."""
+        return len(self._segment_paths())
+
+    def read_segment_range(
+        self, lo: int, hi: int
+    ) -> List[Dict[str, Any]]:
+        """Rows of sealed segments ``[lo, hi)`` in segment order.
+
+        Segment ids are allocated densely by ``flush`` (id = count at
+        seal time), so the sorted path list indexes by id. The memtable
+        is deliberately excluded: feed-visible data is sealed data.
+        """
+        paths = self._segment_paths()
+        if lo < 0 or hi > len(paths):
+            raise StoreError(
+                f"segment range [{lo}, {hi}) outside sealed segments "
+                f"[0, {len(paths)}) of table {self.name!r}"
+            )
+        out: List[Dict[str, Any]] = []
+        for path in paths[lo:hi]:
+            with open(path, "rb") as f:
+                out.extend(pickle.load(f))
+        return out
 
     def _segment_paths(self) -> List[str]:
         return sorted(
@@ -502,6 +556,14 @@ class WideColumnStore:
             for d in os.listdir(ks_dir)
             if os.path.isdir(os.path.join(ks_dir, d))
         )
+
+    def append_rows(
+        self, keyspace: str, table: str, rows: Sequence[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Append ``rows`` to a table, sealing them into fresh
+        segments with zone-map sidecars (see
+        :meth:`Table.append_rows`)."""
+        return self.table(keyspace, table).append_rows(rows)
 
     def flush_all(self) -> None:
         for table in self._tables.values():

@@ -1,0 +1,81 @@
+"""Streaming observability: feed gauges and ``stream.*`` counters in
+the registry snapshot and the Prometheus exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScrubJaySession
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    keyed_tables,
+)
+from repro.obs import MetricsRegistry, to_prometheus
+from repro.serve import QueryService
+
+from tests.serve.conftest import JOIN_DOMAINS, JOIN_VALUES
+
+
+@pytest.fixture()
+def feed_service():
+    sj = ScrubJaySession()
+    left, right = keyed_tables(60, num_keys=8)
+    sj.ingest().feed(KEYED_LEFT_SCHEMA, rows=left).tail("samples")
+    sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")
+    svc = QueryService(sj, num_workers=1)
+    yield svc, sj
+    svc.close()
+    sj.close()
+
+
+def _advance(svc, start, n):
+    return svc.advance("samples", rows=[
+        {"node": (start + i) % 8, "sample": 10_000 + start + i,
+         "metric_a": float(start + i)}
+        for i in range(n)
+    ])
+
+
+def test_feed_gauges_in_snapshot(feed_service):
+    svc, sj = feed_service
+    _advance(svc, 0, 5)
+    gauges = sj.ctx.metrics.snapshot()["gauges"]
+    assert gauges["feed.watermark{feed=samples}"] == 65
+    assert gauges["feed.lag_rows{feed=samples}"] == 0
+
+
+def test_stream_counters_in_snapshot(feed_service):
+    svc, sj = feed_service
+    sub = svc.subscribe(JOIN_DOMAINS, JOIN_VALUES)
+    _advance(svc, 0, 5)
+    _advance(svc, 5, 5)
+    svc.unsubscribe(sub.sub_id)
+    counters = sj.ctx.metrics.snapshot()["counters"]
+    assert counters["stream.subscribe"] == 1
+    assert counters["stream.unsubscribe"] == 1
+    assert counters["stream.refresh.delta"] == 2
+    assert counters["stream.refresh.rows"] == 10
+    assert "stream.refresh.replay" not in counters
+    # the classification decisions mirror in with their choice label
+    assert counters["stream.delta.decisions{choice=delta}"] >= 2
+
+
+def test_stream_metrics_in_prometheus_export(feed_service):
+    svc, sj = feed_service
+    svc.subscribe(JOIN_DOMAINS, JOIN_VALUES)
+    _advance(svc, 0, 4)
+    text = to_prometheus(sj.ctx.metrics)
+    assert 'feed_watermark{feed="samples"} 64' in text
+    assert 'feed_lag_rows{feed="samples"} 0' in text
+    assert "stream_subscribe 1" in text
+    assert "stream_refresh_delta 1" in text
+    assert "stream_refresh_rows 4" in text
+    assert 'stream_delta_decisions{choice="delta"}' in text
+
+
+def test_prometheus_export_without_streams_has_no_stream_series():
+    reg = MetricsRegistry()
+    reg.inc("serve.completed")
+    text = to_prometheus(reg)
+    assert "stream_" not in text and "feed_" not in text

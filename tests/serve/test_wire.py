@@ -155,4 +155,6 @@ def test_malformed_lines_do_not_kill_connection(service, server):
 def test_unknown_op(service):
     local = InProcessClient(service)
     resp = local.request({"op": "selfdestruct"})
-    assert resp["ok"] is False and resp["error"] == "ProtocolError"
+    assert resp["ok"] is False and resp["error"] == "UnsupportedOpError"
+    assert resp["op"] == "selfdestruct"
+    assert "query" in resp["supported"]

@@ -1,0 +1,154 @@
+"""Unknown wire ops come back typed: an ``UnsupportedOpError``
+response naming the op and the server's supported list — and the
+client maps both it and the legacy pre-streaming ``ProtocolError``
+string to the same typed exception, so a new client degrades
+gracefully against a pinned v2 fleet that predates the streaming
+ops."""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+import pytest
+
+from repro.serve import (
+    InProcessClient,
+    PROTOCOL_VERSION,
+    QueryClient,
+    QueryService,
+    UnsupportedOpError,
+)
+from repro.serve.wire import SUPPORTED_OPS, _raise_on_error, dispatch
+
+from tests.serve.conftest import JOIN_DOMAINS, JOIN_VALUES
+
+
+@pytest.fixture()
+def service(serve_session):
+    svc = QueryService(serve_session, num_workers=1, max_queue=16)
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# modern server: the typed response
+# ----------------------------------------------------------------------
+
+
+def test_unknown_op_response_names_op_and_supported_list(service):
+    resp = dispatch(service, {"op": "frobnicate"})
+    assert resp["ok"] is False
+    assert resp["error"] == "UnsupportedOpError"
+    assert resp["op"] == "frobnicate"
+    assert resp["supported"] == list(SUPPORTED_OPS)
+    assert "frobnicate" in resp["message"]
+    # the message tells the operator what the server *can* do
+    assert "subscribe" in resp["message"]
+
+
+def test_client_raises_typed_error_with_op_and_supported(service):
+    local = InProcessClient(service)
+    with pytest.raises(UnsupportedOpError) as exc_info:
+        _raise_on_error(local.request({"op": "frobnicate"}))
+    exc = exc_info.value
+    assert exc.op == "frobnicate"
+    assert "subscribe" in exc.supported
+    assert "query" in exc.supported
+
+
+def test_streaming_ops_are_advertised(service):
+    for op in ("subscribe", "updates", "unsubscribe", "advance"):
+        assert op in SUPPORTED_OPS
+
+
+# ----------------------------------------------------------------------
+# pinned v2 server (pre-streaming): the legacy mapping
+# ----------------------------------------------------------------------
+
+#: the op set a v2 server shipped before the streaming ops landed
+_PINNED_V2_OPS = (
+    "hello", "ping", "metrics", "sync", "trace", "register", "drop",
+    "define_dimension", "define_unit", "query", "explain", "aggregate",
+)
+
+
+class _PinnedV2Handler(socketserver.StreamRequestHandler):
+    """A frozen replica of the pre-streaming server's dispatch edge:
+    same protocol version, but streaming ops are *unknown* and answered
+    with the legacy untyped ``ProtocolError`` string."""
+
+    def handle(self):
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            req = json.loads(line.decode("utf-8"))
+            op = req.get("op")
+            if op == "hello":
+                resp = {"ok": True, "version": PROTOCOL_VERSION}
+            elif op == "ping":
+                resp = {"ok": True, "pong": True}
+            elif op in _PINNED_V2_OPS:  # pragma: no cover - not reached
+                resp = {"ok": False, "error": "ServiceError",
+                        "message": "stub"}
+            else:
+                resp = {
+                    "ok": False,
+                    "error": "ProtocolError",
+                    "message": f"unknown op {op!r}",
+                }
+            self.wfile.write(
+                (json.dumps(resp) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+
+
+@pytest.fixture()
+def pinned_v2_server():
+    srv = socketserver.ThreadingTCPServer(
+        ("127.0.0.1", 0), _PinnedV2Handler
+    )
+    srv.daemon_threads = True
+    t = threading.Thread(target=srv.serve_forever, daemon=True)
+    t.start()
+    try:
+        yield srv.server_address
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        t.join(5.0)
+
+
+def test_new_client_against_pinned_v2_raises_unsupported(
+    pinned_v2_server,
+):
+    host, port = pinned_v2_server
+    with QueryClient(host, port) as client:
+        # handshake agrees (same protocol version) ...
+        assert client.ping() is True
+        # ... but every streaming op maps to the typed exception
+        with pytest.raises(UnsupportedOpError) as exc_info:
+            client.subscribe(JOIN_DOMAINS, JOIN_VALUES)
+        assert "unknown op" in str(exc_info.value)
+        # a legacy response carries no capability list
+        assert exc_info.value.supported == ()
+
+        with pytest.raises(UnsupportedOpError):
+            client.updates("sub-1")
+        with pytest.raises(UnsupportedOpError):
+            client.unsubscribe("sub-1")
+        with pytest.raises(UnsupportedOpError):
+            client.advance("samples")
+
+
+def test_pinned_v2_failure_does_not_kill_the_connection(
+    pinned_v2_server,
+):
+    host, port = pinned_v2_server
+    with QueryClient(host, port) as client:
+        with pytest.raises(UnsupportedOpError):
+            client.advance("samples")
+        # graceful degradation: the connection still answers old ops
+        assert client.ping() is True

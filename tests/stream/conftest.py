@@ -1,0 +1,30 @@
+"""Shared streaming fixtures: a small live-feed schema and row maker."""
+
+from __future__ import annotations
+
+from repro.core.semantics import Schema, domain, value
+
+FEED_SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "tick": domain("time", "seconds"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def feed_rows(start: int, n: int, nodes: int = 4):
+    """``n`` rows with globally unique ``tick`` values from ``start``."""
+    return [
+        {
+            "node": (start + i) % nodes,
+            "tick": float(start + i),
+            "temp": 20.0 + (start + i) % 11,
+        }
+        for i in range(n)
+    ]
+
+
+def row_multiset(rows):
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items()))
+        for row in rows
+    )

@@ -1,0 +1,187 @@
+"""Tailing a CSV file under a concurrent writer: torn lines, quoted
+records straddling the tail offset, truncation, and a live
+writer/reader loop. The committed-record contract is what keeps the
+exactly-once-per-watermark guarantee honest for files."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ScrubJaySession, default_dictionary
+from repro.core.semantics import Schema, domain, value
+from repro.errors import FeedRewoundError
+from repro.sources import CSVSource
+
+from tests.stream.conftest import FEED_SCHEMA, feed_rows, row_multiset
+
+QUOTED_SCHEMA = Schema({
+    "node": domain("compute nodes", "identifier"),
+    "name": value("applications", "label"),
+    "temp": value("temperature", "degrees Celsius"),
+})
+
+
+def _source(path, schema=FEED_SCHEMA):
+    return CSVSource(str(path), schema, default_dictionary())
+
+
+def _append(path, text):
+    with open(path, "a", newline="") as f:
+        f.write(text)
+
+
+# ----------------------------------------------------------------------
+# torn final lines
+# ----------------------------------------------------------------------
+
+
+def test_torn_final_line_is_left_for_the_next_scan(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("node,tick,temp\n1,1.0,20.0\n2,2.0,21.0\n")
+    src = _source(path)
+    rows, offset = src.append_scan()
+    assert len(rows) == 2
+
+    # a writer mid-append: no trailing newline yet
+    _append(path, "3,3.")
+    rows, torn_offset = src.append_scan(offset)
+    assert rows == []
+    assert torn_offset == offset  # the offset stops before the torn tail
+
+    # the write completes; the record is delivered exactly once
+    _append(path, "0,22.0\n")
+    rows, done = src.append_scan(torn_offset)
+    assert len(rows) == 1
+    assert rows[0]["tick"] == 3.0 and rows[0]["temp"] == 22.0
+    assert done > torn_offset
+    # and never again
+    assert src.append_scan(done)[0] == []
+
+
+def test_missing_final_newline_never_splits_a_record(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("node,tick,temp\n")
+    src = _source(path)
+    offset = src.current_offset()
+    # the whole first record arrives in two writes
+    _append(path, "7,1.0,")
+    assert src.append_scan(offset) == ([], offset)
+    _append(path, "25.0\n")
+    rows, offset = src.append_scan(offset)
+    assert rows == [{"node": 7, "tick": 1.0, "temp": 25.0}]
+
+
+# ----------------------------------------------------------------------
+# quoted records straddling the tail offset
+# ----------------------------------------------------------------------
+
+
+def test_open_quote_holds_the_watermark(tmp_path):
+    path = tmp_path / "q.csv"
+    path.write_text('node,name,temp\n1,app0,20.0\n')
+    src = _source(path, QUOTED_SCHEMA)
+    rows, offset = src.append_scan()
+    assert len(rows) == 1
+
+    # first physical line of a quoted record lands, newline included,
+    # but the closing quote has not: not committed
+    _append(path, '2,"multi\n')
+    rows, held = src.append_scan(offset)
+    assert rows == [] and held == offset
+
+    # the rest lands: one row, embedded newline intact, delivered once
+    _append(path, 'line",21.0\n3,app3,22.0\n')
+    rows, done = src.append_scan(held)
+    assert [r["node"] for r in rows] == [2, 3]
+    assert rows[0]["name"] == "multi\nline"
+    assert src.append_scan(done)[0] == []
+
+
+def test_bounded_snapshot_respects_committed_boundary(tmp_path):
+    path = tmp_path / "q.csv"
+    path.write_text('node,name,temp\n1,app0,20.0\n2,app1,21.0\n')
+    src = _source(path, QUOTED_SCHEMA)
+    _rows, offset = src.append_scan()
+    _append(path, '3,"open\n')  # torn quoted tail past the boundary
+    snap = src.bounded(offset)
+    got = [
+        r for i in range(snap.num_partitions())
+        for r in snap.read_partition(i)
+    ]
+    assert [r["node"] for r in got] == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# truncation
+# ----------------------------------------------------------------------
+
+
+def test_truncated_file_raises_feed_rewound(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text(
+        "node,tick,temp\n1,1.0,20.0\n2,2.0,21.0\n3,3.0,22.0\n"
+    )
+    src = _source(path)
+    _rows, offset = src.append_scan()
+    # a log rotation / rewrite shrinks the file under the tailer
+    with open(path, "w") as f:
+        f.write("node,tick,temp\n1,1.0,20.0\n")
+    with pytest.raises(FeedRewoundError):
+        src.append_scan(offset)
+
+
+def test_feed_advance_surfaces_rewound_error(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("node,tick,temp\n1,1.0,20.0\n2,2.0,21.0\n")
+    sj = ScrubJaySession()
+    try:
+        feed = sj.ingest().csv(str(path), FEED_SCHEMA).tail("live")
+        assert feed.watermark > 0
+        with open(path, "w") as f:
+            f.write("node,tick,temp\n")
+        with pytest.raises(FeedRewoundError):
+            feed.advance()
+    finally:
+        sj.close()
+
+
+# ----------------------------------------------------------------------
+# concurrent writer vs tailing reader
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_writer_loses_and_duplicates_nothing(tmp_path):
+    path = tmp_path / "live.csv"
+    path.write_text("node,tick,temp\n")
+    total, batch = 60, 5
+    sj = ScrubJaySession()
+    try:
+        feed = sj.ingest().csv(str(path), FEED_SCHEMA).tail("live")
+
+        def writer():
+            for start in range(0, total, batch):
+                lines = "".join(
+                    f"{r['node']},{r['tick']},{r['temp']}\n"
+                    for r in feed_rows(start, batch)
+                )
+                # tear every batch in two physical writes
+                mid = len(lines) // 2
+                _append(path, lines[:mid])
+                time.sleep(0.001)
+                _append(path, lines[mid:])
+
+        t = threading.Thread(target=writer)
+        t.start()
+        seen = []
+        deadline = time.monotonic() + 30.0
+        while len(seen) < total and time.monotonic() < deadline:
+            seen.extend(feed.advance().rows)
+        t.join()
+        seen.extend(feed.advance().rows)
+        assert row_multiset(seen) == row_multiset(feed_rows(0, total))
+        assert feed.rows_ingested == total
+    finally:
+        sj.close()

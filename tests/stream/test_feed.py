@@ -1,0 +1,187 @@
+"""Feed handles: push feeds, monotonic watermarks, table tailing,
+and the feed gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScrubJaySession
+from repro.errors import FeedError
+from repro.sources import FeedSource
+from repro.store import WideColumnStore
+from repro.stream import Feed, FeedAdvance
+
+from tests.stream.conftest import FEED_SCHEMA, feed_rows, row_multiset
+
+
+@pytest.fixture()
+def session():
+    sj = ScrubJaySession()
+    yield sj
+    sj.close()
+
+
+# ----------------------------------------------------------------------
+# FeedSource: the in-process push endpoint
+# ----------------------------------------------------------------------
+
+
+def test_feed_source_offsets_are_row_counts():
+    src = FeedSource(FEED_SCHEMA, name="live")
+    assert src.current_offset() == 0
+    assert src.push(feed_rows(0, 3)) == 3
+    assert src.push(feed_rows(3, 2)) == 5
+    rows, offset = src.append_scan(3, None)
+    assert offset == 5
+    assert [r["tick"] for r in rows] == [3.0, 4.0]
+    # explicit bounds slice exactly
+    rows, offset = src.append_scan(1, 4)
+    assert offset == 4 and len(rows) == 3
+
+
+def test_feed_source_bounded_is_frozen():
+    src = FeedSource(FEED_SCHEMA, name="live", rows=feed_rows(0, 4))
+    snap = src.bounded(4)
+    src.push(feed_rows(4, 6))
+    frozen = [
+        r for i in range(len(snap.partitions()))
+        for r in snap.read_partition(i)
+    ]
+    assert len(frozen) == 4  # later pushes are invisible to the snapshot
+    assert src.current_offset() == 10
+
+
+# ----------------------------------------------------------------------
+# Feed: the session-side tailing handle
+# ----------------------------------------------------------------------
+
+
+def test_ingest_feed_tail_returns_live_handle(session):
+    feed = (
+        session.ingest()
+        .feed(FEED_SCHEMA, rows=feed_rows(0, 5))
+        .tail("live")
+    )
+    assert isinstance(feed, Feed)
+    assert feed.name == "live"
+    # rows present at tail() time are already past the watermark
+    assert feed.watermark == 5
+    assert session.feed("live") is feed
+    assert len(session.dataset("live").collect()) == 5
+
+
+def test_push_advances_watermark_and_data_version(session):
+    feed = session.ingest().feed(FEED_SCHEMA).tail("live")
+    assert session.data_version("live") == 0
+    adv = feed.push(feed_rows(0, 4))
+    assert isinstance(adv, FeedAdvance)
+    assert adv.advanced and adv.since == 0 and adv.watermark == 4
+    assert adv.rows_added == 4
+    assert feed.watermark == 4
+    assert session.data_version("live") == 1
+    # plain queries see the appended rows
+    got = session.ask(["compute nodes", "time"], ["temperature"]).collect()
+    assert row_multiset(got) == row_multiset(feed_rows(0, 4))
+
+
+def test_empty_advance_is_a_noop(session):
+    feed = session.ingest().feed(FEED_SCHEMA, rows=feed_rows(0, 3)) \
+        .tail("live")
+    before = session.data_version("live")
+    adv = feed.advance()
+    assert not adv.advanced
+    assert adv.rows_added == 0
+    assert feed.watermark == 3
+    assert session.data_version("live") == before
+
+
+def test_watermark_is_monotonic_across_advances(session):
+    feed = session.ingest().feed(FEED_SCHEMA).tail("live")
+    marks = [feed.watermark]
+    for batch in range(3):
+        feed.source.push(feed_rows(batch * 5, 5))
+        marks.append(feed.advance().watermark)
+    assert marks == sorted(marks) == [0, 5, 10, 15]
+    assert feed.rows_ingested == 15
+    assert session.data_version("live") == 3
+
+
+def test_each_row_delivered_by_exactly_one_advance(session):
+    feed = session.ingest().feed(FEED_SCHEMA).tail("live")
+    seen = []
+    for batch in range(4):
+        feed.source.push(feed_rows(batch * 3, 3))
+        seen.extend(feed.advance().rows)
+    assert row_multiset(seen) == row_multiset(feed_rows(0, 12))
+
+
+def test_push_on_non_push_source_raises(session, tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("node,tick,temp\n1,1.0,20.0\n")
+    feed = session.ingest().csv(str(path), FEED_SCHEMA).tail("live")
+    with pytest.raises(FeedError) as exc_info:
+        feed.push(feed_rows(0, 1))
+    assert "push" in str(exc_info.value)
+
+
+def test_static_source_cannot_be_tailed(session):
+    with pytest.raises(FeedError):
+        session.ingest().rows(feed_rows(0, 2), FEED_SCHEMA).tail("live")
+
+
+def test_bounded_source_pins_a_watermark(session):
+    feed = session.ingest().feed(FEED_SCHEMA, rows=feed_rows(0, 6)) \
+        .tail("live")
+    snap = feed.bounded_source()
+    feed.push(feed_rows(6, 6))
+    frozen = [
+        r for i in range(len(snap.partitions()))
+        for r in snap.read_partition(i)
+    ]
+    assert row_multiset(frozen) == row_multiset(feed_rows(0, 6))
+
+
+# ----------------------------------------------------------------------
+# TableSource tailing: sealed segments are the offsets
+# ----------------------------------------------------------------------
+
+
+def test_table_source_tail_sees_sealed_appends(session, tmp_path):
+    store = WideColumnStore(str(tmp_path / "store"))
+    table = store.create_table("perf", "temps", ["node"], ["tick"])
+    table.insert_many(feed_rows(0, 4))
+    table.flush()
+    feed = (
+        session.ingest()
+        .table(store, "perf", "temps", FEED_SCHEMA)
+        .tail("live")
+    )
+    assert feed.watermark == 1  # one sealed segment
+    # memtable rows are not feed-visible until sealed
+    table.insert_many(feed_rows(4, 2))
+    assert not feed.advance().advanced
+    out = table.append_rows(feed_rows(6, 3))
+    assert out["segment_count"] == 2
+    adv = feed.advance()
+    assert adv.advanced and adv.watermark == 2
+    # the memtable rows sealed along with the append ride the same batch
+    assert row_multiset(adv.rows) == row_multiset(feed_rows(4, 5))
+    assert len(session.dataset("live").collect()) == 9
+
+
+# ----------------------------------------------------------------------
+# gauges
+# ----------------------------------------------------------------------
+
+
+def test_feed_gauges_track_watermark_and_lag(session):
+    feed = session.ingest().feed(FEED_SCHEMA).tail("live")
+    reg = session.ctx.metrics
+    labels = {"feed": "live"}
+    assert reg.gauge("feed.watermark", labels) == 0
+    feed.source.push(feed_rows(0, 7))
+    assert feed.lag_rows() == 7
+    assert reg.gauge("feed.lag_rows", labels) == 7
+    feed.advance()
+    assert reg.gauge("feed.watermark", labels) == 7
+    assert reg.gauge("feed.lag_rows", labels) == 0

@@ -9,7 +9,13 @@ Public API highlights:
 - :class:`~repro.core.query.Query` — logical queries over dimensions;
 - :class:`~repro.core.dataset.ScrubJayDataset` — annotated distributed
   datasets on the :mod:`repro.rdd` engine;
-- :mod:`repro.wrappers` — CSV/SQL/NoSQL data (un)wrappers;
+- :class:`~repro.core.query.Measure` / :class:`~repro.core.query.Grain`
+  — the semantic metrics layer (:mod:`repro.metrics`), with
+  materialized :class:`~repro.metrics.rollup.Rollup` tables;
+- :mod:`repro.sources` — lazy partitioned ingestion
+  (``session.ingest().csv/sql/table/rows``);
+- :mod:`repro.wrappers` — CSV/SQL/NoSQL unwrappers (export back to
+  storage formats);
 - :mod:`repro.datagen` — the synthetic HPC facility used by the case
   studies and benchmarks.
 """
@@ -18,7 +24,7 @@ from repro.session import ScrubJaySession
 from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
 from repro.core.dictionary import SemanticDictionary, default_dictionary
 from repro.core.dataset import ScrubJayDataset
-from repro.core.query import FilterTerm, Query, QueryBuilder
+from repro.core.query import FilterTerm, Grain, Measure, Query, QueryBuilder
 from repro.core.answer import Answer
 from repro.sources import (
     ColumnPredicate,
@@ -54,10 +60,12 @@ from repro.serve import (
 )
 from repro.sources.feed_source import FeedSource
 from repro.stream import DeltaPlan, Feed, FeedAdvance
+from repro.metrics import MetricAnswer, Rollup
 from repro.errors import (
     FeedError,
     FeedRewoundError,
     QueryTimeoutError,
+    QueryValidationError,
     ScrubJayError,
     ServiceOverloadError,
     SourceError,
@@ -81,6 +89,10 @@ __all__ = [
     "Query",
     "QueryBuilder",
     "FilterTerm",
+    "Measure",
+    "Grain",
+    "MetricAnswer",
+    "Rollup",
     "Answer",
     "DataSource",
     "IngestBuilder",
@@ -117,6 +129,7 @@ __all__ = [
     "ScrubJayError",
     "ServiceOverloadError",
     "QueryTimeoutError",
+    "QueryValidationError",
     "TaskError",
     "WrapperError",
     "SourceError",

@@ -12,7 +12,25 @@ from repro.columnar import kernels
 from repro.errors import SemanticError
 from repro.core.dataset import ScrubJayDataset
 
-#: built-in aggregators: name -> (zero, seq, finalize)
+def _percentile(values: Sequence[float], q: float) -> Any:
+    """Linear-interpolation percentile (numpy's default method) over
+    an unsorted sequence; None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+#: built-in aggregators: name -> (zero, seq, finalize).
+#: p50/p95 partials are tuples of the raw values (merge = concatenate)
+#: — exact, but *not* re-aggregatable once finalized, which is why the
+#: metrics layer treats them as non-decomposable for rollup routing.
 _AGGREGATORS: Dict[str, Tuple[Any, Callable, Callable]] = {
     "mean": ((0.0, 0), lambda a, x: (a[0] + x, a[1] + 1),
              lambda a: a[0] / a[1] if a[1] else None),
@@ -20,7 +38,14 @@ _AGGREGATORS: Dict[str, Tuple[Any, Callable, Callable]] = {
     "min": (None, lambda a, x: x if a is None or x < a else a, lambda a: a),
     "max": (None, lambda a, x: x if a is None or x > a else a, lambda a: a),
     "count": (0, lambda a, _x: a + 1, lambda a: a),
+    "p50": ((), lambda a, x: a + (x,), lambda a: _percentile(a, 0.50)),
+    "p95": ((), lambda a, x: a + (x,), lambda a: _percentile(a, 0.95)),
 }
+
+#: aggregators whose *finalized* values (or fixed-size partials) can be
+#: re-aggregated from coarser pre-computed partials. p50/p95 are
+#: excluded: their only exact partial is the full value list.
+DECOMPOSABLE_AGGS = frozenset({"mean", "sum", "min", "max", "count"})
 
 
 def group_aggregate_partials(
@@ -109,8 +134,9 @@ def group_aggregate(
 ) -> Dict[Tuple, Any]:
     """Aggregate ``value_field`` per distinct ``group_fields`` tuple.
 
-    ``how`` is one of mean/sum/min/max/count. Rows missing any group
-    or value field are skipped. Returns ``{group_tuple: aggregate}``.
+    ``how`` is one of mean/sum/min/max/count/p50/p95. Rows missing any
+    group or value field are skipped. Returns ``{group_tuple:
+    aggregate}``.
     """
     return finalize_group_partials(
         group_aggregate_partials(dataset, group_fields, value_field, how),
@@ -123,6 +149,9 @@ def _merge_for(how: str) -> Callable:
         return lambda a, b: (a[0] + b[0], a[1] + b[1])
     if how == "sum" or how == "count":
         return lambda a, b: a + b
+    if how in ("p50", "p95"):
+        # partials are value tuples; wire decode may hand back lists
+        return lambda a, b: tuple(a) + tuple(b)
     if how == "min":
         return lambda a, b: b if a is None else (a if b is None or a < b else b)
     return lambda a, b: b if a is None else (a if b is None or a > b else b)

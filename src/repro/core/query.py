@@ -14,9 +14,127 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.errors import QueryError
+from repro.errors import QueryError, QueryValidationError
 
 ValueSpec = Union[str, Tuple[str, str]]
+
+#: aggregation functions a Measure may request; mirrors
+#: repro.analysis.aggregate._AGGREGATORS
+MEASURE_HOWS = ("sum", "mean", "min", "max", "count", "p50", "p95")
+
+_DURATION_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_duration(spec: Union[str, int, float]) -> float:
+    """Parse a time-span spec — ``"30s"``, ``"15m"``, ``"1h"``,
+    ``"1d"``, or plain seconds — into seconds."""
+    if isinstance(spec, (int, float)):
+        seconds = float(spec)
+    else:
+        text = str(spec).strip().lower()
+        try:
+            if text and text[-1] in _DURATION_SUFFIXES:
+                seconds = float(text[:-1]) * _DURATION_SUFFIXES[text[-1]]
+            else:
+                seconds = float(text)
+        except ValueError:
+            raise QueryError(
+                f"cannot parse duration {spec!r}; expected seconds or "
+                "a number suffixed with s/m/h/d (e.g. '1h', '15m')"
+            ) from None
+    if seconds <= 0:
+        raise QueryError(f"duration must be positive, got {spec!r}")
+    return seconds
+
+
+@dataclass(frozen=True)
+class Measure:
+    """One requested aggregate: a value dimension reduced with ``how``.
+
+    ``how`` is one of sum/mean/min/max/count/p50/p95. ``window``
+    (seconds) makes it a *windowed* measure: at each time bucket the
+    aggregate covers the trailing window of buckets rather than just
+    the bucket itself (requires a grain). A measure names a
+    *dimension* like the rest of the query; the metrics layer resolves
+    it to the answer schema's field.
+    """
+
+    dimension: str
+    how: str = "mean"
+    window: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.how not in MEASURE_HOWS:
+            raise QueryError(
+                f"unknown measure aggregation {self.how!r}; expected "
+                f"one of {list(MEASURE_HOWS)}"
+            )
+        if self.window is not None:
+            object.__setattr__(
+                self, "window", parse_duration(self.window)
+            )
+
+    def key(self) -> str:
+        """Stable result-column key, e.g. ``power_p95``."""
+        base = f"{self.dimension}_{self.how}"
+        if self.window is not None:
+            base += f"_w{self.window:g}"
+        return base
+
+    def to_json_dict(self) -> dict:
+        out: dict = {"dimension": self.dimension, "how": self.how}
+        if self.window is not None:
+            out["window"] = self.window
+        return out
+
+    @staticmethod
+    def from_json_dict(d: dict) -> "Measure":
+        return Measure(d["dimension"], d.get("how", "mean"),
+                       d.get("window"))
+
+    def __str__(self) -> str:
+        s = f"{self.how}({self.dimension})"
+        if self.window is not None:
+            s += f" over {self.window:g}s"
+        return s
+
+
+@dataclass(frozen=True)
+class Grain:
+    """The time resolution of a metric answer: bucket width in seconds
+    over a datetime domain dimension (default ``"time"``)."""
+
+    seconds: float
+    dimension: str = "time"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seconds", parse_duration(self.seconds))
+
+    @staticmethod
+    def of(spec: Union[str, int, float],
+           dimension: str = "time") -> "Grain":
+        return Grain(parse_duration(spec), dimension)
+
+    def divides(self, other: "Grain") -> bool:
+        """True when buckets of this grain nest exactly into buckets
+        of the (coarser or equal) ``other`` grain."""
+        if self.dimension != other.dimension:
+            return False
+        ratio = other.seconds / self.seconds
+        return abs(ratio - round(ratio)) < 1e-9 and round(ratio) >= 1
+
+    def bucket(self, epoch: float) -> float:
+        return (epoch // self.seconds) * self.seconds
+
+    def to_json_dict(self) -> dict:
+        return {"seconds": self.seconds, "dimension": self.dimension}
+
+    @staticmethod
+    def from_json_dict(d: dict) -> "Grain":
+        return Grain(d["seconds"], d.get("dimension", "time"))
+
+    def __str__(self) -> str:
+        return f"{self.seconds:g}s/{self.dimension}"
 
 
 @dataclass(frozen=True)
@@ -99,12 +217,21 @@ class Query:
     #: the leaf scans). Default empty keeps pre-filter queries —
     #: including their JSON form and fingerprints — unchanged.
     filters: Tuple[FilterTerm, ...] = ()
+    #: optional metric terms (see repro.metrics): requested aggregates,
+    #: grouping domain dimensions, and time grain. All default-empty so
+    #: plain queries serialize (and hash) exactly as before.
+    measures: Tuple[Measure, ...] = ()
+    per: Tuple[str, ...] = ()
+    grain: Optional[Grain] = None
 
     @staticmethod
     def of(
         domains: Sequence[str],
         values: Sequence[ValueSpec],
         filters: Sequence[FilterTerm] = (),
+        measures: Sequence[Measure] = (),
+        per: Sequence[str] = (),
+        grain: Optional[Grain] = None,
     ) -> "Query":
         """Build a query from plain strings / (dimension, units) pairs."""
         if not domains:
@@ -118,7 +245,22 @@ class Query:
             else:
                 dim, units = v
                 terms.append(ValueTerm(dim, units))
-        return Query(tuple(domains), tuple(terms), tuple(filters))
+        return Query(tuple(domains), tuple(terms), tuple(filters),
+                     tuple(measures), tuple(per), grain)
+
+    @property
+    def is_metric(self) -> bool:
+        """True when the query carries measure terms and should be
+        answered by the metrics layer (bucket + aggregate), not as a
+        raw relation."""
+        return bool(self.measures)
+
+    def base(self) -> "Query":
+        """The raw relational part — what the derivation engine solves.
+        Identity for plain queries."""
+        if not self.is_metric:
+            return self
+        return Query(self.domains, self.values, self.filters)
 
     def validate(self, dictionary) -> None:
         """Check every referenced dimension/unit keyword exists."""
@@ -143,6 +285,19 @@ class Query:
                     f"range filter on unordered dimension "
                     f"{flt.dimension!r}"
                 )
+        for m in self.measures:
+            if not dictionary.has_dimension(m.dimension):
+                raise QueryError(
+                    f"unknown measure dimension {m.dimension!r}"
+                )
+        for dim in self.per:
+            if not dictionary.has_dimension(dim):
+                raise QueryError(f"unknown per dimension {dim!r}")
+        if self.grain is not None and \
+                not dictionary.has_dimension(self.grain.dimension):
+            raise QueryError(
+                f"unknown grain dimension {self.grain.dimension!r}"
+            )
 
     def value_dimensions(self) -> List[str]:
         return [t.dimension for t in self.values]
@@ -156,10 +311,19 @@ class Query:
         # hash, e.g. for serve-layer plan keys) exactly as before.
         if self.filters:
             out["filters"] = [f.to_json_dict() for f in self.filters]
+        # Likewise metric terms: absent keys keep plain-query JSON
+        # (and every derived cache key) byte-identical.
+        if self.measures:
+            out["measures"] = [m.to_json_dict() for m in self.measures]
+            if self.per:
+                out["per"] = list(self.per)
+            if self.grain is not None:
+                out["grain"] = self.grain.to_json_dict()
         return out
 
     @staticmethod
     def from_json_dict(d: dict) -> "Query":
+        grain = d.get("grain")
         return Query(
             tuple(d["domains"]),
             tuple(
@@ -170,6 +334,12 @@ class Query:
                 FilterTerm.from_json_dict(f)
                 for f in d.get("filters", ())
             ),
+            tuple(
+                Measure.from_json_dict(m)
+                for m in d.get("measures", ())
+            ),
+            tuple(d.get("per", ())),
+            Grain.from_json_dict(grain) if grain else None,
         )
 
     def __str__(self) -> str:
@@ -180,6 +350,14 @@ class Query:
         out = f"Query(domains: {', '.join(self.domains)}; values: {vals}"
         if self.filters:
             out += "; where: " + ", ".join(str(f) for f in self.filters)
+        if self.measures:
+            out += "; measures: " + ", ".join(
+                str(m) for m in self.measures
+            )
+            if self.per:
+                out += "; per: " + ", ".join(self.per)
+            if self.grain is not None:
+                out += f"; grain: {self.grain}"
         return out + ")"
 
 
@@ -208,6 +386,9 @@ class QueryBuilder:
         self._domains: List[str] = []
         self._values: List[ValueTerm] = []
         self._filters: List[FilterTerm] = []
+        self._measures: List[Measure] = []
+        self._per: List[str] = []
+        self._grain: Optional[Grain] = None
 
     # -- accumulation --------------------------------------------------
 
@@ -268,16 +449,89 @@ class QueryBuilder:
         self._filters.append(FilterTerm(dimension, "range", None, low, high))
         return self
 
+    # -- metric terms (see repro.metrics) ------------------------------
+
+    def measure(
+        self,
+        dimension: str,
+        how: str = "mean",
+        window: Optional[Union[str, float]] = None,
+    ) -> "QueryBuilder":
+        """Request an aggregate of a value dimension: ``how`` is one of
+        sum/mean/min/max/count/p50/p95; ``window`` (``"5m"``-style or
+        seconds) makes it a trailing-window measure over the grain."""
+        self._measures.append(Measure(dimension, how, window))
+        return self
+
+    def per(self, *dimensions: str) -> "QueryBuilder":
+        """Group the measures per these domain dimensions (e.g.
+        ``.per("rack")`` for per-rack aggregates)."""
+        self._per.extend(dimensions)
+        return self
+
+    def grain(
+        self,
+        spec: Union[str, int, float],
+        dimension: str = "time",
+    ) -> "QueryBuilder":
+        """Bucket the measures at this time resolution (``"1h"``,
+        ``"15m"``, or seconds) over a datetime domain dimension."""
+        self._grain = Grain.of(spec, dimension)
+        return self
+
     # -- terminals -----------------------------------------------------
 
     def build(self) -> Query:
-        """Freeze into an immutable :class:`Query`."""
-        if not self._domains:
-            raise QueryError("a query needs at least one domain dimension")
-        if not self._values:
-            raise QueryError("a query needs at least one value dimension")
+        """Freeze into an immutable :class:`Query`.
+
+        Raises :class:`~repro.errors.QueryValidationError` (naming the
+        missing clause) on an empty builder and on inconsistent metric
+        terms — instead of failing deep in the engine."""
+        if (self._per or self._grain is not None) and not self._measures:
+            raise QueryValidationError(
+                "per()/grain() shape measures, but no .measure(...) "
+                "was added",
+                clause="measure",
+            )
+        domains = list(self._domains)
+        for dim in self._per:
+            if dim not in domains:
+                domains.append(dim)
+        values = list(self._values)
+        if self._measures:
+            if self._grain is not None and \
+                    self._grain.dimension not in domains:
+                domains.append(self._grain.dimension)
+            have = {t.dimension for t in values}
+            for m in self._measures:
+                if m.dimension not in have:
+                    values.append(ValueTerm(m.dimension))
+                    have.add(m.dimension)
+            if self._grain is None and \
+                    any(m.window is not None for m in self._measures):
+                raise QueryValidationError(
+                    "a windowed measure needs a time grain; add "
+                    ".grain('1h') (or similar)",
+                    clause="grain",
+                )
+        if not domains:
+            raise QueryValidationError(
+                "query has no domain dimensions; add .across(...) "
+                "(or .per(...) for a metric query)",
+                clause="across",
+            )
+        if not values:
+            raise QueryValidationError(
+                "query has no value dimensions; add .value(...) or "
+                ".measure(...)",
+                clause="value",
+            )
+        # filters may name columns the query does not select (the
+        # engine resolves them against the answer's schema at plan
+        # time), so no mention check here
         return Query(
-            tuple(self._domains), tuple(self._values), tuple(self._filters)
+            tuple(domains), tuple(values), tuple(self._filters),
+            tuple(self._measures), tuple(self._per), self._grain,
         )
 
     def _require_session(self, what: str):

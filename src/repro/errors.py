@@ -47,6 +47,23 @@ class QueryError(ScrubJayError):
     """A query is malformed — e.g. references unknown dimensions."""
 
 
+class QueryValidationError(QueryError):
+    """A query was rejected *before* planning.
+
+    Raised by :meth:`~repro.core.query.QueryBuilder.build` (and the
+    measure/grain terminals) when the accumulated terms cannot form a
+    well-formed query — an empty builder, a filter on a dimension the
+    query never mentions, a windowed measure without a grain. Carries
+    the offending ``clause`` (e.g. ``"across"``, ``"where"``,
+    ``"measure"``) so callers and tests can pinpoint what is missing
+    without parsing the message.
+    """
+
+    def __init__(self, message: str, clause: "str | None" = None) -> None:
+        super().__init__(message)
+        self.clause = clause
+
+
 class NoSolutionError(QueryError):
     """The derivation engine exhausted its search without finding a
     derivation sequence that satisfies the query.
@@ -334,6 +351,7 @@ __all__ = [
     "UnitError",
     "DerivationError",
     "QueryError",
+    "QueryValidationError",
     "NoSolutionError",
     "PipelineError",
     "WrapperError",

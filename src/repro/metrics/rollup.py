@@ -1,0 +1,396 @@
+"""Materialized rollup tables: pre-aggregated measure sets at a grain.
+
+``session.rollup(name, query)`` takes a metric query and materializes
+its answer — one wide row per (per-dims, time bucket) group — into the
+wide-column store, registering the result in the session catalog so
+the engine's schema search sees it like any other dataset. The
+materialization itself is an ordinary derivation plan (``base plan →
+bucket_time → rollup_aggregate``), so it serializes and EXPLAINs.
+
+Two states are kept per rollup:
+
+- the **table**: finalized values, scanned by whoever queries the
+  rollup dataset directly;
+- the **partial state**: unfinalized mergeable aggregation states per
+  group (``mean`` → ``(sum, count)``), which is what lets the router
+  re-aggregate a rollup to any coarser grain or per-dim subset
+  *exactly* for decomposable measures, and what lets a feed delta fold
+  in at O(delta) via the PR-8 incremental-refresh path.
+
+Routing (:meth:`Rollup.can_answer`): decomposable aggregates
+(sum/count/min/max/mean) accept any query whose grain the rollup's
+grain divides and whose per-dims are a subset; non-decomposable ones
+(p50/p95) only ever route to the exact grain and per-dim set — anything
+else falls back to raw.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import QueryError, ScrubJayError
+from repro.analysis.aggregate import (
+    DECOMPOSABLE_AGGS,
+    _merge_for,
+)
+from repro.core.dataset import ScrubJayDataset
+from repro.core.pipeline import DerivationPlan, TransformNode
+from repro.core.query import Query
+from repro.metrics.compute import (
+    finalize_metric,
+    merge_metric_partials,
+    metric_group_fields,
+    metric_partials,
+)
+from repro.metrics.derive import BucketTime, RollupAggregate
+from repro.rdd.rdd import ScanRDD
+from repro.rdd.stats import RollupDecision
+from repro.stream import DeltaPlan
+from repro.units.temporal import Timestamp
+
+_STORE_KEYSPACE = "rollups"
+
+
+def pinned_catalog(session, watermarks: Dict[str, int]
+                   ) -> Dict[str, ScrubJayDataset]:
+    """The session catalog with each feed dataset in ``watermarks``
+    swapped for a frozen snapshot bounded at its watermark (the
+    serve layer's no-mixed-watermark rule, session-side)."""
+    catalog = session.snapshot()
+    for name, mark in watermarks.items():
+        feed = session.feeds.get(name)
+        if feed is None:
+            continue
+        src = feed.source.bounded(mark)
+        src.name = name
+        ds = ScrubJayDataset(
+            ScanRDD(session.ctx, src),
+            src.schema(),
+            name,
+            provenance={"op": "scan",
+                        "source": type(src).__name__,
+                        "name": name, "bounded_at": mark},
+        )
+        ds.source = src
+        catalog[name] = ds
+    return catalog
+
+
+def rows_from_state(
+    state: Dict[str, Dict[Tuple, Any]],
+    group_fields: List[str],
+    query: Query,
+) -> List[Dict[str, Any]]:
+    """Finalized wide rows from a per-measure partial state."""
+    final = finalize_metric(state, query)
+    rows: List[Dict[str, Any]] = []
+    for g in sorted(final, key=repr):
+        row = dict(zip(group_fields, g))
+        for mkey, val in final[g].items():
+            if val is not None:
+                row[mkey] = val
+        rows.append(row)
+    return rows
+
+
+class Rollup:
+    """One materialized rollup: its defining metric query, plan,
+    partial state, table, and feed watermarks."""
+
+    def __init__(self, session, name: str, query: Query) -> None:
+        if not query.is_metric:
+            raise QueryError(
+                f"rollup {name!r} needs a metric query; add "
+                ".measure(...) (and usually .per()/.grain())"
+            )
+        if query.grain is None:
+            raise QueryError(
+                f"rollup {name!r} needs a time grain; add .grain('1h')"
+            )
+        self.session = session
+        self.name = name
+        self.query = query
+        #: per-measure partial state {measure_key: {group: partial}}
+        self.state: Dict[str, Dict[Tuple, Any]] = {}
+        self.watermarks: Dict[str, int] = {}
+        self.refreshes = 0
+        self.delta_refreshes = 0
+        self._version = 0
+        self._lock = threading.RLock()
+        # Solve the base relation once; the rollup plan wraps it.
+        self.base_plan = session.engine.solve(
+            session.schemas(), query.base()
+        )
+        schema = self.base_plan.derive_schema(
+            session.schemas(), session.dictionary
+        )
+        gf, tfield = metric_group_fields(schema, query)
+        self.group_fields = gf
+        self.time_field = tfield
+        #: the materialization plan — base → bucket_time →
+        #: rollup_aggregate — a plain serializable DerivationPlan
+        node = TransformNode(
+            BucketTime(tfield, query.grain.seconds),
+            self.base_plan.root,
+        )
+        node = TransformNode(
+            RollupAggregate(gf, list(query.measures)), node
+        )
+        self.plan = DerivationPlan(node)
+        self.delta_plan = DeltaPlan(self.base_plan)
+        self.feed_names = tuple(
+            n for n in self.base_plan.dataset_names()
+            if n in session.feeds
+        )
+
+    # -- materialization ----------------------------------------------
+
+    def materialize(self) -> "Rollup":
+        """Compute the rollup at the current feed watermarks, write
+        its table, and register it in the catalog."""
+        session = self.session
+        with self._lock:
+            marks = {
+                n: session.feeds[n].watermark for n in self.feed_names
+            }
+            base = self.delta_plan.execute_full(
+                pinned_catalog(session, marks),
+                session.dictionary,
+                columnar=session.engine.config.columnar,
+            )
+            self.state = metric_partials(base, self.query)
+            self.watermarks = marks
+            self._publish()
+        return self
+
+    def _publish(self) -> None:
+        """Rebuild the finalized table from the partial state and
+        swap it into the store + catalog (caller holds the lock)."""
+        session = self.session
+        rows = rows_from_state(self.state, self.group_fields, self.query)
+        store = session._rollup_store()
+        self._version += 1
+        table = f"{self.name}_v{self._version}"
+        partition_key = self.group_fields[:-1] or [self.group_fields[-1]]
+        store.create_table(
+            _STORE_KEYSPACE, table, partition_key,
+            clustering=(self.group_fields[-1],)
+            if len(self.group_fields) > 1 else (),
+        )
+        store.append_rows(_STORE_KEYSPACE, table, rows)
+        schema = self._table_schema()
+        try:
+            session.drop(self.name)
+        except ScrubJayError:
+            pass
+        session.ingest().table(
+            store, _STORE_KEYSPACE, table, schema
+        ).register(self.name)
+
+    def _table_schema(self):
+        base_schema = self.base_plan.derive_schema(
+            self.session.schemas(), self.session.dictionary
+        )
+        agg = RollupAggregate(self.group_fields, list(self.query.measures))
+        return agg.derive_schema(base_schema, self.session.dictionary)
+
+    @property
+    def dataset(self) -> ScrubJayDataset:
+        return self.session.dataset(self.name)
+
+    # -- routing -------------------------------------------------------
+
+    def can_answer(self, query: Query) -> bool:
+        """Can this rollup's stored state answer ``query`` exactly?"""
+        rq = self.query
+        if not query.is_metric:
+            return False
+        exact_grain = False
+        if query.grain is not None:
+            if not rq.grain.divides(query.grain):
+                return False
+            exact_grain = abs(
+                rq.grain.seconds - query.grain.seconds
+            ) < 1e-9
+        if not set(query.per) <= set(rq.per):
+            return False
+        exact_per = set(query.per) == set(rq.per)
+        available = {(m.dimension, m.how) for m in rq.measures}
+        for m in query.measures:
+            if (m.dimension, m.how) not in available:
+                return False
+            decomposable = m.how in DECOMPOSABLE_AGGS
+            if m.window is not None and not decomposable:
+                return False
+            if not decomposable and not (exact_grain and exact_per):
+                # p50/p95 cannot be re-aggregated from coarser
+                # partials — exact-grain, exact-group reads only
+                return False
+        # filters must match; extra equality filters on per-dims are
+        # fine (they restrict whole groups post-aggregation)
+        if set(rq.filters) - set(query.filters):
+            return False
+        for f in set(query.filters) - set(rq.filters):
+            if f.op != "eq" or f.dimension not in query.per:
+                return False
+        return True
+
+    def answer(self, query: Query) -> Dict[Tuple, Dict[str, Any]]:
+        """Answer a metric query from the partial state: project the
+        group keys onto the query's per-dims, re-bucket to its grain,
+        merge, and finalize."""
+        with self._lock:
+            per_idx = [self.query.per.index(d) for d in query.per]
+            group_filters = [
+                (query.per.index(f.dimension), f.value)
+                for f in set(query.filters) - set(self.query.filters)
+            ]
+            parts: Dict[str, Dict[Tuple, Any]] = {}
+            for m in query.measures:
+                mkey = m.key()
+                # the stored state is keyed by *this* rollup's measure
+                # keys; match on (dimension, how) so e.g. a windowed
+                # mean query reads the plain per-bucket mean partials
+                # (windows apply at finalize, not in the state)
+                src = {}
+                for rm in self.query.measures:
+                    if (rm.dimension, rm.how) == (m.dimension, m.how):
+                        src = self.state.get(rm.key(), {})
+                        break
+                merge = _merge_for(m.how)
+                projected: Dict[Tuple, Any] = {}
+                for key, val in src.items():
+                    per_vals, bucket = key[:-1], key[-1]
+                    nk = tuple(per_vals[i] for i in per_idx)
+                    if query.grain is not None:
+                        epoch = getattr(bucket, "epoch", bucket)
+                        nk = nk + (
+                            Timestamp(query.grain.bucket(epoch)),
+                        )
+                    if any(nk[i] != v for i, v in group_filters):
+                        continue
+                    projected[nk] = (
+                        merge(projected[nk], val)
+                        if nk in projected else val
+                    )
+                parts[mkey] = projected
+        return finalize_metric(parts, query)
+
+    # -- freshness (the PR-8 incremental-refresh path) -----------------
+
+    def refresh(self) -> Dict[str, Any]:
+        """Bring the rollup to its feeds' current watermarks —
+        incrementally (delta partials merged into the standing state)
+        when the base plan is delta-safe, by scoped replay otherwise —
+        then republish the table."""
+        session = self.session
+        with self._lock:
+            base = dict(self.watermarks)
+            targets = dict(base)
+            changed = set()
+            for n in self.feed_names:
+                feed = session.feeds.get(n)
+                if feed is None:
+                    continue
+                targets[n] = feed.watermark
+                if targets[n] != base.get(n):
+                    changed.add(n)
+            if not changed:
+                return {"name": self.name, "refreshed": False}
+            mode, decisions = self.delta_plan.classify(changed)
+            self.delta_plan.record(
+                getattr(session.ctx, "report", None), decisions
+            )
+            if mode == "delta":
+                deltas: Dict[str, ScrubJayDataset] = {}
+                for n in sorted(changed):
+                    feed = session.feeds[n]
+                    rows, _ = feed.source.append_scan(
+                        base.get(n, 0), targets[n]
+                    )
+                    deltas[n] = ScrubJayDataset.from_rows(
+                        session.ctx, rows,
+                        session.dataset(n).schema, n,
+                    )
+                pinned = {
+                    n: base[n] for n in self.feed_names
+                    if n not in changed and n in base
+                }
+                result = self.delta_plan.execute_delta(
+                    pinned_catalog(session, pinned), deltas,
+                    session.dictionary,
+                    columnar=session.engine.config.columnar,
+                )
+                part = metric_partials(result, self.query)
+                merge_metric_partials(self.state, part, self.query)
+                self.delta_refreshes += 1
+            else:
+                result = self.delta_plan.execute_full(
+                    pinned_catalog(session, targets),
+                    session.dictionary,
+                    columnar=session.engine.config.columnar,
+                )
+                self.state = metric_partials(result, self.query)
+            self.watermarks = targets
+            self.refreshes += 1
+            self._publish()
+            return {
+                "name": self.name,
+                "refreshed": True,
+                "mode": mode,
+                "watermarks": dict(targets),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"Rollup({self.name!r}, grain={self.query.grain}, "
+            f"per={list(self.query.per)}, "
+            f"measures={[str(m) for m in self.query.measures]}, "
+            f"groups={sum(len(v) for v in self.state.values())})"
+        )
+
+
+def choose_rollup(
+    rollups: Dict[str, Rollup], query: Query
+) -> Tuple[Optional[Rollup], RollupDecision]:
+    """Route a metric query: the **coarsest** registered rollup that
+    can answer it exactly, or raw. Always returns a
+    :class:`RollupDecision` explaining the choice."""
+    requested = query.grain.seconds if query.grain else None
+    eligible = [r for r in rollups.values() if r.can_answer(query)]
+    if eligible:
+        win = max(eligible, key=lambda r: r.query.grain.seconds)
+        return win, RollupDecision(
+            route="rollup",
+            rollup=win.name,
+            requested_grain=requested,
+            rollup_grain=win.query.grain.seconds,
+            candidates=len(eligible),
+            reason=(
+                f"coarsest of {len(eligible)} eligible rollup(s) "
+                f"at grain {win.query.grain.seconds:g}s"
+            ),
+        )
+    if not rollups:
+        reason = "no rollups registered"
+    elif any(
+        m.how not in DECOMPOSABLE_AGGS for m in query.measures
+    ):
+        reason = (
+            "non-decomposable measure (p50/p95) needs an exact-grain, "
+            "exact-group rollup; none registered"
+        )
+    else:
+        reason = (
+            "no registered rollup covers the requested "
+            "measures/per/grain"
+        )
+    return None, RollupDecision(
+        route="raw",
+        rollup=None,
+        requested_grain=requested,
+        rollup_grain=None,
+        candidates=0,
+        reason=reason,
+    )

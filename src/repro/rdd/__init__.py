@@ -45,6 +45,7 @@ from repro.rdd.stats import (
     AdaptiveConfig,
     AdaptivePlanner,
     DeltaDecision,
+    RollupDecision,
     ExecutionReport,
     JoinDecision,
     RDDStats,
@@ -58,6 +59,7 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptivePlanner",
     "DeltaDecision",
+    "RollupDecision",
     "ExecutionReport",
     "JoinDecision",
     "RDDStats",

@@ -388,6 +388,48 @@ class DeltaDecision:
         }
 
 
+@dataclass
+class RollupDecision:
+    """One metric query's routing outcome: rollup or raw.
+
+    Recorded by the metrics layer (:mod:`repro.metrics`) every time a
+    measure query is answered: ``route`` is ``"rollup"`` when a
+    materialized rollup table served the query (with its name and
+    grain) and ``"raw"`` when it fell back to base-relation
+    computation — with the reason (no registered rollup covers the
+    measures, a non-decomposable aggregate needed an exact grain,
+    ...), so EXPLAIN ANALYZE and the acceptance tests can assert which
+    path actually answered.
+    """
+
+    route: str  # "rollup" | "raw"
+    rollup: Optional[str]  # winning rollup name, None on raw
+    requested_grain: Optional[float]  # query bucket seconds
+    rollup_grain: Optional[float]  # winning rollup's bucket seconds
+    candidates: int  # how many registered rollups could answer
+    reason: str
+
+    kind = "rollup"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "route": self.route,
+            "rollup": self.rollup,
+            "requested_grain": self.requested_grain,
+            "rollup_grain": self.rollup_grain,
+            "candidates": self.candidates,
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        target = self.rollup if self.route == "rollup" else "raw"
+        return (
+            f"rollup route -> {target} "
+            f"({self.candidates} candidate(s); {self.reason})"
+        )
+
+
 class ExecutionReport:
     """Audit trail of every adaptive decision taken on a context.
 
@@ -446,6 +488,11 @@ class ExecutionReport:
                     "stream.delta.decisions",
                     labels={"choice": decision.choice},
                 )
+            elif decision.kind == "rollup":
+                self.metrics.inc(
+                    "metrics.rollup.decisions",
+                    labels={"route": decision.route},
+                )
 
     def set_cache_stats(self, stats: Dict[str, Any]) -> None:
         self.cache_stats = dict(stats)
@@ -469,6 +516,9 @@ class ExecutionReport:
 
     def deltas(self) -> List[DeltaDecision]:
         return [d for d in self.decisions if d.kind == "delta"]
+
+    def rollups(self) -> List[RollupDecision]:
+        return [d for d in self.decisions if d.kind == "rollup"]
 
     def broadcast_joins(self) -> List[JoinDecision]:
         return [d for d in self.joins() if d.strategy == "broadcast"]
@@ -524,6 +574,8 @@ class ExecutionReport:
                 lines.append(
                     f"  delta[{d.op}] -> {d.choice}: {d.reason}"
                 )
+            elif d.kind == "rollup":
+                lines.append(f"  {d}")
         return "\n".join(lines)
 
     def __len__(self) -> int:

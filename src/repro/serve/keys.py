@@ -43,6 +43,17 @@ def normalize_query(query: Query) -> Query:
                 key=lambda f: repr(f.to_json_dict()),
             )
         ),
+        # metric terms: a measure set and per-dims are sets too; the
+        # grain is already canonical (seconds). Plain queries carry
+        # empty tuples and keep their historical keys.
+        tuple(
+            sorted(
+                query.measures,
+                key=lambda m: (m.dimension, m.how, m.window or 0.0),
+            )
+        ),
+        tuple(sorted(query.per)),
+        query.grain,
     )
 
 

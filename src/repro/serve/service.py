@@ -49,13 +49,14 @@ from repro.analysis.aggregate import (
     group_aggregate_partials,
 )
 from repro.core.dataset import ScrubJayDataset
-from repro.core.query import Query, ValueSpec
+from repro.core.query import Query, QueryBuilder, ValueSpec
 from repro.errors import (
     ExecutorError,
     QueryCancelledError,
     QueryTimeoutError,
     ScrubJayError,
     ServiceClosedError,
+    ServiceError,
     ServiceOverloadError,
     ShardStaleReadError,
     StaleRefreshError,
@@ -99,6 +100,100 @@ class AggregateSpec:
     value_field: str
     how: str = "mean"
     partial: bool = False
+
+    def as_partial(self) -> "AggregateSpec":
+        """This spec in partial (unfinalized, mergeable) mode."""
+        if self.partial:
+            return self
+        return AggregateSpec(
+            self.group_by, self.value_field, self.how, True
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The request fields every aggregate-carrying wire op uses."""
+        return {
+            "group_by": list(self.group_by),
+            "value_field": self.value_field,
+            "how": self.how,
+            "partial": self.partial,
+        }
+
+    @classmethod
+    def from_wire(
+        cls, request: Dict[str, Any]
+    ) -> Optional["AggregateSpec"]:
+        """The spec a wire request carries, or None when it has no
+        ``group_by`` (the single decode point for every op)."""
+        if not request.get("group_by"):
+            return None
+        return cls(
+            tuple(request["group_by"]),
+            str(request.get("value_field")),
+            str(request.get("how", "mean")),
+            bool(request.get("partial")),
+        )
+
+    @classmethod
+    def for_metric_query(
+        cls, schema, query: Query, partial: bool = False
+    ) -> "AggregateSpec":
+        """Build the spec from the measure API: a metric
+        :class:`Query` with exactly one non-windowed measure, resolved
+        against the plan's result ``schema`` (per-dims in query order,
+        the grain's time field last — the layout every metric path
+        agrees on)."""
+        from repro.metrics.compute import (
+            metric_group_fields,
+            resolve_value_field,
+        )
+
+        if len(query.measures) != 1:
+            raise ServiceError(
+                "an aggregate needs exactly one measure; got "
+                f"{[str(m) for m in query.measures]}"
+            )
+        m = query.measures[0]
+        if m.window is not None:
+            raise ServiceError(
+                f"windowed measure {m} cannot fold incrementally; "
+                "subscribe to the plain measure and window client-side"
+            )
+        gf, _ = metric_group_fields(schema, query)
+        return cls(
+            tuple(gf),
+            resolve_value_field(schema, m.dimension),
+            m.how,
+            partial,
+        )
+
+
+def as_query(
+    query,
+    values: Sequence[ValueSpec] = (),
+    filters: Sequence = (),
+) -> Query:
+    """Coerce the serve API's first argument into a :class:`Query`.
+
+    Accepts a built :class:`Query`, an unbuilt
+    :class:`~repro.core.query.QueryBuilder` (built here, so its typed
+    validation errors surface at the call site), or the legacy
+    ``(domains, values)`` positional pair.
+    """
+    if isinstance(query, QueryBuilder):
+        if values or filters:
+            raise ServiceError(
+                "pass measures/values/filters on the builder itself, "
+                "not alongside it"
+            )
+        return query.build()
+    if isinstance(query, Query):
+        if values or filters:
+            raise ServiceError(
+                "a Query already carries its values and filters; do "
+                "not pass them separately"
+            )
+        return query
+    return Query.of(query, values, filters)
 
 
 class QueryTicket:
@@ -294,15 +389,28 @@ class QueryService:
 
     def submit(
         self,
-        domains: Sequence[str],
-        values: Sequence[ValueSpec],
+        query,
+        values: Sequence[ValueSpec] = (),
         tenant: str = "default",
         timeout: Optional[float] = None,
         filters: Sequence = (),
         aggregate: Optional[AggregateSpec] = None,
     ) -> QueryTicket:
-        """Admit a query (or shed it) and return its ticket."""
-        query = Query.of(domains, values, filters)
+        """Admit a query (or shed it) and return its ticket.
+
+        ``query`` is a :class:`Query`, a
+        :class:`~repro.core.query.QueryBuilder`, or the legacy domain
+        list (with ``values``/``filters`` alongside). A metric query
+        (``.measure()``/``.per()``/``.grain()``) delivers a
+        :class:`~repro.metrics.MetricAnswer`; ``aggregate`` is
+        rejected for those — the measures *are* the aggregation.
+        """
+        query = as_query(query, values, filters)
+        if query.is_metric and aggregate is not None:
+            raise ServiceError(
+                "a metric query carries its own measures; drop the "
+                "AggregateSpec"
+            )
         now = self._clock()
         effective = self.default_timeout if timeout is None else timeout
         deadline = None if effective is None else now + effective
@@ -331,50 +439,69 @@ class QueryService:
 
     def query(
         self,
-        domains: Sequence[str],
-        values: Sequence[ValueSpec],
+        query,
+        values: Sequence[ValueSpec] = (),
         tenant: str = "default",
         timeout: Optional[float] = None,
         filters: Sequence = (),
-    ) -> ScrubJayDataset:
-        """Synchronous convenience: submit and wait for the result."""
+    ) -> Any:
+        """Synchronous convenience: submit and wait for the result
+        (a dataset, or a :class:`~repro.metrics.MetricAnswer` for a
+        metric query)."""
         return self.submit(
-            domains, values, tenant, timeout, filters
+            query, values, tenant, timeout, filters
         ).result()
 
     def aggregate(
         self,
-        domains: Sequence[str],
-        values: Sequence[ValueSpec],
-        group_by: Sequence[str],
-        value_field: str,
+        query,
+        values: Sequence[ValueSpec] = (),
+        group_by: Sequence[str] = (),
+        value_field: Optional[str] = None,
         how: str = "mean",
         tenant: str = "default",
         timeout: Optional[float] = None,
         filters: Sequence = (),
-    ) -> Dict[Tuple, Any]:
-        """Answer a query and aggregate ``value_field`` per distinct
-        ``group_by`` tuple (fields of the *result* schema), returning
-        the small ``{group_tuple: value}`` dict.
+    ) -> Any:
+        """Answer an aggregation over a query's result.
 
-        Goes through the same admission/fairness/deadline pipeline as
-        :meth:`query`; a sharded fleet answers it from per-shard
-        partial aggregates merged driver-side, so only group partials
-        — never rows — cross the wire.
+        The measure-aware form passes a metric :class:`Query` (or
+        builder) as ``query`` — measures/per/grain *are* the spec —
+        and returns a :class:`~repro.metrics.MetricAnswer`. The
+        field-level form names ``group_by``/``value_field``/``how``
+        over the result schema and returns the small
+        ``{group_tuple: value}`` dict.
+
+        Either way it goes through the same admission/fairness/
+        deadline pipeline as :meth:`query`; a sharded fleet answers
+        from per-shard partial aggregates merged driver-side, so only
+        group partials — never rows — cross the wire.
         """
+        q = as_query(query, values, filters)
+        if q.is_metric:
+            if group_by or value_field is not None:
+                raise ServiceError(
+                    "a metric query carries its own measures; drop "
+                    "group_by/value_field"
+                )
+            return self.submit(q, tenant=tenant,
+                               timeout=timeout).result()
+        if not group_by or value_field is None:
+            raise ServiceError(
+                "a plain aggregate needs group_by and value_field "
+                "(or pass a metric query built with .measure())"
+            )
         spec = AggregateSpec(tuple(group_by), value_field, how)
         return self.submit(
-            domains, values, tenant, timeout, filters, aggregate=spec
+            q, tenant=tenant, timeout=timeout, aggregate=spec
         ).result()
 
     def _aggregate_for_wire(
         self,
-        domains: Sequence[str],
-        values: Sequence[ValueSpec],
+        query,
         spec: AggregateSpec,
         tenant: str = "default",
         timeout: Optional[float] = None,
-        filters: Sequence = (),
         partial: bool = False,
     ) -> Tuple[Dict[Tuple, Any], Any]:
         """Wire-layer aggregate entry: returns ``(groups, schema)``.
@@ -383,12 +510,10 @@ class QueryService:
         with unfinalized mergeable partials. The result schema rides
         along so the caller can codec-encode the group-key parts.
         """
-        if partial and not spec.partial:
-            spec = AggregateSpec(
-                spec.group_by, spec.value_field, spec.how, True
-            )
+        if partial:
+            spec = spec.as_partial()
         ticket = self.submit(
-            domains, values, tenant, timeout, filters, aggregate=spec
+            query, tenant=tenant, timeout=timeout, aggregate=spec
         )
         groups = ticket.result()
         return groups, ticket.result_schema
@@ -431,13 +556,39 @@ class QueryService:
             catalog[name] = ds
         return catalog
 
+    def _solve_serve_plan(self, nq: Query):
+        """Solve a normalized query for the serve tier: the engine
+        answers the base relation; a metric query's grain rides along
+        as a ``bucket_time`` transform on top (row-local, so delta
+        refreshes stay incremental and group keys land pre-bucketed).
+        """
+        session = self.session
+        plan = session.engine.solve(session.schemas(), nq.base())
+        if nq.is_metric and nq.grain is not None:
+            from repro.core.pipeline import (
+                DerivationPlan,
+                TransformNode,
+            )
+            from repro.metrics.compute import metric_group_fields
+            from repro.metrics.derive import BucketTime
+
+            schema = plan.derive_schema(
+                session.schemas(), session.dictionary
+            )
+            _, tfield = metric_group_fields(schema, nq)
+            plan = DerivationPlan(TransformNode(
+                BucketTime(tfield, nq.grain.seconds), plan.root
+            ))
+        return plan
+
     def subscribe(
         self,
-        domains: Sequence[str],
-        values: Sequence[ValueSpec],
+        query,
+        values: Sequence[ValueSpec] = (),
         tenant: str = "default",
         filters: Sequence = (),
         aggregate: Optional[AggregateSpec] = None,
+        partial: bool = False,
     ) -> Subscription:
         """Install a standing query and return its
         :class:`~repro.serve.subscribe.Subscription`.
@@ -449,16 +600,23 @@ class QueryService:
         :class:`~repro.stream.DeltaPlan`), by scoped replay
         otherwise. ``aggregate`` keeps mergeable group partials
         instead of rows, so delta refreshes fold appends in at
-        O(delta) regardless of history size.
+        O(delta) regardless of history size. A metric ``query``
+        (single non-windowed measure) derives its spec from the
+        measures — the grain buckets inside the plan, so updates
+        arrive keyed by ``(per-dims..., bucket)``.
         """
         session = self.session
-        query = Query.of(domains, values, filters)
+        query = as_query(query, values, filters)
+        if query.is_metric and aggregate is not None:
+            raise ServiceError(
+                "a metric subscription derives its aggregate from "
+                "the measures; drop the AggregateSpec"
+            )
         state = session.state_fingerprint()
         nq = normalize_query(query)
         pkey = plan_key(state, nq)
         plan = self.plan_cache.get_or_solve(
-            pkey,
-            lambda: session.engine.solve(session.schemas(), nq),
+            pkey, lambda: self._solve_serve_plan(nq)
         )
         dplan = DeltaPlan(plan)
         feed_names = tuple(
@@ -472,6 +630,12 @@ class QueryService:
             session.dictionary,
             columnar=self._columnar(),
         )
+        if query.is_metric:
+            # ``partial=True`` is the sharded fleet's mode: the shard
+            # keeps mergeable partials and the router finalizes
+            aggregate = AggregateSpec.for_metric_query(
+                dataset.schema, query, partial=partial
+            )
         rows = partials = None
         if aggregate is not None:
             partials = group_aggregate_partials(
@@ -949,7 +1113,7 @@ class QueryService:
 
         def solver():
             solver_ran.append(True)
-            return session.engine.solve(session.schemas(), nq)
+            return self._solve_serve_plan(nq)
 
         if traced:
             with tracer.span("plan-cache", kind="cache") as ps:
@@ -957,9 +1121,71 @@ class QueryService:
                 ps.set("outcome", "miss" if solver_ran else "hit")
         else:
             plan = self.plan_cache.get_or_solve(pkey, solver)
+        if ticket.query.is_metric:
+            return self._metric_plan(plan, ticket, state, version)
         if ticket.aggregate is not None:
             return self._aggregate_plan(plan, ticket, state, version)
         return self._dataset_for(plan, ticket, state, version)
+
+    def _metric_plan(
+        self,
+        plan,
+        ticket: QueryTicket,
+        state: str,
+        version: int,
+    ) -> Any:
+        """Answer a metric ticket: route to the coarsest registered
+        rollup that covers it, else compute per-measure partials
+        through the aggregate hook — the base service groups the
+        cached result dataset driver-side; a ShardRouter's hook
+        gathers per-shard partials instead — then re-bucket to the
+        grain and finalize once.
+        """
+        from repro.metrics import MetricAnswer, choose_rollup
+        from repro.metrics.compute import (
+            finalize_metric,
+            metric_group_fields,
+            rebucket_partials,
+            resolve_value_field,
+        )
+
+        session = self.session
+        q = ticket.query
+        rollup, decision = choose_rollup(
+            getattr(session, "rollups", {}) or {}, q
+        )
+        report = getattr(session.ctx, "report", None)
+        if report is not None:
+            report.add(decision)
+        if rollup is not None:
+            ticket.result_schema = rollup.dataset.schema
+            return MetricAnswer(q, rollup.answer(q), decision)
+        schema = plan.derive_schema(
+            session.schemas(), session.dictionary
+        )
+        gf, _ = metric_group_fields(schema, q)
+        partials: Dict[str, Dict[Tuple, Any]] = {}
+        for m in q.measures:
+            spec = AggregateSpec(
+                tuple(gf),
+                resolve_value_field(schema, m.dimension),
+                m.how,
+                True,
+            )
+            # A shadow ticket carries the per-measure spec through
+            # the hook; its base query is what shards see, so a
+            # sharded fleet ships raw-time partials and the grain
+            # snap below merges them into buckets driver-side.
+            shadow = QueryTicket(
+                ticket.tenant, q.base(), ticket.submitted_at,
+                ticket.deadline, spec,
+            )
+            part = self._aggregate_plan(plan, shadow, state, version)
+            ticket.result_schema = shadow.result_schema
+            partials[m.key()] = rebucket_partials(
+                part, q.grain, m.how
+            )
+        return MetricAnswer(q, finalize_metric(partials, q), decision)
 
     def _dataset_for(
         self,

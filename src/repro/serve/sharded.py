@@ -81,6 +81,7 @@ from repro.core.query import Query
 from repro.core.semantics import Schema
 from repro.errors import (
     ScrubJayError,
+    ServiceError,
     ShardError,
     ShardRoutingError,
     ShardStaleReadError,
@@ -90,7 +91,12 @@ from repro.errors import (
 )
 from repro.rdd.shuffle import portable_hash
 from repro.serve.keys import normalize_query, plan_key
-from repro.serve.service import AggregateSpec, QueryService, QueryTicket
+from repro.serve.service import (
+    AggregateSpec,
+    QueryService,
+    QueryTicket,
+    as_query,
+)
 from repro.serve.subscribe import Subscription
 from repro.serve.wire import (
     QueryClient,
@@ -872,10 +878,9 @@ class ShardRouter(QueryService):
         request = dict(
             self._wire_query(ticket),
             op="aggregate",
-            group_by=list(spec.group_by),
-            value_field=spec.value_field,
-            how=spec.how,
-            partial=True,
+            # shards always answer with mergeable partials; the
+            # router merges across shards and finalizes once
+            **spec.as_partial().to_wire(),
         )
         responses = self._scatter(plan, ticket, request)
         merged: Dict[Tuple, Any] = {}
@@ -912,8 +917,8 @@ class ShardRouter(QueryService):
 
     def subscribe(
         self,
-        domains: Sequence[str],
-        values: Sequence[Any],
+        query,
+        values: Sequence[Any] = (),
         tenant: str = "default",
         filters: Sequence = (),
         aggregate: Optional[AggregateSpec] = None,
@@ -924,14 +929,21 @@ class ShardRouter(QueryService):
         router-side — row concatenation for datasets, partial-
         aggregate merge for grouped aggregates. Shard refreshes run
         shard-local (delta where their plans allow); the router only
-        re-gathers and re-merges."""
+        re-gathers and re-merges. A metric ``query`` ships its full
+        JSON to the shards, so each buckets its own plan and derives
+        the same spec."""
         session = self.session
-        query = Query.of(domains, values, filters)
+        query = as_query(query, values, filters)
+        if query.is_metric and aggregate is not None:
+            raise ServiceError(
+                "a metric subscription derives its aggregate from "
+                "the measures; drop the AggregateSpec"
+            )
         state = session.state_fingerprint()
         nq = normalize_query(query)
         plan = self.plan_cache.get_or_solve(
             plan_key(state, nq),
-            lambda: session.engine.solve(session.schemas(), nq),
+            lambda: self._solve_serve_plan(nq),
         )
         dplan = DeltaPlan(plan)
         feed_names = tuple(
@@ -950,13 +962,19 @@ class ShardRouter(QueryService):
             "tenant": tenant,
             "filters": [f.to_json_dict() for f in query.filters],
         }
-        if aggregate is not None:
-            req.update(
-                group_by=list(aggregate.group_by),
-                value_field=aggregate.value_field,
-                how=aggregate.how,
-                partial=True,  # the router merges, then finalizes
+        if query.is_metric:
+            # each shard rebuilds the bucketed plan and the spec from
+            # the query itself; the router keeps the finalizing copy
+            aggregate = AggregateSpec.for_metric_query(
+                plan.derive_schema(
+                    session.schemas(), session.dictionary
+                ),
+                query,
             )
+            req.update(query=query.to_json_dict(), partial=True)
+        elif aggregate is not None:
+            # the router merges, then finalizes
+            req.update(aggregate.as_partial().to_wire())
         with self._fleet_lock:
             marks = {
                 n: session.feeds[n].watermark for n in feed_names

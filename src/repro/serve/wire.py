@@ -81,7 +81,7 @@ PROTOCOL_VERSION = 2
 SUPPORTED_OPS = (
     "hello", "ping", "metrics", "sync", "trace",
     "register", "drop", "define_dimension", "define_unit",
-    "query", "explain", "aggregate",
+    "query", "explain", "aggregate", "metric",
     "subscribe", "updates", "unsubscribe", "advance",
 )
 
@@ -184,7 +184,11 @@ def decode_groups(
                 key.append(decode_value(part, schema[field], dictionary))
             else:
                 key.append(part)
-        if partial_how == "mean" and isinstance(value, list):
+        if partial_how in ("mean", "p50", "p95") and isinstance(
+            value, list
+        ):
+            # mean partials are (sum, count); p50/p95 partials are
+            # the raw sample tuples — both ride JSON as lists
             value = tuple(value)
         out[tuple(key)] = value
     return out
@@ -313,26 +317,30 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
             out = service.advance(name, rows=rows)
             return {"ok": True, **out, **_state_stamp(service)}
         if op == "subscribe":
-            domains = request.get("domains") or []
-            values = _values_from_wire(request.get("values") or [])
-            filters = tuple(
-                FilterTerm.from_json_dict(f)
-                for f in request.get("filters") or ()
-            )
-            spec = None
-            if request.get("group_by"):
-                spec = AggregateSpec(
-                    tuple(request["group_by"]),
-                    str(request.get("value_field")),
-                    str(request.get("how", "mean")),
-                    bool(request.get("partial")),
+            tenant = str(request.get("tenant", "default"))
+            if request.get("query"):
+                # full-Query form (metric subscriptions): the server
+                # rebuilds the bucketed plan and derives the spec
+                # from the measures; ``partial`` keeps shard-mode
+                # subscriptions mergeable
+                sub = service.subscribe(
+                    Query.from_json_dict(request["query"]),
+                    tenant=tenant,
+                    partial=bool(request.get("partial")),
                 )
-            sub = service.subscribe(
-                domains, values,
-                tenant=str(request.get("tenant", "default")),
-                filters=filters,
-                aggregate=spec,
-            )
+            else:
+                domains = request.get("domains") or []
+                values = _values_from_wire(request.get("values") or [])
+                filters = tuple(
+                    FilterTerm.from_json_dict(f)
+                    for f in request.get("filters") or ()
+                )
+                sub = service.subscribe(
+                    domains, values,
+                    tenant=tenant,
+                    filters=filters,
+                    aggregate=AggregateSpec.from_wire(request),
+                )
             return {
                 "ok": True,
                 **_sub_payload(service, sub, sub.current()),
@@ -379,30 +387,61 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
                 FilterTerm.from_json_dict(f)
                 for f in request.get("filters") or ()
             )
-            group_by = list(request.get("group_by") or [])
-            spec = AggregateSpec(
-                tuple(group_by),
-                str(request.get("value_field")),
-                str(request.get("how", "mean")),
-            )
+            spec = AggregateSpec.from_wire(request)
+            if spec is None:
+                raise ServiceError(
+                    "aggregate needs group_by (and value_field)"
+                )
             partial = bool(request.get("partial"))
             groups, schema = service._aggregate_for_wire(
-                domains,
-                values,
+                Query.of(domains, values, filters),
                 spec,
                 tenant=str(request.get("tenant", "default")),
                 timeout=request.get("timeout"),
-                filters=filters,
                 partial=partial,
             )
             return {
                 "ok": True,
                 "schema": schema.to_json_dict(),
                 "groups": encode_groups(
-                    groups, group_by, schema, service.session.dictionary
+                    groups, list(spec.group_by), schema,
+                    service.session.dictionary,
                 ),
                 "group_count": len(groups),
                 "partial": partial,
+                **_state_stamp(service),
+            }
+        if op == "metric":
+            # additive on v2: an older server answers with the typed
+            # UnsupportedOpError below, which clients surface as
+            # repro.errors.UnsupportedOpError
+            from repro.metrics.compute import metric_group_fields
+
+            q = Query.from_json_dict(request["query"])
+            ticket = service.submit(
+                q,
+                tenant=str(request.get("tenant", "default")),
+                timeout=request.get("timeout"),
+            )
+            ans = ticket.result()
+            schema = ticket.result_schema
+            gf, _ = metric_group_fields(schema, q)
+            decision = ans.decision
+            return {
+                "ok": True,
+                "schema": schema.to_json_dict(),
+                "groups": encode_groups(
+                    ans.groups, gf, schema,
+                    service.session.dictionary,
+                ),
+                "group_fields": list(gf),
+                "group_dims": list(ans.group_dims),
+                "measures": ans.measure_keys(),
+                "group_count": len(ans.groups),
+                "decision": (
+                    decision.as_dict()
+                    if decision is not None else None
+                ),
                 **_state_stamp(service),
             }
         if op in ("query", "explain"):
@@ -659,6 +698,47 @@ class InProcessClient:
             )
         return groups, schema
 
+    def metric(
+        self,
+        query,
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        dictionary=None,
+    ):
+        """Measure query over the wire (additive v2 op — an old
+        server answers :class:`~repro.errors.UnsupportedOpError`).
+
+        ``query`` is a metric :class:`Query` (or an unbuilt builder).
+        Returns a :class:`~repro.metrics.MetricAnswer`; with a
+        ``dictionary`` the group-key parts come back typed, without
+        one they stay codec text. The routing decision rides along as
+        a plain dict on ``answer.decision``.
+        """
+        if not isinstance(query, Query):
+            query = query.build()
+        resp = _raise_on_error(self.request({
+            "op": "metric",
+            "query": query.to_json_dict(),
+            "tenant": tenant,
+            "timeout": timeout,
+        }))
+        from repro.metrics.compute import MetricAnswer
+
+        schema = Schema.from_json_dict(resp["schema"])
+        gf = list(resp.get("group_fields") or [])
+        if dictionary is not None:
+            groups = decode_groups(
+                resp["groups"], gf, schema, dictionary
+            )
+        else:
+            groups = {
+                tuple(key): value for key, value in resp["groups"]
+            }
+        return MetricAnswer(
+            query, groups, resp.get("decision"),
+            tuple(resp.get("group_dims") or ()),
+        )
+
     def explain(
         self,
         domains: Sequence[str],
@@ -735,8 +815,8 @@ class InProcessClient:
 
     def subscribe(
         self,
-        domains: Sequence[str],
-        values: Sequence[Any],
+        domains: Sequence[str] = (),
+        values: Sequence[Any] = (),
         tenant: str = "default",
         filters: Sequence = (),
         group_by: Optional[Sequence[str]] = None,
@@ -744,21 +824,31 @@ class InProcessClient:
         how: str = "mean",
         partial: bool = False,
         dictionary=None,
+        query: Optional[Query] = None,
     ) -> Dict[str, Any]:
         """Install a standing query; returns its initial answer plus
-        the ``sub_id`` to poll :meth:`updates` with."""
-        req: Dict[str, Any] = {
-            "op": "subscribe",
-            "domains": list(domains),
-            "values": list(values),
-            "tenant": tenant,
-            "filters": [f.to_json_dict() for f in filters],
-        }
-        if group_by:
-            req["group_by"] = list(group_by)
-            req["value_field"] = value_field
-            req["how"] = how
-            req["partial"] = partial
+        the ``sub_id`` to poll :meth:`updates` with. Pass a metric
+        ``query`` to subscribe to a measure — the server derives the
+        grouping from the measures and buckets by the grain."""
+        if query is not None:
+            req: Dict[str, Any] = {
+                "op": "subscribe",
+                "query": query.to_json_dict(),
+                "tenant": tenant,
+                "partial": partial,
+            }
+        else:
+            req = {
+                "op": "subscribe",
+                "domains": list(domains),
+                "values": list(values),
+                "tenant": tenant,
+                "filters": [f.to_json_dict() for f in filters],
+            }
+            if group_by:
+                req.update(AggregateSpec(
+                    tuple(group_by), str(value_field), how, partial
+                ).to_wire())
         resp = _raise_on_error(self.request(req))
         return self._decode_sub(resp, dictionary)
 

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import os
 import threading
-import warnings
 from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
 from repro.errors import ScrubJayError
@@ -138,6 +137,14 @@ class ScrubJaySession:
             if cache_dir
             else None
         )
+        self._cache_dir = cache_dir
+        # Materialized rollups (repro.metrics): name -> Rollup handle.
+        # The backing wide-column store is created lazily on first
+        # session.rollup() — under cache_dir when one was given, else
+        # in an owned temp dir removed on close().
+        self.rollups: Dict[str, Any] = {}
+        self._rollup_store_obj = None
+        self._rollup_dir_owned: Optional[str] = None
 
     # ------------------------------------------------------------------
     # catalog management
@@ -170,10 +177,6 @@ class ScrubJaySession:
             self.ctx, rows, schema, name, num_partitions
         )
         return self.register(ds)
-
-    def register_wrapper(self, wrapper, name: str) -> ScrubJayDataset:
-        """Load a dataset through a data wrapper and register it."""
-        return self.register(wrapper.load(self.ctx), name)
 
     def ingest(self) -> "IngestBuilder":  # noqa: F821
         """Fluent ingestion of external data as a lazily scanned,
@@ -326,32 +329,22 @@ class ScrubJaySession:
     # queries
     # ------------------------------------------------------------------
 
-    def query(
-        self,
-        domains: Optional[Sequence[str]] = None,
-        values: Optional[Sequence[ValueSpec]] = None,
-    ) -> Union[QueryBuilder, DerivationPlan]:
-        """With no arguments: a session-bound fluent
+    def query(self) -> QueryBuilder:
+        """A session-bound fluent
         :class:`~repro.core.query.QueryBuilder`::
 
             plan = sj.query().across("jobs", "racks").value("heat").plan()
 
-        The old two-argument form ``query(domains, values)`` still
-        plans directly but is deprecated — use the builder (or
-        :meth:`plan` with a built :class:`Query`).
+        Metric queries add measure terminals::
+
+            ans = (sj.query().measure("power", "p95")
+                   .per("racks").grain("1h").ask())
+
+        (The pre-1.0 two-argument form ``query(domains, values)`` was
+        removed; use the builder, or :meth:`plan` with a built
+        :class:`Query`.)
         """
-        if domains is None and values is None:
-            return QueryBuilder(self)
-        if isinstance(domains, Query):
-            return self.plan(domains)
-        warnings.warn(
-            "session.query(domains, values) is deprecated; use the "
-            "fluent builder — session.query().across(...).value(...) — "
-            "or session.plan(query)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.plan(Query.of(domains, values))
+        return QueryBuilder(self)
 
     def plan(self, query: Query) -> DerivationPlan:
         """Plan — but do not execute — a derivation sequence for a
@@ -365,8 +358,11 @@ class ScrubJaySession:
         domains: Optional[Sequence[str]] = None,
     ) -> Query:
         """Normalize the accepted query spellings: a built ``Query``,
-        legacy positional ``(domains, values)``, or legacy
-        ``domains=``/``values=`` keywords."""
+        an unbuilt :class:`QueryBuilder`, legacy positional
+        ``(domains, values)``, or legacy ``domains=``/``values=``
+        keywords."""
+        if isinstance(query, QueryBuilder):
+            return query.build()
         if isinstance(query, Query):
             return query
         if query is not None:
@@ -394,30 +390,47 @@ class ScrubJaySession:
         q = self._as_query(query, values, domains)
         if analyze:
             return self._explain_analyze(q)
+        if q.is_metric:
+            from repro.metrics.rollup import choose_rollup
+
+            _, decision = choose_rollup(self.rollups, q)
+            plan = self.plan(q.base())
+            return "\n".join([plan.describe(), str(decision)])
         return self.plan(q).describe()
 
     def _explain_analyze(self, q: Query) -> str:
         tracer = self.ctx.tracer
         was_enabled = tracer.enabled
         tracer.enabled = True
+        decision = None
         try:
             with tracer.span(
                 "explain-analyze", kind="query", query=str(q)
             ) as root:
-                plan = self.engine.solve(self.schemas(), q)
-                plan.execute(
-                    self.snapshot(),
-                    self.dictionary,
-                    self.cache,
-                    tracer=tracer,
-                    measure=True,
-                    columnar=self.engine.config.columnar,
-                )
-                if self.cache is not None:
-                    self.ctx.report.set_cache_stats(self.cache.stats())
+                if q.is_metric:
+                    answer = self._ask_metric(
+                        q, tracer=tracer, measure=True
+                    )
+                    decision = answer.decision
+                else:
+                    plan = self.engine.solve(self.schemas(), q)
+                    plan.execute(
+                        self.snapshot(),
+                        self.dictionary,
+                        self.cache,
+                        tracer=tracer,
+                        measure=True,
+                        columnar=self.engine.config.columnar,
+                    )
+                    if self.cache is not None:
+                        self.ctx.report.set_cache_stats(
+                            self.cache.stats()
+                        )
         finally:
             tracer.enabled = was_enabled
         lines = [f"EXPLAIN ANALYZE {q}"]
+        if decision is not None:
+            lines.append(str(decision))
         solve = root.find("solve")
         if solve is not None:
             c = solve.counters
@@ -475,6 +488,13 @@ class ScrubJaySession:
         """
         q = self._as_query(query, values, domains)
         tracer = self.ctx.tracer
+        if q.is_metric:
+            if tracer.enabled:
+                with tracer.span(
+                    "metric-query", kind="query", query=str(q)
+                ):
+                    return self._ask_metric(q, tracer=tracer)
+            return self._ask_metric(q)
         if tracer.enabled:
             with tracer.span("query", kind="query", query=str(q)) as root:
                 plan = self.engine.solve(self.schemas(), q)
@@ -482,6 +502,118 @@ class ScrubJaySession:
             return Answer(dataset, plan, root)
         plan = self.engine.solve(self.schemas(), q)
         return Answer(self._run_plan(plan, None), plan, None)
+
+    # ------------------------------------------------------------------
+    # metric queries & materialized rollups (see repro.metrics)
+    # ------------------------------------------------------------------
+
+    def _ask_metric(
+        self, q: Query, tracer=None, measure: bool = False
+    ) -> "MetricAnswer":  # noqa: F821
+        """Answer a metric query: route to the coarsest registered
+        rollup that can answer it, else solve + execute the base
+        relation and aggregate raw. The route lands on the
+        ExecutionReport as a :class:`~repro.rdd.stats.RollupDecision`
+        either way."""
+        from repro.metrics.compute import (
+            MetricAnswer,
+            finalize_metric,
+            metric_partials,
+        )
+        from repro.metrics.rollup import choose_rollup
+
+        q.validate(self.dictionary)
+        rollup, decision = choose_rollup(self.rollups, q)
+        report = getattr(self.ctx, "report", None)
+        if report is not None:
+            report.add(decision)
+        if rollup is not None:
+            if tracer is not None and tracer.enabled:
+                with tracer.span(
+                    "rollup-read", kind="rollup", rollup=rollup.name
+                ):
+                    groups = rollup.answer(q)
+            else:
+                groups = rollup.answer(q)
+            return MetricAnswer(q, groups, decision=decision)
+        plan = self.engine.solve(self.schemas(), q.base())
+        dataset = plan.execute(
+            self.snapshot(), self.dictionary, self.cache,
+            tracer=tracer, measure=measure,
+            columnar=self.engine.config.columnar,
+        )
+        if self.cache is not None and report is not None:
+            report.set_cache_stats(self.cache.stats())
+        parts = metric_partials(dataset, q)
+        return MetricAnswer(
+            q, finalize_metric(parts, q), decision=decision
+        )
+
+    def rollup(self, name: str, query=None) -> "Rollup":  # noqa: F821
+        """Materialize (or fetch) a named rollup.
+
+        With a metric ``query`` (a built :class:`Query` or an unbuilt
+        :class:`QueryBuilder`): pre-aggregate its measure set at its
+        grain into the wide-column store, register the finalized table
+        in the catalog, and route future metric queries through it::
+
+            sj.rollup("rack_heat_hourly",
+                      sj.query().measure("power", "mean")
+                        .per("racks").grain("1h"))
+
+        With no query: return the already-registered handle. Rollups
+        refresh incrementally when a feed they read advances.
+        """
+        from repro.metrics.rollup import Rollup
+
+        if query is None:
+            try:
+                return self.rollups[name]
+            except KeyError:
+                raise ScrubJayError(
+                    f"no rollup named {name!r}"
+                ) from None
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if name in self.rollups:
+            raise ScrubJayError(f"rollup {name!r} already registered")
+        handle = Rollup(self, name, query).materialize()
+        self.rollups[name] = handle
+        return handle
+
+    def drop_rollup(self, name: str) -> "Rollup":  # noqa: F821
+        """Unregister a rollup and drop its catalog dataset."""
+        handle = self.rollups.pop(name, None)
+        if handle is None:
+            raise ScrubJayError(f"no rollup named {name!r}")
+        try:
+            self.drop(name)
+        except ScrubJayError:
+            pass
+        return handle
+
+    def _rollup_store(self):
+        """The lazily created wide-column store backing materialized
+        rollup tables."""
+        if self._rollup_store_obj is None:
+            from repro.store import WideColumnStore
+
+            if self._cache_dir:
+                path = os.path.join(self._cache_dir, "rollups")
+            else:
+                import tempfile
+
+                path = tempfile.mkdtemp(prefix="scrubjay-rollups-")
+                self._rollup_dir_owned = path
+            self._rollup_store_obj = WideColumnStore(path)
+        return self._rollup_store_obj
+
+    def _refresh_rollups(self, name: str) -> None:
+        """Feed-advance hook: incrementally refresh every rollup whose
+        base plan reads dataset ``name``."""
+        for handle in list(self.rollups.values()):
+            if name in handle.feed_names:
+                handle.refresh()
 
     # ------------------------------------------------------------------
     # reproducible pipelines
@@ -531,6 +663,11 @@ class ScrubJaySession:
 
     def close(self) -> None:
         self.ctx.stop()
+        if self._rollup_dir_owned:
+            import shutil
+
+            shutil.rmtree(self._rollup_dir_owned, ignore_errors=True)
+            self._rollup_dir_owned = None
 
     def __enter__(self) -> "ScrubJaySession":
         return self

@@ -1,8 +1,8 @@
 """The DataSource protocol: partitioned, predicate-aware ingestion.
 
-A *data source* is the scan-pipeline successor to the legacy
-:class:`~repro.wrappers.base.DataWrapper`: instead of materializing
-the whole source as a driver-side row list, it exposes
+A *data source* is the scan-pipeline successor to the removed eager
+``DataWrapper`` shims: instead of materializing the whole source as a
+driver-side row list, it exposes
 
 - ``schema()`` — the semantic annotation of the rows it produces;
 - ``partitions()`` — cheap driver-side descriptors (store partition

@@ -12,7 +12,7 @@ at two levels:
   key and the predicate are never unpickled.
 
 Rows already hold typed values (no codec); fields absent from the
-schema and None values are dropped, like the legacy NoSQLWrapper.
+schema and None values are dropped.
 """
 
 from __future__ import annotations

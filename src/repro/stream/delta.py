@@ -54,6 +54,8 @@ DELTA_SAFE_TRANSFORMS = frozenset({
     "explode_discrete",
     "explode_continuous",
     "derive_ratio",
+    # snapping a timestamp to its grain bucket is row-local
+    "bucket_time",
 })
 
 #: combinations linear in each argument separately (delta-safe when

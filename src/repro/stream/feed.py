@@ -135,6 +135,14 @@ class Feed:
                 self.watermark = new
                 self.rows_ingested += len(rows)
                 self.session._bump_data_version(self.name)
+                # materialized rollups reading this feed fold the
+                # delta in (repro.metrics.rollup); shard sessions
+                # and other hosts without the hook skip it
+                refresh = getattr(
+                    self.session, "_refresh_rollups", None
+                )
+                if refresh is not None:
+                    refresh(self.name)
             self._gauge(self.watermark, 0)
             return FeedAdvance(self.name, since, new, rows)
 

@@ -1,26 +1,21 @@
-"""Data wrappers and unwrappers (paper §4.1, §5.4).
+"""Unwrappers and the semantic value codec (paper §5.4).
 
-A *data wrapper* parses data stored in some format into a ScrubJay
-dataset (rows + schema); an *unwrapper* converts a dataset back into a
-storage format for sharing or analysis with other tools. ScrubJay
-ships wrappers for common formats — CSV files, SQL tables, and the
-wide-column NoSQL store — and tool experts add custom ones by
-subclassing :class:`~repro.wrappers.base.DataWrapper`.
+An *unwrapper* converts a ScrubJay dataset back into a storage format
+for sharing or analysis with other tools — CSV files, SQL tables, or
+the wide-column NoSQL store. The eager ``*Wrapper`` ingestion shims
+that used to live here are gone; ingestion goes through
+:mod:`repro.sources` (``session.ingest().csv/sql/table/rows``), which
+reads lazily with partitioning and pushdown.
 """
 
-from repro.wrappers.base import DataWrapper, Unwrapper, RowsWrapper
-from repro.wrappers.csv_io import CSVWrapper, CSVUnwrapper
-from repro.wrappers.sql_io import SQLWrapper, SQLUnwrapper
-from repro.wrappers.nosql_io import NoSQLWrapper, NoSQLUnwrapper
+from repro.wrappers.base import Unwrapper
+from repro.wrappers.csv_io import CSVUnwrapper
+from repro.wrappers.sql_io import SQLUnwrapper
+from repro.wrappers.nosql_io import NoSQLUnwrapper
 
 __all__ = [
-    "DataWrapper",
     "Unwrapper",
-    "RowsWrapper",
-    "CSVWrapper",
     "CSVUnwrapper",
-    "SQLWrapper",
     "SQLUnwrapper",
-    "NoSQLWrapper",
     "NoSQLUnwrapper",
 ]

@@ -1,78 +1,19 @@
-"""Wrapper/unwrapper base classes and the trivial in-memory wrapper."""
+"""Unwrapper base class.
+
+The eager *wrapper* half of this package (``DataWrapper`` and its
+format subclasses) is gone: ingestion goes through
+:mod:`repro.sources` (``session.ingest().csv/sql/table/rows``), which
+reads lazily, partitions, and supports pushdown. Unwrappers remain —
+converting a dataset back into a storage format has no lazy
+equivalent.
+"""
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from repro.core.dataset import ScrubJayDataset
-from repro.core.dictionary import SemanticDictionary
-from repro.core.semantics import Schema
-from repro.rdd.context import SJContext
-
-
-class DataWrapper(ABC):
-    """Parses some storage format into a :class:`ScrubJayDataset`.
-
-    Tool experts subclass this for custom formats: implement
-    :meth:`rows` (or override :meth:`load` wholesale for formats that
-    stream partitions directly).
-    """
-
-    def __init__(
-        self,
-        schema: Schema,
-        dictionary: SemanticDictionary,
-        name: str,
-        num_partitions: Optional[int] = None,
-    ) -> None:
-        self.schema = schema
-        self.dictionary = dictionary
-        self.name = name
-        self.num_partitions = num_partitions
-
-    @abstractmethod
-    def rows(self) -> List[Dict[str, Any]]:
-        """Parse the source into dict rows (sparse fields omitted)."""
-
-    def load(self, ctx: SJContext) -> ScrubJayDataset:
-        """Parse and distribute the source as an annotated dataset."""
-        ds = ScrubJayDataset.from_rows(
-            ctx, self.rows(), self.schema, self.name, self.num_partitions
-        )
-        ds.provenance = {"op": "wrap", "wrapper": type(self).__name__,
-                         "name": self.name}
-        return ds
-
-
-class RowsWrapper(DataWrapper):
-    """Deprecated shim: wrap rows that are already in memory.
-
-    Use ``session.register_rows(...)`` or
-    ``session.ingest().rows(data, schema)`` instead; ``rows()`` still
-    returns the original list object (not a copy), as it always did.
-    """
-
-    def __init__(
-        self,
-        data: List[Dict[str, Any]],
-        schema: Schema,
-        dictionary: SemanticDictionary,
-        name: str,
-        num_partitions: Optional[int] = None,
-    ) -> None:
-        warnings.warn(
-            "RowsWrapper is deprecated; use session.register_rows() "
-            "or session.ingest().rows(data, schema)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(schema, dictionary, name, num_partitions)
-        self.data = data
-
-    def rows(self) -> List[Dict[str, Any]]:
-        return self.data
 
 
 class Unwrapper(ABC):

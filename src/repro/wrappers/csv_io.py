@@ -1,66 +1,21 @@
-"""CSV data wrapper and unwrapper.
+"""CSV unwrapper.
 
-The most common interchange format in the paper's workflows: IPMI and
-PAPI "recorded performance data directly into tabular files", and
+The most common interchange format in the paper's workflows:
 derivation results are unwrapped "into a tabular file for analysis".
-Cells are decoded/encoded according to the field semantics (see
-:mod:`repro.wrappers.codec`); unknown columns are ignored, missing or
-empty cells yield sparse rows.
+Cells are encoded according to the field semantics (see
+:mod:`repro.wrappers.codec`). Reading CSVs goes through
+``session.ingest().csv(...)`` (:mod:`repro.sources.csv_source`).
 """
 
 from __future__ import annotations
 
 import csv
-import warnings
-from typing import Any, Dict, List, Optional
 
 from repro.errors import WrapperError
 from repro.core.dataset import ScrubJayDataset
 from repro.core.dictionary import SemanticDictionary
-from repro.core.semantics import Schema
-from repro.wrappers.base import DataWrapper, Unwrapper
+from repro.wrappers.base import Unwrapper
 from repro.wrappers.codec import encode_value
-
-
-class CSVWrapper(DataWrapper):
-    """Deprecated shim over :class:`~repro.sources.csv_source.CSVSource`.
-
-    Materializes every partition on the driver, exactly like the
-    original wrapper did — use ``session.ingest().csv(...)`` for lazy,
-    partitioned, pushdown-capable reads.
-    """
-
-    def __init__(
-        self,
-        path: str,
-        schema: Schema,
-        dictionary: SemanticDictionary,
-        name: Optional[str] = None,
-        num_partitions: Optional[int] = None,
-    ) -> None:
-        warnings.warn(
-            "CSVWrapper is deprecated; use "
-            "session.ingest().csv(path, schema) for a lazy, "
-            "partitioned scan",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(
-            schema, dictionary, name or path, num_partitions
-        )
-        self.path = path
-        # deferred: repro.sources imports this package's codec module
-        from repro.sources.csv_source import CSVSource
-
-        self._source = CSVSource(
-            path, schema, dictionary, name=self.name, num_partitions=1
-        )
-
-    def rows(self) -> List[Dict[str, Any]]:
-        out: List[Dict[str, Any]] = []
-        for i in range(self._source.num_partitions()):
-            out.extend(self._source.read_partition(i))
-        return out
 
 
 class CSVUnwrapper(Unwrapper):

@@ -1,68 +1,19 @@
-"""NoSQL (wide-column store) data wrapper and unwrapper.
+"""NoSQL (wide-column store) unwrapper.
 
-Reads/writes :class:`repro.store.WideColumnStore` tables — the
-Cassandra stand-in where the simulated facility's continuously
-ingested monitoring streams (LDMS in the paper) land. Rows in the
-store already hold typed values, so no textual codec is involved;
-fields absent from the schema are dropped on load.
+Writes :class:`repro.store.WideColumnStore` tables — the Cassandra
+stand-in where the simulated facility's continuously ingested
+monitoring streams (LDMS in the paper) land. Reading them back goes
+through ``session.ingest().table(...)``
+(:mod:`repro.sources.table_source`).
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Sequence
 
 from repro.core.dataset import ScrubJayDataset
-from repro.core.dictionary import SemanticDictionary
-from repro.core.semantics import Schema
 from repro.store.wide_column import WideColumnStore
-from repro.wrappers.base import DataWrapper, Unwrapper
-
-
-class NoSQLWrapper(DataWrapper):
-    """Deprecated shim over
-    :class:`~repro.sources.table_source.TableSource`.
-
-    Materializes every store partition on the driver, exactly like the
-    original wrapper did — use ``session.ingest().table(...)`` for
-    lazy per-partition scans with partition-key and zone-map pruning.
-    """
-
-    def __init__(
-        self,
-        store: WideColumnStore,
-        keyspace: str,
-        table: str,
-        schema: Schema,
-        dictionary: SemanticDictionary,
-        name: Optional[str] = None,
-        num_partitions: Optional[int] = None,
-    ) -> None:
-        warnings.warn(
-            "NoSQLWrapper is deprecated; use "
-            "session.ingest().table(store, keyspace, table, schema) "
-            "for a lazy, pruned scan",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(
-            schema, dictionary, name or f"{keyspace}.{table}", num_partitions
-        )
-        self.store = store
-        self.keyspace = keyspace
-        self.table = table
-        # deferred: repro.sources imports this package's codec module
-        from repro.sources.table_source import TableSource
-
-        self._source = TableSource(
-            store, keyspace, table, schema, name=self.name
-        )
-
-    def rows(self) -> List[Dict[str, Any]]:
-        out: List[Dict[str, Any]] = []
-        for i in range(self._source.num_partitions()):
-            out.extend(self._source.read_partition(i))
-        return out
+from repro.wrappers.base import Unwrapper
 
 
 class NoSQLUnwrapper(Unwrapper):

@@ -2,72 +2,20 @@
 
 The paper's first DAT sources — job-queue logs and OSIsoft PI sensor
 feeds — are "continuously monitored and recorded in relational
-databases", read through "a common data wrapper to extract column
-names from their schemas and convert their rows to named tuples".
-This wrapper does the same against sqlite3: column names come from
-the live cursor description, values are decoded per field semantics.
+databases", read through ``session.ingest().sql(...)``
+(:mod:`repro.sources.sql_source`). This module keeps the write half:
+unwrapping a derived dataset back into a sqlite3 table.
 """
 
 from __future__ import annotations
 
 import sqlite3
-import warnings
-from typing import Any, Dict, List, Optional
 
 from repro.errors import WrapperError
 from repro.core.dataset import ScrubJayDataset
 from repro.core.dictionary import SemanticDictionary
-from repro.core.semantics import Schema
-from repro.wrappers.base import DataWrapper, Unwrapper
+from repro.wrappers.base import Unwrapper
 from repro.wrappers.codec import encode_value
-
-
-class SQLWrapper(DataWrapper):
-    """Deprecated shim over :class:`~repro.sources.sql_source.SQLSource`.
-
-    Materializes every partition on the driver, exactly like the
-    original wrapper did — use ``session.ingest().sql(...)`` for lazy,
-    rowid-partitioned, pushdown-capable reads.
-    """
-
-    def __init__(
-        self,
-        db_path: str,
-        schema: Schema,
-        dictionary: SemanticDictionary,
-        table: Optional[str] = None,
-        query: Optional[str] = None,
-        name: Optional[str] = None,
-        num_partitions: Optional[int] = None,
-    ) -> None:
-        warnings.warn(
-            "SQLWrapper is deprecated; use "
-            "session.ingest().sql(db_path, schema, table=...) for a "
-            "lazy, partitioned scan",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        # deferred: repro.sources imports this package's codec module
-        from repro.sources.sql_source import SQLSource
-
-        # the source performs the table-xor-query validation (its
-        # SourceError subclasses WrapperError, message unchanged)
-        self._source = SQLSource(
-            db_path, schema, dictionary, table=table, query=query,
-            name=name, num_partitions=1,
-        )
-        super().__init__(
-            schema, dictionary, name or table or "sql", num_partitions
-        )
-        self.db_path = db_path
-        self.table = table
-        self.query = query
-
-    def rows(self) -> List[Dict[str, Any]]:
-        out: List[Dict[str, Any]] = []
-        for i in range(self._source.num_partitions()):
-            out.extend(self._source.read_partition(i))
-        return out
 
 
 class SQLUnwrapper(Unwrapper):

@@ -1,5 +1,5 @@
-"""QueryBuilder: fluent construction, session-bound terminals, and the
-legacy-form deprecation."""
+"""QueryBuilder: fluent construction, session-bound terminals, and
+equivalence with ``Query.of``/wire spellings."""
 
 from __future__ import annotations
 
@@ -84,22 +84,17 @@ def test_session_bound_builder_explains(fig5_session):
     assert "derive_heat" in text
 
 
-def test_legacy_two_argument_query_warns(fig5_session):
-    with pytest.warns(DeprecationWarning, match="fluent builder"):
-        plan = fig5_session.query(
-            domains=["racks"], values=["heat"]
-        )
-    assert "derive_heat" in plan.operations()
+def test_legacy_two_argument_query_is_gone(fig5_session):
+    # the pre-1.0 ``query(domains, values)`` shim was removed; the
+    # builder is the only spelling ``query()`` accepts
+    with pytest.raises(TypeError):
+        fig5_session.query(["racks"], ["heat"])
+    with pytest.raises(TypeError):
+        fig5_session.query(domains=["racks"], values=["heat"])
 
 
-def test_query_with_built_query_does_not_warn(fig5_session):
-    import warnings
-
-    q = Query.of(["racks"], ["heat"])
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        plan = fig5_session.query(q)
-        fig5_session.query()  # bare builder is the blessed path
+def test_plan_accepts_a_built_query(fig5_session):
+    plan = fig5_session.plan(Query.of(["racks"], ["heat"]))
     assert "derive_heat" in plan.operations()
 
 
@@ -107,3 +102,29 @@ def test_repr_shows_accumulated_terms():
     b = QueryBuilder().across("racks").value("heat", units="W")
     assert "racks" in repr(b)
     assert "heat[W]" in repr(b)
+
+def test_metric_builder_equivalent_to_query_of():
+    from repro.core.query import Grain, Measure
+
+    built = (QueryBuilder()
+             .across("time")
+             .measure("power", "mean")
+             .per("racks")
+             .grain("1h")
+             .build())
+    assert built == Query.of(
+        ["time", "racks"], ["power"],
+        measures=[Measure("power", "mean")],
+        per=["racks"], grain=Grain.of("1h"),
+    )
+    assert built == Query.from_json_dict(built.to_json_dict())
+
+
+def test_metric_repr_shows_metric_terms():
+    b = (QueryBuilder()
+         .measure("power", "p95")
+         .per("racks")
+         .grain("15m"))
+    q = b.build()
+    assert "p95(power)" in str(q)
+    assert "900s/time" in str(q)

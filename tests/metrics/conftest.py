@@ -1,0 +1,88 @@
+"""Shared metrics fixtures: a small rack-power session with a
+hand-computable power series."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ScrubJaySession, Schema
+from repro.core.semantics import domain, value
+from repro.units.temporal import Timestamp
+
+RACK_POWER_SCHEMA = Schema({
+    "rack": domain("racks", "identifier"),
+    "time": domain("time", "datetime"),
+    "power": value("power", "watts"),
+})
+
+#: 3 racks × 24 samples, one every 5 minutes, over 2 hours
+N_RACKS = 3
+STEP = 300.0
+N_SAMPLES = 24
+
+
+def power_rows():
+    return [
+        {"rack": r, "time": Timestamp(i * STEP),
+         "power": 100.0 + 10.0 * r + (i % 7)}
+        for r in range(N_RACKS)
+        for i in range(N_SAMPLES)
+    ]
+
+
+def manual_groups(rows, grain_s, how, value_of=None):
+    """The expected ``{(rack, bucket): aggregate}`` computed the naive
+    way, for cross-checking the metrics layer."""
+    value_of = value_of or (lambda row: row["power"])
+    buckets = {}
+    for row in rows:
+        b = (row["time"].epoch // grain_s) * grain_s
+        buckets.setdefault((row["rack"], Timestamp(b)), []).append(
+            value_of(row)
+        )
+    out = {}
+    for k, vals in buckets.items():
+        if how == "mean":
+            out[k] = sum(vals) / len(vals)
+        elif how == "sum":
+            out[k] = sum(vals)
+        elif how == "min":
+            out[k] = min(vals)
+        elif how == "max":
+            out[k] = max(vals)
+        elif how == "count":
+            out[k] = len(vals)
+        else:
+            raise AssertionError(how)
+    return out
+
+
+def close(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def assert_groups_equal(got, want):
+    assert set(got) == set(want), (
+        len(got), len(want),
+        sorted(set(got) ^ set(want), key=repr)[:4],
+    )
+    for k in want:
+        g, w = got[k], want[k]
+        if isinstance(w, dict):
+            assert set(g) == set(w), (k, g, w)
+            for m in w:
+                assert close(g[m], w[m]), (k, m, g[m], w[m])
+        else:
+            assert close(g, w), (k, g, w)
+
+
+@pytest.fixture()
+def power_session():
+    sj = ScrubJaySession()
+    sj.register_rows(power_rows(), RACK_POWER_SCHEMA, "rack_power")
+    yield sj
+    sj.close()

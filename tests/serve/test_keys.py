@@ -3,7 +3,7 @@ any state change must split them."""
 
 from __future__ import annotations
 
-from repro.core.query import Query
+from repro.core.query import Grain, Measure, Query, QueryBuilder
 from repro.serve import normalize_query, plan_key, result_key
 
 from tests.serve.conftest import make_session
@@ -75,3 +75,58 @@ def test_dictionary_version_idempotent_redefinition():
         assert sj.dictionary.version == v + 1
     finally:
         sj.close()
+
+# ----------------------------------------------------------------------
+# metric queries: every spelling lands on one cache key
+# ----------------------------------------------------------------------
+
+def builder_metric():
+    return (QueryBuilder()
+            .across("time")
+            .measure("power", "mean")
+            .per("racks")
+            .grain("1h")
+            .build())
+
+
+def of_metric():
+    return Query.of(
+        ["time", "racks"], ["power"],
+        measures=[Measure("power", "mean")],
+        per=["racks"], grain=Grain.of("1h"),
+    )
+
+
+def test_builder_of_and_wire_spellings_share_plan_keys():
+    built = builder_metric()
+    plain = of_metric()
+    wired = Query.from_json_dict(built.to_json_dict())
+    assert normalize_query(built) == normalize_query(plain)
+    assert normalize_query(built) == normalize_query(wired)
+    keys = {plan_key("s", q) for q in (built, plain, wired)}
+    assert len(keys) == 1
+
+
+def test_metric_terms_split_plan_keys():
+    base = builder_metric()
+    assert plan_key("s", base) != plan_key("s", base.base())
+    coarser = Query(
+        base.domains, base.values, base.filters,
+        base.measures, base.per, Grain.of("2h"),
+    )
+    assert plan_key("s", base) != plan_key("s", coarser)
+    p95 = Query(
+        base.domains, base.values, base.filters,
+        (Measure("power", "p95"),), base.per, base.grain,
+    )
+    assert plan_key("s", base) != plan_key("s", p95)
+
+
+def test_plain_query_keys_unchanged_by_metric_support():
+    # a metric-free query must serialize (and key) without any metric
+    # fields, so pre-metrics cache entries stay valid
+    q = Query.of(["jobs"], ["heat"])
+    assert "measures" not in q.to_json_dict()
+    assert normalize_query(q) == normalize_query(
+        Query.from_json_dict(q.to_json_dict())
+    )

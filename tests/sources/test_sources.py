@@ -1,5 +1,5 @@
-"""DataSource implementations: partition layout, equivalence with the
-legacy wrappers, predicate/projection correctness, wrapper shims."""
+"""DataSource implementations: partition layout, predicate/projection
+correctness, round-trips through the unwrappers."""
 
 import sqlite3
 
@@ -17,15 +17,7 @@ from repro.sources import (
 )
 from repro.store import WideColumnStore
 from repro.units.temporal import Timestamp
-from repro.wrappers import (
-    CSVUnwrapper,
-    CSVWrapper,
-    NoSQLUnwrapper,
-    NoSQLWrapper,
-    RowsWrapper,
-    SQLUnwrapper,
-    SQLWrapper,
-)
+from repro.wrappers import CSVUnwrapper, SQLUnwrapper
 
 SCHEMA = Schema({
     "node": domain("compute nodes", "identifier"),
@@ -61,15 +53,13 @@ def write_csv(ctx, dictionary, path, rows):
 # CSV
 # ----------------------------------------------------------------------
 
-def test_csv_partitioned_read_equals_wrapper(ctx, dictionary, tmp_path):
+def test_csv_partitioned_read_round_trips(ctx, dictionary, tmp_path):
     path = str(tmp_path / "d.csv")
     rows = make_rows()
     write_csv(ctx, dictionary, path, rows)
     src = CSVSource(path, SCHEMA, dictionary, num_partitions=5)
     assert src.num_partitions() > 1
-    with pytest.warns(DeprecationWarning):
-        legacy = CSVWrapper(path, SCHEMA, dictionary).rows()
-    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
 
 
 @pytest.mark.parametrize("parts", [1, 3, 7, 64])
@@ -146,15 +136,13 @@ def make_db(ctx, dictionary, path, rows):
     SQLUnwrapper(path, "temps", dictionary).save(ds)
 
 
-def test_sql_rowid_partitions_equal_wrapper(ctx, dictionary, tmp_path):
+def test_sql_rowid_partitions_round_trip(ctx, dictionary, tmp_path):
     db = str(tmp_path / "perf.db")
     rows = make_rows()
     make_db(ctx, dictionary, db, rows)
     src = SQLSource(db, SCHEMA, dictionary, table="temps", num_partitions=4)
     assert src.num_partitions() == 4
-    with pytest.warns(DeprecationWarning):
-        legacy = SQLWrapper(db, SCHEMA, dictionary, table="temps").rows()
-    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
 
 
 def test_sql_query_mode_single_partition(ctx, dictionary, tmp_path):
@@ -262,15 +250,11 @@ def test_table_source_partitions_follow_store(store):
     assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
 
 
-def test_table_source_equals_wrapper(ctx, dictionary, store):
+def test_table_source_reads_every_row(ctx, dictionary, store):
     rows = make_rows(16)
     make_table(store, rows)
     src = TableSource(store, "perf", "temps", SCHEMA)
-    with pytest.warns(DeprecationWarning):
-        legacy = NoSQLWrapper(
-            store, "perf", "temps", SCHEMA, dictionary
-        ).rows()
-    assert sorted(all_rows(src), key=key) == sorted(legacy, key=key)
+    assert sorted(all_rows(src), key=key) == sorted(rows, key=key)
 
 
 def test_table_source_partition_key_pruning(store):
@@ -315,41 +299,3 @@ def test_table_source_zone_map_skips_segments(store):
         (r for r in rows if pred.matches(r)), key=key
     )
     assert skipped > 0
-
-
-# ----------------------------------------------------------------------
-# legacy wrapper shims
-# ----------------------------------------------------------------------
-
-def test_all_wrappers_warn_deprecation(ctx, dictionary, tmp_path, store):
-    path = str(tmp_path / "d.csv")
-    db = str(tmp_path / "perf.db")
-    rows = make_rows(6)
-    write_csv(ctx, dictionary, path, rows)
-    make_db(ctx, dictionary, db, rows)
-    make_table(store, rows)
-    with pytest.warns(DeprecationWarning, match="CSVWrapper is deprecated"):
-        CSVWrapper(path, SCHEMA, dictionary)
-    with pytest.warns(DeprecationWarning, match="SQLWrapper is deprecated"):
-        SQLWrapper(db, SCHEMA, dictionary, table="temps")
-    with pytest.warns(DeprecationWarning, match="NoSQLWrapper is deprecated"):
-        NoSQLWrapper(store, "perf", "temps", SCHEMA, dictionary)
-    with pytest.warns(DeprecationWarning, match="RowsWrapper is deprecated"):
-        RowsWrapper(rows, SCHEMA, dictionary, "t")
-
-
-def test_rows_wrapper_still_returns_same_list(dictionary):
-    rows = make_rows(3)
-    with pytest.warns(DeprecationWarning):
-        w = RowsWrapper(rows, SCHEMA, dictionary, "t")
-    assert w.rows() is rows
-
-
-def test_wrapper_load_keeps_wrap_provenance(ctx, dictionary, tmp_path):
-    path = str(tmp_path / "d.csv")
-    write_csv(ctx, dictionary, path, make_rows(4))
-    with pytest.warns(DeprecationWarning):
-        ds = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
-    assert ds.provenance == {
-        "op": "wrap", "wrapper": "CSVWrapper", "name": path,
-    }

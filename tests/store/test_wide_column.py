@@ -106,10 +106,11 @@ def test_partitions_listing(store):
     assert t.partitions() == [(1,), (3,)]
 
 
-def test_nosql_wrapper_round_trip(ctx, dictionary, store):
+def test_nosql_unwrapper_round_trip(ctx, dictionary, store):
     from repro.core.dataset import ScrubJayDataset
     from repro.core.semantics import Schema, domain, value
-    from repro.wrappers import NoSQLUnwrapper, NoSQLWrapper
+    from repro.sources import TableSource
+    from repro.wrappers import NoSQLUnwrapper
 
     schema = Schema({
         "node": domain("compute nodes", "identifier"),
@@ -118,5 +119,8 @@ def test_nosql_wrapper_round_trip(ctx, dictionary, store):
     rows = [{"node": 1, "v": 5.0}, {"node": 2, "v": 6.0}]
     ds = ScrubJayDataset.from_rows(ctx, rows, schema, "t")
     NoSQLUnwrapper(store, "perf", "power", ["node"]).save(ds)
-    back = NoSQLWrapper(store, "perf", "power", schema, dictionary).load(ctx)
-    assert sorted(back.collect(), key=lambda r: r["node"]) == rows
+    src = TableSource(store, "perf", "power", schema)
+    back = []
+    for i in range(src.num_partitions()):
+        back.extend(src.read_partition(i))
+    assert sorted(back, key=lambda r: r["node"]) == rows

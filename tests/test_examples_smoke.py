@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "reproducible_pipeline.py",
     "nosql_ingestion.py",
+    "dashboard_metrics.py",
 ]
 
 

@@ -41,13 +41,10 @@ def test_unknown_dataset_lookup(session):
         session.dataset("ghost")
 
 
-def test_register_wrapper(session, tmp_path):
-    from repro.wrappers import CSVWrapper
-
+def test_ingest_csv_registers(session, tmp_path):
     path = tmp_path / "t.csv"
     path.write_text("node,temp\n1,20.0\n")
-    wrapper = CSVWrapper(str(path), SCHEMA, session.dictionary)
-    ds = session.register_wrapper(wrapper, "csvdata")
+    ds = session.ingest().csv(str(path), SCHEMA).register("csvdata")
     assert ds.collect() == [{"node": 1, "temp": 20.0}]
     assert "csvdata" in session.schemas()
 

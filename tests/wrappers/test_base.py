@@ -1,9 +1,10 @@
-"""Wrapper base classes: RowsWrapper and load() behaviour."""
+"""Unwrapper base class contract."""
 
 import pytest
 
+from repro.core.dataset import ScrubJayDataset
 from repro.core.semantics import Schema, domain, value
-from repro.wrappers import RowsWrapper
+from repro.wrappers import Unwrapper
 
 SCHEMA = Schema({
     "node": domain("compute nodes", "identifier"),
@@ -13,27 +14,27 @@ SCHEMA = Schema({
 ROWS = [{"node": i, "temp": 20.0 + i} for i in range(10)]
 
 
-def test_rows_wrapper_load(ctx, dictionary):
-    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem").load(ctx)
-    assert ds.collect() == ROWS
-    assert ds.name == "mem"
-    assert ds.schema == SCHEMA
+def test_unwrapper_is_abstract():
+    with pytest.raises(TypeError):
+        Unwrapper()  # type: ignore[abstract]
 
 
-def test_rows_wrapper_provenance(ctx, dictionary):
-    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem").load(ctx)
-    assert ds.provenance == {
-        "op": "wrap", "wrapper": "RowsWrapper", "name": "mem",
-    }
+def test_unwrapper_subclass_saves(ctx):
+    class Collecting(Unwrapper):
+        def save(self, dataset):
+            self.rows = dataset.collect()
+            return "handle"
+
+    ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "mem")
+    u = Collecting()
+    assert u.save(ds) == "handle"
+    assert u.rows == ROWS
 
 
-def test_rows_wrapper_num_partitions(ctx, dictionary):
-    ds = RowsWrapper(ROWS, SCHEMA, dictionary, "mem",
-                     num_partitions=5).load(ctx)
-    assert ds.rdd.getNumPartitions() == 5
-
-
-def test_rows_wrapper_registers_in_session(session):
-    wrapper = RowsWrapper(ROWS, SCHEMA, session.dictionary, "mem")
-    ds = session.register_wrapper(wrapper, "mem")
-    assert session.dataset("mem") is ds
+def test_eager_wrapper_shims_are_gone():
+    # the DataWrapper/RowsWrapper ingestion shims were removed in favor
+    # of session.ingest(); make sure they don't quietly come back
+    import repro.wrappers as w
+    for name in ("DataWrapper", "RowsWrapper", "CSVWrapper",
+                 "SQLWrapper", "NoSQLWrapper"):
+        assert not hasattr(w, name), name

@@ -1,12 +1,13 @@
-"""CSV wrapper/unwrapper."""
+"""CSV unwrapper round-trips (reads go through CSVSource)."""
 
 import pytest
 
 from repro.core.dataset import ScrubJayDataset
 from repro.core.semantics import Schema, domain, value
 from repro.errors import WrapperError
+from repro.sources import CSVSource
 from repro.units.temporal import Timestamp, TimeSpan
-from repro.wrappers import CSVUnwrapper, CSVWrapper
+from repro.wrappers import CSVUnwrapper
 
 SCHEMA = Schema({
     "node": domain("compute nodes", "identifier"),
@@ -24,11 +25,26 @@ ROWS = [
 ]
 
 
+def read_all(path, dictionary):
+    src = CSVSource(path, SCHEMA, dictionary, num_partitions=1)
+    out = []
+    for i in range(src.num_partitions()):
+        out.extend(src.read_partition(i))
+    return out
+
+
 def test_round_trip(ctx, dictionary, tmp_path):
     path = str(tmp_path / "data.csv")
     ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
     assert CSVUnwrapper(path, dictionary).save(ds) == path
-    back = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
+    assert read_all(path, dictionary) == ROWS
+
+
+def test_round_trip_through_ingest(session, ctx, dictionary, tmp_path):
+    path = str(tmp_path / "data.csv")
+    ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    CSVUnwrapper(path, dictionary).save(ds)
+    back = session.ingest().csv(path, SCHEMA).register("temps")
     assert back.collect() == ROWS
 
 
@@ -37,41 +53,39 @@ def test_sparse_cells_round_trip(ctx, dictionary, tmp_path):
     rows = [{"node": 1, "temp": 20.0}, {"node": 2}]
     ds = ScrubJayDataset.from_rows(ctx, rows, SCHEMA, "t")
     CSVUnwrapper(path, dictionary).save(ds)
-    back = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
-    assert back.collect() == rows
+    assert read_all(path, dictionary) == rows
 
 
-def test_unknown_columns_ignored(ctx, dictionary, tmp_path):
+def test_unknown_columns_ignored(dictionary, tmp_path):
     path = tmp_path / "extra.csv"
     path.write_text("node,mystery,temp\n1,xyz,20.0\n")
-    back = CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
-    assert back.collect() == [{"node": 1, "temp": 20.0}]
+    assert read_all(str(path), dictionary) == [{"node": 1, "temp": 20.0}]
 
 
-def test_no_matching_columns_raises(ctx, dictionary, tmp_path):
+def test_no_matching_columns_raises(dictionary, tmp_path):
     path = tmp_path / "bad.csv"
     path.write_text("a,b\n1,2\n")
     with pytest.raises(WrapperError, match="no CSV column"):
-        CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
+        read_all(str(path), dictionary)
 
 
-def test_empty_file_raises(ctx, dictionary, tmp_path):
+def test_empty_file_raises(dictionary, tmp_path):
     path = tmp_path / "empty.csv"
     path.write_text("")
     with pytest.raises(WrapperError):
-        CSVWrapper(str(path), SCHEMA, dictionary).load(ctx)
+        read_all(str(path), dictionary)
 
 
-def test_missing_file_raises(ctx, dictionary, tmp_path):
+def test_missing_file_raises(dictionary, tmp_path):
     with pytest.raises(WrapperError, match="cannot read"):
-        CSVWrapper(str(tmp_path / "nope.csv"), SCHEMA, dictionary).load(ctx)
+        read_all(str(tmp_path / "nope.csv"), dictionary)
 
 
-def test_load_sets_provenance(ctx, dictionary, tmp_path):
+def test_ingest_sets_scan_provenance(session, ctx, dictionary, tmp_path):
     path = str(tmp_path / "p.csv")
     CSVUnwrapper(path, dictionary).save(
         ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
     )
-    ds = CSVWrapper(path, SCHEMA, dictionary).load(ctx)
-    assert ds.provenance["op"] == "wrap"
-    assert ds.provenance["wrapper"] == "CSVWrapper"
+    ds = session.ingest().csv(path, SCHEMA).load("p")
+    assert ds.provenance["op"] == "scan"
+    assert ds.provenance["source"] == "CSVSource"

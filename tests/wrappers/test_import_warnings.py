@@ -1,26 +1,14 @@
-"""Deprecation hygiene for the legacy wrapper layer.
+"""Import hygiene for the wrappers package.
 
-Importing ``repro`` (or any wrappers module) must be silent — the
-DeprecationWarning belongs at *call* time, on the analyst who actually
-constructs a shim, not on every process that merely imports the
-package. The subprocess runs with ``-W error::DeprecationWarning`` so
-an import-time warning fails loudly.
+Importing ``repro`` (or any wrappers module) must be silent. The
+subprocess runs with ``-W error::DeprecationWarning`` so an
+import-time warning fails loudly.
 """
 
 import subprocess
 import sys
 
-import pytest
-
-from repro.core.semantics import Schema, domain, value
-from repro.wrappers import RowsWrapper
-
-SCHEMA = Schema({
-    "node": domain("compute nodes", "identifier"),
-    "temp": value("temperature", "degrees Celsius"),
-})
-
-_IMPORTS = (
+_SCRIPT = (
     "import repro, repro.wrappers, repro.wrappers.base, "
     "repro.wrappers.csv_io, repro.wrappers.sql_io, "
     "repro.wrappers.nosql_io"
@@ -30,13 +18,15 @@ _IMPORTS = (
 def test_import_emits_no_deprecation_warning():
     proc = subprocess.run(
         [sys.executable, "-W", "error::DeprecationWarning", "-c",
-         _IMPORTS],
+         _SCRIPT],
         capture_output=True,
         text=True,
     )
     assert proc.returncode == 0, proc.stderr
 
 
-def test_shim_warns_at_construction_time(dictionary):
-    with pytest.warns(DeprecationWarning, match="RowsWrapper"):
-        RowsWrapper([{"node": 1, "temp": 20.0}], SCHEMA, dictionary, "t")
+def test_wrappers_export_only_unwrappers():
+    import repro.wrappers as w
+    assert set(w.__all__) == {
+        "Unwrapper", "CSVUnwrapper", "SQLUnwrapper", "NoSQLUnwrapper",
+    }

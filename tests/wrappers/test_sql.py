@@ -1,4 +1,4 @@
-"""SQL (sqlite3) wrapper/unwrapper."""
+"""SQL (sqlite3) unwrapper round-trips (reads go through SQLSource)."""
 
 import sqlite3
 
@@ -7,8 +7,9 @@ import pytest
 from repro.core.dataset import ScrubJayDataset
 from repro.core.semantics import Schema, domain, value
 from repro.errors import WrapperError
+from repro.sources import SQLSource
 from repro.units.temporal import Timestamp
-from repro.wrappers import SQLUnwrapper, SQLWrapper
+from repro.wrappers import SQLUnwrapper
 
 SCHEMA = Schema({
     "node": domain("compute nodes", "identifier"),
@@ -22,12 +23,32 @@ ROWS = [
 ]
 
 
+def key(row):
+    return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+
+def read_all(src):
+    out = []
+    for i in range(src.num_partitions()):
+        out.extend(src.read_partition(i))
+    return out
+
+
 def test_round_trip_table(ctx, dictionary, tmp_path):
     db = str(tmp_path / "perf.db")
     ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
     SQLUnwrapper(db, "temps", dictionary).save(ds)
-    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
-    assert back.collect() == ROWS
+    src = SQLSource(db, SCHEMA, dictionary, table="temps")
+    assert sorted(read_all(src), key=key) == sorted(ROWS, key=key)
+
+
+def test_round_trip_through_ingest(session, ctx, dictionary, tmp_path):
+    db = str(tmp_path / "perf.db")
+    SQLUnwrapper(db, "temps", dictionary).save(
+        ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
+    )
+    back = session.ingest().sql(db, SCHEMA, table="temps").register("temps")
+    assert sorted(back.collect(), key=key) == sorted(ROWS, key=key)
 
 
 def test_custom_query(ctx, dictionary, tmp_path):
@@ -35,11 +56,11 @@ def test_custom_query(ctx, dictionary, tmp_path):
     SQLUnwrapper(db, "temps", dictionary).save(
         ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
     )
-    back = SQLWrapper(
+    src = SQLSource(
         db, SCHEMA, dictionary,
         query='SELECT * FROM temps WHERE node = "2"',
-    ).load(ctx)
-    assert back.collect() == [ROWS[1]]
+    )
+    assert read_all(src) == [ROWS[1]]
 
 
 def test_column_names_from_cursor_description(ctx, dictionary, tmp_path):
@@ -49,23 +70,16 @@ def test_column_names_from_cursor_description(ctx, dictionary, tmp_path):
     with sqlite3.connect(db) as conn:
         conn.execute("CREATE TABLE temps (node INTEGER, temp REAL, junk TEXT)")
         conn.execute("INSERT INTO temps VALUES (5, 19.5, 'x')")
-    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
-    assert back.collect() == [{"node": 5, "temp": 19.5}]
-
-
-def test_table_and_query_mutually_exclusive(dictionary, tmp_path):
-    with pytest.raises(WrapperError):
-        SQLWrapper(str(tmp_path / "x.db"), SCHEMA, dictionary)
-    with pytest.raises(WrapperError):
-        SQLWrapper(str(tmp_path / "x.db"), SCHEMA, dictionary,
-                   table="a", query="SELECT 1")
+    src = SQLSource(db, SCHEMA, dictionary, table="temps")
+    assert read_all(src) == [{"node": 5, "temp": 19.5}]
 
 
 def test_missing_table_raises(ctx, dictionary, tmp_path):
     db = str(tmp_path / "empty.db")
     sqlite3.connect(db).close()
+    src = SQLSource(db, SCHEMA, dictionary, table="none")
     with pytest.raises(WrapperError, match="sqlite error"):
-        SQLWrapper(db, SCHEMA, dictionary, table="none").load(ctx)
+        read_all(src)
 
 
 def test_unwrapper_replaces_table(ctx, dictionary, tmp_path):
@@ -73,5 +87,5 @@ def test_unwrapper_replaces_table(ctx, dictionary, tmp_path):
     ds = ScrubJayDataset.from_rows(ctx, ROWS, SCHEMA, "t")
     SQLUnwrapper(db, "temps", dictionary).save(ds)
     SQLUnwrapper(db, "temps", dictionary).save(ds)  # no error, replaced
-    back = SQLWrapper(db, SCHEMA, dictionary, table="temps").load(ctx)
-    assert back.count() == 2
+    src = SQLSource(db, SCHEMA, dictionary, table="temps")
+    assert len(read_all(src)) == 2

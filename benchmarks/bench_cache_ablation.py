@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.core.cache import DerivationCache
 from repro.datagen import generate_dat1
 from repro.datagen.facility import FacilityConfig
@@ -33,7 +33,7 @@ def test_cache_cold_vs_warm(benchmark, dat1, recorder, tmp_path_factory):
     cache_dir = str(tmp_path_factory.mktemp("sjcache"))
 
     def run():
-        with ScrubJaySession(cache_dir=cache_dir) as sj:
+        with ScrubJaySession(TuningProfile(cache_dir=cache_dir)) as sj:
             dat1.register(sj)
             plan = (sj.query().across("jobs", "racks")
                     .values("applications", "heat").plan())
@@ -59,7 +59,7 @@ def test_cache_shared_prefix_across_queries(benchmark, dat1, recorder,
     cache_dir = str(tmp_path_factory.mktemp("sjcache2"))
 
     def run():
-        with ScrubJaySession(cache_dir=cache_dir) as sj:
+        with ScrubJaySession(TuningProfile(cache_dir=cache_dir)) as sj:
             dat1.register(sj)
             plan_heat = (sj.query().across("jobs", "racks")
                          .values("applications", "heat").plan())

@@ -2,7 +2,7 @@
 
 Registers the synthetic keyed tables (samples × per-node lookup, join
 output size == left rows), solves the join query once, then executes
-the same plan under ``EngineConfig(columnar=True)`` and
+the same plan under ``TuningProfile(columnar=True)`` and
 ``columnar=False``. The columnar run decodes the catalog rows into
 :class:`~repro.columnar.ColumnBatch` leaves (persisted, so the decode
 is paid once, like a columnar file format pays it at write time) and
@@ -44,7 +44,7 @@ _SRC = os.path.join(
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro import EngineConfig, ScrubJaySession  # noqa: E402
+from repro import ScrubJaySession, TuningProfile  # noqa: E402
 from repro.datagen.synthetic import (  # noqa: E402
     KEYED_LEFT_SCHEMA,
     KEYED_RIGHT_SCHEMA,
@@ -69,7 +69,7 @@ def run_mode(
     right: List[Dict[str, Any]],
 ) -> Dict[str, Any]:
     """Time REPEATS executions of the solved join plan in one mode."""
-    sj = ScrubJaySession(config=EngineConfig(columnar=columnar))
+    sj = ScrubJaySession(TuningProfile(columnar=columnar))
     try:
         sj.register_rows(left, KEYED_LEFT_SCHEMA, "samples")
         sj.register_rows(right, KEYED_RIGHT_SCHEMA, "lookup")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.datagen import generate_dat2
 
 
@@ -43,7 +43,7 @@ def _window_mean(rows, field, start, end):
 def test_fig6_derived_metrics(benchmark, dat2, recorder):
     def run():
         with ScrubJaySession(
-            config=EngineConfig(interpolation_window=8.0)
+            TuningProfile(interpolation_window=8.0)
         ) as sj:
             dat2.register(sj)
             plan = (
@@ -105,7 +105,7 @@ def test_fig6_runs_repeatable(benchmark, dat2):
     three near-identical repetitions per workload)."""
     def collect_freqs():
         with ScrubJaySession(
-            config=EngineConfig(interpolation_window=8.0)
+            TuningProfile(interpolation_window=8.0)
         ) as sj:
             dat2.register(sj)
             rows = sj.ask(domains=["cpus"],

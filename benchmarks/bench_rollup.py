@@ -105,7 +105,7 @@ def groups_identical(a: Dict, b: Dict) -> bool:
 def run_route_phase(
     racks: int, samples: int, repeats: int
 ) -> Dict[str, Any]:
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     try:
         sj.register_rows(
             power_rows(racks, samples), RACK_POWER_SCHEMA,

@@ -10,7 +10,7 @@ asks a selective question — one rack, one time window — twice:
   pruning drops the other racks driver-side, zone maps skip segments
   outside the time window worker-side);
 - **full scan**: the same session/query with
-  ``EngineConfig(pushdown=False)`` — filters run as plan nodes above
+  ``TuningProfile(pushdown=False)`` — filters run as plan nodes above
   an unrestricted scan.
 
 Writes ``benchmarks/results/BENCH_scan.json`` with the physical read
@@ -49,7 +49,7 @@ _SRC = os.path.join(
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro import EngineConfig, ScrubJaySession  # noqa: E402
+from repro import ScrubJaySession, TuningProfile  # noqa: E402
 from repro.datagen.dat import (  # noqa: E402
     RACK_TEMPERATURE_SCHEMA,
     generate_dat1,
@@ -84,7 +84,7 @@ def run_query(
     t_hi: float,
 ) -> Dict[str, Any]:
     """One measured ask() against a fresh session over the store."""
-    sj = ScrubJaySession(config=EngineConfig(pushdown=pushdown))
+    sj = ScrubJaySession(TuningProfile(pushdown=pushdown))
     try:
         sj.ingest().table(
             store, "facility", DATASET, RACK_TEMPERATURE_SCHEMA

@@ -76,7 +76,7 @@ JOIN_QUERY = (["compute nodes", "jobs"], ["power", "temperature"])
 
 
 def make_session(rows: int, keys: int = 64) -> ScrubJaySession:
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     left, right = keyed_tables(rows, num_keys=keys)
     sj.register_rows(left, KEYED_LEFT_SCHEMA, name="samples")
     sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")

@@ -76,7 +76,7 @@ def make_fleet(rows, shards: int):
     samples table hash-sharded on its key column. Result caches are
     minimized on both tiers so the measured phase scatters and scans
     instead of replaying memoized answers."""
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     sj.register_rows(rows, KEYED_LEFT_SCHEMA, name="samples")
     router = sj.serve(
         shards=shards,

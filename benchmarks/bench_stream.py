@@ -66,7 +66,7 @@ JOIN_QUERY = (["compute nodes", "jobs"], ["power", "temperature"])
 
 
 def make_feed_session(rows: int, keys: int) -> ScrubJaySession:
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     left, right = keyed_tables(rows, num_keys=keys)
     sj.ingest().feed(KEYED_LEFT_SCHEMA, rows=left).tail("samples")
     sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")

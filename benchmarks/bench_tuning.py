@@ -1,0 +1,316 @@
+"""Closed-loop tuning benchmark: an adversarial broadcast mis-predict.
+
+The workload is a natural join whose small side *defeats the size
+estimator*: every lookup row carries the same ~2 KB annotation string
+(one shared object), and :func:`repro.rdd.stats._approx_size` counts
+it once per sampled row — so the 6 000-row lookup table, really a few
+hundred KB of distinct data, is estimated at ~15 MiB. That pushes the
+small side past the default 8 MiB broadcast threshold and the planner
+shuffles a join it should broadcast, every single execution.
+
+An untuned session keeps paying that shuffle forever. A session with
+``tuning_enabled=True`` observes the repeated shuffle regret (measured
+shuffle cost vs the modeled broadcast cost of a 6 000-row build side),
+and after the hysteresis bar raises ``adaptive.broadcast_threshold_bytes``
+past the over-estimate — recorded as a :class:`TuningDecision` on the
+report and rendered in ``EXPLAIN ANALYZE``. Every execution after that
+broadcasts.
+
+Both configurations are timed with :mod:`repro.util.benchstats`
+adaptive-stopping CIs, and the speedup gate compares *bounds*, not
+means: ``untuned.ci_low / tuned.ci_high`` must clear the bar, so a
+noisy box cannot fake a pass.
+
+Writes ``benchmarks/results/BENCH_tuning.json`` with both interval
+timings, the tuning decisions applied, the per-run join strategies,
+and the EXPLAIN ANALYZE audit excerpt.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tuning.py          # full
+    PYTHONPATH=src python benchmarks/bench_tuning.py --smoke  # CI
+
+The full run enforces the >= 1.3x acceptance bar; ``--smoke`` shrinks
+the streamed side and gates at >= 1.15x. Either exits non-zero on a
+miss, on a tuner that never fired, or on answers that differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_tuning.json")
+
+# allow `python benchmarks/bench_tuning.py` without PYTHONPATH
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import random  # noqa: E402
+
+from repro import ScrubJaySession, TuningProfile  # noqa: E402
+from repro.core import DOMAIN, VALUE, Schema, SemanticType  # noqa: E402
+from repro.util.benchstats import measure  # noqa: E402
+
+FULL_ROWS = 120_000
+SMOKE_ROWS = 40_000
+NUM_KEYS = 6_000
+#: one shared annotation string on every lookup row — stored once,
+#: but counted once *per row* by the sampling size estimator
+BLOB = "scrubjay-annotation/" + "x" * 2_028
+
+LEFT_SCHEMA = Schema({
+    "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "sample": SemanticType(DOMAIN, "jobs", "identifier"),
+    "metric_a": SemanticType(VALUE, "power", "watts"),
+})
+#: the keyed lookup, plus the adversarial annotation column (asked for
+#: by the query, so projection pushdown cannot prune it away)
+RIGHT_SCHEMA = Schema({
+    "node": SemanticType(DOMAIN, "compute nodes", "identifier"),
+    "metric_b": SemanticType(VALUE, "temperature", "degrees Celsius"),
+    "annotation": SemanticType(VALUE, "applications", "identifier"),
+})
+
+#: executions the tuned session gets to notice and fix the mis-predict
+MAX_WARMUP_RUNS = 8
+
+
+def adversarial_tables(num_rows: int, num_keys: int = NUM_KEYS, seed: int = 5):
+    rng = random.Random(seed)
+    left = [
+        {
+            "node": rng.randrange(num_keys),
+            "sample": i,
+            "metric_a": rng.random() * 100.0,
+        }
+        for i in range(num_rows)
+    ]
+    right = [
+        {"node": k, "metric_b": rng.random() * 40.0, "annotation": BLOB}
+        for k in range(num_keys)
+    ]
+    return left, right
+
+
+def row_multiset(rows: Sequence[Dict[str, Any]]) -> List[Any]:
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows
+    )
+
+
+def make_session(
+    tuned: bool,
+    left: List[Dict[str, Any]],
+    right: List[Dict[str, Any]],
+):
+    sj = ScrubJaySession(TuningProfile(tuning_enabled=tuned))
+    sj.register_rows(left, LEFT_SCHEMA, "samples")
+    sj.register_rows(right, RIGHT_SCHEMA, "lookup")
+    plan = sj.plan(
+        sj.query()
+        .across("compute nodes", "jobs")
+        .value("power")
+        .value("temperature")
+        .value("applications")
+        .build()
+    )
+    return sj, plan
+
+
+def join_strategies(sj: ScrubJaySession) -> List[str]:
+    return [d.strategy for d in sj.ctx.report.joins()]
+
+
+def run_mode(
+    tuned: bool,
+    left: List[Dict[str, Any]],
+    right: List[Dict[str, Any]],
+    smoke: bool,
+) -> Dict[str, Any]:
+    sj, plan = make_session(tuned, left, right)
+    try:
+        warmup_runs = 1
+        count = sj.execute(plan).count()
+        if tuned:
+            # the closed loop needs evidence: keep executing until the
+            # tuner's hysteresis bar is cleared and a TuningDecision
+            # lands (bounded — a dead tuner must not hang the bench)
+            while not sj.tuner.applied and warmup_runs < MAX_WARMUP_RUNS:
+                count = sj.execute(plan).count()
+                warmup_runs += 1
+        timing = measure(
+            lambda: sj.execute(plan).count() and None,
+            min_repeats=3,
+            max_repeats=10 if smoke else 20,
+            rel_ci=0.10 if smoke else 0.05,
+            warmup=0,
+        )
+        rows = sj.execute(plan).collect()  # identity material, untimed
+        payload: Dict[str, Any] = {
+            "mode": "tuned" if tuned else "untuned",
+            "timing": timing.as_dict(),
+            "result_rows": count,
+            "warmup_runs": warmup_runs,
+            "join_strategies": join_strategies(sj),
+            "tuning_decisions": [
+                d.as_dict() for d in sj.ctx.report.tunings()
+            ],
+            "broadcast_threshold_bytes": sj.profile.get(
+                "adaptive.broadcast_threshold_bytes"
+            ),
+            "threshold_provenance": sj.profile.provenance(
+                "adaptive.broadcast_threshold_bytes"
+            ),
+            "rows": rows,
+        }
+        if tuned:
+            # the audit surface: every applied knob move renders in
+            # EXPLAIN ANALYZE next to the decisions that caused it
+            explain = sj.explain(
+                sj.query()
+                .across("compute nodes", "jobs")
+                .value("power")
+                .value("temperature")
+                .value("applications")
+                .build(),
+                analyze=True,
+            )
+            payload["explain_audit"] = [
+                line for line in explain.splitlines()
+                if line.startswith("tuning[")
+            ]
+        return payload
+    finally:
+        sj.close()
+
+
+def run_all(smoke: bool) -> Dict[str, Any]:
+    num_rows = SMOKE_ROWS if smoke else FULL_ROWS
+    left, right = adversarial_tables(num_rows)
+    untuned = run_mode(False, left, right, smoke)
+    tuned = run_mode(True, left, right, smoke)
+    identical = row_multiset(untuned.pop("rows")) == row_multiset(
+        tuned.pop("rows")
+    )
+    t_untuned = untuned["timing"]
+    t_tuned = tuned["timing"]
+    speedup = (
+        t_untuned["mean_seconds"] / t_tuned["mean_seconds"]
+        if t_tuned["mean_seconds"]
+        else float("inf")
+    )
+    # the conservative bound: worst untuned plausible mean over best
+    # tuned plausible mean — what the gate actually checks
+    bounded = (
+        t_untuned["ci"][0] / t_tuned["ci"][1]
+        if t_tuned["ci"][1] > 0
+        else float("inf")
+    )
+    return {
+        "benchmark": "closed-loop-tuning-broadcast-mispredict",
+        "smoke": smoke,
+        "left_rows": num_rows,
+        "right_rows": NUM_KEYS,
+        "untuned": untuned,
+        "tuned": tuned,
+        "speedup_mean": round(speedup, 2),
+        "speedup_ci_bounded": round(bounded, 2),
+        "results_identical": identical,
+    }
+
+
+def check(payload: Dict[str, Any]) -> List[str]:
+    bar = 1.15 if payload["smoke"] else 1.3
+    failures: List[str] = []
+    untuned, tuned = payload["untuned"], payload["tuned"]
+    if not payload["results_identical"]:
+        failures.append("tuned and untuned answers differ")
+    if untuned["result_rows"] != payload["left_rows"]:
+        failures.append(
+            f"join produced {untuned['result_rows']} rows, expected "
+            f"{payload['left_rows']}"
+        )
+    # the untuned session must be stuck on the mis-predicted shuffle
+    if set(untuned["join_strategies"]) != {"shuffle"}:
+        failures.append(
+            "untuned run was expected to shuffle every execution, got "
+            f"{untuned['join_strategies']}"
+        )
+    if untuned["tuning_decisions"]:
+        failures.append("untuned session applied tuning decisions")
+    # the tuned session must have closed the loop...
+    decisions = tuned["tuning_decisions"]
+    if not any(
+        d["knob"] == "adaptive.broadcast_threshold_bytes"
+        and d["new"] > d["old"]
+        for d in decisions
+    ):
+        failures.append(
+            "tuner never raised the broadcast threshold: "
+            f"{decisions or 'no decisions applied'}"
+        )
+    if tuned["threshold_provenance"] != "tuned":
+        failures.append(
+            "threshold provenance is "
+            f"{tuned['threshold_provenance']!r}, expected 'tuned'"
+        )
+    # ...switched the plan to broadcast for the measured executions...
+    if not tuned["join_strategies"] or \
+            tuned["join_strategies"][-1] != "broadcast":
+        failures.append(
+            "tuned run never reached the broadcast strategy: "
+            f"{tuned['join_strategies']}"
+        )
+    # ...and left an audit trail in EXPLAIN ANALYZE
+    if not any(
+        "adaptive.broadcast_threshold_bytes" in line
+        for line in tuned.get("explain_audit", [])
+    ):
+        failures.append(
+            "EXPLAIN ANALYZE did not render the tuning decision"
+        )
+    if payload["speedup_ci_bounded"] < bar:
+        failures.append(
+            f"CI-bounded speedup {payload['speedup_ci_bounded']}x "
+            f"below the {bar}x bar (means: "
+            f"{payload['speedup_mean']}x)"
+        )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Closed-loop tuning vs static-config benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller streamed side + relaxed 1.15x gate (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_all(args.smoke)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {JSON_PATH}")
+
+    failures = check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

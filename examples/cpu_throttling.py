@@ -19,7 +19,7 @@ gets aggressively throttled.
 Run: python examples/cpu_throttling.py
 """
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.datagen import generate_dat2
 
 
@@ -36,7 +36,7 @@ def main() -> None:
 
     # counters arrive every ~3 s, so align streams within an 8 s window
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=8.0)
+        TuningProfile(interpolation_window=8.0)
     ) as sj:
         dat.register(sj)
         print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")

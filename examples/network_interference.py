@@ -21,7 +21,7 @@ Run: python examples/network_interference.py
 
 from collections import defaultdict
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import rank_groups
 from repro.datagen.facility import FacilityConfig
 from repro.datagen.network import generate_dat3
@@ -36,7 +36,7 @@ def main() -> None:
     )
 
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=30.0)
+        TuningProfile(interpolation_window=30.0)
     ) as sj:
         dat.register(sj)
         print(f"registered datasets: {', '.join(sorted(sj.schemas()))}\n")

@@ -26,7 +26,7 @@ Run: python examples/nosql_ingestion.py
 
 import tempfile
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import group_aggregate
 from repro.datagen.counters import CounterSimulator
 from repro.datagen.dat import JOB_LOG_SCHEMA, LDMS_SCHEMA, ensure_semantics
@@ -62,7 +62,7 @@ def main() -> None:
     # 2-3. tail the table as a live dataset, subscribe a standing query
     # ------------------------------------------------------------------
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=10.0)
+        TuningProfile(interpolation_window=10.0)
     ) as sj:
         ensure_semantics(sj.dictionary)
         feed = sj.ingest().table(store, "perf", "ldms", LDMS_SCHEMA) \

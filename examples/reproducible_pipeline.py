@@ -24,14 +24,14 @@ import os
 import tempfile
 import time
 
-from repro import ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.datagen import generate_dat1
 from repro.datagen.facility import FacilityConfig
 from repro.wrappers import CSVUnwrapper, SQLUnwrapper
 
 
 def fresh_session(dat, cache_dir=None) -> ScrubJaySession:
-    sj = ScrubJaySession(cache_dir=cache_dir)
+    sj = ScrubJaySession(TuningProfile(cache_dir=cache_dir))
     dat.register(sj)
     return sj
 

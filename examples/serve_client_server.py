@@ -22,7 +22,7 @@ Run: python examples/serve_client_server.py
 import threading
 import time
 
-from repro import ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.core.query import FilterTerm
 from repro.datagen.synthetic import (
     KEYED_LEFT_SCHEMA,
@@ -34,7 +34,7 @@ from repro.serve import QueryClient, QueryServer
 
 def main() -> None:
     # one shared session = one catalog + dictionary + executor pool
-    sj = ScrubJaySession(executor="threads")
+    sj = ScrubJaySession(TuningProfile(executor_kind="threads"))
     samples, lookup = keyed_tables(5_000, num_keys=64)
     sj.register_rows(samples, KEYED_LEFT_SCHEMA, name="samples")
     sj.register_rows(lookup, KEYED_RIGHT_SCHEMA, name="lookup")
@@ -104,7 +104,7 @@ def sharded_main() -> None:
     """The same service scaled out: two shard processes, the samples
     table hash-split on its node key, queries scatter-gathered."""
     print("\n--- sharded: serve(shards=2) ---\n")
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     samples, lookup = keyed_tables(5_000, num_keys=64)
     sj.register_rows(samples, KEYED_LEFT_SCHEMA, name="samples")
     sj.register_rows(lookup, KEYED_RIGHT_SCHEMA, name="lookup")

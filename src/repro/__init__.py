@@ -21,6 +21,14 @@ Public API highlights:
 """
 
 from repro.session import ScrubJaySession
+from repro.config import (
+    KNOBS,
+    ServeConfig,
+    TuningProfile,
+    diff as config_diff,
+    knob_table,
+)
+from repro.tuning import Tuner, TuningDecision
 from repro.core.semantics import DOMAIN, VALUE, Schema, SemanticType
 from repro.core.dictionary import SemanticDictionary, default_dictionary
 from repro.core.dataset import ScrubJayDataset
@@ -62,6 +70,7 @@ from repro.sources.feed_source import FeedSource
 from repro.stream import DeltaPlan, Feed, FeedAdvance
 from repro.metrics import MetricAnswer, Rollup
 from repro.errors import (
+    ConfigError,
     FeedError,
     FeedRewoundError,
     QueryTimeoutError,
@@ -79,6 +88,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ScrubJaySession",
+    "TuningProfile",
+    "ServeConfig",
+    "KNOBS",
+    "config_diff",
+    "knob_table",
+    "Tuner",
+    "TuningDecision",
+    "ConfigError",
     "DOMAIN",
     "VALUE",
     "Schema",

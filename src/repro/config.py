@@ -1,0 +1,784 @@
+"""The unified, typed configuration layer.
+
+ScrubJay grew performance knobs in four unrelated places: the engine's
+:class:`~repro.core.engine.EngineConfig`, the RDD layer's
+:class:`~repro.rdd.stats.AdaptiveConfig`, flat keyword arguments on
+:class:`~repro.session.ScrubJaySession`, and untyped ``**kwargs``
+forwarded into the serve tier. This module consolidates all of them
+behind one introspectable surface:
+
+- :class:`Knob` — one declared setting: dotted name, type, default,
+  bounds, documentation, and whether the online tuner may adjust it;
+- :data:`KNOBS` — the full registry (the generated table in DESIGN.md
+  is rendered from it by :func:`knob_table`);
+- :class:`TuningProfile` — a validated knob store with per-knob
+  provenance (``default`` | ``user-pinned`` | ``tuned``), a version
+  counter, change listeners, and JSON persistence. Sessions, the
+  serve tier, and the tuner (:mod:`repro.tuning`) all read through
+  it; the tuner is the only writer of ``tuned`` values;
+- :class:`ServeConfig` — the typed section handed to
+  :class:`~repro.serve.QueryService`, replacing opaque ``**kwargs``;
+- :func:`diff` — knob-level difference between two profiles, used by
+  tests and the sharded ``sync`` agreement check.
+
+Every rejected setting raises :class:`~repro.errors.ConfigError`
+naming the offending knob at construction time, not deep inside the
+engine or service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError
+from repro.core.engine import EngineConfig
+from repro.rdd.stats import AdaptiveConfig
+
+__all__ = [
+    "KNOBS",
+    "Knob",
+    "ServeConfig",
+    "TuningProfile",
+    "diff",
+    "knob_table",
+]
+
+#: provenance states a knob value can be in
+PROVENANCE_DEFAULT = "default"
+PROVENANCE_USER = "user-pinned"
+PROVENANCE_TUNED = "tuned"
+
+_EXECUTOR_KINDS = ("serial", "threads", "processes", "simulated")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared configuration setting.
+
+    ``kind`` is the value type: ``bool``, ``int``, ``float``, ``str``,
+    or ``str_tuple`` (a tuple of strings, e.g. the per-operator
+    columnar off-list). ``low``/``high`` are inclusive bounds for the
+    numeric kinds; ``choices`` constrains ``str`` knobs; ``nullable``
+    admits ``None`` (meaning "unset / derive a default downstream").
+    ``tunable`` marks knobs the online tuner may adjust — everything
+    else only changes by explicit user action.
+    """
+
+    name: str
+    kind: str
+    default: Any
+    doc: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+    nullable: bool = False
+    tunable: bool = False
+
+    def bounds_str(self) -> str:
+        if self.choices:
+            return "{" + ", ".join(self.choices) + "}"
+        if self.low is None and self.high is None:
+            return "—"
+        lo = "-inf" if self.low is None else f"{self.low:g}"
+        hi = "+inf" if self.high is None else f"{self.high:g}"
+        return f"[{lo}, {hi}]"
+
+
+_ENGINE = EngineConfig()
+_ADAPTIVE = AdaptiveConfig()
+
+
+def _build_knobs() -> Dict[str, Knob]:
+    e, a = _ENGINE, _ADAPTIVE
+    knobs = [
+        # -- engine ----------------------------------------------------
+        Knob("engine.max_transform_depth", "int", e.max_transform_depth,
+             "Transformation-closure depth per dataset before a "
+             "combination.", low=1, high=8),
+        Knob("engine.post_combine_depth", "int", e.post_combine_depth,
+             "Transformation-closure depth applied after each "
+             "combination.", low=0, high=8),
+        Knob("engine.max_candidates", "int", e.max_candidates,
+             "Candidates kept per dataset/subset during the solve "
+             "(shortest first).", low=1, high=4096),
+        Knob("engine.max_datasets", "int", e.max_datasets,
+             "Maximum number of datasets combined to answer one "
+             "query.", low=2, high=16),
+        Knob("engine.interpolation_window", "float",
+             e.interpolation_window,
+             "Window (seconds) for engine-inserted interpolation "
+             "joins.", low=1e-9, high=1e9),
+        Knob("engine.explode_period", "float", e.explode_period,
+             "Sampling period (seconds) for engine-inserted "
+             "continuous explodes.", low=1e-9, high=1e9),
+        Knob("engine.pushdown", "bool", e.pushdown,
+             "Rewrite solved plans so filters collapse into the leaf "
+             "scans."),
+        Knob("engine.projection", "bool", e.projection,
+             "Let the pushdown rewrite also prune scanned columns."),
+        Knob("engine.columnar", "bool", e.columnar,
+             "Execute plans over ColumnBatch kernels where operators "
+             "support them.", tunable=True),
+        Knob("engine.columnar_off_ops", "str_tuple", e.columnar_off_ops,
+             "Operators forced to the row path even under columnar "
+             "execution; the tuner adds an operator whose kernel "
+             "keeps falling back.", tunable=True),
+        # -- adaptive execution ---------------------------------------
+        Knob("adaptive.enabled", "bool", a.enabled,
+             "Master switch for statistics-driven execution; off "
+             "forces classic always-shuffle plans."),
+        Knob("adaptive.broadcast_threshold_bytes", "int",
+             a.broadcast_threshold_bytes,
+             "Broadcast a join side whose estimated size is at most "
+             "this many bytes.", low=0, high=1 << 31, tunable=True),
+        Knob("adaptive.broadcast_threshold_rows", "int",
+             a.broadcast_threshold_rows,
+             "... and whose row count is at most this (guards bad "
+             "size samples).", low=0, high=10_000_000),
+        Knob("adaptive.target_partition_rows", "int",
+             a.target_partition_rows,
+             "Auto-chosen reduce partitions aim for this many rows "
+             "each.", low=1, high=1_000_000, tunable=True),
+        Knob("adaptive.min_reduce_partitions", "int",
+             a.min_reduce_partitions,
+             "Lower bound for the auto-chosen reduce partition "
+             "count.", low=1, high=1024),
+        Knob("adaptive.max_reduce_partitions", "int",
+             a.max_reduce_partitions,
+             "Upper bound for the auto-chosen reduce partition "
+             "count.", low=1, high=4096),
+        Knob("adaptive.skew_factor", "float", a.skew_factor,
+             "A shuffle bucket is skewed when it exceeds this many "
+             "times the mean bucket size.", low=1.5, high=64),
+        Knob("adaptive.skew_min_pairs", "int", a.skew_min_pairs,
+             "... and holds at least this many pairs.",
+             low=1, high=1_000_000),
+        Knob("adaptive.skew_max_splits", "int", a.skew_max_splits,
+             "Cap on how many sub-buckets one skewed bucket splits "
+             "into.", low=2, high=256),
+        Knob("adaptive.stats_sample_rows", "int", a.stats_sample_rows,
+             "Rows sampled per partition for the size estimate.",
+             low=8, high=4096),
+        Knob("adaptive.stats_key_budget", "int", a.stats_key_budget,
+             "Total keys sampled across partitions for the distinct "
+             "estimate.", low=64, high=65536),
+        # -- executor / retry -----------------------------------------
+        Knob("executor.kind", "str", "serial",
+             "Data-cluster executor the session builds when no "
+             "ready-made ctx/executor object is injected.",
+             choices=_EXECUTOR_KINDS),
+        Knob("executor.num_workers", "int", None,
+             "Worker count for the data-cluster executor (None = "
+             "executor default).", low=1, high=256, nullable=True),
+        Knob("retry.max_task_attempts", "int", 3,
+             "Total attempts per task (1 disables per-task retry — "
+             "the zero-overhead path).", low=1, high=10),
+        Knob("retry.max_stage_attempts", "int", 4,
+             "Total attempts per stage when the worker pool dies.",
+             low=1, high=10),
+        # -- session ---------------------------------------------------
+        Knob("session.cache_dir", "str", None,
+             "On-disk derivation cache directory; also hosts rollup "
+             "tables and the persisted tuning profile.",
+             nullable=True),
+        Knob("session.cache_max_entries", "int", 64,
+             "Derivation-cache capacity (entries).",
+             low=1, high=100_000),
+        # -- serve tier ------------------------------------------------
+        Knob("serve.num_workers", "int", 4,
+             "Service worker threads (concurrent queries in "
+             "execution).", low=1, high=64),
+        Knob("serve.max_queue", "int", 64,
+             "Admission bound across all tenants; beyond it "
+             "submissions shed.", low=1, high=100_000),
+        Knob("serve.default_timeout", "float", None,
+             "Per-query deadline in seconds (queue wait + execution); "
+             "None = no deadline.", low=1e-3, high=86_400,
+             nullable=True),
+        Knob("serve.plan_cache_entries", "int", 256,
+             "Plan-cache capacity (solved plans).", low=1,
+             high=100_000),
+        Knob("serve.result_cache_entries", "int", 128,
+             "Result-cache capacity (materialized answers).",
+             low=1, high=100_000),
+        Knob("serve.result_ttl", "float", None,
+             "Result-cache time-to-live in seconds; None = no TTL. "
+             "The tuner shrinks it when churn collapses the hit "
+             "rate.", low=0.05, high=86_400, nullable=True,
+             tunable=True),
+        Knob("serve.use_disk_cache", "bool", True,
+             "Write results through to the session's disk cache and "
+             "warm-start from it."),
+        Knob("serve.max_query_attempts", "int", 2,
+             "End-to-end attempts per query on transient executor "
+             "errors.", low=1, high=8),
+        Knob("serve.metrics_window_s", "float", 30.0,
+             "Sliding window (seconds) for recent-QPS and latency "
+             "percentiles.", low=1, high=600),
+        # -- tuning ----------------------------------------------------
+        Knob("tuning.enabled", "bool", False,
+             "Run the online self-tuner: observe decisions and "
+             "timings, apply bounded knob adjustments."),
+        Knob("tuning.hysteresis", "int", 2,
+             "Consecutive same-direction regret observations required "
+             "before a knob moves (damps oscillation).", low=1,
+             high=10),
+        Knob("tuning.cooldown", "int", 2,
+             "Proposals to ignore per knob after an adjustment, so "
+             "its effect is measured before the next move.", low=0,
+             high=100),
+        Knob("tuning.regret_threshold", "float", 0.2,
+             "Minimum relative regret (regret / measured time) for an "
+             "observation to count as evidence.", low=0.0, high=10.0),
+        Knob("tuning.min_regret_s", "float", 0.005,
+             "Minimum absolute regret in seconds for an observation "
+             "to count as evidence.", low=0.0, high=10.0),
+    ]
+    return {k.name: k for k in knobs}
+
+
+#: the full knob registry, keyed by dotted name
+KNOBS: Dict[str, Knob] = _build_knobs()
+
+
+def _build_aliases() -> Dict[str, str]:
+    leaf_owner: Dict[str, Optional[str]] = {}
+    for name in KNOBS:
+        leaf = name.split(".")[-1]
+        leaf_owner[leaf] = None if leaf in leaf_owner else name
+    aliases: Dict[str, str] = {}
+    for name in KNOBS:
+        aliases[name.replace(".", "_")] = name
+    for leaf, owner in leaf_owner.items():
+        if owner is not None and leaf not in aliases:
+            aliases[leaf] = owner
+    # historical spellings from the flat-kwargs era
+    aliases["executor"] = "executor.kind"
+    aliases["broadcast_threshold"] = "adaptive.broadcast_threshold_bytes"
+    aliases["num_workers"] = "executor.num_workers"
+    return aliases
+
+
+_ALIASES: Dict[str, str] = _build_aliases()
+
+
+def resolve(key: str) -> str:
+    """Canonical dotted knob name for ``key`` (dotted name, unique
+    leaf, underscored form, or historical alias); raises
+    :class:`ConfigError` naming the unknown knob otherwise."""
+    if key in KNOBS:
+        return key
+    target = _ALIASES.get(key)
+    if target is not None:
+        return target
+    close = difflib.get_close_matches(
+        key, list(KNOBS) + list(_ALIASES), n=3, cutoff=0.6
+    )
+    hint = f"; did you mean {', '.join(close)}?" if close else ""
+    raise ConfigError(f"unknown configuration knob {key!r}{hint}",
+                      knob=key)
+
+
+def _validate(knob: Knob, value: Any) -> Any:
+    """Type-check, coerce, and bounds-check ``value`` for ``knob``;
+    returns the canonical value or raises :class:`ConfigError`."""
+    if value is None:
+        if knob.nullable:
+            return None
+        raise ConfigError(
+            f"knob {knob.name!r} does not accept None", knob=knob.name
+        )
+    if knob.kind == "bool":
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"knob {knob.name!r} expects a bool, got "
+                f"{type(value).__name__} {value!r}", knob=knob.name,
+            )
+        return value
+    if knob.kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"knob {knob.name!r} expects an int, got "
+                f"{type(value).__name__} {value!r}", knob=knob.name,
+            )
+    elif knob.kind == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"knob {knob.name!r} expects a float, got "
+                f"{type(value).__name__} {value!r}", knob=knob.name,
+            )
+        value = float(value)
+    elif knob.kind == "str":
+        if not isinstance(value, str):
+            raise ConfigError(
+                f"knob {knob.name!r} expects a str, got "
+                f"{type(value).__name__} {value!r}", knob=knob.name,
+            )
+        if knob.choices and value not in knob.choices:
+            raise ConfigError(
+                f"knob {knob.name!r} must be one of "
+                f"{', '.join(knob.choices)}; got {value!r}",
+                knob=knob.name,
+            )
+        return value
+    elif knob.kind == "str_tuple":
+        if isinstance(value, str) or not all(
+            isinstance(v, str) for v in tuple(value)
+        ):
+            raise ConfigError(
+                f"knob {knob.name!r} expects a sequence of strings, "
+                f"got {value!r}", knob=knob.name,
+            )
+        return tuple(value)
+    else:  # pragma: no cover — registry invariant
+        raise ConfigError(f"knob {knob.name!r} has unknown kind "
+                          f"{knob.kind!r}", knob=knob.name)
+    if knob.low is not None and value < knob.low:
+        raise ConfigError(
+            f"knob {knob.name!r} = {value!r} is below its lower bound "
+            f"{knob.bounds_str()}", knob=knob.name,
+        )
+    if knob.high is not None and value > knob.high:
+        raise ConfigError(
+            f"knob {knob.name!r} = {value!r} is above its upper bound "
+            f"{knob.bounds_str()}", knob=knob.name,
+        )
+    return value
+
+
+def clamp(name: str, value: Union[int, float]) -> Union[int, float]:
+    """``value`` clamped into ``name``'s declared bounds."""
+    knob = KNOBS[resolve(name)]
+    if knob.low is not None and value < knob.low:
+        value = knob.low
+    if knob.high is not None and value > knob.high:
+        value = knob.high
+    return int(value) if knob.kind == "int" else float(value)
+
+
+# ----------------------------------------------------------------------
+# the serve section as a typed object
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Typed serve-tier settings — the ``serve.*`` section of a
+    profile, in the shape :class:`~repro.serve.QueryService` consumes.
+
+    Construct directly, or derive one from a profile with
+    :meth:`TuningProfile.serve_config`; ``with_overrides`` applies
+    keyword overrides with full knob validation (unknown or
+    out-of-bounds names raise :class:`~repro.errors.ConfigError` here,
+    at construction time, not deep in the service).
+    """
+
+    num_workers: int = 4
+    max_queue: int = 64
+    default_timeout: Optional[float] = None
+    plan_cache_entries: int = 256
+    result_cache_entries: int = 128
+    result_ttl: Optional[float] = None
+    use_disk_cache: bool = True
+    max_query_attempts: int = 2
+    metrics_window_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            _validate(KNOBS[f"serve.{f.name}"], getattr(self, f.name))
+
+    def with_overrides(self, **overrides: Any) -> "ServeConfig":
+        fields = {f.name for f in dataclasses.fields(self)}
+        for key, value in overrides.items():
+            if key not in fields:
+                close = difflib.get_close_matches(
+                    key, sorted(fields), n=3, cutoff=0.6
+                )
+                hint = (f"; did you mean {', '.join(close)}?"
+                        if close else "")
+                raise ConfigError(
+                    f"unknown serve knob {key!r} (valid: "
+                    f"{', '.join(sorted(fields))}){hint}", knob=key,
+                )
+            _validate(KNOBS[f"serve.{key}"], value)
+        return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# the profile
+# ----------------------------------------------------------------------
+
+
+class TuningProfile:
+    """The unified knob store every layer reads through.
+
+    Values set at construction or via :meth:`set` are *user-pinned*:
+    they express intent and the tuner never overrides them. Values
+    written by the tuner via :meth:`tune` carry ``tuned`` provenance.
+    Every write validates type and bounds, bumps :attr:`version`, and
+    notifies registered listeners — the hook the session uses to swap
+    the frozen :class:`EngineConfig`/:class:`AdaptiveConfig` objects
+    the hot paths read.
+
+    Keyword arguments accept canonical dotted names spelled with
+    underscores (``adaptive_broadcast_threshold_bytes``), unique leaf
+    names (``columnar``, ``cache_dir``), and the historical flat-kwarg
+    spellings (``executor``, ``broadcast_threshold``, ``num_workers``).
+    """
+
+    def __init__(self, **overrides: Any) -> None:
+        self._lock = threading.RLock()
+        self._values: Dict[str, Any] = {
+            name: knob.default for name, knob in KNOBS.items()
+        }
+        self._provenance: Dict[str, str] = {
+            name: PROVENANCE_DEFAULT for name in KNOBS
+        }
+        self._pinned: set = set()
+        self._listeners: List[Callable[[str, Any, Any], None]] = []
+        self.version = 0
+        for key, value in overrides.items():
+            self.set(key, value)
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            return self._values[resolve(key)]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.get(key)
+
+    def provenance(self, key: str) -> str:
+        with self._lock:
+            return self._provenance[resolve(key)]
+
+    def is_pinned(self, key: str) -> bool:
+        with self._lock:
+            return resolve(key) in self._pinned
+
+    def tunable(self, key: str) -> bool:
+        """May the tuner adjust this knob right now?"""
+        name = resolve(key)
+        with self._lock:
+            return KNOBS[name].tunable and name not in self._pinned
+
+    def values(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._values)
+
+    # -- writes --------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        """User write: validate, pin, record ``user-pinned``."""
+        self._write(key, value, PROVENANCE_USER, pin=True)
+
+    def pin(self, key: str) -> None:
+        """Pin a knob at its current value without changing it — the
+        tuner will leave it alone."""
+        name = resolve(key)
+        with self._lock:
+            self._pinned.add(name)
+            if self._provenance[name] == PROVENANCE_TUNED:
+                self._provenance[name] = PROVENANCE_USER
+
+    def tune(self, key: str, value: Any) -> Tuple[Any, Any]:
+        """Tuner write: refuse pinned/untunable knobs, record
+        ``tuned`` provenance; returns ``(old, new)``."""
+        name = resolve(key)
+        knob = KNOBS[name]
+        if not knob.tunable:
+            raise ConfigError(
+                f"knob {name!r} is not tunable", knob=name
+            )
+        if self.is_pinned(name):
+            raise ConfigError(
+                f"knob {name!r} is user-pinned; the tuner must not "
+                f"override it", knob=name,
+            )
+        old = self.get(name)
+        self._write(name, value, PROVENANCE_TUNED, pin=False)
+        return old, self.get(name)
+
+    def _write(
+        self, key: str, value: Any, provenance: str, pin: bool
+    ) -> None:
+        name = resolve(key)
+        value = _validate(KNOBS[name], value)
+        with self._lock:
+            old = self._values[name]
+            self._values[name] = value
+            self._provenance[name] = provenance
+            if pin:
+                self._pinned.add(name)
+            self.version += 1
+            listeners = list(self._listeners)
+        if old != value:
+            for fn in listeners:
+                fn(name, old, value)
+
+    # -- listeners -----------------------------------------------------
+
+    def on_change(
+        self, fn: Callable[[str, Any, Any], None]
+    ) -> Callable[[str, Any, Any], None]:
+        """Register ``fn(name, old, new)``, called after every
+        effective value change; returns ``fn`` for deregistration."""
+        with self._lock:
+            self._listeners.append(fn)
+        return fn
+
+    def remove_listener(
+        self, fn: Callable[[str, Any, Any], None]
+    ) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
+    # -- derived typed sections ---------------------------------------
+
+    def engine_config(self) -> EngineConfig:
+        v = self.values()
+        return EngineConfig(**{
+            f.name: v[f"engine.{f.name}"]
+            for f in dataclasses.fields(EngineConfig)
+        })
+
+    def adaptive_config(self) -> AdaptiveConfig:
+        v = self.values()
+        return AdaptiveConfig(**{
+            f.name: v[f"adaptive.{f.name}"]
+            for f in dataclasses.fields(AdaptiveConfig)
+        })
+
+    def serve_config(self) -> ServeConfig:
+        v = self.values()
+        return ServeConfig(**{
+            f.name: v[f"serve.{f.name}"]
+            for f in dataclasses.fields(ServeConfig)
+        })
+
+    def retry_policy(self):
+        """A :class:`~repro.rdd.RetryPolicy` built from the retry
+        knobs, or None when both are still at their defaults (letting
+        downstream layers keep their own defaults)."""
+        with self._lock:
+            if (
+                self._provenance["retry.max_task_attempts"]
+                == PROVENANCE_DEFAULT
+                and self._provenance["retry.max_stage_attempts"]
+                == PROVENANCE_DEFAULT
+            ):
+                return None
+        from repro.rdd.fault import RetryPolicy
+
+        return RetryPolicy(
+            max_task_attempts=self.get("retry.max_task_attempts"),
+            max_stage_attempts=self.get("retry.max_stage_attempts"),
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Effective values plus provenance — the
+        ``session.profile`` / ``svc.snapshot().profile`` shape."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "knobs": {
+                    name: {
+                        "value": _jsonable(self._values[name]),
+                        "provenance": self._provenance[name],
+                    }
+                    for name in KNOBS
+                },
+            }
+
+    def describe(self, all_knobs: bool = False) -> str:
+        """Human-readable listing; by default only knobs that moved
+        off their defaults."""
+        lines = []
+        with self._lock:
+            for name in KNOBS:
+                prov = self._provenance[name]
+                if not all_knobs and prov == PROVENANCE_DEFAULT:
+                    continue
+                lines.append(
+                    f"{name} = {self._values[name]!r}  [{prov}]"
+                )
+        return "\n".join(lines) or "(all knobs at defaults)"
+
+    # -- persistence & wire form --------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Full state: values, provenance, pinned set, version."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "values": {
+                    n: _jsonable(v) for n, v in self._values.items()
+                    if self._provenance[n] != PROVENANCE_DEFAULT
+                },
+                "provenance": {
+                    n: p for n, p in self._provenance.items()
+                    if p != PROVENANCE_DEFAULT
+                },
+                "pinned": sorted(self._pinned),
+            }
+
+    @classmethod
+    def from_json_dict(cls, state: Mapping[str, Any]) -> "TuningProfile":
+        profile = cls()
+        provenance = dict(state.get("provenance") or {})
+        pinned = set(state.get("pinned") or ())
+        for name, value in (state.get("values") or {}).items():
+            if name not in KNOBS:
+                continue  # forward compatibility: ignore unknown knobs
+            prov = provenance.get(name, PROVENANCE_USER)
+            profile._write(
+                name, _from_jsonable(KNOBS[name], value), prov,
+                pin=name in pinned,
+            )
+        profile.version = int(state.get("version", profile.version))
+        return profile
+
+    def tuned_state(self) -> Dict[str, Any]:
+        """Only the tuner-written values plus the version — the wire
+        form the sharded ``sync`` op propagates and the on-disk form
+        persisted under ``cache_dir``."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "tuned": {
+                    n: _jsonable(self._values[n])
+                    for n, p in self._provenance.items()
+                    if p == PROVENANCE_TUNED
+                },
+            }
+
+    def apply_tuned(self, state: Mapping[str, Any]) -> List[str]:
+        """Adopt another profile's tuned values (the receiving side of
+        ``sync`` propagation). Pinned knobs win locally; unknown knobs
+        are ignored. Returns the names that changed."""
+        changed: List[str] = []
+        for name, value in (state.get("tuned") or {}).items():
+            if name not in KNOBS or not self.tunable(name):
+                continue
+            value = _from_jsonable(KNOBS[name], value)
+            if self.get(name) != value:
+                self._write(name, value, PROVENANCE_TUNED, pin=False)
+                changed.append(name)
+        with self._lock:
+            self.version = max(
+                self.version, int(state.get("version", 0))
+            )
+        return changed
+
+    def save_tuned(self, path: str) -> None:
+        """Atomically persist :meth:`tuned_state` to ``path``."""
+        tmp = f"{path}.tmp.{os.getpid()}"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.tuned_state(), f, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def load_tuned(self, path: str) -> List[str]:
+        """Re-load a persisted tuned state; missing or corrupt files
+        are treated as empty (tuning state is advisory, never
+        load-bearing). Returns the knob names adopted."""
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                state = json.load(f)
+        except (OSError, ValueError):
+            return []
+        if not isinstance(state, dict):
+            return []
+        return self.apply_tuned(state)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            moved = sum(
+                1 for p in self._provenance.values()
+                if p != PROVENANCE_DEFAULT
+            )
+        return (
+            f"TuningProfile(version={self.version}, "
+            f"{moved}/{len(KNOBS)} knobs off defaults)"
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    return list(value) if isinstance(value, tuple) else value
+
+
+def _from_jsonable(knob: Knob, value: Any) -> Any:
+    if knob.kind == "str_tuple" and isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# diffing & documentation
+# ----------------------------------------------------------------------
+
+
+def diff(
+    a: Union[TuningProfile, Mapping[str, Any]],
+    b: Union[TuningProfile, Mapping[str, Any]],
+) -> Dict[str, Tuple[Any, Any]]:
+    """Knob-level difference: ``{name: (a_value, b_value)}`` for every
+    knob whose effective value differs. Accepts profiles or plain
+    ``{name: value}`` mappings (e.g. a wire-propagated tuned state);
+    a knob missing from a mapping is treated as at its default."""
+
+    def as_values(p) -> Dict[str, Any]:
+        if isinstance(p, TuningProfile):
+            return p.values()
+        out = {name: knob.default for name, knob in KNOBS.items()}
+        for key, value in dict(p).items():
+            name = resolve(key)
+            out[name] = _from_jsonable(KNOBS[name], value)
+        return out
+
+    va, vb = as_values(a), as_values(b)
+    return {
+        name: (va[name], vb[name])
+        for name in KNOBS
+        if va[name] != vb[name]
+    }
+
+
+def knob_table() -> str:
+    """The generated markdown table documenting every knob — embedded
+    in DESIGN.md and kept in sync by a test."""
+    rows = [
+        "| Knob | Type | Default | Bounds | Tunable | Meaning |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, k in KNOBS.items():
+        default = "None" if k.default is None else repr(k.default)
+        rows.append(
+            f"| `{name}` | {k.kind} | `{default}` | {k.bounds_str()} "
+            f"| {'yes' if k.tunable else 'no'} | {k.doc} |"
+        )
+    return "\n".join(rows)

@@ -62,9 +62,15 @@ from repro.core.transformations import (
 )
 
 
-@dataclass
+@dataclass(frozen=True)
 class EngineConfig:
-    """Search-space bounds and data-alignment defaults."""
+    """Search-space bounds and data-alignment defaults.
+
+    Frozen: nothing mutates an ``EngineConfig`` in place. Knob changes
+    go through the session's :class:`~repro.config.TuningProfile`,
+    which replaces ``engine.config`` wholesale — the tuner is the
+    single writer (see DESIGN.md "Self-tuning & configuration").
+    """
 
     #: transformation-closure depth per dataset before a combination
     max_transform_depth: int = 3
@@ -85,6 +91,10 @@ class EngineConfig:
     #: execute plans over ColumnBatch kernels where operators support
     #: them (row-path fallback per operator otherwise)
     columnar: bool = False
+    #: operators excluded from columnar kernels even when ``columnar``
+    #: is on (forced to the row path); the tuner adds an operator here
+    #: when its kernel keeps falling back anyway
+    columnar_off_ops: Tuple[str, ...] = ()
 
 
 @dataclass

@@ -118,6 +118,22 @@ class FeedRewoundError(FeedError):
         self.current_offset = current_offset
 
 
+class ConfigError(ScrubJayError):
+    """A configuration knob was rejected at construction time.
+
+    Raised by the typed configuration layer (:mod:`repro.config`) for
+    unknown knob names, values of the wrong type, out-of-bounds
+    values, or attempts to tune a pinned/untunable knob. Carries the
+    offending ``knob`` name (when one was identified) so callers and
+    tests can pinpoint the rejected setting without parsing the
+    message.
+    """
+
+    def __init__(self, message: str, knob: "str | None" = None) -> None:
+        super().__init__(message)
+        self.knob = knob
+
+
 class StoreError(ScrubJayError):
     """The wide-column store was used inconsistently (unknown table,
     missing partition key, schema mismatch on insert)."""
@@ -353,6 +369,7 @@ __all__ = [
     "QueryError",
     "QueryValidationError",
     "NoSolutionError",
+    "ConfigError",
     "PipelineError",
     "WrapperError",
     "SourceError",

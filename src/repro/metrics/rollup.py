@@ -158,6 +158,7 @@ class Rollup:
                 pinned_catalog(session, marks),
                 session.dictionary,
                 columnar=session.engine.config.columnar,
+                columnar_off=session.engine.config.columnar_off_ops,
             )
             self.state = metric_partials(base, self.query)
             self.watermarks = marks
@@ -321,6 +322,7 @@ class Rollup:
                     pinned_catalog(session, pinned), deltas,
                     session.dictionary,
                     columnar=session.engine.config.columnar,
+                    columnar_off=session.engine.config.columnar_off_ops,
                 )
                 part = metric_partials(result, self.query)
                 merge_metric_partials(self.state, part, self.query)
@@ -330,6 +332,7 @@ class Rollup:
                     pinned_catalog(session, targets),
                     session.dictionary,
                     columnar=session.engine.config.columnar,
+                    columnar_off=session.engine.config.columnar_off_ops,
                 )
                 self.state = metric_partials(result, self.query)
             self.watermarks = targets

@@ -513,6 +513,7 @@ class Scheduler:
 
     def _compute_shuffle(self, rdd: ShuffledRDD) -> List[Partition]:
         parent_parts = self.materialize(rdd.parent)
+        shuffle_t0 = time.perf_counter()
         n, n_reason = self._choose_shuffle_partitions(rdd, parent_parts)
         create = rdd.create
         merge_value = rdd.merge_value
@@ -581,8 +582,9 @@ class Scheduler:
                 # reduce-side merge; fall through to one partition
             shuffle_parts.append(Partition(len(shuffle_parts), pairs))
 
+        shuffle_decision: Optional[ShuffleDecision] = None
         if planner is not None:
-            planner.report.add(ShuffleDecision(
+            shuffle_decision = ShuffleDecision(
                 origin="shuffle",
                 requested_partitions=rdd._n,
                 chosen_partitions=n,
@@ -591,7 +593,8 @@ class Scheduler:
                 shuffled_pairs=total_pairs,
                 skewed_buckets=skewed,
                 reason=n_reason,
-            ))
+            )
+            planner.report.add(shuffle_decision)
 
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
@@ -624,7 +627,12 @@ class Scheduler:
                     merged[k] = combiner
             return list(merged.items())
 
-        return self._run_stage(reduce_task, shuffle_parts, "shuffle-reduce")
+        out = self._run_stage(reduce_task, shuffle_parts, "shuffle-reduce")
+        if planner is not None:
+            dt = time.perf_counter() - shuffle_t0
+            shuffle_decision.measured_s = dt
+            planner.report.add_timing("shuffle", dt)
+        return out
 
     def _compute_adaptive_join(self, rdd: AdaptiveJoinRDD) -> List[Partition]:
         """Materialize inputs, then pick broadcast-hash vs shuffle.
@@ -648,6 +656,7 @@ class Scheduler:
         decision: JoinDecision = planner.decide_join(
             rdd.left._stats, rdd.right._stats, hint=rdd.strategy
         )
+        join_t0 = time.perf_counter()
         if decision.strategy == "broadcast":
             if decision.build_side == "right":
                 build_parts, stream_parts = right_parts, left_parts
@@ -671,12 +680,19 @@ class Scheduler:
                         for k, v in items
                         for w in build.get(k, ())
                     ]
-            return self._run_stage(probe, stream_parts, "broadcast-join")
-        # shuffle fallback: the classic cogroup plan over the inputs
-        # we already hold (SourceRDD wrappers make them lineage roots)
-        lsrc = SourceRDD(rdd.ctx, left_parts)
-        rsrc = SourceRDD(rdd.ctx, right_parts)
-        return self.materialize(lsrc.join(rsrc, rdd._n))
+            out = self._run_stage(probe, stream_parts, "broadcast-join")
+        else:
+            # shuffle fallback: the classic cogroup plan over the
+            # inputs we already hold (SourceRDD wrappers make them
+            # lineage roots)
+            lsrc = SourceRDD(rdd.ctx, left_parts)
+            rsrc = SourceRDD(rdd.ctx, right_parts)
+            out = self.materialize(lsrc.join(rsrc, rdd._n))
+        # the measured strategy cost is the tuner's regret input
+        dt = time.perf_counter() - join_t0
+        decision.measured_s = dt
+        planner.report.add_timing(f"join.{decision.strategy}", dt)
+        return out
 
     def _compute_range_partition(
         self, rdd: RangePartitionedRDD

@@ -285,6 +285,9 @@ class JoinDecision:
     threshold_bytes: int
     reason: str
     adaptive: bool = True  # False when forced by an explicit hint
+    #: wall-clock seconds the chosen strategy actually took, filled in
+    #: by the scheduler after execution — the tuner's regret input
+    measured_s: Optional[float] = None
 
     kind = "join"
 
@@ -301,6 +304,7 @@ class JoinDecision:
             "threshold_bytes": self.threshold_bytes,
             "reason": self.reason,
             "adaptive": self.adaptive,
+            "measured_s": self.measured_s,
         }
 
 
@@ -316,6 +320,9 @@ class ShuffleDecision:
     shuffled_pairs: int  # post-combine shuffle volume
     skewed_buckets: List[int]
     reason: str
+    #: wall-clock seconds for the whole shuffle (map + exchange +
+    #: reduce), filled in by the scheduler — the tuner's regret input
+    measured_s: Optional[float] = None
 
     kind = "shuffle"
 
@@ -330,6 +337,7 @@ class ShuffleDecision:
             "shuffled_pairs": self.shuffled_pairs,
             "skewed_buckets": list(self.skewed_buckets),
             "reason": self.reason,
+            "measured_s": self.measured_s,
         }
 
 
@@ -456,6 +464,15 @@ class ExecutionReport:
         #: audit trail as the join/shuffle decisions instead of only
         #: in log lines.
         self.cache_stats: Dict[str, Any] = {}
+        #: accumulated span timings (seconds) keyed by span name, e.g.
+        #: ``join.broadcast`` / ``join.shuffle`` / ``shuffle`` — the
+        #: tuner's evidence for cost-model calibration
+        self.timings: Dict[str, float] = {}
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        if self.metrics is not None:
+            self.metrics.observe(f"rdd.timing.{name}", seconds)
 
     def add(self, decision: Any) -> None:
         self.decisions.append(decision)
@@ -493,6 +510,11 @@ class ExecutionReport:
                     "metrics.rollup.decisions",
                     labels={"route": decision.route},
                 )
+            elif decision.kind == "tuning":
+                self.metrics.inc(
+                    "tuning.decisions",
+                    labels={"knob": decision.knob},
+                )
 
     def set_cache_stats(self, stats: Dict[str, Any]) -> None:
         self.cache_stats = dict(stats)
@@ -504,6 +526,7 @@ class ExecutionReport:
     def clear(self) -> None:
         self.decisions.clear()
         self.cache_stats = {}
+        self.timings = {}
 
     def joins(self) -> List[JoinDecision]:
         return [d for d in self.decisions if d.kind == "join"]
@@ -519,6 +542,11 @@ class ExecutionReport:
 
     def rollups(self) -> List[RollupDecision]:
         return [d for d in self.decisions if d.kind == "rollup"]
+
+    def tunings(self) -> List[Any]:
+        """Knob adjustments (:class:`~repro.tuning.TuningDecision`)
+        applied by the online tuner, in order."""
+        return [d for d in self.decisions if d.kind == "tuning"]
 
     def broadcast_joins(self) -> List[JoinDecision]:
         return [d for d in self.joins() if d.strategy == "broadcast"]
@@ -574,7 +602,7 @@ class ExecutionReport:
                 lines.append(
                     f"  delta[{d.op}] -> {d.choice}: {d.reason}"
                 )
-            elif d.kind == "rollup":
+            elif d.kind in ("rollup", "tuning"):
                 lines.append(f"  {d}")
         return "\n".join(lines)
 

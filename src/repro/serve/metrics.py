@@ -75,6 +75,9 @@ class ServiceSnapshot:
     #: streaming state — feed watermarks, standing-subscription count,
     #: delta/replay refresh counters (empty when nothing streams)
     streams: Dict[str, Any] = field(default_factory=dict)
+    #: the session's TuningProfile snapshot — effective knob values
+    #: with provenance (default | user-pinned | tuned) and version
+    profile: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -97,6 +100,7 @@ class ServiceSnapshot:
             "derivation_cache": dict(self.derivation_cache),
             "shards": dict(self.shards),
             "streams": dict(self.streams),
+            "profile": dict(self.profile),
         }
 
     def summary(self) -> str:
@@ -223,6 +227,7 @@ class ServiceMetrics:
         result_cache: Optional[Dict[str, Any]] = None,
         derivation_cache: Optional[Dict[str, Any]] = None,
         streams: Optional[Dict[str, Any]] = None,
+        profile: Optional[Dict[str, Any]] = None,
     ) -> ServiceSnapshot:
         now = self._clock()
         with self._lock:
@@ -255,4 +260,5 @@ class ServiceMetrics:
                 result_cache=dict(result_cache or {}),
                 derivation_cache=dict(derivation_cache or {}),
                 streams=dict(streams or {}),
+                profile=dict(profile or {}),
             )

@@ -48,6 +48,7 @@ from repro.analysis.aggregate import (
     finalize_group_partials,
     group_aggregate_partials,
 )
+from repro.config import ServeConfig
 from repro.core.dataset import ScrubJayDataset
 from repro.core.query import Query, QueryBuilder, ValueSpec
 from repro.errors import (
@@ -75,6 +76,10 @@ _QUEUED = "queued"
 _RUNNING = "running"
 _DONE = "done"
 _CANCELLED = "cancelled"
+
+#: distinguishes "kwarg not passed" from an explicit None for the
+#: nullable knobs (default_timeout, result_ttl)
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -319,26 +324,58 @@ class QueryService:
     def __init__(
         self,
         session,
-        num_workers: int = 4,
-        max_queue: int = 64,
-        default_timeout: Optional[float] = None,
-        plan_cache_entries: int = 256,
-        result_cache_entries: int = 128,
-        result_ttl: Optional[float] = None,
-        use_disk_cache: bool = True,
-        max_query_attempts: int = 2,
+        config: Optional[ServeConfig] = None,
+        num_workers: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        default_timeout: Optional[float] = _UNSET,
+        plan_cache_entries: Optional[int] = None,
+        result_cache_entries: Optional[int] = None,
+        result_ttl: Optional[float] = _UNSET,
+        use_disk_cache: Optional[bool] = None,
+        max_query_attempts: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
-        metrics_window_s: float = 30.0,
+        metrics_window_s: Optional[float] = None,
         clock=time.monotonic,
     ) -> None:
-        if num_workers <= 0:
+        # Settings resolve: explicit kwarg > typed ServeConfig > the
+        # session profile's serve.* section. The kwargs stay so direct
+        # QueryService construction keeps working; session.serve() now
+        # passes a validated ServeConfig instead of loose kwargs.
+        base = config
+        if base is None:
+            profile = getattr(session, "profile", None)
+            base = (
+                profile.serve_config()
+                if profile is not None
+                else ServeConfig()
+            )
+        overrides = {
+            k: v
+            for k, v in {
+                "num_workers": num_workers,
+                "max_queue": max_queue,
+                "plan_cache_entries": plan_cache_entries,
+                "result_cache_entries": result_cache_entries,
+                "use_disk_cache": use_disk_cache,
+                "max_query_attempts": max_query_attempts,
+                "metrics_window_s": metrics_window_s,
+            }.items()
+            if v is not None
+        }
+        if default_timeout is not _UNSET:
+            overrides["default_timeout"] = default_timeout
+        if result_ttl is not _UNSET:
+            overrides["result_ttl"] = result_ttl
+        cfg = base.with_overrides(**overrides)
+        self.config = cfg
+        if cfg.num_workers <= 0:
             raise ValueError("num_workers must be positive")
-        if max_queue <= 0:
+        if cfg.max_queue <= 0:
             raise ValueError("max_queue must be positive")
         self.session = session
-        self.default_timeout = default_timeout
-        self.max_queue = max_queue
-        self.max_query_attempts = max(1, max_query_attempts)
+        self.default_timeout = cfg.default_timeout
+        self.max_queue = cfg.max_queue
+        self.max_query_attempts = max(1, cfg.max_query_attempts)
         self.retry_policy = (
             retry_policy
             or getattr(
@@ -346,16 +383,27 @@ class QueryService:
             )
         )
         self._clock = clock
-        self.plan_cache = PlanCache(plan_cache_entries)
-        backing = session.cache if use_disk_cache else None
+        self.plan_cache = PlanCache(cfg.plan_cache_entries)
+        backing = session.cache if cfg.use_disk_cache else None
         self.result_cache = ResultCache(
-            result_cache_entries, result_ttl, backing=backing, clock=clock
+            cfg.result_cache_entries, cfg.result_ttl, backing=backing,
+            clock=clock,
         )
         self.metrics = ServiceMetrics(
-            window_s=metrics_window_s,
+            window_s=cfg.metrics_window_s,
             clock=clock,
             registry=getattr(session.ctx, "metrics", None),
         )
+        # Tuned knob changes take effect on the live service: the only
+        # serve knob the tuner moves today is the result-cache TTL.
+        self._profile = getattr(session, "profile", None)
+        self._profile_listener = None
+        if self._profile is not None:
+            def _on_knob(name, old, new, _svc=self):
+                if name == "serve.result_ttl":
+                    _svc.result_cache.ttl = new
+            self._profile_listener = self._profile.on_change(_on_knob)
+        self._completions_since_observe = 0
 
         self._subs: Dict[str, Subscription] = {}
         self._subs_lock = threading.Lock()
@@ -378,7 +426,7 @@ class QueryService:
                 name=f"sj-serve-{i}",
                 daemon=True,
             )
-            for i in range(num_workers)
+            for i in range(cfg.num_workers)
         ]
         for w in self._workers:
             w.start()
@@ -528,6 +576,12 @@ class QueryService:
             "columnar", False,
         ))
 
+    def _columnar_off(self) -> tuple:
+        return tuple(getattr(
+            getattr(self.session.engine, "config", None),
+            "columnar_off_ops", (),
+        ))
+
     def _pinned_catalog(
         self, watermarks: Dict[str, int]
     ) -> Dict[str, ScrubJayDataset]:
@@ -629,6 +683,7 @@ class QueryService:
             self._pinned_catalog(marks),
             session.dictionary,
             columnar=self._columnar(),
+            columnar_off=self._columnar_off(),
         )
         if query.is_metric:
             # ``partial=True`` is the sharded fleet's mode: the shard
@@ -804,6 +859,7 @@ class QueryService:
         result = sub.delta_plan.execute_delta(
             self._pinned_catalog(pinned), deltas,
             session.dictionary, columnar=self._columnar(),
+            columnar_off=self._columnar_off(),
         )
         if delta_rows:
             with self._subs_lock:
@@ -833,6 +889,7 @@ class QueryService:
             }),
             session.dictionary,
             columnar=self._columnar(),
+            columnar_off=self._columnar_off(),
         )
         if sub.aggregate is not None:
             spec = sub.aggregate
@@ -900,6 +957,11 @@ class QueryService:
             result_cache=self.result_cache.stats(),
             derivation_cache=derivation,
             streams=self._streams_snapshot(),
+            profile=(
+                self._profile.snapshot()
+                if self._profile is not None
+                else {}
+            ),
         )
 
     def _streams_snapshot(self) -> Dict[str, Any]:
@@ -926,6 +988,9 @@ class QueryService:
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop admitting; by default let workers drain queued work,
         otherwise fail queued tickets with :class:`ServiceClosedError`."""
+        if self._profile is not None and self._profile_listener is not None:
+            self._profile.remove_listener(self._profile_listener)
+            self._profile_listener = None
         with self._cond:
             if self._closed:
                 return
@@ -1068,9 +1133,22 @@ class QueryService:
             )
         elif error is None:
             self.metrics.record_completed(latency)
+            self._maybe_observe_cache()
         else:
             self.metrics.record_failed(latency)
         ticket._deliver(result, error, finished)
+
+    def _maybe_observe_cache(self) -> None:
+        """Feed result-cache counters to the session's tuner every few
+        completions, so churn-collapsed hit rates shrink the TTL."""
+        tuner = getattr(self.session, "tuner", None)
+        if tuner is None:
+            return
+        self._completions_since_observe += 1
+        if self._completions_since_observe < 16:
+            return
+        self._completions_since_observe = 0
+        tuner.observe_cache(self.result_cache.stats())
 
     # ------------------------------------------------------------------
     # the actual pipeline: plan cache → engine → result cache → executor

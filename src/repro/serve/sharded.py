@@ -75,6 +75,7 @@ from repro.analysis.aggregate import (
     finalize_group_partials,
     merge_group_partials,
 )
+from repro.config import diff as profile_diff
 from repro.core.dataset import ScrubJayDataset
 from repro.core.pipeline import LoadNode, ScanNode
 from repro.core.query import Query
@@ -134,6 +135,41 @@ class ShardConfig:
     num_workers: Optional[int] = None
     fault: Optional[Dict[str, Any]] = None
     service_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: router-session TuningProfile state (engine/adaptive knobs only,
+    #: as a :meth:`~repro.config.TuningProfile.to_json_dict` dict) the
+    #: shard session is built with, so the fleet plans consistently
+    profile: Optional[Dict[str, Any]] = None
+
+
+def _shard_profile_state(session) -> Optional[Dict[str, Any]]:
+    """The slice of the router session's profile a shard inherits.
+
+    Planner-facing knobs (``engine.*``, ``adaptive.*``) travel: a
+    shard that broadcast where the router would shuffle gives the
+    fleet inconsistent per-shard plans and timings. Everything else
+    stays shard-local — the shard's executor comes from
+    :class:`ShardConfig`, ``session.cache_dir`` must not collide with
+    the router's on-disk cache, serve knobs arrive via
+    ``service_kwargs``, and shards never run their own tuner
+    (``tuning.*`` stays default-off; the router's closed loop pushes
+    tuned values through ``sync`` instead).
+    """
+    profile = getattr(session, "profile", None)
+    if profile is None:
+        return None
+    state = profile.to_json_dict()
+
+    def keep(name: str) -> bool:
+        return name.startswith(("engine.", "adaptive."))
+
+    state["values"] = {
+        n: v for n, v in state["values"].items() if keep(n)
+    }
+    state["provenance"] = {
+        n: p for n, p in state["provenance"].items() if keep(n)
+    }
+    state["pinned"] = [n for n in state["pinned"] if keep(n)]
+    return state
 
 
 def _shard_main(conn, config: ShardConfig) -> None:
@@ -143,6 +179,7 @@ def _shard_main(conn, config: ShardConfig) -> None:
     # Imported here, not at module top: the parent imports this module
     # through repro.serve, and a lazy import keeps the fork cheap and
     # cycle-free.
+    from repro.config import TuningProfile
     from repro.rdd.context import SJContext
     from repro.rdd.executors import FaultInjectingExecutor, make_executor
     from repro.serve.wire import QueryServer
@@ -152,17 +189,24 @@ def _shard_main(conn, config: ShardConfig) -> None:
     session = None
     service = None
     try:
+        profile = (
+            TuningProfile.from_json_dict(config.profile)
+            if config.profile
+            else TuningProfile()
+        )
         if config.fault:
             inner = make_executor(config.executor, config.num_workers)
             session = ScrubJaySession(
+                profile,
                 ctx=SJContext(
                     executor=FaultInjectingExecutor(inner, **config.fault)
-                )
+                ),
             )
         else:
-            session = ScrubJaySession(
-                executor=config.executor, num_workers=config.num_workers
-            )
+            profile.set("executor.kind", config.executor)
+            if config.num_workers is not None:
+                profile.set("executor.num_workers", config.num_workers)
+            session = ScrubJaySession(profile)
         service = QueryService(session, **config.service_kwargs)
         server = QueryServer(service).start()
         conn.send(("ready", server.address))
@@ -469,7 +513,9 @@ class ShardRouter(QueryService):
             num_workers=shard_num_workers,
             fault=shard_fault,
             service_kwargs=dict(shard_service or {}),
+            profile=_shard_profile_state(session),
         )
+        self._profile_push_listener = None
         # Fork the fleet *before* the base class starts router worker
         # threads — forking a process with fewer live threads is the
         # safe order, and no query can arrive before __init__ returns.
@@ -506,6 +552,22 @@ class ShardRouter(QueryService):
         except BaseException:
             self.close()
             raise
+        # Closed loop across process boundaries: when the router-side
+        # tuner (or the user) moves a knob, re-push the tuned state so
+        # the fleet keeps planning with the router's thresholds. Best
+        # effort — a dying shard must not crash the tuner's apply path;
+        # the next mutation's sync round re-asserts convergence hard.
+        profile = getattr(session, "profile", None)
+        if profile is not None:
+            def _on_knob_change(name: str, old: Any, new: Any) -> None:
+                try:
+                    self.push_profile()
+                except Exception:
+                    pass
+
+            self._profile_push_listener = profile.on_change(
+                _on_knob_change
+            )
 
     # ------------------------------------------------------------------
     # replication: seeding and mutations
@@ -586,15 +648,48 @@ class ShardRouter(QueryService):
 
     def _refresh_fleet_stamp(self) -> None:
         """Sync every process and require one agreed-on stamp whose
-        state fingerprint matches the router session's."""
+        state fingerprint matches the router session's.
+
+        The sync request piggybacks the router profile's tuned knob
+        values, so the same round that settles the catalog converges
+        the fleet on one profile: each shard adopts the tuned values
+        (:meth:`~repro.config.TuningProfile.apply_tuned`) and reports
+        its resulting tuned state back, which is checked knob-by-knob
+        with :func:`repro.config.diff` — a shard that silently kept a
+        stale threshold would plan joins differently from the rest of
+        the fleet, so disagreement is a hard :class:`ShardStateError`,
+        not a warning."""
+        profile = getattr(self.session, "profile", None)
+        sync_req: Dict[str, Any] = {"op": "sync"}
+        tuned: Dict[str, Any] = {}
+        if profile is not None:
+            state = profile.tuned_state()
+            tuned = state["tuned"]
+            sync_req["profile"] = state
         stamps = set()
+        profile_versions: Set[int] = set()
         for replicas in self._fleet:
             for handle in self._live_handles(replicas):
-                resp = self._replicate(handle, {"op": "sync"})
+                resp = self._replicate(handle, sync_req)
                 stamps.add((resp["catalog_version"], resp["state"]))
+                if profile is not None and "profile_version" in resp:
+                    mismatch = profile_diff(
+                        tuned, resp.get("profile_tuned") or {}
+                    )
+                    if mismatch:
+                        raise ShardStateError(
+                            f"{handle.name} did not adopt the router's "
+                            f"tuned profile: {mismatch}"
+                        )
+                    profile_versions.add(int(resp["profile_version"]))
         if len(stamps) != 1:
             raise ShardStateError(
                 f"fleet did not converge after replication: {stamps}"
+            )
+        if len(profile_versions) > 1:
+            raise ShardStateError(
+                "fleet profile versions diverged after sync: "
+                f"{sorted(profile_versions)}"
             )
         stamp = stamps.pop()
         local = self.session.state_fingerprint()
@@ -606,6 +701,15 @@ class ShardRouter(QueryService):
                 "dictionary edits) cannot back a sharded fleet"
             )
         self._fleet_stamp = stamp
+
+    def push_profile(self) -> None:
+        """Propagate the router profile's tuned knob values to every
+        live shard and re-assert fleet agreement (one profile version,
+        zero knob diff). Called automatically whenever a router-side
+        knob changes; public so tests and operators can force a
+        convergence round."""
+        with self._fleet_lock:
+            self._refresh_fleet_stamp()
 
     # -- mutation surface (apply locally, replicate, re-stamp) ---------
 
@@ -1289,6 +1393,12 @@ class ShardRouter(QueryService):
                 pass
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        listener = getattr(self, "_profile_push_listener", None)
+        if listener is not None:
+            profile = getattr(self.session, "profile", None)
+            if profile is not None:
+                profile.remove_listener(listener)
+            self._profile_push_listener = None
         super().close(drain=drain, timeout=timeout)
         self._stop_fleet()
 

@@ -269,7 +269,23 @@ def dispatch(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
                 "metrics": service.snapshot().as_dict(),
             }
         if op == "sync":
-            return {"ok": True, **_state_stamp(service)}
+            out = {"ok": True, **_state_stamp(service)}
+            # Profile propagation piggybacks on the sync round: the
+            # router sends its tuned knob state, the shard adopts it
+            # (pinned knobs win locally) and echoes its resulting
+            # tuned state + version so the router can assert fleet
+            # agreement. Keys are additive — a client that sends no
+            # profile gets the plain stamp and, when the session has a
+            # profile, the shard's current tuned view.
+            profile = getattr(service.session, "profile", None)
+            if profile is not None:
+                state = request.get("profile")
+                if isinstance(state, dict):
+                    profile.apply_tuned(state)
+                echoed = profile.tuned_state()
+                out["profile_version"] = echoed["version"]
+                out["profile_tuned"] = echoed["tuned"]
+            return out
         if op == "trace":
             from repro.obs.export import to_chrome_trace
 

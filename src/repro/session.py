@@ -30,11 +30,14 @@ per-node runtime statistics — EXPLAIN ANALYZE.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
-from repro.errors import ScrubJayError
+from repro.config import ServeConfig, TuningProfile
+from repro.errors import ConfigError, ScrubJayError
 from repro.core.answer import Answer
 from repro.core.cache import DerivationCache
 from repro.core.dataset import ScrubJayDataset
@@ -58,38 +61,97 @@ import repro.core.combinations  # noqa: F401
 import repro.core.domain_derivations  # noqa: F401
 
 
+#: flat constructor kwargs from the pre-profile era, each folded into
+#: the equivalent profile knob by the one-release deprecation shim
+_LEGACY_SESSION_KWARGS = (
+    "config",
+    "cache_dir",
+    "cache_max_entries",
+    "num_workers",
+    "adaptive",
+    "broadcast_threshold",
+)
+
+
 class ScrubJaySession:
     """Catalog + dictionary + engine + (optional) cache, in one handle."""
 
     def __init__(
         self,
+        profile: Optional[TuningProfile] = None,
+        *,
         ctx=None,
         dictionary: Optional[SemanticDictionary] = None,
         registry: Optional[DerivationRegistry] = None,
-        config: Optional[EngineConfig] = None,
-        cache_dir: Optional[str] = None,
-        cache_max_entries: int = 64,
         executor=None,
-        num_workers: Optional[int] = None,
         retry_policy=None,
-        adaptive=None,
-        broadcast_threshold: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        **legacy: Any,
     ) -> None:
-        """``executor``/``num_workers``/``retry_policy`` configure the
-        data cluster when no ready-made ``ctx`` is passed: executor is
-        a kind name (``"serial"``, ``"threads"``, ``"processes"``,
-        ``"simulated"``) or an :class:`~repro.rdd.Executor` instance,
-        and ``retry_policy`` a :class:`~repro.rdd.RetryPolicy` setting
-        the fault-tolerance budgets (task retries, stage replays,
-        degradation ladder — see DESIGN.md "Failure semantics").
-        ``adaptive`` (an :class:`~repro.rdd.AdaptiveConfig`) and
-        ``broadcast_threshold`` (bytes; ``0`` disables broadcast
-        joins) tune statistics-driven execution — see DESIGN.md
-        "Adaptive execution". ``tracer`` (an enabled
-        :class:`~repro.obs.Tracer`) turns on span recording for every
-        query this session runs — see DESIGN.md "Observability"."""
+        """All scalar knobs live on the ``profile`` (a
+        :class:`~repro.config.TuningProfile`) — engine search depths,
+        adaptive-execution thresholds, cache sizing, executor kind,
+        retry budgets, serve-tier defaults, and the self-tuner switch::
+
+            sj = ScrubJaySession(TuningProfile(
+                executor_kind="processes", columnar=True,
+                cache_dir="/tmp/sj", tuning_enabled=True,
+            ))
+
+        Values set on the profile are *user-pinned* — the online tuner
+        (enabled via ``tuning.enabled``) never overrides them. When the
+        profile has a ``session.cache_dir``, tuned knob values persist
+        there and re-load on the next startup.
+
+        Rich objects stay keyword arguments: a ready-made ``ctx``
+        (:class:`~repro.rdd.context.SJContext`), ``dictionary``,
+        ``registry``, an :class:`~repro.rdd.Executor` *instance* as
+        ``executor``, a :class:`~repro.rdd.RetryPolicy` as
+        ``retry_policy``, and an enabled :class:`~repro.obs.Tracer`
+        as ``tracer``.
+
+        The pre-profile flat kwargs (``cache_dir=``, ``adaptive=``,
+        ``broadcast_threshold=``, ...) still work for one release via
+        a :class:`DeprecationWarning` shim that folds them into the
+        profile."""
         from repro.rdd.context import SJContext
+
+        if profile is not None and not isinstance(profile, TuningProfile):
+            # pre-profile signature took a ready-made ctx positionally
+            if ctx is not None:
+                raise ScrubJayError("pass either ctx or profile first")
+            warnings.warn(
+                "passing a ctx positionally is deprecated; use "
+                "ScrubJaySession(ctx=...) (the first parameter is now "
+                "the TuningProfile)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            ctx, profile = profile, None
+        self.profile = profile if profile is not None else TuningProfile()
+        if ctx is not None and executor is not None:
+            raise ScrubJayError("pass either ctx or executor, not both")
+        if isinstance(executor, str):
+            warnings.warn(
+                "executor=<kind name> is deprecated; set it on the "
+                "profile: TuningProfile(executor_kind=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.profile.set("executor.kind", executor)
+            executor = None
+        if legacy:
+            self._fold_legacy_kwargs(legacy)
+        cache_dir = self.profile.get("session.cache_dir")
+        # Re-load persisted tuned knobs *before* the frozen configs are
+        # derived, so a restarted session starts where tuning left off.
+        self._tuning_path = (
+            os.path.join(cache_dir, "tuning_profile.json")
+            if cache_dir
+            else None
+        )
+        if self._tuning_path and os.path.exists(self._tuning_path):
+            self.profile.load_tuned(self._tuning_path)
 
         if ctx is not None and executor is not None:
             raise ScrubJayError("pass either ctx or executor, not both")
@@ -99,18 +161,19 @@ class ScrubJaySession:
                 "ctx carries its own tracer)"
             )
         self.ctx = ctx or SJContext(
-            executor=executor or "serial",
-            num_workers=num_workers,
-            retry_policy=retry_policy,
-            adaptive=adaptive,
-            broadcast_threshold=broadcast_threshold,
+            executor=executor or self.profile.get("executor.kind"),
+            num_workers=self.profile.get("executor.num_workers"),
+            retry_policy=retry_policy or self.profile.retry_policy(),
+            adaptive=self.profile.adaptive_config(),
             tracer=tracer,
         )
         self.dictionary = dictionary or default_dictionary()
         # Copy the global registry so session-local expert derivations
         # do not leak between sessions.
         self.registry = (registry or GLOBAL_REGISTRY).copy()
-        self.engine = DerivationEngine(self.dictionary, self.registry, config)
+        self.engine = DerivationEngine(
+            self.dictionary, self.registry, self.profile.engine_config()
+        )
         # The engine shares the context's tracer/registry object, so a
         # solve run by the serve layer or by EXPLAIN ANALYZE lands in
         # the same trace tree as the stages it leads to.
@@ -133,7 +196,9 @@ class ScrubJaySession:
         self.feeds: Dict[str, Any] = {}
         self._data_versions: Dict[str, int] = {}
         self.cache: Optional[DerivationCache] = (
-            DerivationCache(cache_dir, cache_max_entries)
+            DerivationCache(
+                cache_dir, self.profile.get("session.cache_max_entries")
+            )
             if cache_dir
             else None
         )
@@ -145,6 +210,82 @@ class ScrubJaySession:
         self.rollups: Dict[str, Any] = {}
         self._rollup_store_obj = None
         self._rollup_dir_owned: Optional[str] = None
+        # The online tuner (ROADMAP item 5): observes the execution
+        # report after each query, adjusts tunable knobs through the
+        # profile. The listener below is what makes those writes take
+        # effect — the frozen EngineConfig/AdaptiveConfig objects the
+        # hot paths read are swapped wholesale on every knob change.
+        self.tuner = None
+        if self.profile.get("tuning.enabled"):
+            from repro.tuning import Tuner
+
+            self.tuner = Tuner(
+                self.profile,
+                self.ctx.report,
+                metrics=self.ctx.metrics,
+                store_path=self._tuning_path,
+            )
+        self._profile_listener = self.profile.on_change(
+            self._on_profile_change
+        )
+
+    def _fold_legacy_kwargs(self, legacy: Dict[str, Any]) -> None:
+        """The one-release deprecation shim: fold pre-profile flat
+        kwargs into the profile, warn once per construction."""
+        unknown = [k for k in legacy if k not in _LEGACY_SESSION_KWARGS]
+        if unknown:
+            raise ConfigError(
+                f"unknown ScrubJaySession argument(s) "
+                f"{', '.join(sorted(unknown))}; scalar knobs go on the "
+                f"TuningProfile", knob=sorted(unknown)[0],
+            )
+        warnings.warn(
+            f"flat ScrubJaySession kwargs "
+            f"({', '.join(sorted(legacy))}) are deprecated; set them "
+            f"on a TuningProfile: ScrubJaySession(TuningProfile(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        cfg = legacy.get("config")
+        if cfg is not None:
+            defaults = EngineConfig()
+            for f in dataclasses.fields(EngineConfig):
+                value = getattr(cfg, f.name)
+                if value != getattr(defaults, f.name):
+                    self.profile.set(f"engine.{f.name}", value)
+        adaptive = legacy.get("adaptive")
+        if adaptive is not None:
+            from repro.rdd.stats import AdaptiveConfig
+
+            defaults = AdaptiveConfig()
+            for f in dataclasses.fields(AdaptiveConfig):
+                value = getattr(adaptive, f.name)
+                if value != getattr(defaults, f.name):
+                    self.profile.set(f"adaptive.{f.name}", value)
+        simple = {
+            "cache_dir": "session.cache_dir",
+            "cache_max_entries": "session.cache_max_entries",
+            "num_workers": "executor.num_workers",
+            "broadcast_threshold": "adaptive.broadcast_threshold_bytes",
+        }
+        for key, knob in simple.items():
+            if legacy.get(key) is not None:
+                self.profile.set(knob, legacy[key])
+
+    def _on_profile_change(self, name: str, old: Any, new: Any) -> None:
+        """Profile listener: re-derive the frozen config objects the
+        engine and context read, so knob writes (user or tuner) take
+        effect on the next query."""
+        if name.startswith("adaptive."):
+            cfg = self.profile.adaptive_config()
+            self.ctx.adaptive = cfg
+            self.ctx.planner.config = cfg
+        elif name.startswith("engine."):
+            self.engine.config = self.profile.engine_config()
+
+    def _observe_tuning(self) -> None:
+        if self.tuner is not None:
+            self.tuner.observe()
 
     # ------------------------------------------------------------------
     # catalog management
@@ -421,16 +562,22 @@ class ScrubJaySession:
                         tracer=tracer,
                         measure=True,
                         columnar=self.engine.config.columnar,
+                        columnar_off=self.engine.config.columnar_off_ops,
                     )
                     if self.cache is not None:
                         self.ctx.report.set_cache_stats(
                             self.cache.stats()
                         )
+                    self._observe_tuning()
         finally:
             tracer.enabled = was_enabled
         lines = [f"EXPLAIN ANALYZE {q}"]
         if decision is not None:
             lines.append(str(decision))
+        # knob adjustments the tuner applied during (or before) this
+        # run are part of the explanation: each one is auditable here
+        for td in self.ctx.report.tunings():
+            lines.append(str(td))
         solve = root.find("solve")
         if solve is not None:
             c = solve.counters
@@ -469,9 +616,11 @@ class ScrubJaySession:
         result = plan.execute(
             self.snapshot(), self.dictionary, self.cache, tracer=tracer,
             columnar=self.engine.config.columnar,
+            columnar_off=self.engine.config.columnar_off_ops,
         )
         if self.cache is not None:
             self.ctx.report.set_cache_stats(self.cache.stats())
+        self._observe_tuning()
         return result
 
     def ask(
@@ -541,9 +690,11 @@ class ScrubJaySession:
             self.snapshot(), self.dictionary, self.cache,
             tracer=tracer, measure=measure,
             columnar=self.engine.config.columnar,
+            columnar_off=self.engine.config.columnar_off_ops,
         )
         if self.cache is not None and report is not None:
             report.set_cache_stats(self.cache.stats())
+        self._observe_tuning()
         parts = metric_partials(dataset, q)
         return MetricAnswer(
             q, finalize_metric(parts, q), decision=decision
@@ -634,13 +785,33 @@ class ScrubJaySession:
     # ------------------------------------------------------------------
 
     def serve(
-        self, shards: Optional[int] = None, **kwargs
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        shards: Optional[int] = None,
+        shard_on=None,
+        replication: Optional[int] = None,
+        shard_executor: Optional[str] = None,
+        shard_num_workers: Optional[int] = None,
+        shard_fault=None,
+        shard_service=None,
+        start_timeout: Optional[float] = None,
+        retry_policy=None,
+        clock=None,
+        **knobs: Any,
     ) -> "QueryService":  # noqa: F821
         """Wrap this session in a concurrent multi-tenant
         :class:`~repro.serve.QueryService` (plan cache → engine →
-        result cache → shared executor pool). Keyword arguments are
-        forwarded to the service constructor — see
-        :class:`repro.serve.QueryService`.
+        result cache → shared executor pool).
+
+        Service settings come from ``config`` (a typed
+        :class:`~repro.config.ServeConfig`; defaults to this session's
+        profile ``serve.*`` section), optionally overridden by
+        per-knob keywords — ``num_workers=``, ``result_ttl=``, ... —
+        each validated at this call: an unknown or out-of-bounds knob
+        raises :class:`~repro.errors.ConfigError` naming it, instead
+        of failing deep inside the service. ``retry_policy`` and
+        ``clock`` remain object-valued keywords.
 
         ``shards=N`` scales the serve tier *out* instead: the session
         is fronted by a :class:`~repro.serve.sharded.ShardRouter` over
@@ -651,17 +822,55 @@ class ScrubJaySession:
             svc = sj.serve(shards=4, shard_on={"samples": ["node"]},
                            replication=2)
         """
+        cfg = (config or self.profile.serve_config()).with_overrides(
+            **knobs
+        )
+        service_kwargs: Dict[str, Any] = {"config": cfg}
+        if retry_policy is not None:
+            service_kwargs["retry_policy"] = retry_policy
+        if clock is not None:
+            service_kwargs["clock"] = clock
         if shards is not None:
             from repro.serve.sharded import ShardRouter
 
-            return ShardRouter(self, shards=shards, **kwargs)
+            shard_kwargs = {
+                k: v
+                for k, v in {
+                    "shard_on": shard_on,
+                    "replication": replication,
+                    "shard_executor": shard_executor,
+                    "shard_num_workers": shard_num_workers,
+                    "shard_fault": shard_fault,
+                    "shard_service": shard_service,
+                    "start_timeout": start_timeout,
+                }.items()
+                if v is not None
+            }
+            return ShardRouter(
+                self, shards=shards, **shard_kwargs, **service_kwargs
+            )
+        for key, value in {
+            "shard_on": shard_on,
+            "replication": replication,
+            "shard_executor": shard_executor,
+            "shard_num_workers": shard_num_workers,
+            "shard_fault": shard_fault,
+            "shard_service": shard_service,
+            "start_timeout": start_timeout,
+        }.items():
+            if value is not None:
+                raise ConfigError(
+                    f"{key}= only applies to sharded serving; pass "
+                    f"shards=N", knob=key,
+                )
         from repro.serve import QueryService
 
-        return QueryService(self, **kwargs)
+        return QueryService(self, **service_kwargs)
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        self.profile.remove_listener(self._profile_listener)
         self.ctx.stop()
         if self._rollup_dir_owned:
             import shutil

@@ -1,0 +1,407 @@
+"""Online self-tuning: close the loop from telemetry to knobs.
+
+Since the adaptive-execution work, every physical choice the engine
+makes is recorded on the :class:`~repro.rdd.stats.ExecutionReport` —
+join strategies with the statistics that drove them, shuffle shapes,
+kernel batch-vs-fallback outcomes, cache counters — and since the
+timing work those decisions carry measured wall-clock costs. This
+module is the consumer that ROADMAP item 5 calls for: a
+:class:`Tuner` that scans the report after each query, computes
+per-decision *regret* (how much slower the chosen strategy was than
+the modeled cost of the alternative), and applies bounded,
+hysteresis-damped adjustments to the session's
+:class:`~repro.config.TuningProfile`.
+
+Rules implemented:
+
+- **shuffle-join regret** — a join shuffled because the small side's
+  *estimated* bytes exceeded the broadcast threshold, but its row
+  count was broadcast-friendly and the measured shuffle ran slower
+  than the modeled broadcast cost (size sampling over-estimates, e.g.
+  shared objects counted once per row) → raise
+  ``adaptive.broadcast_threshold_bytes`` just past the estimate;
+- **broadcast-join regret** — a broadcast measured slower than the
+  modeled shuffle cost (the estimate under-counted the build side) →
+  lower the threshold below the build side's estimate;
+- **kernel fallback** — columnar execution is on but one operator's
+  kernel keeps falling back to the row path → add that operator to
+  ``engine.columnar_off_ops`` so it skips the failed vectorization
+  attempt;
+- **result-cache churn** — the serve tier's result-cache hit rate
+  collapses with expirations/invalidations dominating → shrink
+  ``serve.result_ttl``.
+
+Every applied adjustment is recorded as a :class:`TuningDecision`
+(old value, new value, evidence, regret) on the report — surfacing in
+``EXPLAIN ANALYZE`` and as ``tuning.*`` metrics — and persisted under
+the session's ``cache_dir`` so tuning survives restarts.
+
+Safety properties (tested in ``tests/tuning/``): adjustments clamp to
+each knob's declared bounds; alternating evidence never oscillates a
+knob (hysteresis requires consecutive same-direction proposals); a
+per-knob cooldown lets each adjustment's effect be measured before
+the next move; user-pinned knobs are never touched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import KNOBS, TuningProfile, clamp
+from repro.errors import ConfigError
+
+__all__ = ["Tuner", "TuningDecision"]
+
+
+@dataclass
+class TuningDecision:
+    """One applied knob adjustment, with its evidence.
+
+    Lands on the :class:`~repro.rdd.stats.ExecutionReport` next to the
+    join/shuffle/kernel decisions it was derived from, so the full
+    causal chain — statistics → choice → measured cost → regret →
+    adjustment — is auditable from a single trail.
+    """
+
+    knob: str
+    old: Any
+    new: Any
+    #: estimated seconds lost to the mis-tuned knob across the
+    #: observations that triggered this adjustment
+    regret: float
+    #: the observations that fired the rule, human-readable
+    evidence: str
+    reason: str
+
+    kind = "tuning"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "knob": self.knob,
+            "old": self.old,
+            "new": self.new,
+            "regret": self.regret,
+            "evidence": self.evidence,
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"tuning[{self.knob}] {self.old!r} -> {self.new!r}"
+            f" (regret {self.regret:.3f}s): {self.reason};"
+            f" {self.evidence}"
+        )
+
+
+@dataclass
+class _Pending:
+    """Accumulated same-direction evidence for one knob (hysteresis)."""
+
+    direction: str  # "up" | "down" | the merge token for set-knobs
+    count: int = 0
+    value: Any = None
+    regret: float = 0.0
+    evidence: List[str] = field(default_factory=list)
+    reason: str = ""
+
+
+class Tuner:
+    """Observes an :class:`ExecutionReport`, adjusts a profile.
+
+    One tuner per session, created when ``tuning.enabled`` is on. The
+    session calls :meth:`observe` after each executed plan; the serve
+    tier additionally feeds result-cache counters through
+    :meth:`observe_cache`. All rule parameters (hysteresis depth,
+    cooldown, regret thresholds) are themselves knobs on the profile.
+    """
+
+    #: EWMA smoothing for the per-row cost rates
+    _ALPHA = 0.3
+
+    def __init__(
+        self,
+        profile: TuningProfile,
+        report,
+        metrics=None,
+        store_path: Optional[str] = None,
+    ) -> None:
+        self.profile = profile
+        self.report = report
+        self.metrics = metrics
+        self.store_path = store_path
+        self._cursor = 0  # decisions consumed so far
+        self._pending: Dict[str, _Pending] = {}
+        self._cooldown: Dict[str, int] = {}
+        # Modeled per-row costs (seconds/row), calibrated online from
+        # measured joins via EWMA. Seeds are deliberately rough — they
+        # only need the *ordering* right (shuffle costs a few times a
+        # broadcast per row) until real measurements arrive.
+        self._broadcast_rate = 1.5e-6
+        self._shuffle_rate = 4.0e-6
+        #: all decisions applied over this tuner's lifetime
+        self.applied: List[TuningDecision] = []
+
+    # -- main loop -----------------------------------------------------
+
+    def observe(self) -> List[TuningDecision]:
+        """Consume new report decisions, fire rules, apply what the
+        hysteresis admits. Returns the adjustments applied now."""
+        decisions = self.report.decisions
+        new = decisions[self._cursor:]
+        self._cursor = len(decisions)
+        proposed = False
+        for d in new:
+            if self.metrics is not None:
+                self.metrics.inc(
+                    "tuning.observed", labels={"kind": d.kind}
+                )
+            if d.kind == "join":
+                self._calibrate(d)
+                proposed |= self._rule_join(d)
+            elif d.kind == "kernel":
+                proposed |= self._rule_kernel(d)
+        if not (proposed or new):
+            return []
+        return self._apply_ready()
+
+    # -- cost model ----------------------------------------------------
+
+    def _calibrate(self, d) -> None:
+        if d.measured_s is None or d.measured_s <= 0:
+            return
+        rows = max(1, d.left_rows + d.right_rows)
+        rate = d.measured_s / rows
+        if d.strategy == "broadcast":
+            self._broadcast_rate += self._ALPHA * (
+                rate - self._broadcast_rate
+            )
+        else:
+            self._shuffle_rate += self._ALPHA * (
+                rate - self._shuffle_rate
+            )
+
+    def _predicted_broadcast_s(self, d) -> float:
+        return self._broadcast_rate * max(1, d.left_rows + d.right_rows)
+
+    def _predicted_shuffle_s(self, d) -> float:
+        return self._shuffle_rate * max(1, d.left_rows + d.right_rows)
+
+    # -- rules ---------------------------------------------------------
+
+    def _significant(self, regret: float, measured: float) -> bool:
+        return (
+            regret > self.profile.get("tuning.regret_threshold") * measured
+            and regret > self.profile.get("tuning.min_regret_s")
+        )
+
+    def _rule_join(self, d) -> bool:
+        """Broadcast-threshold regret, both directions."""
+        if not d.adaptive or d.measured_s is None:
+            return False
+        small_bytes = min(d.left_bytes, d.right_bytes)
+        small_rows = (
+            d.left_rows if d.left_bytes <= d.right_bytes else d.right_rows
+        )
+        if d.strategy == "shuffle":
+            # Shuffled only because the *size estimate* crossed the
+            # threshold, while the row count stayed broadcast-friendly
+            # — the signature of an over-estimate. Regret = measured
+            # shuffle minus modeled broadcast.
+            if small_bytes <= d.threshold_bytes:
+                return False  # shuffled for another reason (rows, hint)
+            row_cap = self.profile.get(
+                "adaptive.broadcast_threshold_rows"
+            )
+            if small_rows > row_cap:
+                return False
+            regret = d.measured_s - self._predicted_broadcast_s(d)
+            if not self._significant(regret, d.measured_s):
+                return False
+            target = int(math.ceil(small_bytes * 1.25))
+            self._propose(
+                "adaptive.broadcast_threshold_bytes", "up", target,
+                regret,
+                f"join[{d.op}] shuffled {d.measured_s:.3f}s vs"
+                f" ~{self._predicted_broadcast_s(d):.3f}s modeled"
+                f" broadcast (small side ~{small_bytes} B est,"
+                f" {small_rows} rows)",
+                "shuffle chosen on an over-estimated small side;"
+                " raising broadcast threshold past the estimate",
+            )
+            return True
+        # broadcast path: regret vs the modeled shuffle cost
+        build_bytes = (
+            d.left_bytes if d.build_side == "left" else d.right_bytes
+        )
+        regret = d.measured_s - self._predicted_shuffle_s(d)
+        if not self._significant(regret, d.measured_s):
+            return False
+        target = int(build_bytes * 0.8)
+        self._propose(
+            "adaptive.broadcast_threshold_bytes", "down", target,
+            regret,
+            f"join[{d.op}] broadcast {d.measured_s:.3f}s vs"
+            f" ~{self._predicted_shuffle_s(d):.3f}s modeled shuffle"
+            f" (build side ~{build_bytes} B est)",
+            "broadcast measured slower than the stats-predicted"
+            " shuffle; lowering broadcast threshold below the build"
+            " side",
+        )
+        return True
+
+    def _rule_kernel(self, d) -> bool:
+        """Per-operator columnar gate: an operator whose kernel keeps
+        falling back pays vectorization-attempt overhead for nothing."""
+        if not self.profile.get("engine.columnar"):
+            return False
+        if d.choice != "row-fallback" or d.reason.startswith("tuned"):
+            return False
+        fallbacks = sum(
+            1
+            for k in self.report.decisions
+            if k.kind == "kernel"
+            and k.op == d.op
+            and k.choice == "row-fallback"
+        )
+        batched = sum(
+            1
+            for k in self.report.decisions
+            if k.kind == "kernel" and k.op == d.op and k.choice == "batch"
+        )
+        if fallbacks < 3 or fallbacks <= batched:
+            return False
+        current = self.profile.get("engine.columnar_off_ops")
+        if d.op in current:
+            return False
+        self._propose(
+            "engine.columnar_off_ops", f"off:{d.op}",
+            tuple(sorted(set(current) | {d.op})), 0.0,
+            f"kernel[{d.op}] fell back {fallbacks}x vs {batched}"
+            f" batched (last: {d.reason})",
+            "kernel fallback dominates this operator; gating it off"
+            " the columnar path",
+        )
+        return True
+
+    def observe_cache(self, stats: Mapping[str, Any]) -> List[TuningDecision]:
+        """Feed result-cache counters (the serve tier calls this).
+
+        Detects the churn signature — plenty of lookups, hit rate
+        collapsed, expirations/invalidations rivaling hits — and
+        proposes halving ``serve.result_ttl``. Counters are cumulative;
+        deltas are taken against the previous call.
+        """
+        prev = getattr(self, "_cache_prev", None)
+        self._cache_prev = dict(stats)
+        if prev is None:
+            return []
+        d = {
+            k: stats.get(k, 0) - prev.get(k, 0)
+            for k in ("hits", "misses", "expirations", "invalidations")
+        }
+        lookups = d["hits"] + d["misses"]
+        if lookups < 20:
+            return []
+        hit_rate = d["hits"] / lookups
+        churn = d["expirations"] + d["invalidations"]
+        # the *effective* TTL: the service reports the cache's live
+        # value (which may come from a ServeConfig override rather
+        # than the profile knob); the profile is the fallback
+        ttl = stats.get("ttl", self.profile.get("serve.result_ttl"))
+        if hit_rate >= 0.2 or churn < d["hits"] or ttl is None:
+            return self._apply_ready()
+        self._propose(
+            "serve.result_ttl", "down", max(0.05, ttl / 2), 0.0,
+            f"result cache {d['hits']} hits / {d['misses']} misses"
+            f" ({hit_rate:.0%}), {churn} expired/invalidated",
+            "result-cache hit rate collapsed under churn; shrinking"
+            " TTL so entries stop outliving their usefulness",
+        )
+        return self._apply_ready()
+
+    # -- hysteresis & application -------------------------------------
+
+    def _propose(
+        self,
+        knob: str,
+        direction: str,
+        value: Any,
+        regret: float,
+        evidence: str,
+        reason: str,
+    ) -> None:
+        if not self.profile.tunable(knob):
+            return  # pinned or untunable: never even accumulates
+        p = self._pending.get(knob)
+        if p is None or p.direction != direction:
+            # opposite/new direction resets the streak — this is what
+            # keeps alternating evidence from oscillating the knob
+            p = self._pending[knob] = _Pending(direction=direction)
+        p.count += 1
+        p.value = value
+        p.regret += max(0.0, regret)
+        p.evidence.append(evidence)
+        p.reason = reason
+
+    def _apply_ready(self) -> List[TuningDecision]:
+        need = self.profile.get("tuning.hysteresis")
+        applied: List[TuningDecision] = []
+        for knob, p in list(self._pending.items()):
+            if p.count < need:
+                continue
+            if self._cooldown.get(knob, 0) > 0:
+                self._cooldown[knob] -= 1
+                continue
+            del self._pending[knob]
+            decision = self._apply(knob, p)
+            if decision is not None:
+                applied.append(decision)
+        return applied
+
+    def _apply(self, knob: str, p: _Pending) -> Optional[TuningDecision]:
+        k = KNOBS[knob]
+        value = p.value
+        if k.kind in ("int", "float") and value is not None:
+            value = clamp(knob, value)
+        if knob == "engine.columnar_off_ops":
+            # merge against the *current* value — another rule firing
+            # in between must not be overwritten
+            op = p.direction.split(":", 1)[1]
+            value = tuple(
+                sorted(set(self.profile.get(knob)) | {op})
+            )
+        old = self.profile.get(knob)
+        if value == old:
+            return None  # clamped back onto the current value: no-op
+        try:
+            self.profile.tune(knob, value)
+        except ConfigError:
+            return None  # pinned between propose and apply
+        decision = TuningDecision(
+            knob=knob,
+            old=old,
+            new=value,
+            regret=p.regret,
+            evidence="; ".join(p.evidence[-3:]),
+            reason=getattr(p, "reason", ""),
+        )
+        self.applied.append(decision)
+        self.report.add(decision)  # mirrors tuning.decisions counter
+        if self.metrics is not None and isinstance(
+            value, (int, float)
+        ) and not isinstance(value, bool):
+            self.metrics.set_gauge(f"tuning.value.{knob}", value)
+        self._cooldown[knob] = self.profile.get("tuning.cooldown")
+        self._save()
+        return decision
+
+    def _save(self) -> None:
+        if self.store_path is None:
+            return
+        try:
+            self.profile.save_tuned(self.store_path)
+        except OSError:
+            pass  # persistence is advisory, never load-bearing

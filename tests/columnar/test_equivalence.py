@@ -1,6 +1,6 @@
 """Columnar vs row execution must be observationally identical.
 
-Every test runs the same query twice — ``EngineConfig(columnar=True)``
+Every test runs the same query twice — ``TuningProfile(columnar=True)``
 against ``columnar=False`` — and compares collected rows. The sweep
 covers pushed scans, filter transform kernels, the vectorized natural
 join, the interpolation join (which has no batch kernel and must fall
@@ -10,7 +10,7 @@ and all three executor kinds.
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import aggregate as agg
 from tests.conftest import (
     JOBS_SCHEMA,
@@ -23,9 +23,10 @@ from tests.conftest import (
 
 
 def _fig5(columnar, executor=None, **cfg):
-    s = ScrubJaySession(
-        config=EngineConfig(columnar=columnar, **cfg), executor=executor
-    )
+    knobs = dict(cfg, columnar=columnar)
+    if executor is not None:
+        knobs["executor_kind"] = executor
+    s = ScrubJaySession(TuningProfile(**knobs))
     s.register_rows(jobs_rows(), JOBS_SCHEMA, "job_queue_log")
     s.register_rows(layout_rows(), LAYOUT_SCHEMA, "node_layout")
     s.register_rows(temps_rows(), TEMPS_SCHEMA, "rack_temperatures")
@@ -151,7 +152,7 @@ def test_group_aggregate_over_batched_answer():
 
 def test_empty_registration_round_trips():
     for columnar in (True, False):
-        s = ScrubJaySession(config=EngineConfig(columnar=columnar))
+        s = ScrubJaySession(TuningProfile(columnar=columnar))
         try:
             s.register_rows([], TEMPS_SCHEMA, "rack_temperatures")
             assert s.ask(
@@ -172,7 +173,7 @@ def test_sparse_rows_survive_join():
             r.pop("aisle")
 
     def build(columnar):
-        s = ScrubJaySession(config=EngineConfig(columnar=columnar))
+        s = ScrubJaySession(TuningProfile(columnar=columnar))
         s.register_rows(layout_rows(), LAYOUT_SCHEMA, "node_layout")
         s.register_rows(sparse_temps, TEMPS_SCHEMA, "rack_temperatures")
         return s

@@ -3,7 +3,7 @@ property — a pushed scan returns exactly what scan-then-filter would."""
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.core.pipeline import DerivationPlan, ScanNode
 from repro.core.semantics import Schema, domain, value
 from repro.errors import QueryError
@@ -27,8 +27,9 @@ def rows_of(answer):
 
 
 def make_session(pushdown=True, ctx=None, **kwargs):
-    config = EngineConfig(pushdown=pushdown)
-    sj = ScrubJaySession(ctx=ctx, config=config, **kwargs)
+    sj = ScrubJaySession(
+        TuningProfile(pushdown=pushdown, **kwargs), ctx=ctx
+    )
     sj.ingest().rows(temps_rows(), TEMPS_SCHEMA).partitions(4) \
         .register("rack_temperatures")
     sj.ingest().rows(layout_rows(), LAYOUT_SCHEMA).register("node_layout")
@@ -191,7 +192,7 @@ def test_pushed_equals_unpushed_across_executors(
 def test_projection_disabled_same_results():
     base = make_session()
     noproj = ScrubJaySession(
-        config=EngineConfig(pushdown=True, projection=False)
+        TuningProfile(pushdown=True, projection=False)
     )
     noproj.ingest().rows(temps_rows(), TEMPS_SCHEMA) \
         .register("rack_temperatures")
@@ -226,7 +227,7 @@ def store_session(tmp_path, rows, pushdown=True, memtable_limit=10):
     )
     t.insert_many(rows)
     t.flush()
-    sj = ScrubJaySession(config=EngineConfig(pushdown=pushdown))
+    sj = ScrubJaySession(TuningProfile(pushdown=pushdown))
     sj.ingest().table(store, "facility", "temps", STORE_SCHEMA) \
         .register("rack_temperatures")
     return sj

@@ -7,7 +7,7 @@ import os
 
 import pytest
 
-from repro import Query, ScrubJaySession, Tracer
+from repro import Query, ScrubJaySession, Tracer, TuningProfile
 from tests.conftest import (
     JOBS_SCHEMA,
     LAYOUT_SCHEMA,
@@ -22,7 +22,8 @@ HEAT_QUERY = Query.of(["racks"], ["heat"])
 
 def _traced_session(executor: str) -> ScrubJaySession:
     sj = ScrubJaySession(
-        executor=executor, num_workers=2, tracer=Tracer()
+        TuningProfile(executor_kind=executor, num_workers=2),
+        tracer=Tracer(),
     )
     sj.register_rows(jobs_rows(), JOBS_SCHEMA, "job_queue_log",
                      num_partitions=2)

@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.datagen.synthetic import (
     KEYED_LEFT_SCHEMA,
     KEYED_RIGHT_SCHEMA,
@@ -23,7 +23,7 @@ HOT_VALUES = ["temperature"]
 
 
 def make_session(executor="serial", rows=200, keys=16, **kwargs):
-    sj = ScrubJaySession(executor=executor, **kwargs)
+    sj = ScrubJaySession(TuningProfile(executor_kind=executor, **kwargs))
     left, right = keyed_tables(rows, num_keys=keys)
     sj.register_rows(left, KEYED_LEFT_SCHEMA, name="samples")
     sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")

@@ -429,7 +429,7 @@ def test_session_serve_entry_point():
 
 
 def test_router_rejects_bad_fleet_shapes():
-    sj = ScrubJaySession(executor="serial")
+    sj = ScrubJaySession()
     try:
         with pytest.raises(ValueError):
             ShardRouter(sj, shards=0)

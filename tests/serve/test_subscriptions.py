@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro import ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis.aggregate import (
     finalize_group_partials,
     group_aggregate_partials,
@@ -50,7 +50,7 @@ def delta_rows(start, n, keys=KEYS):
 
 
 def make_feed_session(executor="serial", **kwargs):
-    sj = ScrubJaySession(executor=executor, **kwargs)
+    sj = ScrubJaySession(TuningProfile(executor_kind=executor, **kwargs))
     left, right = keyed_tables(ROWS, num_keys=KEYS)
     sj.ingest().feed(KEYED_LEFT_SCHEMA, rows=left).tail("samples")
     sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")

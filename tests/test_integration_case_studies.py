@@ -7,7 +7,7 @@ qualitative findings hold on the derived data.
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import rank_groups, time_series
 from repro.datagen import generate_dat1, generate_dat2
 from repro.datagen.facility import FacilityConfig
@@ -81,7 +81,7 @@ def dat2_result():
     dat = generate_dat2(run_duration=240.0, gap=60.0, papi_period=4.0,
                         ipmi_period=6.0)
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=8.0)
+        TuningProfile(interpolation_window=8.0)
     ) as sj:
         dat.register(sj)
         plan = (

@@ -5,7 +5,7 @@ frequency↔temperature link of §5.1's motivating example.
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import correlate
 from repro.datagen import generate_dat1, generate_dat2
 from repro.datagen.facility import FacilityConfig
@@ -60,7 +60,7 @@ def test_frequency_temperature_motivating_query():
     dat = generate_dat2(run_duration=240.0, gap=60.0, papi_period=4.0,
                         ipmi_period=5.0)
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=10.0)
+        TuningProfile(interpolation_window=10.0)
     ) as sj:
         dat.register(sj)
         result = sj.ask(domains=["cpus"],

@@ -9,7 +9,7 @@ pipelines unaided.
 
 import pytest
 
-from repro import EngineConfig, ScrubJaySession
+from repro import ScrubJaySession, TuningProfile
 from repro.analysis import rank_groups
 from repro.datagen.facility import FacilityConfig
 from repro.datagen.network import NETWORK_PROFILES, generate_dat3
@@ -23,7 +23,7 @@ def dat3_session():
         counter_period=15.0,
     )
     with ScrubJaySession(
-        config=EngineConfig(interpolation_window=30.0)
+        TuningProfile(interpolation_window=30.0)
     ) as sj:
         dat.register(sj)
         yield dat, sj

@@ -109,15 +109,39 @@ def test_explain_renders_plan(fig5_session):
 
 
 def test_session_forwards_adaptive_knobs():
-    from repro import AdaptiveConfig
+    from repro import TuningProfile
 
-    with ScrubJaySession(broadcast_threshold=0).ctx as ctx:
+    profile = TuningProfile(broadcast_threshold=0)
+    with ScrubJaySession(profile).ctx as ctx:
         assert ctx.adaptive.broadcast_threshold_bytes == 0
-    cfg = AdaptiveConfig(target_partition_rows=99)
-    with ScrubJaySession(adaptive=cfg).ctx as ctx:
-        assert ctx.adaptive.target_partition_rows == 99
-    # the override composes with a supplied config
-    sj = ScrubJaySession(adaptive=cfg, broadcast_threshold=123)
+    profile = TuningProfile(
+        target_partition_rows=99, broadcast_threshold=123
+    )
+    sj = ScrubJaySession(profile)
     assert sj.ctx.adaptive.target_partition_rows == 99
     assert sj.ctx.adaptive.broadcast_threshold_bytes == 123
     sj.ctx.stop()
+
+
+def test_legacy_flat_kwargs_shim_warns_and_folds():
+    """Pre-profile flat kwargs still work for one release, each
+    construction warning once and folding into the profile."""
+    from repro import AdaptiveConfig
+
+    cfg = AdaptiveConfig(target_partition_rows=99)
+    with pytest.warns(DeprecationWarning, match="flat ScrubJaySession"):
+        sj = ScrubJaySession(adaptive=cfg, broadcast_threshold=123)
+    assert sj.ctx.adaptive.target_partition_rows == 99
+    assert sj.ctx.adaptive.broadcast_threshold_bytes == 123
+    assert sj.profile.provenance(
+        "adaptive.broadcast_threshold_bytes") == "user-pinned"
+    sj.ctx.stop()
+
+    with pytest.warns(DeprecationWarning, match="executor="):
+        sj = ScrubJaySession(executor="threads")
+    assert sj.profile.get("executor.kind") == "threads"
+    sj.ctx.stop()
+
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError, match="unknown ScrubJaySession"):
+        ScrubJaySession(bogus_knob=1)

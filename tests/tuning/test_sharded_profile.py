@@ -1,0 +1,84 @@
+"""Fleet-wide profile convergence: shards plan with the router's knobs.
+
+A sharded fleet in which one shard broadcasts where another shuffles
+gives inconsistent per-shard timings and (with skewed placements)
+inconsistent latency cliffs — so a router-side knob change must reach
+every shard process, and the sync round must *prove* it did.
+"""
+
+from __future__ import annotations
+
+from repro import ScrubJaySession, TuningProfile
+from repro.datagen.synthetic import (
+    KEYED_LEFT_SCHEMA,
+    KEYED_RIGHT_SCHEMA,
+    keyed_tables,
+)
+
+
+def make_router(profile=None, shards=2):
+    sj = ScrubJaySession(profile or TuningProfile())
+    left, right = keyed_tables(48, num_keys=4)
+    sj.register_rows(left, KEYED_LEFT_SCHEMA, name="samples")
+    sj.register_rows(right, KEYED_RIGHT_SCHEMA, name="lookup")
+    router = sj.serve(shards=shards, num_workers=1)
+    return sj, router
+
+
+def shard_profiles(router):
+    """Each live shard's profile block, via the public metrics op."""
+    out = []
+    for handle in router._each_handle():
+        resp = handle.request({"op": "metrics"})
+        assert resp.get("ok")
+        out.append(resp["metrics"]["profile"])
+    return out
+
+
+def test_fleet_converges_to_one_profile_version():
+    sj, router = make_router()
+    try:
+        # a router-side tuned adjustment (what the online tuner does)
+        sj.profile.tune("adaptive.broadcast_threshold_bytes", 4096)
+        router.push_profile()  # raises ShardStateError on divergence
+        profiles = shard_profiles(router)
+        versions = {p["version"] for p in profiles}
+        assert len(versions) == 1, f"fleet diverged: {versions}"
+        for p in profiles:
+            knob = p["knobs"]["adaptive.broadcast_threshold_bytes"]
+            assert knob == {"value": 4096, "provenance": "tuned"}
+    finally:
+        router.close()
+        sj.close()
+
+
+def test_knob_change_auto_pushes_without_explicit_sync():
+    """The router registers a profile listener: tuning a knob reaches
+    the fleet without any explicit push/mutation in between."""
+    sj, router = make_router()
+    try:
+        sj.profile.tune("adaptive.broadcast_threshold_bytes", 2048)
+        values = {
+            p["knobs"]["adaptive.broadcast_threshold_bytes"]["value"]
+            for p in shard_profiles(router)
+        }
+        assert values == {2048}
+    finally:
+        router.close()
+        sj.close()
+
+
+def test_shards_inherit_router_planner_knobs_at_fork():
+    """User-pinned engine/adaptive knobs travel in the fork config, so
+    a shard plans like the router from its very first query."""
+    sj, router = make_router(profile=TuningProfile(
+        columnar=True, broadcast_threshold=1 << 10))
+    try:
+        for p in shard_profiles(router):
+            assert p["knobs"]["engine.columnar"]["value"] is True
+            assert p["knobs"]["adaptive.broadcast_threshold_bytes"] == {
+                "value": 1 << 10, "provenance": "user-pinned",
+            }
+    finally:
+        router.close()
+        sj.close()

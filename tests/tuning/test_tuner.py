@@ -1,0 +1,291 @@
+"""The closed-loop tuner's safety properties, on canned evidence.
+
+Each test fabricates an :class:`ExecutionReport` (the tuner only ever
+reads the report — it has no hook into live execution), feeds it
+through :meth:`Tuner.observe`, and asserts the resulting knob moves:
+regret must move the right knob in the right direction, hysteresis
+must damp alternating evidence, every write must clamp to the knob's
+declared bounds, pinned knobs must never move, and tuned state must
+survive a session restart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TuningProfile
+from repro.rdd.stats import ExecutionReport, JoinDecision, KernelDecision
+from repro.tuning import Tuner, TuningDecision
+
+MB = 1 << 20
+
+
+def make_tuner(report=None, store_path=None, **knobs):
+    knobs.setdefault("tuning_enabled", True)
+    profile = TuningProfile(**knobs)
+    report = report if report is not None else ExecutionReport()
+    return Tuner(profile, report, store_path=store_path), profile, report
+
+
+def shuffled_join(measured_s=1.0, small_bytes=10 * MB, small_rows=1_000,
+                  threshold=8 * MB):
+    """A join that shuffled on an over-estimated small side: bytes over
+    the threshold, rows broadcast-friendly, measured cost well above
+    the modeled broadcast cost."""
+    return JoinDecision(
+        op="natural_join", strategy="shuffle", build_side=None,
+        left_rows=50_000, right_rows=small_rows,
+        left_bytes=80 * MB, right_bytes=small_bytes,
+        threshold_bytes=threshold,
+        reason="small side estimate over threshold",
+        measured_s=measured_s,
+    )
+
+
+def broadcast_join(measured_s=1.0, build_bytes=6 * MB):
+    return JoinDecision(
+        op="natural_join", strategy="broadcast", build_side="right",
+        left_rows=50_000, right_rows=1_000,
+        left_bytes=80 * MB, right_bytes=build_bytes,
+        threshold_bytes=8 * MB, reason="under threshold",
+        measured_s=measured_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# regret rules
+# ----------------------------------------------------------------------
+
+
+def test_shuffle_regret_raises_broadcast_threshold():
+    tuner, profile, report = make_tuner()
+    old = profile.get("adaptive.broadcast_threshold_bytes")
+    applied = []
+    for _ in range(profile.get("tuning.hysteresis")):
+        report.add(shuffled_join())
+        applied += tuner.observe()
+    assert len(applied) == 1
+    d = applied[0]
+    assert isinstance(d, TuningDecision)
+    assert d.knob == "adaptive.broadcast_threshold_bytes"
+    assert d.old == old
+    assert d.new > old  # raised past the over-estimate
+    assert d.new >= 10 * MB
+    assert d.regret > 0
+    assert "shuffled" in d.evidence
+    assert profile.get("adaptive.broadcast_threshold_bytes") == d.new
+    assert profile.provenance(
+        "adaptive.broadcast_threshold_bytes") == "tuned"
+    # the adjustment itself landed on the audit trail
+    assert report.tunings() == [d]
+
+
+def test_broadcast_regret_lowers_threshold():
+    tuner, profile, report = make_tuner()
+    old = profile.get("adaptive.broadcast_threshold_bytes")
+    applied = []
+    for _ in range(profile.get("tuning.hysteresis")):
+        report.add(broadcast_join())
+        applied += tuner.observe()
+    assert len(applied) == 1
+    d = applied[0]
+    assert d.knob == "adaptive.broadcast_threshold_bytes"
+    assert d.new < old
+
+
+def test_insignificant_regret_does_not_move_knobs():
+    tuner, profile, report = make_tuner()
+    # measured barely above the modeled alternative: under both the
+    # relative and absolute significance floors
+    for _ in range(5):
+        report.add(shuffled_join(measured_s=1e-4))
+        assert tuner.observe() == []
+    assert profile.provenance(
+        "adaptive.broadcast_threshold_bytes") == "default"
+
+
+def test_non_adaptive_joins_are_ignored():
+    tuner, profile, report = make_tuner()
+    d = shuffled_join()
+    d.adaptive = False  # forced by an explicit hint: not the knob's fault
+    for _ in range(5):
+        report.add(d)
+        assert tuner.observe() == []
+
+
+def test_kernel_fallback_gates_operator_off_columnar():
+    tuner, profile, report = make_tuner(columnar=True)
+    applied = []
+    for _ in range(4):
+        report.add(KernelDecision(
+            op="explode_discrete", choice="row-fallback",
+            reason="kernel declined the input",
+        ))
+        applied += tuner.observe()
+    assert [d.knob for d in applied] == ["engine.columnar_off_ops"]
+    assert profile.get("engine.columnar_off_ops") == ("explode_discrete",)
+    # already gated: no repeat proposal on further fallbacks
+    report.add(KernelDecision(
+        op="explode_discrete", choice="row-fallback",
+        reason="tuned-off: operator gated off the columnar path",
+    ))
+    assert tuner.observe() == []
+
+
+def test_kernel_rule_requires_fallback_majority():
+    tuner, profile, report = make_tuner(columnar=True)
+    for choice in ("batch", "batch", "batch", "row-fallback",
+                   "row-fallback", "row-fallback"):
+        report.add(KernelDecision(
+            op="filter_equals", choice=choice, reason="x"))
+        tuner.observe()
+    # 3 fallbacks but not more than the 3 batched runs: leave it on
+    assert profile.get("engine.columnar_off_ops") == ()
+
+
+def test_cache_churn_shrinks_result_ttl():
+    tuner, profile, _ = make_tuner(hysteresis=1)
+    base = {"hits": 0, "misses": 0, "expirations": 0,
+            "invalidations": 0, "ttl": 10.0}
+    assert tuner.observe_cache(base) == []  # first call only baselines
+    applied = tuner.observe_cache({
+        "hits": 2, "misses": 38, "expirations": 30,
+        "invalidations": 0, "ttl": 10.0,
+    })
+    assert [d.knob for d in applied] == ["serve.result_ttl"]
+    assert profile.get("serve.result_ttl") == pytest.approx(5.0)
+    assert profile.provenance("serve.result_ttl") == "tuned"
+
+
+def test_healthy_cache_keeps_its_ttl():
+    tuner, profile, _ = make_tuner(hysteresis=1)
+    tuner.observe_cache({"hits": 0, "misses": 0, "expirations": 0,
+                         "invalidations": 0, "ttl": 10.0})
+    tuner.observe_cache({"hits": 30, "misses": 10, "expirations": 1,
+                         "invalidations": 0, "ttl": 10.0})
+    assert profile.get("serve.result_ttl") is None  # untouched default
+
+
+# ----------------------------------------------------------------------
+# hysteresis, cooldown, clamping, pinning
+# ----------------------------------------------------------------------
+
+
+def test_alternating_evidence_never_oscillates():
+    """Opposite-direction proposals reset each other's streak, so
+    evidence that flip-flops — however long — leaves the knob alone;
+    the knob only moves once the evidence stops alternating."""
+    tuner, profile, report = make_tuner()
+    knob = "adaptive.broadcast_threshold_bytes"
+    for _ in range(6):
+        tuner._propose(knob, "up", 10 * MB, 1.0, "over-estimate", "r")
+        assert tuner._apply_ready() == []
+        tuner._propose(knob, "down", 4 * MB, 1.0, "under-estimate", "r")
+        assert tuner._apply_ready() == []
+    assert profile.provenance(knob) == "default"
+    # a sustained streak, by contrast, clears the hysteresis bar
+    tuner._propose(knob, "up", 10 * MB, 1.0, "over-estimate", "r")
+    tuner._propose(knob, "up", 10 * MB, 1.0, "over-estimate", "r")
+    assert [d.knob for d in tuner._apply_ready()] == [knob]
+
+
+def test_cooldown_spaces_out_adjustments():
+    """After one applied move, the next same-direction streak must
+    first burn through the cooldown before it can apply."""
+    tuner, profile, report = make_tuner(hysteresis=1, cooldown=2)
+    report.add(shuffled_join(small_bytes=10 * MB))
+    assert len(tuner.observe()) == 1
+    moves = 0
+    for _ in range(3):
+        report.add(shuffled_join(
+            small_bytes=40 * MB,
+            threshold=profile.get("adaptive.broadcast_threshold_bytes"),
+        ))
+        moves += len(tuner.observe())
+    assert moves == 1  # two observations consumed by cooldown, one applied
+
+
+def test_adjustments_clamp_to_knob_bounds():
+    tuner, profile, report = make_tuner(hysteresis=1)
+    # an absurd over-estimate would push the threshold past its upper
+    # bound; the applied value must be the bound, not the raw target
+    report.add(JoinDecision(
+        op="natural_join", strategy="shuffle", build_side=None,
+        left_rows=50_000, right_rows=10,
+        left_bytes=1 << 34, right_bytes=1 << 33,
+        threshold_bytes=8 * MB, reason="over", measured_s=1.0,
+    ))
+    applied = tuner.observe()
+    assert len(applied) == 1
+    high = 1 << 31
+    assert applied[0].new == high
+    assert profile.get("adaptive.broadcast_threshold_bytes") == high
+
+
+def test_pinned_knobs_are_never_tuned():
+    tuner, profile, report = make_tuner(broadcast_threshold=8 * MB)
+    # construction pinned the knob (user-set values are pinned)
+    assert profile.is_pinned("adaptive.broadcast_threshold_bytes")
+    for _ in range(6):
+        report.add(shuffled_join())
+        assert tuner.observe() == []
+    assert profile.get("adaptive.broadcast_threshold_bytes") == 8 * MB
+    assert profile.provenance(
+        "adaptive.broadcast_threshold_bytes") == "user-pinned"
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+
+def test_tuned_state_round_trips_across_restart(tmp_path):
+    store = str(tmp_path / "tuning_profile.json")
+    tuner, profile, report = make_tuner(store_path=store, hysteresis=1)
+    report.add(shuffled_join())
+    applied = tuner.observe()
+    assert len(applied) == 1
+    tuned_value = profile.get("adaptive.broadcast_threshold_bytes")
+
+    # "restart": a fresh profile reloads the persisted tuned state
+    reborn = TuningProfile()
+    adopted = reborn.load_tuned(store)
+    assert adopted == ["adaptive.broadcast_threshold_bytes"]
+    assert reborn.get("adaptive.broadcast_threshold_bytes") == tuned_value
+    assert reborn.provenance(
+        "adaptive.broadcast_threshold_bytes") == "tuned"
+    assert reborn.version >= profile.version
+
+
+def test_corrupt_store_is_treated_as_empty(tmp_path):
+    store = tmp_path / "tuning_profile.json"
+    store.write_text("{not json")
+    profile = TuningProfile()
+    assert profile.load_tuned(str(store)) == []
+
+
+def test_session_restart_resumes_tuned_profile(tmp_path):
+    """End to end through ScrubJaySession: a tuned knob written under
+    cache_dir is live again after constructing a new session."""
+    from repro import ScrubJaySession
+
+    cache_dir = str(tmp_path)
+    sj = ScrubJaySession(TuningProfile(
+        cache_dir=cache_dir, tuning_enabled=True, hysteresis=1))
+    try:
+        sj.ctx.report.add(shuffled_join())
+        applied = sj.tuner.observe()
+        assert len(applied) == 1
+        tuned_value = sj.profile.get("adaptive.broadcast_threshold_bytes")
+    finally:
+        sj.close()
+
+    sj2 = ScrubJaySession(TuningProfile(
+        cache_dir=cache_dir, tuning_enabled=True))
+    try:
+        assert sj2.profile.get(
+            "adaptive.broadcast_threshold_bytes") == tuned_value
+        # and the reloaded value reached the planner's frozen config
+        assert sj2.ctx.adaptive.broadcast_threshold_bytes == tuned_value
+    finally:
+        sj2.close()
